@@ -1,0 +1,384 @@
+//! The §5.1 case study: a static 1:1 source NAT.
+//!
+//! "A basic one-to-one NAT function, capable of translating source IP
+//! addresses for outgoing traffic at 10 Gbps line-rate … uses a basic
+//! source IP hash table to store 32,768 flows." Translation rewrites the
+//! IPv4 source with the RFC 1624 incremental checksum update (IP header
+//! and TCP/UDP pseudo-header), exactly like the hardware fast path. The
+//! table is runtime-updatable through the control plane (table id 0;
+//! keys and values are 4-byte big-endian IPv4 addresses).
+
+use flexsfp_fabric::resources::{table1, ResourceManifest};
+use flexsfp_ppe::action::{Action, ActionEngine, ActionOutcome};
+use flexsfp_ppe::parser::Parser;
+use flexsfp_ppe::tables::{HashTable, TableError};
+use flexsfp_ppe::{Direction, PacketProcessor, ProcessContext, TableOp, TableOpResult, Verdict};
+
+/// Counter indices exposed by the NAT.
+pub mod counters {
+    /// Packets translated.
+    pub const TRANSLATED: usize = 0;
+    /// Packets passed through untranslated (table miss).
+    pub const MISSED: usize = 1;
+    /// Non-IPv4 packets passed through.
+    pub const NON_IP: usize = 2;
+}
+
+/// The flow capacity of the §5.1 prototype table.
+pub const FLOW_CAPACITY: usize = 32_768;
+
+/// Static 1:1 source NAT.
+pub struct StaticNat {
+    table: HashTable<u32, u32>,
+    engine: ActionEngine,
+    parser: Parser,
+    /// Which direction gets translated (the paper's "outgoing traffic":
+    /// edge→optical).
+    pub translate_direction: Direction,
+}
+
+impl Default for StaticNat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StaticNat {
+    /// A NAT with the prototype's 32 768-flow table.
+    pub fn new() -> StaticNat {
+        Self::with_capacity(FLOW_CAPACITY)
+    }
+
+    /// A NAT with a custom table capacity (the table-sizing ablation).
+    pub fn with_capacity(capacity: usize) -> StaticNat {
+        StaticNat {
+            table: HashTable::with_capacity(capacity),
+            engine: ActionEngine::new(4, Vec::new()),
+            parser: Parser::default(),
+            translate_direction: Direction::EdgeToOptical,
+        }
+    }
+
+    /// Install a translation `private → public`.
+    pub fn add_mapping(&mut self, private: u32, public: u32) -> Result<(), TableError> {
+        self.table.insert(private, public)
+    }
+
+    /// Remove a translation.
+    pub fn remove_mapping(&mut self, private: u32) -> Option<u32> {
+        self.table.remove(&private)
+    }
+
+    /// Installed mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Read a counter.
+    pub fn counter(&self, idx: usize) -> flexsfp_ppe::counters::Counter {
+        self.engine.counters.get(idx)
+    }
+}
+
+impl PacketProcessor for StaticNat {
+    fn name(&self) -> &str {
+        "nat"
+    }
+
+    fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
+        if ctx.direction != self.translate_direction {
+            return Verdict::Forward;
+        }
+        let Some(parsed) = self.parser.parse(packet) else {
+            return Verdict::Drop;
+        };
+        let Some(ip) = parsed.ipv4 else {
+            self.engine.counters.count(counters::NON_IP, packet.len());
+            return Verdict::Forward;
+        };
+        match self.table.lookup(&ip.src) {
+            Some(public) => {
+                match self
+                    .engine
+                    .apply(Action::SetIpv4Src(public), ctx, packet, &parsed)
+                {
+                    ActionOutcome::Continue { .. } => {}
+                    ActionOutcome::Final(v) => return v,
+                }
+                self.engine
+                    .counters
+                    .count(counters::TRANSLATED, packet.len());
+            }
+            None => {
+                self.engine.counters.count(counters::MISSED, packet.len());
+            }
+        }
+        Verdict::Forward
+    }
+
+    fn resource_manifest(&self) -> ResourceManifest {
+        // The calibrated synthesis result from Table 1 ("NAT app" row)
+        // for the prototype capacity; other capacities scale the LSRAM
+        // share via the memory planner.
+        if self.table.capacity() == FLOW_CAPACITY {
+            table1::NAT_APP
+        } else {
+            let mem = flexsfp_fabric::sram::MemoryPlanner::plan(&[
+                flexsfp_fabric::sram::TableShape::new(self.table.capacity() as u64, 96),
+            ]);
+            ResourceManifest::new(table1::NAT_APP.lut4, table1::NAT_APP.ff, mem.usram + 36, 0)
+                + ResourceManifest::new(0, 0, 0, mem.lsram)
+        }
+    }
+
+    fn pipeline_depth(&self) -> u32 {
+        2 // match stage + rewrite stage
+    }
+
+    fn control_op(&mut self, op: &TableOp) -> TableOpResult {
+        fn ip_key(k: &[u8]) -> Option<u32> {
+            Some(u32::from_be_bytes(k.try_into().ok()?))
+        }
+        match op {
+            TableOp::Insert { table: 0, key, value } => {
+                let (Some(k), Some(v)) = (ip_key(key), ip_key(value)) else {
+                    return TableOpResult::BadEncoding;
+                };
+                match self.table.insert(k, v) {
+                    Ok(()) => TableOpResult::Ok,
+                    Err(TableError::BucketFull) => TableOpResult::TableFull,
+                }
+            }
+            TableOp::Delete { table: 0, key } => {
+                let Some(k) = ip_key(key) else {
+                    return TableOpResult::BadEncoding;
+                };
+                match self.table.remove(&k) {
+                    Some(_) => TableOpResult::Ok,
+                    None => TableOpResult::NotFound,
+                }
+            }
+            TableOp::Read { table: 0, key } => {
+                let Some(k) = ip_key(key) else {
+                    return TableOpResult::BadEncoding;
+                };
+                match self.table.peek(&k) {
+                    Some(v) => TableOpResult::Value(v.to_be_bytes().to_vec()),
+                    None => TableOpResult::NotFound,
+                }
+            }
+            TableOp::Clear { table: 0 } => {
+                self.table.clear();
+                TableOpResult::Ok
+            }
+            TableOp::ReadCounter { index } => {
+                let c = self.engine.counters.get(*index as usize);
+                TableOpResult::Counter {
+                    packets: c.packets,
+                    bytes: c.bytes,
+                }
+            }
+            _ => TableOpResult::Unsupported,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfp_wire::builder::PacketBuilder;
+    use flexsfp_wire::ipv4::Ipv4Packet;
+    use flexsfp_wire::tcp::TcpFlags;
+    use flexsfp_wire::udp::UdpDatagram;
+    use flexsfp_wire::{MacAddr, TcpSegment};
+
+    const PRIVATE: u32 = 0xc0a80042; // 192.168.0.66
+    const PUBLIC: u32 = 0x650a0001; // 101.10.0.1
+    const DST: u32 = 0x08080808;
+
+    fn udp_frame(src: u32) -> Vec<u8> {
+        PacketBuilder::eth_ipv4_udp(MacAddr([1; 6]), MacAddr([2; 6]), src, DST, 4000, 80, b"req")
+    }
+
+    fn nat_with_mapping() -> StaticNat {
+        let mut n = StaticNat::new();
+        n.add_mapping(PRIVATE, PUBLIC).unwrap();
+        n
+    }
+
+    #[test]
+    fn translates_mapped_source_udp() {
+        let mut n = nat_with_mapping();
+        let mut pkt = udp_frame(PRIVATE);
+        assert_eq!(n.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.src(), PUBLIC);
+        assert!(ip.verify_checksum());
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert!(udp.verify_checksum_v4(PUBLIC, DST));
+        assert_eq!(n.counter(counters::TRANSLATED).packets, 1);
+    }
+
+    #[test]
+    fn translates_tcp_with_l4_checksum() {
+        let mut n = nat_with_mapping();
+        let mut pkt = PacketBuilder::eth_ipv4_tcp(
+            MacAddr([1; 6]),
+            MacAddr([2; 6]),
+            PRIVATE,
+            DST,
+            4000,
+            443,
+            1,
+            TcpFlags::syn_only(),
+            &[],
+        );
+        n.process(&ProcessContext::egress(), &mut pkt);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.src(), PUBLIC);
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum_v4(PUBLIC, DST));
+    }
+
+    #[test]
+    fn unmapped_source_passes_untouched() {
+        let mut n = nat_with_mapping();
+        let mut pkt = udp_frame(0x0a0b0c0d);
+        let before = pkt.clone();
+        assert_eq!(n.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(pkt, before);
+        assert_eq!(n.counter(counters::MISSED).packets, 1);
+    }
+
+    #[test]
+    fn reverse_direction_not_translated() {
+        let mut n = nat_with_mapping();
+        let mut pkt = udp_frame(PRIVATE);
+        let before = pkt.clone();
+        assert_eq!(n.process(&ProcessContext::ingress(), &mut pkt), Verdict::Forward);
+        assert_eq!(pkt, before);
+    }
+
+    #[test]
+    fn non_ip_counted_and_forwarded() {
+        let mut n = nat_with_mapping();
+        let mut arp = PacketBuilder::ethernet(
+            MacAddr::BROADCAST,
+            MacAddr([2; 6]),
+            flexsfp_wire::EtherType::Arp,
+            &[0u8; 28],
+        );
+        assert_eq!(n.process(&ProcessContext::egress(), &mut arp), Verdict::Forward);
+        assert_eq!(n.counter(counters::NON_IP).packets, 1);
+    }
+
+    #[test]
+    fn manifest_matches_table1_row() {
+        let n = StaticNat::new();
+        assert_eq!(n.resource_manifest(), table1::NAT_APP);
+        assert_eq!(n.resource_manifest().lsram, 160);
+    }
+
+    #[test]
+    fn smaller_tables_use_less_lsram() {
+        let small = StaticNat::with_capacity(1024);
+        assert!(small.resource_manifest().lsram < 160);
+        let big = StaticNat::with_capacity(65_536);
+        assert!(big.resource_manifest().lsram > 160);
+    }
+
+    #[test]
+    fn control_plane_inserts_and_reads() {
+        let mut n = StaticNat::new();
+        let r = n.control_op(&TableOp::Insert {
+            table: 0,
+            key: PRIVATE.to_be_bytes().to_vec(),
+            value: PUBLIC.to_be_bytes().to_vec(),
+        });
+        assert_eq!(r, TableOpResult::Ok);
+        assert_eq!(
+            n.control_op(&TableOp::Read {
+                table: 0,
+                key: PRIVATE.to_be_bytes().to_vec()
+            }),
+            TableOpResult::Value(PUBLIC.to_be_bytes().to_vec())
+        );
+        // The dataplane sees the runtime update immediately.
+        let mut pkt = udp_frame(PRIVATE);
+        n.process(&ProcessContext::egress(), &mut pkt);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.src(), PUBLIC);
+        // Delete and verify miss.
+        assert_eq!(
+            n.control_op(&TableOp::Delete {
+                table: 0,
+                key: PRIVATE.to_be_bytes().to_vec()
+            }),
+            TableOpResult::Ok
+        );
+        assert_eq!(
+            n.control_op(&TableOp::Read {
+                table: 0,
+                key: PRIVATE.to_be_bytes().to_vec()
+            }),
+            TableOpResult::NotFound
+        );
+    }
+
+    #[test]
+    fn control_plane_counter_read() {
+        let mut n = nat_with_mapping();
+        let mut pkt = udp_frame(PRIVATE);
+        n.process(&ProcessContext::egress(), &mut pkt);
+        match n.control_op(&TableOp::ReadCounter { index: 0 }) {
+            TableOpResult::Counter { packets, bytes } => {
+                assert_eq!(packets, 1);
+                assert!(bytes > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_encodings_rejected() {
+        let mut n = StaticNat::new();
+        assert_eq!(
+            n.control_op(&TableOp::Insert {
+                table: 0,
+                key: vec![1, 2],
+                value: vec![3, 4, 5, 6]
+            }),
+            TableOpResult::BadEncoding
+        );
+        assert_eq!(
+            n.control_op(&TableOp::Insert {
+                table: 9,
+                key: vec![0; 4],
+                value: vec![0; 4]
+            }),
+            TableOpResult::Unsupported
+        );
+    }
+
+    #[test]
+    fn population_at_prototype_scale() {
+        // Install ~16k mappings (50% load) and translate a sample.
+        let mut n = StaticNat::new();
+        let mut installed = Vec::new();
+        for i in 0..16_384u32 {
+            let private = 0x0a100000 + i;
+            let public = 0x65000000 + i;
+            if n.add_mapping(private, public).is_ok() {
+                installed.push((private, public));
+            }
+        }
+        assert!(installed.len() > 15_500, "installed {}", installed.len());
+        for &(private, public) in installed.iter().step_by(1000) {
+            let mut pkt = udp_frame(private);
+            n.process(&ProcessContext::egress(), &mut pkt);
+            let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+            assert_eq!(ip.src(), public);
+            assert!(ip.verify_checksum());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion benches: whole-module simulation throughput per shell.
+//!
+//! Measures how fast the timed simulator pushes packets through each
+//! architecture shell — both a sanity check on experiment runtimes and a
+//! relative-cost comparison of the shells' plumbing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexsfp_core::module::{FlexSfp, ModuleConfig, SimPacket};
+use flexsfp_core::ShellKind;
+use flexsfp_fabric::ClockDomain;
+use flexsfp_ppe::engine::PassThrough;
+use flexsfp_ppe::Direction;
+use flexsfp_traffic::{SizeModel, TraceBuilder};
+use std::hint::black_box;
+
+fn trace(n: usize) -> Vec<SimPacket> {
+    TraceBuilder::new(7)
+        .sizes(SizeModel::Fixed(60))
+        .arrivals(flexsfp_traffic::gen::ArrivalModel::Paced { utilization: 0.9 })
+        .build(n)
+        .into_iter()
+        .map(|p| SimPacket {
+            arrival_ns: p.arrival_ns,
+            direction: Direction::EdgeToOptical,
+            frame: p.frame,
+        })
+        .collect()
+}
+
+fn bench_shells(c: &mut Criterion) {
+    let n = 5_000usize;
+    let packets = trace(n);
+    let mut group = c.benchmark_group("module/run");
+    group.throughput(Throughput::Elements(n as u64));
+    for (label, shell, clock) in [
+        ("one_way_1x", ShellKind::one_way_egress(), ClockDomain::XGMII_10G),
+        ("two_way_2x", ShellKind::TwoWayCore, ClockDomain::XGMII_10G_X2),
+        (
+            "active_cp_2x",
+            ShellKind::ActiveControlPlane,
+            ClockDomain::XGMII_10G_X2,
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &packets, |b, pkts| {
+            b.iter_batched(
+                || {
+                    (
+                        FlexSfp::new(
+                            ModuleConfig {
+                                shell,
+                                ppe_clock: clock,
+                                ..Default::default()
+                            },
+                            Box::new(PassThrough),
+                        ),
+                        pkts.clone(),
+                    )
+                },
+                |(mut m, pkts)| black_box(m.run(pkts)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_nat_module(c: &mut Criterion) {
+    let n = 5_000usize;
+    let mut group = c.benchmark_group("module/nat_end_to_end");
+    group.throughput(Throughput::Elements(n as u64));
+    let packets = trace(n);
+    group.bench_function("nat_32k", |b| {
+        b.iter_batched(
+            || {
+                let mut nat = flexsfp_apps::StaticNat::new();
+                for i in 0..64u32 {
+                    nat.add_mapping(0xc0a8_0000 + i, 0x6500_0000 + i).unwrap();
+                }
+                (
+                    FlexSfp::new(ModuleConfig::default(), Box::new(nat)),
+                    packets.clone(),
+                )
+            },
+            |(mut m, pkts)| black_box(m.run(pkts)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(all, bench_shells, bench_nat_module);
+criterion_main!(all);

@@ -1,0 +1,105 @@
+//! Criterion benches: per-application packet-processing cost.
+//!
+//! One bench per §3 use case, all fed the same 64-byte UDP stream so the
+//! relative cost of the applications is directly comparable (the
+//! "Performance vs. simplicity" question of §6).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flexsfp_apps::{
+    AclAction, AclFirewall, AclRule, DnsFilter, L4LoadBalancer, PerSourceRateLimiter, Sanitizer,
+    StaticNat, TelemetryProbe, TunnelGateway, VlanTagger,
+};
+use flexsfp_apps::tunnel::TunnelKind;
+use flexsfp_ppe::{PacketProcessor, ProcessContext};
+use flexsfp_wire::builder::PacketBuilder;
+use flexsfp_wire::MacAddr;
+use std::hint::black_box;
+
+fn udp_frame() -> Vec<u8> {
+    PacketBuilder::eth_ipv4_udp(
+        MacAddr([1; 6]),
+        MacAddr([2; 6]),
+        0xc0a80001,
+        0x08080808,
+        1111,
+        80,
+        b"xy",
+    )
+}
+
+fn bench_app(c: &mut Criterion, name: &str, mut app: Box<dyn PacketProcessor>) {
+    let mut group = c.benchmark_group("apps");
+    group.throughput(Throughput::Elements(1));
+    let frame = udp_frame();
+    let ctx = ProcessContext::egress();
+    let mut t = 0u64;
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            || frame.clone(),
+            |mut f| {
+                t += 100;
+                black_box(app.process(&ctx.at(t), &mut f));
+                f
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let mut nat = StaticNat::new();
+    nat.add_mapping(0xc0a80001, 0x65000001).unwrap();
+    bench_app(c, "nat_hit", Box::new(nat));
+
+    let mut fw = AclFirewall::new(256);
+    for p in 0..64u32 {
+        fw.add_rule(AclRule {
+            dst_port: Some(10_000 + p as u16),
+            protocol: Some(17),
+            ..AclRule::any(p, AclAction::Deny)
+        });
+    }
+    bench_app(c, "firewall_64_rules_miss", Box::new(fw));
+
+    bench_app(c, "vlan_tagger", Box::new(VlanTagger::new(100)));
+    bench_app(
+        c,
+        "tunnel_gre_encap",
+        Box::new(TunnelGateway::new(
+            TunnelKind::Gre { key: 7 },
+            0x0a640001,
+            0x0a640002,
+        )),
+    );
+    bench_app(
+        c,
+        "l4_lb_pass",
+        Box::new(L4LoadBalancer::new(0x0a636363, 80, vec![1, 2, 3])),
+    );
+    bench_app(c, "telemetry", Box::new(TelemetryProbe::new(8_192, 100_000, 50_000)));
+    bench_app(c, "rate_limiter_unlimited", Box::new(PerSourceRateLimiter::new()));
+    bench_app(c, "dns_filter_non_dns", Box::new(DnsFilter::new()));
+    bench_app(c, "sanitizer", Box::new(Sanitizer::default()));
+
+    // The codelet VM running the same DNS-guard program as the docs.
+    use flexsfp_ppe::codelet::{Cmp, Codelet, Field, Insn, Operand, VerdictCode};
+    use flexsfp_ppe::tables::HashTable;
+    let mut allow: HashTable<u64, u64> = HashTable::with_capacity(64);
+    allow.insert(0xc0a80001, 1).unwrap();
+    let program = vec![
+        Insn::LdField(2, Field::DstPort),
+        Insn::JmpIf(Cmp::Ne, 2, Operand::Imm(53), 5),
+        Insn::LdField(3, Field::SrcIp),
+        Insn::Lookup(0, 3),
+        Insn::JmpIf(Cmp::Eq, 1, Operand::Imm(1), 2),
+        Insn::Return(VerdictCode::Drop),
+        Insn::Count(0),
+        Insn::Return(VerdictCode::Forward),
+    ];
+    let codelet = Codelet::new("dns-guard", program, vec![allow]).unwrap();
+    bench_app(c, "codelet_vm_dns_guard", Box::new(codelet));
+}
+
+criterion_group!(all, benches);
+criterion_main!(all);

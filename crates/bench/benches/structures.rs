@@ -1,0 +1,110 @@
+//! Criterion benches: core data structures of the PPE.
+//!
+//! Hash-table lookups (the NAT table), ternary scans (ACLs), token
+//! buckets (meters), Maglev table construction (the load balancer) and
+//! the hardware hash primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexsfp_fabric::hash::{crc32, toeplitz_v4_4tuple, RSS_DEFAULT_KEY};
+use flexsfp_ppe::match_kinds::{TernaryEntry, TernaryTable};
+use flexsfp_ppe::meter::TokenBucket;
+use flexsfp_ppe::tables::HashTable;
+use std::hint::black_box;
+
+fn bench_hash_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures/hash_table");
+    group.throughput(Throughput::Elements(1));
+    for load in [8_192usize, 16_384, 24_576] {
+        let mut t: HashTable<u32, u32> = HashTable::with_capacity(32_768);
+        for i in 0..load as u32 {
+            let _ = t.insert(0x0a000000 | i.wrapping_mul(2654435761), i);
+        }
+        group.bench_with_input(BenchmarkId::new("lookup_hit", load), &load, |b, _| {
+            let key = 0x0a000000u32;
+            let _ = t.insert(key, 1);
+            b.iter(|| t.lookup(black_box(&key)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ternary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures/ternary");
+    group.throughput(Throughput::Elements(1));
+    for rows in [16usize, 64, 256] {
+        let mut t: TernaryTable<u32> = TernaryTable::new(rows);
+        for p in 0..rows as u32 {
+            let mut value = [0u8; 13];
+            value[11..13].copy_from_slice(&(p as u16).to_be_bytes());
+            let mut mask = [0u8; 13];
+            mask[11..13].copy_from_slice(&[0xff, 0xff]);
+            t.insert(TernaryEntry {
+                value,
+                mask,
+                priority: p,
+                data: p,
+            });
+        }
+        let miss_key = [0xffu8; 13];
+        group.bench_with_input(BenchmarkId::new("scan_miss", rows), &rows, |b, _| {
+            b.iter(|| t.lookup(black_box(&miss_key)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_meter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures/meter");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("token_bucket", |b| {
+        let mut tb = TokenBucket::new(10_000_000_000, 1_000_000);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 67;
+            tb.meter(black_box(64), now)
+        })
+    });
+    group.finish();
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures/hashes");
+    let key13 = [0x5au8; 13];
+    group.throughput(Throughput::Bytes(13));
+    group.bench_function("crc32_13B", |b| b.iter(|| crc32(black_box(&key13))));
+    group.bench_function("toeplitz_4tuple", |b| {
+        b.iter(|| {
+            toeplitz_v4_4tuple(
+                &RSS_DEFAULT_KEY,
+                black_box(0xc0a80001),
+                0x08080808,
+                1111,
+                80,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_maglev(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures/maglev");
+    for backends in [3usize, 16, 64] {
+        let pool: Vec<u32> = (0..backends as u32).map(|i| 0x0a000001 + i).collect();
+        group.bench_with_input(
+            BenchmarkId::new("build_65537", backends),
+            &pool,
+            |b, pool| b.iter(|| flexsfp_apps::lb::maglev_table(black_box(pool), 65_537)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    all,
+    bench_hash_table,
+    bench_ternary,
+    bench_meter,
+    bench_hashes,
+    bench_maglev
+);
+criterion_main!(all);

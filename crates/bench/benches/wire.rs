@@ -1,0 +1,92 @@
+//! Criterion benches for the wire layer: parsing, checksums, builders.
+//!
+//! These quantify the per-packet software cost of the functional plane —
+//! the numbers a reviewer needs to trust the throughput experiments are
+//! not bottlenecked by the model itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexsfp_wire::builder::PacketBuilder;
+use flexsfp_wire::{checksum, Ipv4Packet, MacAddr};
+use std::hint::black_box;
+
+fn frame(len: usize) -> Vec<u8> {
+    let mut f = PacketBuilder::eth_ipv4_udp(
+        MacAddr([1; 6]),
+        MacAddr([2; 6]),
+        0xc0a80001,
+        0x08080808,
+        1111,
+        53,
+        &vec![0u8; len.saturating_sub(42)],
+    );
+    f.truncate(len.max(60));
+    f
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/parse");
+    for len in [60usize, 590, 1514] {
+        let f = frame(len);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &f, |b, f| {
+            let parser = flexsfp_ppe::Parser::default();
+            b.iter(|| parser.parse(black_box(f)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/checksum");
+    for len in [20usize, 256, 1480] {
+        let data = vec![0xa5u8; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::new("full", len), &data, |b, d| {
+            b.iter(|| checksum::checksum(black_box(d)))
+        });
+    }
+    group.bench_function("incremental_update32", |b| {
+        b.iter(|| checksum::update32(black_box(0x1234), black_box(0xc0a80001), black_box(0x0a000001)))
+    });
+    group.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    // The NAT inner loop: src rewrite + incremental checksums.
+    let mut group = c.benchmark_group("wire/rewrite");
+    let f = frame(60);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("src_incremental", |b| {
+        b.iter_batched(
+            || f.clone(),
+            |mut f| {
+                let mut ip = Ipv4Packet::new_unchecked(&mut f[14..]);
+                ip.rewrite_src_incremental(black_box(0x65000001));
+                f
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/build");
+    group.bench_function("eth_ipv4_udp_64", |b| {
+        b.iter(|| {
+            PacketBuilder::eth_ipv4_udp(
+                MacAddr([1; 6]),
+                MacAddr([2; 6]),
+                black_box(0xc0a80001),
+                0x08080808,
+                1111,
+                53,
+                b"payload",
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_checksum, bench_rewrite, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! The experiments CLI: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p flexsfp-bench --bin experiments -- <subcommand> [--json]
+//!
+//! subcommands:
+//!   table1     Table 1  — NAT resource usage per component
+//!   table2     Table 2  — published designs vs MPF200T
+//!   table3     Table 3  — cost/power per 10G
+//!   fig1       Figure 1 — architecture shells under load
+//!   fig2       Figure 2 — prototype inventory & self-check
+//!   linerate   §5.1     — NAT end-to-end line-rate test
+//!   power      §5       — testbed power measurements
+//!   scaling    §5.3     — width × clock scaling sweep
+//!   ablations  extras   — design-choice ablations
+//!   all        everything above in order
+//! ```
+//!
+//! `--json` additionally emits the machine-readable report on stdout.
+
+use flexsfp_bench::{ablations, fig1, fig2, latency, linerate, power, scaling, table1, table2, table3};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let known = [
+        "table1", "table2", "table3", "fig1", "fig2", "linerate", "power", "scaling",
+        "ablations", "latency", "all",
+    ];
+    if !known.contains(&cmd) {
+        eprintln!("unknown experiment '{cmd}'; expected one of {known:?}");
+        std::process::exit(2);
+    }
+
+    let run_one = |name: &str| match name {
+        "table1" => {
+            let r = table1::run();
+            println!("{}", table1::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        "table2" => {
+            let r = table2::run();
+            println!("{}", table2::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        "table3" => {
+            let r = table3::run();
+            println!("{}", table3::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        "fig1" => {
+            let r = fig1::run(20_000);
+            println!("{}", fig1::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        "fig2" => {
+            let r = fig2::run();
+            println!("{}", fig2::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        "linerate" => {
+            let r = linerate::run(20_000);
+            println!("{}", linerate::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        "power" => {
+            let r = power::run();
+            println!("{}", power::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        "scaling" => {
+            let r = scaling::run();
+            println!("{}", scaling::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        "latency" => {
+            let r = latency::run(20_000);
+            println!("{}", latency::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        "ablations" => {
+            let r = ablations::run(30_000);
+            println!("{}", ablations::render(&r));
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            }
+        }
+        _ => unreachable!(),
+    };
+
+    if cmd == "all" {
+        for name in &known[..known.len() - 1] {
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(cmd);
+    }
+}

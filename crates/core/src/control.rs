@@ -1,0 +1,643 @@
+//! The embedded control plane.
+//!
+//! The Mi-V softcore's jobs (§4.1–4.2, §5.1): startup configuration of
+//! the transceivers / laser driver / limiting amplifier and the
+//! application tables; a network-accessible control interface for
+//! table/counter access; and the authenticated OTA update path.
+//!
+//! Control packets are ordinary UDP datagrams addressed to the module's
+//! management MAC/IP on [`CONTROL_PORT`]; the payload is
+//! `"FSCP" | tag[8] | request-JSON` where `tag` is SipHash-2-4 over the
+//! JSON under the fleet key. Responses use the same framing. The arbiter
+//! (in [`crate::module`]) routes such frames here from either the edge
+//! interface or the out-of-band management port without disturbing the
+//! dataplane.
+
+use crate::auth::{self, AuthKey};
+use crate::reprogram::{UpdateError, UpdateFsm, UpdateState};
+use flexsfp_fabric::flash::SpiFlash;
+use flexsfp_fabric::i2c::DomReading;
+use flexsfp_ppe::{PacketProcessor, TableOp, TableOpResult};
+use flexsfp_wire::builder::PacketBuilder;
+use flexsfp_wire::{EthernetFrame, Ipv4Packet, MacAddr, UdpDatagram};
+use serde::{Deserialize, Serialize};
+
+/// UDP port the control plane listens on.
+pub const CONTROL_PORT: u16 = 5577;
+/// Control payload magic.
+pub const MAGIC: &[u8; 4] = b"FSCP";
+
+/// Serializable mirror of [`TableOp`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CtlTableOp {
+    /// Insert or update.
+    Insert {
+        /// Table id.
+        table: u8,
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Delete an entry.
+    Delete {
+        /// Table id.
+        table: u8,
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Read an entry.
+    Read {
+        /// Table id.
+        table: u8,
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Read a counter.
+    ReadCounter {
+        /// Counter index.
+        index: u32,
+    },
+    /// Clear a table.
+    Clear {
+        /// Table id.
+        table: u8,
+    },
+}
+
+impl CtlTableOp {
+    fn to_table_op(&self) -> TableOp {
+        match self.clone() {
+            CtlTableOp::Insert { table, key, value } => TableOp::Insert { table, key, value },
+            CtlTableOp::Delete { table, key } => TableOp::Delete { table, key },
+            CtlTableOp::Read { table, key } => TableOp::Read { table, key },
+            CtlTableOp::ReadCounter { index } => TableOp::ReadCounter { index },
+            CtlTableOp::Clear { table } => TableOp::Clear { table },
+        }
+    }
+}
+
+/// Serializable mirror of [`TableOpResult`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CtlTableResult {
+    /// Operation applied.
+    Ok,
+    /// Read value.
+    Value(Vec<u8>),
+    /// Counter value.
+    Counter {
+        /// Packets.
+        packets: u64,
+        /// Bytes.
+        bytes: u64,
+    },
+    /// Key absent.
+    NotFound,
+    /// Table/bucket full.
+    TableFull,
+    /// Bad key/value encoding.
+    BadEncoding,
+    /// Unsupported by the running application.
+    Unsupported,
+}
+
+impl From<TableOpResult> for CtlTableResult {
+    fn from(r: TableOpResult) -> Self {
+        match r {
+            TableOpResult::Ok => CtlTableResult::Ok,
+            TableOpResult::Value(v) => CtlTableResult::Value(v),
+            TableOpResult::Counter { packets, bytes } => CtlTableResult::Counter { packets, bytes },
+            TableOpResult::NotFound => CtlTableResult::NotFound,
+            TableOpResult::TableFull => CtlTableResult::TableFull,
+            TableOpResult::BadEncoding => CtlTableResult::BadEncoding,
+            TableOpResult::Unsupported => CtlTableResult::Unsupported,
+        }
+    }
+}
+
+/// A control request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlRequest {
+    /// Liveness probe.
+    Ping {
+        /// Echoed nonce.
+        nonce: u64,
+    },
+    /// Module identity and status.
+    GetInfo,
+    /// Table/counter operation.
+    Table(CtlTableOp),
+    /// Read digital optical monitoring values.
+    ReadDom,
+    /// Begin an OTA update.
+    BeginUpdate {
+        /// Target flash slot (1..).
+        slot: usize,
+        /// Total image bytes.
+        total_len: usize,
+        /// CRC-32 of the image.
+        crc32: u32,
+    },
+    /// One update chunk.
+    UpdateChunk {
+        /// Sequence number from 0.
+        seq: u32,
+        /// Chunk bytes.
+        data: Vec<u8>,
+    },
+    /// Verify and write to flash.
+    CommitUpdate,
+    /// Reboot into `slot`.
+    Activate {
+        /// Flash slot to boot.
+        slot: usize,
+    },
+    /// Abort an in-progress update.
+    AbortUpdate,
+}
+
+/// A control response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlResponse {
+    /// Ping echo.
+    Pong {
+        /// Echoed nonce.
+        nonce: u64,
+    },
+    /// Identity/status report.
+    Info {
+        /// Module identifier (serial).
+        module_id: String,
+        /// Running application name.
+        app: String,
+        /// Application version.
+        app_version: u32,
+        /// Boot count.
+        boots: u32,
+        /// Update FSM state name.
+        update_state: String,
+    },
+    /// Table operation result.
+    Table(CtlTableResult),
+    /// DOM readings.
+    Dom {
+        /// Temperature, °C.
+        temperature_c: f64,
+        /// Supply volts.
+        vcc_v: f64,
+        /// Laser bias, mA.
+        tx_bias_ma: f64,
+        /// TX power, mW.
+        tx_power_mw: f64,
+        /// RX power, mW.
+        rx_power_mw: f64,
+    },
+    /// Generic success.
+    Ack,
+    /// Failure with reason.
+    Error(String),
+}
+
+/// Authentication/framing statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Well-formed, authenticated requests handled.
+    pub handled: u64,
+    /// Frames rejected for bad framing or failed authentication.
+    pub rejected: u64,
+}
+
+/// Everything a request handler may touch — borrowed from the module to
+/// keep the control plane itself free of ownership cycles.
+pub struct ControlContext<'a> {
+    /// The running application.
+    pub app: &'a mut dyn PacketProcessor,
+    /// The SPI flash.
+    pub flash: &'a mut SpiFlash,
+    /// Latest DOM reading.
+    pub dom: DomReading,
+    /// Module serial.
+    pub module_id: &'a str,
+    /// Running app version.
+    pub app_version: u32,
+    /// Boot count.
+    pub boots: u32,
+}
+
+/// The embedded control plane.
+#[derive(Debug)]
+pub struct ControlPlane {
+    /// Management MAC the control plane answers on.
+    pub mac: MacAddr,
+    /// Management IPv4 address.
+    pub ip: u32,
+    key: AuthKey,
+    fsm: UpdateFsm,
+    stats: ControlStats,
+    /// Set when an `Activate` was accepted; the module consumes it and
+    /// reboots from the slot.
+    pub pending_activation: Option<usize>,
+}
+
+impl ControlPlane {
+    /// A control plane listening on `mac`/`ip` authenticated by `key`.
+    pub fn new(mac: MacAddr, ip: u32, key: AuthKey) -> ControlPlane {
+        ControlPlane {
+            mac,
+            ip,
+            key,
+            fsm: UpdateFsm::new(),
+            stats: ControlStats::default(),
+            pending_activation: None,
+        }
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> ControlStats {
+        self.stats
+    }
+
+    /// Update FSM state (for Info reports and tests).
+    pub fn update_state(&self) -> &UpdateState {
+        self.fsm.state()
+    }
+
+    /// True if `frame` is a control frame addressed to this module:
+    /// unicast to our MAC, IPv4 to our IP, UDP to [`CONTROL_PORT`].
+    pub fn classify(&self, frame: &[u8]) -> bool {
+        let Ok(eth) = EthernetFrame::new_checked(frame) else {
+            return false;
+        };
+        if eth.dst() != self.mac {
+            return false;
+        }
+        let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else {
+            return false;
+        };
+        if ip.dst() != self.ip {
+            return false;
+        }
+        let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
+            return false;
+        };
+        udp.dst_port() == CONTROL_PORT
+    }
+
+    /// Handle a classified control frame, returning the response frame
+    /// (swapped addressing) when one is due.
+    pub fn handle_frame(&mut self, frame: &[u8], ctx: &mut ControlContext<'_>) -> Option<Vec<u8>> {
+        let eth = EthernetFrame::new_checked(frame).ok()?;
+        let ip = Ipv4Packet::new_checked(eth.payload()).ok()?;
+        let udp = UdpDatagram::new_checked(ip.payload()).ok()?;
+        let request = match self.decode(udp.payload()) {
+            Some(r) => r,
+            None => {
+                self.stats.rejected += 1;
+                return None;
+            }
+        };
+        self.stats.handled += 1;
+        let response = self.handle(request, ctx);
+        let payload = self.encode(&response);
+        Some(PacketBuilder::eth_ipv4_udp(
+            eth.src(),
+            self.mac,
+            self.ip,
+            ip.src(),
+            CONTROL_PORT,
+            udp.src_port(),
+            &payload,
+        ))
+    }
+
+    /// Decode and authenticate a control payload.
+    pub fn decode(&self, payload: &[u8]) -> Option<ControlRequest> {
+        if payload.len() < 12 || &payload[..4] != MAGIC {
+            return None;
+        }
+        let tag: [u8; 8] = payload[4..12].try_into().unwrap();
+        let body = &payload[12..];
+        if !auth::verify(&self.key, body, &tag) {
+            return None;
+        }
+        serde_json::from_slice(body).ok()
+    }
+
+    /// Encode (and tag) a response payload.
+    pub fn encode<T: Serialize>(&self, msg: &T) -> Vec<u8> {
+        let body = serde_json::to_vec(msg).expect("control message serializes");
+        let mut out = Vec::with_capacity(12 + body.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&auth::tag(&self.key, &body));
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Build an authenticated request payload (host-side helper shares
+    /// the same key material via `flexsfp-host`).
+    pub fn encode_request(key: &AuthKey, req: &ControlRequest) -> Vec<u8> {
+        let body = serde_json::to_vec(req).expect("control message serializes");
+        let mut out = Vec::with_capacity(12 + body.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&auth::tag(key, &body));
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a response payload under `key` (host-side helper).
+    pub fn decode_response(key: &AuthKey, payload: &[u8]) -> Option<ControlResponse> {
+        if payload.len() < 12 || &payload[..4] != MAGIC {
+            return None;
+        }
+        let tag: [u8; 8] = payload[4..12].try_into().unwrap();
+        let body = &payload[12..];
+        if !auth::verify(key, body, &tag) {
+            return None;
+        }
+        serde_json::from_slice(body).ok()
+    }
+
+    /// Execute one request.
+    pub fn handle(&mut self, req: ControlRequest, ctx: &mut ControlContext<'_>) -> ControlResponse {
+        match req {
+            ControlRequest::Ping { nonce } => ControlResponse::Pong { nonce },
+            ControlRequest::GetInfo => ControlResponse::Info {
+                module_id: ctx.module_id.into(),
+                app: ctx.app.name().into(),
+                app_version: ctx.app_version,
+                boots: ctx.boots,
+                update_state: format!("{:?}", self.fsm.state()),
+            },
+            ControlRequest::Table(op) => {
+                ControlResponse::Table(ctx.app.control_op(&op.to_table_op()).into())
+            }
+            ControlRequest::ReadDom => ControlResponse::Dom {
+                temperature_c: ctx.dom.temperature_c,
+                vcc_v: ctx.dom.vcc_v,
+                tx_bias_ma: ctx.dom.tx_bias_ma,
+                tx_power_mw: ctx.dom.tx_power_mw,
+                rx_power_mw: ctx.dom.rx_power_mw,
+            },
+            ControlRequest::BeginUpdate {
+                slot,
+                total_len,
+                crc32,
+            } => {
+                let r = self.fsm_begin(slot, total_len, crc32);
+                self.fsm_result(r)
+            }
+            ControlRequest::UpdateChunk { seq, data } => {
+                let r = self.fsm.chunk(seq, &data);
+                self.fsm_result(r)
+            }
+            ControlRequest::CommitUpdate => {
+                let r = self.fsm.commit(ctx.flash).map(|_| ());
+                self.fsm_result(r)
+            }
+            ControlRequest::Activate { slot } => {
+                // Activation is legal for a staged slot or any
+                // previously-written slot (rollback), including golden 0.
+                if slot >= flexsfp_fabric::flash::SLOTS {
+                    return ControlResponse::Error("bad slot".into());
+                }
+                self.fsm.activated();
+                self.pending_activation = Some(slot);
+                ControlResponse::Ack
+            }
+            ControlRequest::AbortUpdate => {
+                self.fsm.abort();
+                ControlResponse::Ack
+            }
+        }
+    }
+
+    fn fsm_begin(&mut self, slot: usize, total_len: usize, crc: u32) -> Result<(), UpdateError> {
+        self.fsm.begin(slot, total_len, crc)
+    }
+
+    fn fsm_result(&self, r: Result<(), UpdateError>) -> ControlResponse {
+        match r {
+            Ok(()) => ControlResponse::Ack,
+            Err(e) => ControlResponse::Error(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfp_fabric::hash::crc32;
+    use flexsfp_ppe::engine::PassThrough;
+
+    const MGMT_MAC: MacAddr = MacAddr([0x02, 0xf5, 0x0f, 0x00, 0x00, 0x01]);
+    const MGMT_IP: u32 = 0x0a00_0164; // 10.0.1.100
+    const HOST_IP: u32 = 0x0a00_0101;
+
+    fn cp() -> ControlPlane {
+        ControlPlane::new(MGMT_MAC, MGMT_IP, AuthKey::from_passphrase("test"))
+    }
+
+    fn ctx_parts() -> (PassThrough, SpiFlash) {
+        (PassThrough, SpiFlash::new())
+    }
+
+    fn make_ctx<'a>(app: &'a mut PassThrough, flash: &'a mut SpiFlash) -> ControlContext<'a> {
+        ControlContext {
+            app,
+            flash,
+            dom: DomReading {
+                temperature_c: 40.0,
+                vcc_v: 3.3,
+                tx_bias_ma: 6.0,
+                tx_power_mw: 0.6,
+                rx_power_mw: 0.5,
+            },
+            module_id: "S000042",
+            app_version: 1,
+            boots: 3,
+        }
+    }
+
+    fn control_frame(cp: &ControlPlane, req: &ControlRequest) -> Vec<u8> {
+        let payload = ControlPlane::encode_request(&AuthKey::from_passphrase("test"), req);
+        let _ = cp;
+        PacketBuilder::eth_ipv4_udp(
+            MGMT_MAC,
+            MacAddr([0xee; 6]),
+            HOST_IP,
+            MGMT_IP,
+            40_000,
+            CONTROL_PORT,
+            &payload,
+        )
+    }
+
+    #[test]
+    fn classify_accepts_only_our_control_frames() {
+        let cp = cp();
+        let good = control_frame(&cp, &ControlRequest::Ping { nonce: 1 });
+        assert!(cp.classify(&good));
+        // Wrong MAC.
+        let mut bad = good.clone();
+        bad[0] ^= 1;
+        assert!(!cp.classify(&bad));
+        // Wrong port.
+        let other = PacketBuilder::eth_ipv4_udp(
+            MGMT_MAC,
+            MacAddr([0xee; 6]),
+            HOST_IP,
+            MGMT_IP,
+            40_000,
+            53,
+            b"dns",
+        );
+        assert!(!cp.classify(&other));
+        // Non-IP traffic.
+        assert!(!cp.classify(&[0u8; 60]));
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut cp = cp();
+        let (mut app, mut flash) = ctx_parts();
+        let mut ctx = make_ctx(&mut app, &mut flash);
+        let frame = control_frame(&cp, &ControlRequest::Ping { nonce: 77 });
+        let resp_frame = cp.handle_frame(&frame, &mut ctx).unwrap();
+        // Response goes back to the host.
+        let eth = EthernetFrame::new_checked(&resp_frame[..]).unwrap();
+        assert_eq!(eth.dst(), MacAddr([0xee; 6]));
+        assert_eq!(eth.src(), MGMT_MAC);
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert_eq!(ip.src(), MGMT_IP);
+        assert_eq!(ip.dst(), HOST_IP);
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        let resp =
+            ControlPlane::decode_response(&AuthKey::from_passphrase("test"), udp.payload())
+                .unwrap();
+        assert_eq!(resp, ControlResponse::Pong { nonce: 77 });
+        assert_eq!(cp.stats().handled, 1);
+    }
+
+    #[test]
+    fn bad_auth_rejected_silently() {
+        let mut cp = cp();
+        let (mut app, mut flash) = ctx_parts();
+        let mut ctx = make_ctx(&mut app, &mut flash);
+        // Request signed with the wrong key.
+        let payload = ControlPlane::encode_request(
+            &AuthKey::from_passphrase("attacker"),
+            &ControlRequest::Activate { slot: 1 },
+        );
+        let frame = PacketBuilder::eth_ipv4_udp(
+            MGMT_MAC,
+            MacAddr([0xee; 6]),
+            HOST_IP,
+            MGMT_IP,
+            40_000,
+            CONTROL_PORT,
+            &payload,
+        );
+        assert!(cp.handle_frame(&frame, &mut ctx).is_none());
+        assert_eq!(cp.stats().rejected, 1);
+        assert_eq!(cp.pending_activation, None);
+    }
+
+    #[test]
+    fn info_reports_identity() {
+        let mut cp = cp();
+        let (mut app, mut flash) = ctx_parts();
+        let mut ctx = make_ctx(&mut app, &mut flash);
+        match cp.handle(ControlRequest::GetInfo, &mut ctx) {
+            ControlResponse::Info {
+                module_id,
+                app,
+                boots,
+                ..
+            } => {
+                assert_eq!(module_id, "S000042");
+                assert_eq!(app, "passthrough");
+                assert_eq!(boots, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dom_read() {
+        let mut cp = cp();
+        let (mut app, mut flash) = ctx_parts();
+        let mut ctx = make_ctx(&mut app, &mut flash);
+        match cp.handle(ControlRequest::ReadDom, &mut ctx) {
+            ControlResponse::Dom { temperature_c, .. } => assert_eq!(temperature_c, 40.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_op_on_fixed_function_app_is_unsupported() {
+        let mut cp = cp();
+        let (mut app, mut flash) = ctx_parts();
+        let mut ctx = make_ctx(&mut app, &mut flash);
+        let resp = cp.handle(
+            ControlRequest::Table(CtlTableOp::ReadCounter { index: 0 }),
+            &mut ctx,
+        );
+        assert_eq!(resp, ControlResponse::Table(CtlTableResult::Unsupported));
+    }
+
+    #[test]
+    fn ota_update_over_control_protocol() {
+        let mut cp = cp();
+        let (mut app, mut flash) = ctx_parts();
+        let image: Vec<u8> = (0..2500u32).map(|i| (i % 253) as u8).collect();
+        let crc = crc32(&image);
+        {
+            let mut ctx = make_ctx(&mut app, &mut flash);
+            assert_eq!(
+                cp.handle(
+                    ControlRequest::BeginUpdate {
+                        slot: 2,
+                        total_len: image.len(),
+                        crc32: crc
+                    },
+                    &mut ctx
+                ),
+                ControlResponse::Ack
+            );
+            for (seq, chunk) in image.chunks(crate::reprogram::MAX_CHUNK).enumerate() {
+                assert_eq!(
+                    cp.handle(
+                        ControlRequest::UpdateChunk {
+                            seq: seq as u32,
+                            data: chunk.to_vec()
+                        },
+                        &mut ctx
+                    ),
+                    ControlResponse::Ack
+                );
+            }
+            assert_eq!(
+                cp.handle(ControlRequest::CommitUpdate, &mut ctx),
+                ControlResponse::Ack
+            );
+            assert_eq!(
+                cp.handle(ControlRequest::Activate { slot: 2 }, &mut ctx),
+                ControlResponse::Ack
+            );
+        }
+        assert_eq!(cp.pending_activation, Some(2));
+        assert_eq!(flash.read_slot(2, image.len()).unwrap(), &image[..]);
+    }
+
+    #[test]
+    fn activation_of_invalid_slot_errors() {
+        let mut cp = cp();
+        let (mut app, mut flash) = ctx_parts();
+        let mut ctx = make_ctx(&mut app, &mut flash);
+        match cp.handle(ControlRequest::Activate { slot: 99 }, &mut ctx) {
+            ControlResponse::Error(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cp.pending_activation, None);
+    }
+}

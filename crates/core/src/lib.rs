@@ -1,0 +1,39 @@
+//! # flexsfp-core
+//!
+//! The FlexSFP module — the paper's primary contribution — as a
+//! deterministic software model:
+//!
+//! * [`shell`] — the three architecture shells of Figure 1:
+//!   One-Way-Filter, Two-Way-Core and Active-Control-Plane;
+//! * [`module`] — the component assembly (edge/optical transceivers,
+//!   PPE, Mi-V control core, arbiter, SPI flash, I2C management) and the
+//!   packet-level simulator with queueing, latency and power accounting;
+//! * [`control`] — the embedded control plane: protocol framing,
+//!   authenticated requests, table/counter APIs;
+//! * [`reprogram`] — the over-the-network reprogramming FSM ("a small
+//!   FSM writes it to SPI flash and then triggers a reboot", §4.2);
+//! * [`bitstream`] — the bitstream container format with resource
+//!   manifest and integrity checksum;
+//! * [`auth`] — the SipHash-2-4 keyed MAC authenticating control and
+//!   reconfiguration packets;
+//! * [`failure`] — VCSEL wear-out (lognormal TTF, gradual power
+//!   degradation) and the laser-vs-driver fault diagnosis of §5.3;
+//! * [`microservice`] — the active control plane terminating traffic
+//!   itself (ARP / ICMP echo responders) in the third §4.1 model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod bitstream;
+pub mod control;
+pub mod failure;
+pub mod microservice;
+pub mod module;
+pub mod reprogram;
+pub mod shell;
+
+pub use bitstream::Bitstream;
+pub use control::{ControlPlane, ControlRequest, ControlResponse};
+pub use module::{FlexSfp, Interface, ModuleConfig, SimPacket, SimReport};
+pub use shell::ShellKind;

@@ -1,0 +1,1109 @@
+//! The FlexSFP module assembly and its packet-level simulator.
+//!
+//! [`FlexSfp`] wires together the components of the Figure 2 prototype:
+//! two 10 G transceivers (electrical edge + optical), the PPE running the
+//! loaded application, the Mi-V control plane, the arbiter/demux, the
+//! SPI flash, and the SFF-8472 management interface. [`FlexSfp::run`]
+//! pushes a timestamped packet sequence through the selected architecture
+//! shell with a queueing model of the PPE (finite ingress FIFOs, a busy
+//! server clocked at the PPE clock), producing latency, loss, throughput
+//! and power accounting — the machinery behind the Figure 1, §5.1 and
+//! §5.3 experiments.
+
+use crate::auth::AuthKey;
+use crate::bitstream::{Bitstream, BitstreamMeta};
+use crate::control::{ControlContext, ControlPlane};
+use crate::failure::VcselModel;
+use crate::shell::{ControlPlaneClass, ShellKind};
+use flexsfp_fabric::clock::ClockDomain;
+use flexsfp_fabric::i2c::ManagementInterface;
+use flexsfp_fabric::power::{PowerBreakdown, PowerModel};
+use flexsfp_fabric::resources::{table1, Device, FitReport, ResourceManifest};
+use flexsfp_fabric::serdes::{LineRate, Transceiver};
+use flexsfp_fabric::stream::DatapathConfig;
+use flexsfp_fabric::SpiFlash;
+use flexsfp_ppe::engine::PassThrough;
+use flexsfp_ppe::{Direction, PacketProcessor, ProcessContext, Verdict};
+use flexsfp_wire::MacAddr;
+use std::collections::VecDeque;
+
+/// Physical interfaces of the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interface {
+    /// Host-side edge connector (electrical).
+    Edge,
+    /// Optical cage.
+    Optical,
+}
+
+impl Interface {
+    /// Natural egress interface for traffic travelling in `dir`.
+    pub fn egress_for(dir: Direction) -> Interface {
+        match dir {
+            Direction::EdgeToOptical => Interface::Optical,
+            Direction::OpticalToEdge => Interface::Edge,
+        }
+    }
+
+    /// The other interface.
+    pub fn other(self) -> Interface {
+        match self {
+            Interface::Edge => Interface::Optical,
+            Interface::Optical => Interface::Edge,
+        }
+    }
+}
+
+/// Module configuration.
+#[derive(Debug, Clone)]
+pub struct ModuleConfig {
+    /// Module serial / identifier.
+    pub id: String,
+    /// Architecture shell.
+    pub shell: ShellKind,
+    /// Control-plane class (§4.1): fabric softcore or hard SoC.
+    pub cp_class: ControlPlaneClass,
+    /// Interface datapath (width/clock at the Ethernet cores).
+    pub datapath: DatapathConfig,
+    /// PPE clock (the Two-Way-Core mitigation raises this to 2×).
+    pub ppe_clock: ClockDomain,
+    /// Line rate of both interfaces.
+    pub line_rate: LineRate,
+    /// Ingress FIFO capacity in bytes (per direction feeding the PPE).
+    pub fifo_bytes: usize,
+    /// Per-crossing SerDes+PCS latency, ns.
+    pub serdes_latency_ns: f64,
+    /// Management MAC address.
+    pub mgmt_mac: MacAddr,
+    /// Management IPv4 address.
+    pub mgmt_ip: u32,
+    /// Control-plane authentication key.
+    pub auth_key: AuthKey,
+}
+
+impl Default for ModuleConfig {
+    fn default() -> Self {
+        ModuleConfig {
+            id: "FSFP-PROTO-001".into(),
+            shell: ShellKind::one_way_egress(),
+            cp_class: ControlPlaneClass::Softcore,
+            datapath: DatapathConfig::prototype_10g(),
+            ppe_clock: ClockDomain::XGMII_10G,
+            line_rate: LineRate::TenGig,
+            // 64 KiB of LSRAM-backed buffering per direction.
+            fifo_bytes: 64 * 1024,
+            serdes_latency_ns: 100.0,
+            mgmt_mac: MacAddr([0x02, 0xf5, 0x0f, 0x00, 0x00, 0x01]),
+            mgmt_ip: 0x0a00_0164,
+            auth_key: AuthKey::DEFAULT,
+        }
+    }
+}
+
+impl ModuleConfig {
+    /// A Two-Way-Core configuration with the paper's 2× PPE clock.
+    pub fn two_way_2x() -> ModuleConfig {
+        ModuleConfig {
+            shell: ShellKind::TwoWayCore,
+            ppe_clock: ClockDomain::XGMII_10G_X2,
+            ..Default::default()
+        }
+    }
+}
+
+/// A packet offered to the module.
+#[derive(Debug, Clone)]
+pub struct SimPacket {
+    /// Arrival time at the ingress interface, ns.
+    pub arrival_ns: u64,
+    /// Direction of travel.
+    pub direction: Direction,
+    /// The Ethernet frame (without FCS).
+    pub frame: Vec<u8>,
+}
+
+/// A packet emitted by the module.
+#[derive(Debug, Clone)]
+pub struct OutputPacket {
+    /// Departure time, ns.
+    pub departure_ns: u64,
+    /// Egress interface.
+    pub egress: Interface,
+    /// The (possibly modified) frame.
+    pub frame: Vec<u8>,
+    /// Module transit latency, ns.
+    pub latency_ns: f64,
+}
+
+/// Drop reasons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Ingress FIFO overflow (PPE oversubscribed).
+    pub fifo_overflow: u64,
+    /// Application verdict.
+    pub app: u64,
+    /// Optical link down (laser failed / disabled lane).
+    pub link: u64,
+}
+
+impl DropStats {
+    /// Total drops.
+    pub fn total(&self) -> u64 {
+        self.fifo_overflow + self.app + self.link
+    }
+}
+
+/// Latency aggregate over forwarded packets.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Packets measured.
+    pub count: u64,
+    /// Minimum, ns.
+    pub min_ns: f64,
+    /// Maximum, ns.
+    pub max_ns: f64,
+    /// Sum (for the mean), ns.
+    pub sum_ns: f64,
+}
+
+impl LatencyStats {
+    fn record(&mut self, l: f64) {
+        if self.count == 0 {
+            self.min_ns = l;
+            self.max_ns = l;
+        } else {
+            self.min_ns = self.min_ns.min(l);
+            self.max_ns = self.max_ns.max(l);
+        }
+        self.count += 1;
+        self.sum_ns += l;
+    }
+
+    /// Mean latency, ns.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.count as f64
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Packets offered.
+    pub offered: u64,
+    /// Bytes offered.
+    pub offered_bytes: u64,
+    /// Forwarded packets per egress interface: (edge, optical).
+    pub forwarded: (u64, u64),
+    /// Bytes forwarded (total).
+    pub forwarded_bytes: u64,
+    /// Drops by reason.
+    pub drops: DropStats,
+    /// Packets diverted to the control plane by app verdict.
+    pub to_control: u64,
+    /// Control-protocol requests handled (frames answered).
+    pub control_handled: u64,
+    /// Frames originated by the active control plane itself (ARP/ICMP
+    /// microservice replies; Active-Control-Plane shell only).
+    pub cp_originated: u64,
+    /// Latency over forwarded dataplane packets.
+    pub latency: LatencyStats,
+    /// Wall-clock span of the run, ns (last departure or arrival).
+    pub duration_ns: u64,
+    /// Emitted packets (in departure order).
+    pub outputs: Vec<OutputPacket>,
+}
+
+impl SimReport {
+    /// Delivered dataplane throughput over the run, bits/s.
+    pub fn delivered_bps(&self) -> f64 {
+        if self.duration_ns == 0 {
+            return 0.0;
+        }
+        self.forwarded_bytes as f64 * 8.0 / (self.duration_ns as f64 / 1e9)
+    }
+
+    /// Fraction of offered packets forwarded.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        (self.forwarded.0 + self.forwarded.1) as f64 / self.offered as f64
+    }
+}
+
+/// Constructs an application from bitstream metadata at boot.
+pub type AppFactory = Box<dyn Fn(&BitstreamMeta) -> Option<Box<dyn PacketProcessor>> + Send>;
+
+/// One queued-entry record of the PPE server model.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    finish_fs: u128,
+    bytes: usize,
+}
+
+/// A busy-server + finite-FIFO model of the PPE.
+#[derive(Debug)]
+struct PpeServer {
+    free_fs: u128,
+    fifo_bytes: usize,
+    in_flight: VecDeque<InFlight>,
+}
+
+impl PpeServer {
+    fn new(fifo_bytes: usize) -> PpeServer {
+        PpeServer {
+            free_fs: 0,
+            fifo_bytes,
+            in_flight: VecDeque::new(),
+        }
+    }
+
+    /// Try to admit a packet arriving at `arrival_fs` needing
+    /// `service_fs` of PPE time. Returns the service start time, or
+    /// `None` on FIFO overflow.
+    fn admit(&mut self, arrival_fs: u128, len: usize, service_fs: u128) -> Option<u128> {
+        // Entries that completed service have left the FIFO.
+        while let Some(front) = self.in_flight.front() {
+            if front.finish_fs <= arrival_fs {
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        let backlog: usize = self.in_flight.iter().map(|e| e.bytes).sum();
+        if backlog + len > self.fifo_bytes {
+            return None;
+        }
+        let start = self.free_fs.max(arrival_fs);
+        let finish = start + service_fs;
+        self.free_fs = finish;
+        self.in_flight.push_back(InFlight {
+            finish_fs: finish,
+            bytes: len,
+        });
+        Some(start)
+    }
+}
+
+/// The FlexSFP module.
+pub struct FlexSfp {
+    /// Configuration.
+    pub config: ModuleConfig,
+    app: Box<dyn PacketProcessor>,
+    app_version: u32,
+    /// Embedded control plane.
+    pub control: ControlPlane,
+    /// SPI flash.
+    pub flash: SpiFlash,
+    /// SFF-8472 management EEPROM/diagnostics.
+    pub mgmt: ManagementInterface,
+    /// Edge (electrical) transceiver.
+    pub edge: Transceiver,
+    /// Optical transceiver.
+    pub optical: Transceiver,
+    /// Laser wear model.
+    pub vcsel: VcselModel,
+    laser_age_hours: f64,
+    laser_ttf_hours: f64,
+    boots: u32,
+    factory: AppFactory,
+    power_model: PowerModel,
+}
+
+impl std::fmt::Debug for FlexSfp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlexSfp")
+            .field("id", &self.config.id)
+            .field("shell", &self.config.shell.name())
+            .field("app", &self.app.name())
+            .field("boots", &self.boots)
+            .finish()
+    }
+}
+
+impl FlexSfp {
+    /// Assemble a module running `app` under `config`.
+    pub fn new(config: ModuleConfig, app: Box<dyn PacketProcessor>) -> FlexSfp {
+        let control = ControlPlane::new(config.mgmt_mac, config.mgmt_ip, config.auth_key);
+        let mut edge = Transceiver::new("electrical", config.line_rate);
+        let mut optical = Transceiver::new("optical", config.line_rate);
+        // The Mi-V startup sequence: configure transceivers, laser
+        // driver and limiting amplifier (§5.1).
+        edge.enable();
+        optical.enable();
+        let vcsel = VcselModel::default();
+        let mut module = FlexSfp {
+            config,
+            app,
+            app_version: 1,
+            control,
+            flash: SpiFlash::new(),
+            mgmt: ManagementInterface::default(),
+            edge,
+            optical,
+            vcsel,
+            laser_age_hours: 0.0,
+            laser_ttf_hours: vcsel.median_ttf_hours,
+            boots: 1,
+            factory: Box::new(default_factory),
+            power_model: PowerModel::flexsfp_prototype(),
+        };
+        module.refresh_dom();
+        module
+    }
+
+    /// A module with the default configuration and a pass-through app.
+    pub fn passthrough() -> FlexSfp {
+        FlexSfp::new(ModuleConfig::default(), Box::new(PassThrough))
+    }
+
+    /// Replace the application factory used at reboot.
+    pub fn set_factory(&mut self, f: AppFactory) {
+        self.factory = f;
+    }
+
+    /// Name of the running application.
+    pub fn app_name(&self) -> &str {
+        self.app.name()
+    }
+
+    /// Running application version.
+    pub fn app_version(&self) -> u32 {
+        self.app_version
+    }
+
+    /// Boot count.
+    pub fn boots(&self) -> u32 {
+        self.boots
+    }
+
+    /// Direct (mutable) access to the running application — the
+    /// "local bus" between control core and PPE used by tests and the
+    /// OOB management path.
+    pub fn app_mut(&mut self) -> &mut dyn PacketProcessor {
+        self.app.as_mut()
+    }
+
+    /// Total design manifest: application + interfaces + control plane
+    /// + shell plumbing (the Table 1 decomposition; the control-plane
+    /// row is the Mi-V only for the softcore class).
+    pub fn design_manifest(&self) -> ResourceManifest {
+        self.app.resource_manifest()
+            + self.config.cp_class.manifest()
+            + table1::ELECTRICAL_IF
+            + table1::OPTICAL_IF
+            + self.config.shell.overhead_manifest()
+    }
+
+    /// Fit report of the whole design against the MPF200T.
+    pub fn fit_report(&self) -> FitReport {
+        Device::mpf200t().fit(self.design_manifest())
+    }
+
+    /// Module power at the given operating point. An SoC-class control
+    /// plane adds its hard-processor watts to the static term.
+    pub fn power(&self, line_utilization: f64, activity: f64) -> PowerBreakdown {
+        let lanes = u32::from(self.edge.is_enabled()) + u32::from(self.optical.is_enabled());
+        let mut p = self.power_model.power(
+            &self.design_manifest(),
+            self.config.ppe_clock,
+            lanes,
+            line_utilization,
+            activity,
+        );
+        p.fpga_static_w += self.config.cp_class.extra_power_w();
+        p
+    }
+
+    /// Age the laser by `hours` and refresh the DOM diagnostics.
+    pub fn age_laser(&mut self, hours: f64) {
+        self.laser_age_hours += hours;
+        self.optical.health = self
+            .vcsel
+            .health_at(self.laser_age_hours, self.laser_ttf_hours);
+        self.refresh_dom();
+    }
+
+    /// Override the sampled laser TTF (failure-injection hooks).
+    pub fn set_laser_ttf_hours(&mut self, ttf: f64) {
+        self.laser_ttf_hours = ttf;
+    }
+
+    /// Refresh the A2h diagnostics page from physical state.
+    pub fn refresh_dom(&mut self) {
+        let temp = 38.0 + 4.0 * self.power(1.0, 1.0).total_w();
+        let rx_mw = 0.4; // nominal received light; link models override
+        self.mgmt
+            .update_dom(temp, 3.3, &self.optical.health, rx_mw);
+    }
+
+    /// Handle a control request arriving on the out-of-band management
+    /// port (the arbiter's third port in Figure 1) — payload-level, no
+    /// Ethernet framing. Returns the encoded response payload.
+    pub fn handle_oob(&mut self, payload: &[u8]) -> Option<Vec<u8>> {
+        let req = self.control.decode(payload)?;
+        let dom = self.mgmt.read_dom();
+        let mut ctx = ControlContext {
+            app: self.app.as_mut(),
+            flash: &mut self.flash,
+            dom,
+            module_id: &self.config.id,
+            app_version: self.app_version,
+            boots: self.boots,
+        };
+        let resp = self.control.handle(req, &mut ctx);
+        let encoded = self.control.encode(&resp);
+        self.maybe_reboot();
+        Some(encoded)
+    }
+
+    /// Consume a pending activation and reboot from that flash slot.
+    /// Falls back to the golden slot (0) when the staged image is
+    /// corrupt, unknown to the factory, or does not fit the device.
+    pub fn maybe_reboot(&mut self) -> bool {
+        let Some(slot) = self.control.pending_activation.take() else {
+            return false;
+        };
+        self.boots += 1;
+        if self.try_boot_slot(slot) {
+            return true;
+        }
+        // Fallback: golden image.
+        if !self.try_boot_slot(0) {
+            // Last resort: a pass-through "factory" datapath.
+            self.app = Box::new(PassThrough);
+            self.app_version = 0;
+        }
+        true
+    }
+
+    fn try_boot_slot(&mut self, slot: usize) -> bool {
+        let Ok(raw) = self.flash.read_slot(slot, flexsfp_fabric::flash::SLOT_BYTES) else {
+            return false;
+        };
+        let Ok(bs) = Bitstream::from_bytes(trim_flash_image(raw)) else {
+            return false;
+        };
+        // Fit check before activation.
+        let total = bs.meta.manifest
+            + table1::MI_V
+            + table1::ELECTRICAL_IF
+            + table1::OPTICAL_IF
+            + self.config.shell.overhead_manifest();
+        if !Device::mpf200t().fit(total).fits() {
+            return false;
+        }
+        let Some(app) = (self.factory)(&bs.meta) else {
+            return false;
+        };
+        self.app = app;
+        self.app_version = bs.meta.version;
+        true
+    }
+
+    /// Run a packet sequence through the module. Packets must be sorted
+    /// by arrival time (panics otherwise — generators produce sorted
+    /// traces by construction).
+    pub fn run(&mut self, packets: Vec<SimPacket>) -> SimReport {
+        let mut report = SimReport::default();
+        let mut shared_server = PpeServer::new(self.config.fifo_bytes);
+        // One-Way-Filter uses a dedicated server for its single PPE
+        // direction; the shared server then only sees that direction.
+        let serdes_fs = (self.config.serdes_latency_ns * 1e6) as u128;
+        let ppe_period_fs = self.config.ppe_clock.period_fs() as u128;
+        let pipeline_cycles = 4 + 3 * u128::from(self.app.pipeline_depth());
+        let mut last_time_ns = 0u64;
+        let mut prev_arrival = 0u64;
+
+        for pkt in packets {
+            assert!(
+                pkt.arrival_ns >= prev_arrival,
+                "packet trace must be sorted by arrival time"
+            );
+            prev_arrival = pkt.arrival_ns;
+            report.offered += 1;
+            report.offered_bytes += pkt.frame.len() as u64;
+            last_time_ns = last_time_ns.max(pkt.arrival_ns);
+
+            // Ingress accounting.
+            let (rx_ok, _ingress) = match pkt.direction {
+                Direction::EdgeToOptical => (self.edge.record_rx(pkt.frame.len()), Interface::Edge),
+                Direction::OpticalToEdge => {
+                    (self.optical.record_rx(pkt.frame.len()), Interface::Optical)
+                }
+            };
+            if !rx_ok {
+                report.drops.link += 1;
+                continue;
+            }
+
+            // Active-Control-Plane shell: the control plane terminates
+            // traffic addressed to the module itself (ARP, ICMP echo)
+            // from either interface — the §4.1 "microservice node".
+            if self.config.shell.control_plane_active() {
+                if let Some((_svc, reply)) = crate::microservice::respond(
+                    &pkt.frame,
+                    self.config.mgmt_mac,
+                    self.config.mgmt_ip,
+                ) {
+                    report.cp_originated += 1;
+                    // Replies exit the interface the request arrived on;
+                    // the softcore path costs ~10 µs.
+                    let back = match pkt.direction {
+                        Direction::EdgeToOptical => Interface::Edge,
+                        Direction::OpticalToEdge => Interface::Optical,
+                    };
+                    let departure = pkt.arrival_ns + 10_000;
+                    match back {
+                        Interface::Edge => self.edge.record_tx(reply.len()),
+                        Interface::Optical => self.optical.record_tx(reply.len()),
+                    };
+                    report.outputs.push(OutputPacket {
+                        departure_ns: departure,
+                        egress: back,
+                        frame: reply,
+                        latency_ns: 10_000.0,
+                    });
+                    last_time_ns = last_time_ns.max(departure);
+                    continue;
+                }
+            }
+
+            // Arbiter: control-plane frames divert before the PPE.
+            if pkt.direction == Direction::EdgeToOptical && self.control.classify(&pkt.frame) {
+                let dom = self.mgmt.read_dom();
+                let mut ctx = ControlContext {
+                    app: self.app.as_mut(),
+                    flash: &mut self.flash,
+                    dom,
+                    module_id: &self.config.id,
+                    app_version: self.app_version,
+                    boots: self.boots,
+                };
+                if let Some(resp) = self.control.handle_frame(&pkt.frame, &mut ctx) {
+                    report.control_handled += 1;
+                    // Response merges into the edge-bound stream; the
+                    // control path is slow (softcore), model 10 µs.
+                    let departure = pkt.arrival_ns + 10_000;
+                    self.edge.record_tx(resp.len());
+                    report.outputs.push(OutputPacket {
+                        departure_ns: departure,
+                        egress: Interface::Edge,
+                        frame: resp,
+                        latency_ns: 10_000.0,
+                    });
+                    last_time_ns = last_time_ns.max(departure);
+                }
+                self.maybe_reboot();
+                continue;
+            }
+
+            let arrival_fs = u128::from(pkt.arrival_ns) * 1_000_000;
+            let uses_ppe = self.config.shell.ppe_applies(pkt.direction);
+
+            let (mut frame, verdict, departure_fs) = if uses_ppe {
+                let beats =
+                    u128::from(self.config.datapath.beats_for(pkt.frame.len()));
+                let service_fs = beats * ppe_period_fs;
+                let Some(start_fs) =
+                    shared_server.admit(arrival_fs, pkt.frame.len(), service_fs)
+                else {
+                    report.drops.fifo_overflow += 1;
+                    continue;
+                };
+                let mut frame = pkt.frame;
+                let ctx = ProcessContext {
+                    timestamp_ns: pkt.arrival_ns,
+                    direction: pkt.direction,
+                };
+                let verdict = self.app.process(&ctx, &mut frame);
+                let departure_fs = start_fs
+                    + service_fs
+                    + pipeline_cycles * ppe_period_fs
+                    + 2 * serdes_fs;
+                (frame, verdict, departure_fs)
+            } else {
+                // Bypass path: SerDes in, merge, SerDes out.
+                (pkt.frame, Verdict::Forward, arrival_fs + 2 * serdes_fs)
+            };
+
+            match verdict {
+                Verdict::Drop => {
+                    report.drops.app += 1;
+                    continue;
+                }
+                Verdict::ToControlPlane => {
+                    report.to_control += 1;
+                    continue;
+                }
+                Verdict::Forward | Verdict::Reflect => {}
+            }
+
+            let natural = Interface::egress_for(pkt.direction);
+            let egress = if verdict == Verdict::Reflect {
+                natural.other()
+            } else {
+                natural
+            };
+
+            // Egress accounting; the optical lane drops when the link
+            // budget no longer closes (degraded laser).
+            let tx_ok = match egress {
+                Interface::Edge => self.edge.record_tx(frame.len()),
+                Interface::Optical => {
+                    if self.optical.link_up(3.0) {
+                        self.optical.record_tx(frame.len())
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !tx_ok {
+                report.drops.link += 1;
+                continue;
+            }
+
+            let departure_ns = (departure_fs / 1_000_000) as u64;
+            let latency_ns = (departure_fs - arrival_fs) as f64 / 1e6;
+            report.latency.record(latency_ns);
+            match egress {
+                Interface::Edge => report.forwarded.0 += 1,
+                Interface::Optical => report.forwarded.1 += 1,
+            }
+            report.forwarded_bytes += frame.len() as u64;
+            last_time_ns = last_time_ns.max(departure_ns);
+            frame.shrink_to_fit();
+            report.outputs.push(OutputPacket {
+                departure_ns,
+                egress,
+                frame,
+                latency_ns,
+            });
+        }
+        report.duration_ns = last_time_ns;
+        report.outputs.sort_by_key(|o| o.departure_ns);
+        report
+    }
+}
+
+/// Strip the trailing 0xFF erase fill from a flash slot read so the
+/// bitstream parser sees only the image. The bitstream's own length
+/// fields + CRC make this safe.
+fn trim_flash_image(raw: &[u8]) -> &[u8] {
+    // Find the last non-0xFF byte; the CRC trailer is extremely unlikely
+    // to be 0xFFFFFFFF on a real image (and the golden images we write
+    // never are).
+    let end = raw
+        .iter()
+        .rposition(|&b| b != 0xff)
+        .map_or(0, |p| p + 1);
+    &raw[..end]
+}
+
+fn default_factory(meta: &BitstreamMeta) -> Option<Box<dyn PacketProcessor>> {
+    match meta.app.as_str() {
+        "passthrough" => Some(Box::new(PassThrough)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{ControlRequest, ControlResponse};
+    use flexsfp_ppe::engine::DropAll;
+    use flexsfp_wire::builder::PacketBuilder;
+
+    fn data_frame(len: usize) -> Vec<u8> {
+        let payload = vec![0xabu8; len.saturating_sub(14 + 20 + 8)];
+        let mut f = PacketBuilder::eth_ipv4_udp(
+            MacAddr([0x10; 6]),
+            MacAddr([0x20; 6]),
+            0xc0a80001,
+            0x0a000001,
+            1111,
+            2222,
+            &payload,
+        );
+        f.truncate(len.max(60));
+        f
+    }
+
+    fn line_rate_trace(direction: Direction, n: usize, len: usize) -> Vec<SimPacket> {
+        // 10G line rate: one `len`-byte frame every (len+20)*0.8 ns.
+        let gap_ns = ((len + 20) as f64 * 0.8).ceil() as u64;
+        (0..n)
+            .map(|i| SimPacket {
+                arrival_ns: i as u64 * gap_ns,
+                direction,
+                frame: data_frame(len),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn passthrough_forwards_at_line_rate() {
+        let mut m = FlexSfp::passthrough();
+        let trace = line_rate_trace(Direction::EdgeToOptical, 2_000, 64);
+        let report = m.run(trace);
+        assert_eq!(report.offered, 2_000);
+        assert_eq!(report.forwarded.1, 2_000);
+        assert_eq!(report.drops.total(), 0);
+        assert!(report.latency.mean_ns() > 0.0);
+        // Sub-microsecond transit (the low-latency claim).
+        assert!(
+            report.latency.max_ns < 1_000.0,
+            "max latency {} ns",
+            report.latency.max_ns
+        );
+    }
+
+    #[test]
+    fn one_way_filter_bypasses_reverse_direction() {
+        // Even with a drop-all app, optical→edge traffic passes the
+        // One-Way-Filter untouched.
+        let mut m = FlexSfp::new(ModuleConfig::default(), Box::new(DropAll));
+        let fwd = m.run(line_rate_trace(Direction::EdgeToOptical, 100, 128));
+        assert_eq!(fwd.drops.app, 100);
+        assert_eq!(fwd.forwarded.1, 0);
+        let rev = m.run(line_rate_trace(Direction::OpticalToEdge, 100, 128));
+        assert_eq!(rev.forwarded.0, 100);
+        assert_eq!(rev.drops.total(), 0);
+    }
+
+    #[test]
+    fn two_way_core_at_1x_overloads_and_2x_sustains() {
+        // Figure 1 / §4.1: aggregating both directions doubles the PPE
+        // load; at 1× clock the FIFO overflows, at 2× it keeps up.
+        let mut trace = Vec::new();
+        let n = 5_000;
+        let gap_ns = ((64 + 20) as f64 * 0.8).ceil() as u64;
+        for i in 0..n {
+            let t = i as u64 * gap_ns;
+            trace.push(SimPacket {
+                arrival_ns: t,
+                direction: Direction::EdgeToOptical,
+                frame: data_frame(64),
+            });
+            trace.push(SimPacket {
+                arrival_ns: t,
+                direction: Direction::OpticalToEdge,
+                frame: data_frame(64),
+            });
+        }
+
+        let mut slow = FlexSfp::new(
+            ModuleConfig {
+                shell: ShellKind::TwoWayCore,
+                ppe_clock: ClockDomain::XGMII_10G,
+                ..Default::default()
+            },
+            Box::new(PassThrough),
+        );
+        let r_slow = slow.run(trace.clone());
+        assert!(
+            r_slow.drops.fifo_overflow > 0,
+            "1x Two-Way-Core should overflow: {:?}",
+            r_slow.drops
+        );
+
+        let mut fast = FlexSfp::new(ModuleConfig::two_way_2x(), Box::new(PassThrough));
+        let r_fast = fast.run(trace);
+        assert_eq!(r_fast.drops.total(), 0, "{:?}", r_fast.drops);
+        assert_eq!(r_fast.forwarded.0 + r_fast.forwarded.1, 2 * n as u64);
+    }
+
+    #[test]
+    fn control_frames_divert_and_answer() {
+        let mut m = FlexSfp::passthrough();
+        let payload = ControlPlane::encode_request(
+            &AuthKey::DEFAULT,
+            &ControlRequest::Ping { nonce: 5 },
+        );
+        let frame = PacketBuilder::eth_ipv4_udp(
+            m.config.mgmt_mac,
+            MacAddr([0xee; 6]),
+            0x0a000101,
+            m.config.mgmt_ip,
+            40_000,
+            crate::control::CONTROL_PORT,
+            &payload,
+        );
+        let report = m.run(vec![SimPacket {
+            arrival_ns: 0,
+            direction: Direction::EdgeToOptical,
+            frame,
+        }]);
+        assert_eq!(report.control_handled, 1);
+        assert_eq!(report.forwarded.1, 0); // did not hit the dataplane
+        assert_eq!(report.outputs.len(), 1);
+        assert_eq!(report.outputs[0].egress, Interface::Edge);
+        let out = &report.outputs[0].frame;
+        let eth = flexsfp_wire::EthernetFrame::new_checked(&out[..]).unwrap();
+        let ip = flexsfp_wire::Ipv4Packet::new_checked(eth.payload()).unwrap();
+        let udp = flexsfp_wire::UdpDatagram::new_checked(ip.payload()).unwrap();
+        let resp = ControlPlane::decode_response(&AuthKey::DEFAULT, udp.payload()).unwrap();
+        assert_eq!(resp, ControlResponse::Pong { nonce: 5 });
+    }
+
+    #[test]
+    fn oob_port_reaches_control_plane() {
+        let mut m = FlexSfp::passthrough();
+        let req = ControlPlane::encode_request(&AuthKey::DEFAULT, &ControlRequest::GetInfo);
+        let resp_payload = m.handle_oob(&req).unwrap();
+        let resp = ControlPlane::decode_response(&AuthKey::DEFAULT, &resp_payload).unwrap();
+        match resp {
+            ControlResponse::Info { app, boots, .. } => {
+                assert_eq!(app, "passthrough");
+                assert_eq!(boots, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ota_update_and_reboot_via_oob() {
+        let mut m = FlexSfp::passthrough();
+        let bs = Bitstream::new(
+            "passthrough",
+            7,
+            ResourceManifest::new(100, 100, 0, 0),
+            156_250_000,
+        );
+        let image = bs.to_bytes();
+        let crc = flexsfp_fabric::hash::crc32(&image);
+        let key = AuthKey::DEFAULT;
+        let send = |m: &mut FlexSfp, req: &ControlRequest| -> ControlResponse {
+            let payload = ControlPlane::encode_request(&key, req);
+            let resp = m.handle_oob(&payload).unwrap();
+            ControlPlane::decode_response(&key, &resp).unwrap()
+        };
+        assert_eq!(
+            send(
+                &mut m,
+                &ControlRequest::BeginUpdate {
+                    slot: 1,
+                    total_len: image.len(),
+                    crc32: crc
+                }
+            ),
+            ControlResponse::Ack
+        );
+        for (seq, chunk) in image.chunks(crate::reprogram::MAX_CHUNK).enumerate() {
+            assert_eq!(
+                send(
+                    &mut m,
+                    &ControlRequest::UpdateChunk {
+                        seq: seq as u32,
+                        data: chunk.to_vec()
+                    }
+                ),
+                ControlResponse::Ack
+            );
+        }
+        assert_eq!(send(&mut m, &ControlRequest::CommitUpdate), ControlResponse::Ack);
+        assert_eq!(
+            send(&mut m, &ControlRequest::Activate { slot: 1 }),
+            ControlResponse::Ack
+        );
+        // The module rebooted into version 7.
+        assert_eq!(m.boots(), 2);
+        assert_eq!(m.app_version(), 7);
+        assert_eq!(m.app_name(), "passthrough");
+    }
+
+    #[test]
+    fn corrupt_staged_image_falls_back_to_golden() {
+        let mut m = FlexSfp::passthrough();
+        // Write a golden image first.
+        let golden = Bitstream::new(
+            "passthrough",
+            1,
+            ResourceManifest::ZERO,
+            156_250_000,
+        );
+        m.flash.write_slot(0, &golden.to_bytes()).unwrap();
+        // Slot 2 contains garbage.
+        m.flash.write_slot(2, b"not a bitstream").unwrap();
+        m.control.pending_activation = Some(2);
+        assert!(m.maybe_reboot());
+        assert_eq!(m.boots(), 2);
+        // Booted the golden image, not the garbage.
+        assert_eq!(m.app_version(), 1);
+        assert_eq!(m.app_name(), "passthrough");
+    }
+
+    #[test]
+    fn oversized_design_refused_at_boot() {
+        let mut m = FlexSfp::passthrough();
+        let golden = Bitstream::new("passthrough", 1, ResourceManifest::ZERO, 156_250_000);
+        m.flash.write_slot(0, &golden.to_bytes()).unwrap();
+        // A design claiming more LUTs than the device has.
+        let huge = Bitstream::new(
+            "passthrough",
+            9,
+            ResourceManifest::new(500_000, 0, 0, 0),
+            156_250_000,
+        );
+        m.flash.write_slot(1, &huge.to_bytes()).unwrap();
+        m.control.pending_activation = Some(1);
+        m.maybe_reboot();
+        // Fell back to golden v1, not the huge v9.
+        assert_eq!(m.app_version(), 1);
+    }
+
+    #[test]
+    fn failed_laser_drops_optical_egress() {
+        let mut m = FlexSfp::passthrough();
+        m.set_laser_ttf_hours(10_000.0);
+        m.age_laser(20_000.0); // 2× TTF: far beyond failure
+        let report = m.run(line_rate_trace(Direction::EdgeToOptical, 50, 64));
+        assert_eq!(report.drops.link, 50);
+        assert_eq!(report.forwarded.1, 0);
+        // ...but the edge-bound direction still works (electrical).
+        let rev = m.run(line_rate_trace(Direction::OpticalToEdge, 50, 64));
+        assert_eq!(rev.forwarded.0, 50);
+    }
+
+    #[test]
+    fn dom_reflects_laser_aging() {
+        let mut m = FlexSfp::passthrough();
+        let healthy = m.mgmt.read_dom();
+        m.set_laser_ttf_hours(100_000.0);
+        m.age_laser(90_000.0);
+        let aged = m.mgmt.read_dom();
+        assert!(aged.tx_power_dbm() < healthy.tx_power_dbm());
+        assert!(aged.tx_bias_ma > healthy.tx_bias_ma);
+        let diag = crate::failure::diagnose(
+            &aged,
+            &m.vcsel,
+            &crate::failure::DiagnosisThresholds::default(),
+        );
+        assert_ne!(diag, crate::failure::FaultDiagnosis::Healthy);
+    }
+
+    #[test]
+    fn soc_control_plane_busts_the_sfp_envelope() {
+        // §4.1: SoC-based control planes are "more expensive and
+        // power-hungry" — with one, the module exceeds every SFP+
+        // power class under stress, while the softcore stays inside.
+        let softcore = FlexSfp::new(
+            ModuleConfig::default(),
+            Box::new(PassThrough),
+        );
+        let soc = FlexSfp::new(
+            ModuleConfig {
+                cp_class: ControlPlaneClass::Soc,
+                ..Default::default()
+            },
+            Box::new(PassThrough),
+        );
+        let p_soft = softcore.power(1.0, 1.0).total_w();
+        let p_soc = soc.power(1.0, 1.0).total_w();
+        assert!(p_soc > p_soft + 1.0);
+        use flexsfp_fabric::power::PowerClass;
+        assert!(PowerClass::classify(p_soft).is_some());
+        assert!(PowerClass::classify(p_soc).is_none(), "SoC at {p_soc} W");
+        // The SoC frees the Mi-V's fabric share.
+        assert!(soc.design_manifest().lut4 < softcore.design_manifest().lut4);
+    }
+
+    #[test]
+    fn power_accounting_matches_calibration() {
+        let m = FlexSfp::passthrough();
+        let idle = m.power(0.0, 0.0).total_w();
+        let busy = m.power(1.0, 1.0).total_w();
+        assert!(idle < busy);
+        // Within the SFP+ envelope even flat out.
+        assert!(busy < 2.0, "busy power {busy}");
+    }
+
+    #[test]
+    fn fit_report_for_passthrough_fits() {
+        let m = FlexSfp::passthrough();
+        assert!(m.fit_report().fits());
+    }
+
+    #[test]
+    fn active_shell_answers_ping_from_the_wire() {
+        let mut m = FlexSfp::new(ModuleConfig::two_way_2x(), Box::new(PassThrough));
+        m.config.shell = crate::ShellKind::ActiveControlPlane;
+        // An ICMP echo request to the module's own management IP,
+        // arriving from the optical side.
+        let mut icmp_bytes = vec![0u8; 8 + 4];
+        {
+            let mut p = flexsfp_wire::IcmpPacket::new_unchecked(&mut icmp_bytes);
+            p.set_msg_type(flexsfp_wire::IcmpType::EchoRequest);
+            p.set_echo_ident(1);
+            p.set_echo_seq(1);
+        }
+        flexsfp_wire::IcmpPacket::new_unchecked(&mut icmp_bytes).fill_checksum();
+        let ip = PacketBuilder::ipv4(
+            0x0a000101,
+            m.config.mgmt_ip,
+            flexsfp_wire::IpProtocol::Icmp,
+            &icmp_bytes,
+        );
+        let ping = PacketBuilder::ethernet(
+            m.config.mgmt_mac,
+            MacAddr([0xee; 6]),
+            flexsfp_wire::EtherType::Ipv4,
+            &ip,
+        );
+        let report = m.run(vec![
+            SimPacket {
+                arrival_ns: 0,
+                direction: Direction::OpticalToEdge,
+                frame: ping.clone(),
+            },
+            // Ordinary traffic still flows through the PPE.
+            SimPacket {
+                arrival_ns: 100,
+                direction: Direction::OpticalToEdge,
+                frame: data_frame(64),
+            },
+        ]);
+        assert_eq!(report.cp_originated, 1);
+        assert_eq!(report.forwarded.0, 1); // only the data frame transits
+        // The reply went back out the optical side.
+        let reply = report
+            .outputs
+            .iter()
+            .find(|o| o.egress == Interface::Optical)
+            .unwrap();
+        let eth = flexsfp_wire::EthernetFrame::new_checked(&reply.frame[..]).unwrap();
+        assert_eq!(eth.dst(), MacAddr([0xee; 6]));
+
+        // A passive shell does NOT answer: it is a bump in the wire.
+        let mut passive = FlexSfp::passthrough();
+        let r2 = passive.run(vec![SimPacket {
+            arrival_ns: 0,
+            direction: Direction::OpticalToEdge,
+            frame: ping,
+        }]);
+        assert_eq!(r2.cp_originated, 0);
+        assert_eq!(r2.forwarded.0, 1); // forwarded like any other frame
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_panics() {
+        let mut m = FlexSfp::passthrough();
+        m.run(vec![
+            SimPacket {
+                arrival_ns: 100,
+                direction: Direction::EdgeToOptical,
+                frame: data_frame(64),
+            },
+            SimPacket {
+                arrival_ns: 50,
+                direction: Direction::EdgeToOptical,
+                frame: data_frame(64),
+            },
+        ]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for core-module invariants: bitstream container
+//! robustness, authentication soundness, and the update FSM under
+//! arbitrary chunkings.
+
+use flexsfp_core::auth::{self, AuthKey};
+use flexsfp_core::bitstream::Bitstream;
+use flexsfp_core::reprogram::{UpdateFsm, MAX_CHUNK};
+use flexsfp_fabric::hash::crc32;
+use flexsfp_fabric::resources::ResourceManifest;
+use flexsfp_fabric::SpiFlash;
+use proptest::prelude::*;
+
+proptest! {
+    /// Bitstream serialization round-trips arbitrary metadata.
+    #[test]
+    fn bitstream_round_trip(
+        app in "[a-z]{1,12}",
+        version in any::<u32>(),
+        lut in 0u64..200_000,
+        ff in 0u64..200_000,
+        usram in 0u64..2_000,
+        lsram in 0u64..700,
+        clock in 1u64..500_000_000,
+    ) {
+        let bs = Bitstream::new(&app, version, ResourceManifest::new(lut, ff, usram, lsram), clock);
+        let parsed = Bitstream::from_bytes(&bs.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, bs);
+    }
+
+    /// Arbitrary bytes never panic the bitstream parser, and any
+    /// single-bit flip of a valid image is detected.
+    #[test]
+    fn bitstream_integrity(
+        junk in proptest::collection::vec(any::<u8>(), 0..300),
+        flip_bit in any::<u16>(),
+    ) {
+        let _ = Bitstream::from_bytes(&junk);
+        let bs = Bitstream::new("app", 1, ResourceManifest::ZERO, 1);
+        let mut bytes = bs.to_bytes();
+        let pos = usize::from(flip_bit) % (bytes.len() * 8);
+        bytes[pos / 8] ^= 1 << (pos % 8);
+        prop_assert!(Bitstream::from_bytes(&bytes).is_err(), "bit flip at {pos} undetected");
+    }
+
+    /// Authentication: tags verify for the exact (key, message) pair and
+    /// fail for any prefix/suffix/other-key variation.
+    #[test]
+    fn auth_soundness(
+        key_bytes in any::<[u8; 16]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        extra in any::<u8>(),
+    ) {
+        let key = AuthKey(key_bytes);
+        let tag = auth::tag(&key, &msg);
+        prop_assert!(auth::verify(&key, &msg, &tag));
+        // Extension attack: appending a byte must break the tag.
+        let mut extended = msg.clone();
+        extended.push(extra);
+        prop_assert!(!auth::verify(&key, &extended, &tag));
+        // Truncation breaks it too (when non-empty).
+        if !msg.is_empty() {
+            prop_assert!(!auth::verify(&key, &msg[..msg.len() - 1], &tag));
+        }
+        // A different key fails (with overwhelming probability).
+        let mut other = key_bytes;
+        other[0] ^= 1;
+        prop_assert!(!auth::verify(&AuthKey(other), &msg, &tag));
+    }
+
+}
+
+proptest! {
+    // Each case allocates a 16 MiB flash model and erases a 4 MiB slot;
+    // 24 cases give good coverage without dominating the suite runtime.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The update FSM accepts any chunking of a valid image and commits
+    /// exactly the original bytes to flash.
+    #[test]
+    fn update_fsm_arbitrary_chunking(
+        image in proptest::collection::vec(any::<u8>(), 1..5_000),
+        chunk_sizes in proptest::collection::vec(1usize..MAX_CHUNK, 1..40),
+        slot in 1usize..4,
+    ) {
+        let mut fsm = UpdateFsm::new();
+        let mut flash = SpiFlash::new();
+        fsm.begin(slot, image.len(), crc32(&image)).unwrap();
+        let mut sent = 0usize;
+        let mut seq = 0u32;
+        let mut size_iter = chunk_sizes.iter().cycle();
+        while sent < image.len() {
+            let take = (*size_iter.next().unwrap()).min(image.len() - sent);
+            fsm.chunk(seq, &image[sent..sent + take]).unwrap();
+            sent += take;
+            seq += 1;
+        }
+        let committed_slot = fsm.commit(&mut flash).unwrap();
+        prop_assert_eq!(committed_slot, slot);
+        prop_assert_eq!(flash.read_slot(slot, image.len()).unwrap(), &image[..]);
+    }
+
+    /// A wrong CRC is always rejected and leaves the slot erased.
+    #[test]
+    fn update_fsm_rejects_bad_crc(
+        image in proptest::collection::vec(any::<u8>(), 1..2_000),
+        wrong in any::<u32>(),
+    ) {
+        let good = crc32(&image);
+        prop_assume!(wrong != good);
+        let mut fsm = UpdateFsm::new();
+        let mut flash = SpiFlash::new();
+        fsm.begin(1, image.len(), wrong).unwrap();
+        for (seq, chunk) in image.chunks(MAX_CHUNK).enumerate() {
+            fsm.chunk(seq as u32, chunk).unwrap();
+        }
+        prop_assert!(fsm.commit(&mut flash).is_err());
+        prop_assert_eq!(flash.read_slot(1, 4).unwrap(), &[0xff; 4]);
+    }
+}

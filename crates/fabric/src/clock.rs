@@ -1,0 +1,129 @@
+//! Clock domains and cycle/time conversion.
+//!
+//! The FlexSFP prototype clocks its 64-bit datapath at 156.25 MHz — the
+//! canonical 10GbE XGMII-style rate (64 b × 156.25 MHz = 10 Gb/s). The
+//! Two-Way-Core shell raises the PPE clock to absorb the doubled packet
+//! rate; [`ClockDomain`] makes such ratios explicit.
+
+use serde::{Deserialize, Serialize};
+
+/// One picosecond in femtoseconds, the internal time base. Femtoseconds
+/// keep integer arithmetic exact at 312.5 MHz (3 200 000 fs period).
+const FS_PER_PS: u64 = 1_000;
+
+/// A fixed-frequency clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockDomain {
+    hz: u64,
+}
+
+impl ClockDomain {
+    /// The prototype datapath clock: 156.25 MHz.
+    pub const XGMII_10G: ClockDomain = ClockDomain { hz: 156_250_000 };
+    /// The doubled clock the paper proposes for the Two-Way-Core PPE.
+    pub const XGMII_10G_X2: ClockDomain = ClockDomain { hz: 312_500_000 };
+
+    /// A domain at `hz` hertz. Panics on a zero frequency.
+    pub fn from_hz(hz: u64) -> ClockDomain {
+        assert!(hz > 0, "clock frequency must be non-zero");
+        ClockDomain { hz }
+    }
+
+    /// A domain at `mhz` megahertz.
+    pub fn from_mhz(mhz: f64) -> ClockDomain {
+        ClockDomain::from_hz((mhz * 1e6).round() as u64)
+    }
+
+    /// Frequency in hertz.
+    pub fn hz(&self) -> u64 {
+        self.hz
+    }
+
+    /// Frequency in megahertz.
+    pub fn mhz(&self) -> f64 {
+        self.hz as f64 / 1e6
+    }
+
+    /// Period of one cycle in femtoseconds (exact for frequencies that
+    /// divide 10^15, which all realistic fabric clocks do).
+    pub fn period_fs(&self) -> u64 {
+        1_000_000_000_000_000 / self.hz
+    }
+
+    /// Period in picoseconds (rounded down).
+    pub fn period_ps(&self) -> u64 {
+        self.period_fs() / FS_PER_PS
+    }
+
+    /// Nanoseconds covered by `cycles` cycles, as f64.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.period_fs() as f64 / 1e6
+    }
+
+    /// Cycles elapsed in `ns` nanoseconds (rounded up — a partial cycle
+    /// still occupies the pipeline).
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * 1e6 / self.period_fs() as f64).ceil() as u64
+    }
+
+    /// A domain scaled by an integer multiplier (e.g. ×2 for the
+    /// Two-Way-Core PPE clock).
+    pub fn scaled(&self, factor: u64) -> ClockDomain {
+        ClockDomain::from_hz(self.hz * factor)
+    }
+
+    /// Bits per second moved by a `width_bits`-wide bus in this domain.
+    pub fn bus_bits_per_sec(&self, width_bits: u32) -> u64 {
+        self.hz * u64::from(width_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xgmii_carries_exactly_10g_on_64b() {
+        assert_eq!(ClockDomain::XGMII_10G.bus_bits_per_sec(64), 10_000_000_000);
+    }
+
+    #[test]
+    fn doubled_clock_carries_20g() {
+        assert_eq!(
+            ClockDomain::XGMII_10G_X2.bus_bits_per_sec(64),
+            20_000_000_000
+        );
+        assert_eq!(
+            ClockDomain::XGMII_10G.scaled(2),
+            ClockDomain::XGMII_10G_X2
+        );
+    }
+
+    #[test]
+    fn period_is_exact() {
+        assert_eq!(ClockDomain::XGMII_10G.period_fs(), 6_400_000);
+        assert_eq!(ClockDomain::XGMII_10G.period_ps(), 6_400);
+        assert_eq!(ClockDomain::XGMII_10G_X2.period_fs(), 3_200_000);
+    }
+
+    #[test]
+    fn time_conversions_round_trip() {
+        let c = ClockDomain::XGMII_10G;
+        assert!((c.cycles_to_ns(156_250_000) - 1e9).abs() < 1.0);
+        assert_eq!(c.ns_to_cycles(6.4), 1);
+        assert_eq!(c.ns_to_cycles(6.5), 2); // partial cycle rounds up
+        assert_eq!(c.ns_to_cycles(0.0), 0);
+    }
+
+    #[test]
+    fn from_mhz() {
+        assert_eq!(ClockDomain::from_mhz(156.25), ClockDomain::XGMII_10G);
+        assert_eq!(ClockDomain::from_mhz(100.0).hz(), 100_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        ClockDomain::from_hz(0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Transceiver (SerDes) and 64b/66b PCS model.
+//!
+//! The prototype board exposes two bidirectional 12.7 Gb/s transceivers:
+//! one toward the host edge connector, one toward the optical cage. A
+//! 10GBASE-R lane signals at 10.3125 GBd and, after 64b/66b decoding,
+//! delivers exactly 10.0 Gb/s of MAC-layer bits. Line-rate feasibility
+//! throughout the workspace leans on this arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Ethernet per-packet line overhead: 7 B preamble + 1 B SFD + 12 B IFG.
+pub const LINE_OVERHEAD_BYTES: usize = 20;
+/// Minimum Ethernet frame (with FCS) on the wire.
+pub const MIN_FRAME_BYTES: usize = 64;
+/// Maximum standard Ethernet frame (with FCS).
+pub const MAX_FRAME_BYTES: usize = 1518;
+
+/// Nominal line rates the model supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineRate {
+    /// 10GBASE-R: 10.3125 GBd, 10 Gb/s MAC rate.
+    TenGig,
+    /// 25GBASE-R: 25.78125 GBd, 25 Gb/s MAC rate.
+    TwentyFiveGig,
+    /// 4 × 25G (QSFP28-style): 100 Gb/s MAC rate.
+    HundredGig,
+}
+
+impl LineRate {
+    /// MAC-layer bit rate (after line coding).
+    pub fn mac_bps(&self) -> u64 {
+        match self {
+            LineRate::TenGig => 10_000_000_000,
+            LineRate::TwentyFiveGig => 25_000_000_000,
+            LineRate::HundredGig => 100_000_000_000,
+        }
+    }
+
+    /// Signalling rate in baud across all lanes (64b/66b coded).
+    pub fn baud(&self) -> u64 {
+        self.mac_bps() / 64 * 66
+    }
+
+    /// Maximum frames per second for `frame_len`-byte frames (incl. FCS),
+    /// accounting for preamble + IFG.
+    pub fn max_fps(&self, frame_len: usize) -> f64 {
+        let bits_per_frame = ((frame_len + LINE_OVERHEAD_BYTES) * 8) as f64;
+        self.mac_bps() as f64 / bits_per_frame
+    }
+}
+
+/// Health state of one optical lane, driven by the failure model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpticalHealth {
+    /// Transmit optical power in dBm (healthy VCSEL ≈ -2 dBm).
+    pub tx_power_dbm: f64,
+    /// Laser bias current in mA (rises as a VCSEL wears out).
+    pub bias_ma: f64,
+}
+
+impl Default for OpticalHealth {
+    fn default() -> Self {
+        OpticalHealth {
+            tx_power_dbm: -2.0,
+            bias_ma: 6.0,
+        }
+    }
+}
+
+/// One direction of a transceiver lane, with frame/byte counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneCounters {
+    /// Frames transferred.
+    pub frames: u64,
+    /// Frame bytes transferred (excluding preamble/IFG).
+    pub bytes: u64,
+    /// Frames dropped due to signal errors.
+    pub errors: u64,
+}
+
+/// A bidirectional transceiver: the electrical-edge or optical-side
+/// SerDes of the module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Transceiver {
+    /// Identifying label ("electrical", "optical").
+    pub name: String,
+    /// Configured line rate.
+    pub rate: LineRate,
+    /// Receive-direction counters.
+    pub rx: LaneCounters,
+    /// Transmit-direction counters.
+    pub tx: LaneCounters,
+    /// Optical health (meaningful for the optical-side lane).
+    pub health: OpticalHealth,
+    /// Receiver sensitivity threshold in dBm: below this, frames are lost.
+    pub rx_sensitivity_dbm: f64,
+    enabled: bool,
+}
+
+impl Transceiver {
+    /// A healthy transceiver at `rate`.
+    pub fn new(name: &str, rate: LineRate) -> Transceiver {
+        Transceiver {
+            name: name.into(),
+            rate,
+            rx: LaneCounters::default(),
+            tx: LaneCounters::default(),
+            health: OpticalHealth::default(),
+            rx_sensitivity_dbm: -11.1, // 10GBASE-SR receiver sensitivity
+            enabled: false,
+        }
+    }
+
+    /// Enable the lane (the Mi-V control core does this at startup,
+    /// configuring the laser driver and limiting amplifier).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disable the lane.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// True when the lane is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// True when the link is usable: enabled and (for the optical
+    /// direction) the laser still produces enough power for the far-end
+    /// receiver, assuming `link_loss_db` of fiber/connector loss.
+    pub fn link_up(&self, link_loss_db: f64) -> bool {
+        self.enabled && self.health.tx_power_dbm - link_loss_db >= self.rx_sensitivity_dbm
+    }
+
+    /// Account one transmitted frame of `len` bytes. Returns false (and
+    /// counts an error) if the lane is down.
+    pub fn record_tx(&mut self, len: usize) -> bool {
+        if !self.enabled {
+            self.tx.errors += 1;
+            return false;
+        }
+        self.tx.frames += 1;
+        self.tx.bytes += len as u64;
+        true
+    }
+
+    /// Account one received frame of `len` bytes.
+    pub fn record_rx(&mut self, len: usize) -> bool {
+        if !self.enabled {
+            self.rx.errors += 1;
+            return false;
+        }
+        self.rx.frames += 1;
+        self.rx.bytes += len as u64;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_gig_arithmetic() {
+        assert_eq!(LineRate::TenGig.mac_bps(), 10_000_000_000);
+        assert_eq!(LineRate::TenGig.baud(), 10_312_500_000);
+        // The canonical 14.88 Mpps at 64-byte frames.
+        let fps = LineRate::TenGig.max_fps(64);
+        assert!((fps - 14_880_952.38).abs() < 1.0);
+        // 812743 fps at 1518-byte frames.
+        let fps_big = LineRate::TenGig.max_fps(1518);
+        assert!((fps_big - 812_743.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn hundred_gig_scales() {
+        assert_eq!(LineRate::HundredGig.baud(), 103_125_000_000);
+        assert!((LineRate::HundredGig.max_fps(64) / LineRate::TenGig.max_fps(64) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_lane_drops() {
+        let mut t = Transceiver::new("optical", LineRate::TenGig);
+        assert!(!t.record_tx(64));
+        assert_eq!(t.tx.errors, 1);
+        t.enable();
+        assert!(t.record_tx(64));
+        assert!(t.record_rx(128));
+        assert_eq!(t.tx.frames, 1);
+        assert_eq!(t.rx.bytes, 128);
+    }
+
+    #[test]
+    fn link_budget() {
+        let mut t = Transceiver::new("optical", LineRate::TenGig);
+        t.enable();
+        // Healthy: -2 dBm - 3 dB loss = -5 dBm > -11.1 dBm.
+        assert!(t.link_up(3.0));
+        // Degraded VCSEL: -9 dBm - 3 dB = -12 dBm < sensitivity.
+        t.health.tx_power_dbm = -9.0;
+        assert!(!t.link_up(3.0));
+        // But still fine on a short jumper with negligible loss.
+        assert!(t.link_up(0.5));
+    }
+
+    #[test]
+    fn disabled_lane_is_down() {
+        let t = Transceiver::new("optical", LineRate::TenGig);
+        assert!(!t.link_up(0.0));
+    }
+}

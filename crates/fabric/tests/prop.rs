@@ -1,0 +1,152 @@
+//! Property tests for fabric substrate invariants.
+
+use flexsfp_fabric::fifo::Fifo;
+use flexsfp_fabric::flash::{SpiFlash, FLASH_BYTES, SECTOR_BYTES};
+use flexsfp_fabric::resources::ResourceManifest;
+use flexsfp_fabric::sram::{MemoryPlanner, TableShape};
+use flexsfp_fabric::stream::{reassemble, segment, BusWidth, DatapathConfig};
+use flexsfp_fabric::ClockDomain;
+use proptest::prelude::*;
+
+proptest! {
+    /// FIFO preserves order and never exceeds capacity; pushes+overflows
+    /// account for every offer.
+    #[test]
+    fn fifo_order_and_accounting(
+        capacity in 1usize..64,
+        ops in proptest::collection::vec(any::<Option<u16>>(), 0..200),
+    ) {
+        let mut f = Fifo::new(capacity);
+        let mut model = std::collections::VecDeque::new();
+        let mut offered = 0u64;
+        for op in ops {
+            match op {
+                Some(v) => {
+                    offered += 1;
+                    if f.push(v).is_ok() {
+                        model.push_back(v);
+                    }
+                    prop_assert!(f.len() <= capacity);
+                }
+                None => {
+                    prop_assert_eq!(f.pop(), model.pop_front());
+                }
+            }
+        }
+        let stats = f.stats();
+        prop_assert_eq!(stats.pushed + stats.overflows, offered);
+        prop_assert_eq!(f.len(), model.len());
+        // Drain fully in order.
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(f.pop(), Some(expect));
+        }
+        prop_assert!(f.is_empty());
+    }
+
+    /// Segment → reassemble is the identity for every width.
+    #[test]
+    fn stream_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 0..2000),
+        width_idx in 0usize..4,
+    ) {
+        let width = BusWidth::all()[width_idx];
+        let words = segment(&data, width);
+        prop_assert_eq!(reassemble(&words), data.clone());
+        if !data.is_empty() {
+            prop_assert_eq!(words.len(), data.len().div_ceil(width.bytes()));
+            prop_assert!(words[0].sof);
+            prop_assert!(words.last().unwrap().eof);
+            // All non-final beats are full.
+            for w in &words[..words.len() - 1] {
+                prop_assert_eq!(w.keep as usize, width.bytes());
+            }
+        }
+    }
+
+    /// Occupancy cycles are monotone in packet length and inversely
+    /// monotone in width.
+    #[test]
+    fn occupancy_monotonicity(len in 1usize..3000) {
+        let clock = ClockDomain::XGMII_10G;
+        let mut prev = u64::MAX;
+        for width in BusWidth::all() {
+            let cfg = DatapathConfig { width, clock };
+            let beats = cfg.occupancy_cycles(len);
+            prop_assert!(beats <= prev);
+            prev = beats;
+            prop_assert_eq!(cfg.occupancy_cycles(len + 1) >= beats, true);
+        }
+    }
+
+    /// Flash: program-after-erase round-trips arbitrary data at
+    /// arbitrary sector-aligned locations.
+    #[test]
+    fn flash_round_trip(
+        sector in 0usize..16,
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let mut flash = SpiFlash::new();
+        let addr = sector * SECTOR_BYTES;
+        prop_assume!(addr + data.len() <= FLASH_BYTES);
+        flash.erase_sector(addr).unwrap();
+        flash.program(addr, &data).unwrap();
+        prop_assert_eq!(flash.read(addr, data.len()).unwrap(), &data[..]);
+        // Reprogramming without erase fails unless only clearing bits.
+        let inverted: Vec<u8> = data.iter().map(|b| !b).collect();
+        if data.iter().any(|&b| b != 0xff) {
+            prop_assert!(flash.program(addr, &inverted).is_err());
+        }
+    }
+
+    /// Resource manifest addition is commutative/associative and `sum`
+    /// agrees with folding.
+    #[test]
+    fn manifest_algebra(
+        a in any::<[u16; 4]>(),
+        b in any::<[u16; 4]>(),
+        c in any::<[u16; 4]>(),
+    ) {
+        let m = |x: [u16; 4]| ResourceManifest::new(x[0].into(), x[1].into(), x[2].into(), x[3].into());
+        let (a, b, c) = (m(a), m(b), m(c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        let sum: ResourceManifest = [a, b, c].into_iter().sum();
+        prop_assert_eq!(sum, a + b + c);
+        // fits_within is reflexive and monotone under addition.
+        prop_assert!(a.fits_within(&(a + b)));
+    }
+
+    /// Memory planner: allocated bits always cover the requested bits.
+    #[test]
+    fn planner_never_underallocates(
+        entries in 1u64..100_000,
+        bits in 1u64..256,
+    ) {
+        let shape = TableShape::new(entries, bits);
+        let placement = MemoryPlanner::place(shape);
+        let allocated = match placement.kind {
+            flexsfp_fabric::sram::MemoryKind::Usram => placement.blocks * 768,
+            flexsfp_fabric::sram::MemoryKind::Lsram => placement.blocks * 20 * 1024,
+        };
+        prop_assert!(allocated >= shape.total_bits(),
+            "{entries}x{bits}: allocated {allocated} < needed {}", shape.total_bits());
+    }
+
+    /// Power is monotone in utilization, activity and clock.
+    #[test]
+    fn power_monotonicity(
+        u1 in 0.0f64..1.0,
+        u2 in 0.0f64..1.0,
+        act in 0.0f64..1.0,
+    ) {
+        let model = flexsfp_fabric::PowerModel::flexsfp_prototype();
+        let design = flexsfp_fabric::resources::table1::USED;
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let p_lo = model.power(&design, ClockDomain::XGMII_10G, 2, lo, act).total_w();
+        let p_hi = model.power(&design, ClockDomain::XGMII_10G, 2, hi, act).total_w();
+        prop_assert!(p_lo <= p_hi + 1e-12);
+        let f1 = model.power(&design, ClockDomain::XGMII_10G, 2, lo, act).fabric_dynamic_w;
+        let f2 = model.power(&design, ClockDomain::XGMII_10G_X2, 2, lo, act).fabric_dynamic_w;
+        prop_assert!(f2 >= f1);
+    }
+}

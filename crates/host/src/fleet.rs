@@ -1,0 +1,232 @@
+//! Fleet orchestration: managing many FlexSFPs at once.
+//!
+//! §4.1: the network-accessible control interface "is essential for
+//! centralized orchestration across a fleet of FlexSFPs, while
+//! preserving the independence of per-port behavior." The manager
+//! performs parallel rolling OTA deployments (each module is
+//! independent, so deployment parallelizes perfectly across worker
+//! threads) and fleet-wide health sweeps with VCSEL fault diagnosis.
+
+use crate::mgmt::{ManagementClient, MgmtError};
+use flexsfp_core::auth::AuthKey;
+use flexsfp_core::failure::{diagnose, DiagnosisThresholds, FaultDiagnosis, VcselModel};
+use flexsfp_core::module::FlexSfp;
+use parking_lot::Mutex;
+
+/// Health snapshot of one module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEntry {
+    /// Module identifier.
+    pub module_id: String,
+    /// Running app and version.
+    pub app: String,
+    /// Application version.
+    pub app_version: u32,
+    /// Optical diagnosis.
+    pub diagnosis: FaultDiagnosis,
+    /// Module temperature, °C.
+    pub temperature_c: f64,
+}
+
+/// Result of a rolling deployment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeployReport {
+    /// Modules updated successfully.
+    pub updated: Vec<String>,
+    /// Modules that failed, with reasons.
+    pub failed: Vec<(String, String)>,
+}
+
+/// The fleet manager. Modules are individually locked so managed
+/// operations on different modules proceed in parallel.
+pub struct FleetManager {
+    modules: Vec<Mutex<FlexSfp>>,
+    client: ManagementClient,
+}
+
+impl FleetManager {
+    /// Manage `modules` with the shared fleet `key`.
+    pub fn new(modules: Vec<FlexSfp>, key: AuthKey) -> FleetManager {
+        FleetManager {
+            modules: modules.into_iter().map(Mutex::new).collect(),
+            client: ManagementClient::new(key),
+        }
+    }
+
+    /// Fleet size.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// True when managing no modules.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Run `f` against one module under its lock.
+    pub fn with_module<R>(&self, idx: usize, f: impl FnOnce(&mut FlexSfp) -> R) -> R {
+        f(&mut self.modules[idx].lock())
+    }
+
+    /// Deploy `image` to flash `slot` on every module, in parallel
+    /// across `workers` threads. Modules whose deployment fails are
+    /// reported and left on their previous application.
+    pub fn deploy_all(&self, slot: usize, image: &[u8], workers: usize) -> DeployReport {
+        let report = Mutex::new(DeployReport::default());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = workers.clamp(1, self.modules.len().max(1));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= self.modules.len() {
+                        break;
+                    }
+                    let mut module = self.modules[idx].lock();
+                    let id = module.config.id.clone();
+                    match self.client.deploy(&mut *module, slot, image) {
+                        Ok(()) => report.lock().updated.push(id),
+                        Err(e) => report.lock().failed.push((id, e.to_string())),
+                    }
+                });
+            }
+        })
+        .expect("deployment workers never panic");
+        let mut r = report.into_inner();
+        r.updated.sort();
+        r.failed.sort();
+        r
+    }
+
+    /// Sweep the fleet, reading DOM diagnostics and diagnosing optical
+    /// faults — the §5.3 targeted-repair workflow.
+    pub fn health_report(&self) -> Result<Vec<HealthEntry>, MgmtError> {
+        let thresholds = DiagnosisThresholds::default();
+        let model = VcselModel::default();
+        let mut out = Vec::with_capacity(self.modules.len());
+        for m in &self.modules {
+            let mut module = m.lock();
+            module.refresh_dom();
+            let info = self.client.info(&mut *module)?;
+            let dom = module.mgmt.read_dom();
+            out.push(HealthEntry {
+                module_id: info.module_id,
+                app: info.app,
+                app_version: info.app_version,
+                diagnosis: diagnose(&dom, &model, &thresholds),
+                temperature_c: dom.temperature_c,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Indices of modules whose lasers need attention.
+    pub fn modules_needing_service(&self) -> Result<Vec<usize>, MgmtError> {
+        Ok(self
+            .health_report()?
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| {
+                matches!(
+                    h.diagnosis,
+                    FaultDiagnosis::LaserDegradation
+                        | FaultDiagnosis::LaserFailed
+                        | FaultDiagnosis::DriverFault
+                )
+            })
+            .map(|(i, _)| i)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfp_core::module::ModuleConfig;
+    use flexsfp_core::Bitstream;
+    use flexsfp_fabric::resources::ResourceManifest;
+
+    fn fleet(n: usize) -> FleetManager {
+        let modules = (0..n)
+            .map(|i| {
+                let cfg = ModuleConfig {
+                    id: format!("FSFP-{i:04}"),
+                    ..ModuleConfig::default()
+                };
+                FlexSfp::new(cfg, Box::new(flexsfp_ppe::engine::PassThrough))
+            })
+            .collect();
+        FleetManager::new(modules, AuthKey::DEFAULT)
+    }
+
+    #[test]
+    fn parallel_rolling_deploy() {
+        let f = fleet(12);
+        let image =
+            Bitstream::new("passthrough", 3, ResourceManifest::ZERO, 156_250_000).to_bytes();
+        let report = f.deploy_all(1, &image, 4);
+        assert_eq!(report.updated.len(), 12);
+        assert!(report.failed.is_empty());
+        for i in 0..12 {
+            f.with_module(i, |m| {
+                assert_eq!(m.app_version(), 3);
+                assert_eq!(m.boots(), 2);
+            });
+        }
+    }
+
+    #[test]
+    fn failed_modules_reported_not_bricked() {
+        let f = fleet(3);
+        // An image that is not a valid bitstream: commit succeeds (CRC
+        // is over the raw bytes) but the boot falls back gracefully.
+        // Instead use a valid bitstream for an unknown app: boots fall
+        // back to passthrough v0 via the factory default.
+        let image =
+            Bitstream::new("unknown-app", 9, ResourceManifest::ZERO, 156_250_000).to_bytes();
+        let report = f.deploy_all(1, &image, 2);
+        // Deployment itself succeeds (flash written, activation done)…
+        assert_eq!(report.updated.len(), 3);
+        // …but every module fell back rather than running unknown-app.
+        for i in 0..3 {
+            f.with_module(i, |m| {
+                assert_ne!(m.app_name(), "unknown-app");
+                assert_eq!(m.boots(), 2);
+            });
+        }
+    }
+
+    #[test]
+    fn health_sweep_flags_aging_lasers() {
+        let f = fleet(4);
+        // Age module 2's laser to end of life.
+        f.with_module(2, |m| {
+            m.set_laser_ttf_hours(50_000.0);
+            m.age_laser(49_000.0);
+        });
+        let report = f.health_report().unwrap();
+        assert_eq!(report.len(), 4);
+        assert_eq!(report[0].diagnosis, FaultDiagnosis::Healthy);
+        assert_ne!(report[2].diagnosis, FaultDiagnosis::Healthy);
+        let service = f.modules_needing_service().unwrap();
+        assert_eq!(service, vec![2]);
+    }
+
+    #[test]
+    fn health_report_carries_identity() {
+        let f = fleet(2);
+        let report = f.health_report().unwrap();
+        assert_eq!(report[0].module_id, "FSFP-0000");
+        assert_eq!(report[1].module_id, "FSFP-0001");
+        assert_eq!(report[0].app, "passthrough");
+        assert!(report[0].temperature_c > 30.0);
+    }
+
+    #[test]
+    fn empty_fleet() {
+        let f = FleetManager::new(vec![], AuthKey::DEFAULT);
+        assert!(f.is_empty());
+        let r = f.deploy_all(1, b"x", 4);
+        assert!(r.updated.is_empty() && r.failed.is_empty());
+    }
+}

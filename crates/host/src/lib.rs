@@ -1,0 +1,33 @@
+//! # flexsfp-host
+//!
+//! Host-side tooling around FlexSFP modules:
+//!
+//! * [`mgmt`] — a typed management client speaking the authenticated
+//!   control protocol (table ops, DOM reads, OTA deployment);
+//! * [`link`] — the fiber link connecting two modules' optical sides;
+//! * [`switch`] — the §2.1 retrofit scenario: a fixed-function legacy
+//!   L2 switch whose SFP cages accept FlexSFPs, turning every port into
+//!   a programmable enforcement point;
+//! * [`nic`] — the Thunderbolt 10 G NIC of the §5 power testbed;
+//! * [`testbed`] — the power-measurement experiment itself;
+//! * [`fleet`] — orchestration across many modules: parallel rolling
+//!   OTA deployment and fleet-wide health/diagnosis sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod fleet;
+pub mod link;
+pub mod mgmt;
+pub mod nic;
+pub mod switch;
+pub mod testbed;
+
+pub use baselines::ProcessingPath;
+pub use fleet::FleetManager;
+pub use link::FiberLink;
+pub use mgmt::ManagementClient;
+pub use nic::HostNic;
+pub use switch::LegacySwitch;
+pub use testbed::PowerTestbed;

@@ -1,0 +1,371 @@
+//! The typed management client.
+//!
+//! Wraps the authenticated control protocol in ergonomic calls. The
+//! client is transport-agnostic: anything implementing [`ModulePort`]
+//! (the module's out-of-band management port, or an in-band tunnel that
+//! forwards control frames) can carry it.
+
+use flexsfp_core::auth::AuthKey;
+use flexsfp_core::control::{ControlPlane, ControlRequest, ControlResponse, CtlTableOp, CtlTableResult};
+use flexsfp_core::module::FlexSfp;
+use flexsfp_core::reprogram::MAX_CHUNK;
+use flexsfp_fabric::hash::crc32;
+
+/// A transport that delivers one control payload and returns the
+/// response payload.
+pub trait ModulePort {
+    /// Deliver `payload`, returning the module's response.
+    fn request(&mut self, payload: &[u8]) -> Option<Vec<u8>>;
+}
+
+impl ModulePort for FlexSfp {
+    fn request(&mut self, payload: &[u8]) -> Option<Vec<u8>> {
+        self.handle_oob(payload)
+    }
+}
+
+/// Errors surfaced by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MgmtError {
+    /// No response / authentication failed at the module.
+    NoResponse,
+    /// The module answered with an error string.
+    Module(String),
+    /// The response type did not match the request.
+    Unexpected,
+}
+
+impl core::fmt::Display for MgmtError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MgmtError::NoResponse => write!(f, "no response from module"),
+            MgmtError::Module(e) => write!(f, "module error: {e}"),
+            MgmtError::Unexpected => write!(f, "unexpected response type"),
+        }
+    }
+}
+
+impl std::error::Error for MgmtError {}
+
+/// Module identity snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleInfo {
+    /// Module serial.
+    pub module_id: String,
+    /// Running application.
+    pub app: String,
+    /// Application version.
+    pub app_version: u32,
+    /// Boot count.
+    pub boots: u32,
+}
+
+/// The management client.
+#[derive(Debug, Clone)]
+pub struct ManagementClient {
+    key: AuthKey,
+}
+
+impl ManagementClient {
+    /// A client authenticated with `key`.
+    pub fn new(key: AuthKey) -> ManagementClient {
+        ManagementClient { key }
+    }
+
+    fn call<P: ModulePort>(
+        &self,
+        port: &mut P,
+        req: &ControlRequest,
+    ) -> Result<ControlResponse, MgmtError> {
+        let payload = ControlPlane::encode_request(&self.key, req);
+        let resp = port.request(&payload).ok_or(MgmtError::NoResponse)?;
+        ControlPlane::decode_response(&self.key, &resp).ok_or(MgmtError::NoResponse)
+    }
+
+    fn expect_ack(&self, resp: ControlResponse) -> Result<(), MgmtError> {
+        match resp {
+            ControlResponse::Ack => Ok(()),
+            ControlResponse::Error(e) => Err(MgmtError::Module(e)),
+            _ => Err(MgmtError::Unexpected),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping<P: ModulePort>(&self, port: &mut P, nonce: u64) -> Result<(), MgmtError> {
+        match self.call(port, &ControlRequest::Ping { nonce })? {
+            ControlResponse::Pong { nonce: n } if n == nonce => Ok(()),
+            _ => Err(MgmtError::Unexpected),
+        }
+    }
+
+    /// Identity/status.
+    pub fn info<P: ModulePort>(&self, port: &mut P) -> Result<ModuleInfo, MgmtError> {
+        match self.call(port, &ControlRequest::GetInfo)? {
+            ControlResponse::Info {
+                module_id,
+                app,
+                app_version,
+                boots,
+                ..
+            } => Ok(ModuleInfo {
+                module_id,
+                app,
+                app_version,
+                boots,
+            }),
+            ControlResponse::Error(e) => Err(MgmtError::Module(e)),
+            _ => Err(MgmtError::Unexpected),
+        }
+    }
+
+    /// DOM reading as (temperature °C, tx power mW, tx bias mA, rx mW).
+    pub fn read_dom<P: ModulePort>(&self, port: &mut P) -> Result<(f64, f64, f64, f64), MgmtError> {
+        match self.call(port, &ControlRequest::ReadDom)? {
+            ControlResponse::Dom {
+                temperature_c,
+                tx_power_mw,
+                tx_bias_ma,
+                rx_power_mw,
+                ..
+            } => Ok((temperature_c, tx_power_mw, tx_bias_ma, rx_power_mw)),
+            _ => Err(MgmtError::Unexpected),
+        }
+    }
+
+    /// Execute a table operation.
+    pub fn table_op<P: ModulePort>(
+        &self,
+        port: &mut P,
+        op: CtlTableOp,
+    ) -> Result<CtlTableResult, MgmtError> {
+        match self.call(port, &ControlRequest::Table(op))? {
+            ControlResponse::Table(r) => Ok(r),
+            ControlResponse::Error(e) => Err(MgmtError::Module(e)),
+            _ => Err(MgmtError::Unexpected),
+        }
+    }
+
+    /// Read a counter as `(packets, bytes)`.
+    pub fn read_counter<P: ModulePort>(
+        &self,
+        port: &mut P,
+        index: u32,
+    ) -> Result<(u64, u64), MgmtError> {
+        match self.table_op(port, CtlTableOp::ReadCounter { index })? {
+            CtlTableResult::Counter { packets, bytes } => Ok((packets, bytes)),
+            _ => Err(MgmtError::Unexpected),
+        }
+    }
+
+    /// Drain NetFlow-like export records from a telemetry module
+    /// (repeatedly reads table 2 until the module reports no more).
+    pub fn collect_flows<P: ModulePort>(
+        &self,
+        port: &mut P,
+    ) -> Result<Vec<flexsfp_apps::telemetry::ExportRecord>, MgmtError> {
+        let mut all = Vec::new();
+        loop {
+            let value = match self.table_op(
+                port,
+                CtlTableOp::Read {
+                    table: 2,
+                    key: vec![],
+                },
+            )? {
+                CtlTableResult::Value(v) => v,
+                CtlTableResult::Unsupported => return Err(MgmtError::Unexpected),
+                _ => return Err(MgmtError::Unexpected),
+            };
+            let batch =
+                flexsfp_apps::telemetry::parse_export(&value).ok_or(MgmtError::Unexpected)?;
+            if batch.is_empty() {
+                return Ok(all);
+            }
+            all.extend(batch);
+        }
+    }
+
+    /// Full OTA deployment: begin → chunks → commit → activate.
+    pub fn deploy<P: ModulePort>(
+        &self,
+        port: &mut P,
+        slot: usize,
+        image: &[u8],
+    ) -> Result<(), MgmtError> {
+        let crc = crc32(image);
+        self.expect_ack(self.call(
+            port,
+            &ControlRequest::BeginUpdate {
+                slot,
+                total_len: image.len(),
+                crc32: crc,
+            },
+        )?)?;
+        for (seq, chunk) in image.chunks(MAX_CHUNK).enumerate() {
+            self.expect_ack(self.call(
+                port,
+                &ControlRequest::UpdateChunk {
+                    seq: seq as u32,
+                    data: chunk.to_vec(),
+                },
+            )?)?;
+        }
+        self.expect_ack(self.call(port, &ControlRequest::CommitUpdate)?)?;
+        self.expect_ack(self.call(port, &ControlRequest::Activate { slot })?)
+    }
+
+    /// Roll back to a previously written slot (e.g. golden 0).
+    pub fn activate_slot<P: ModulePort>(&self, port: &mut P, slot: usize) -> Result<(), MgmtError> {
+        self.expect_ack(self.call(port, &ControlRequest::Activate { slot })?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfp_core::module::ModuleConfig;
+    use flexsfp_core::Bitstream;
+    use flexsfp_fabric::resources::ResourceManifest;
+
+    fn module() -> FlexSfp {
+        FlexSfp::passthrough()
+    }
+
+    fn client() -> ManagementClient {
+        ManagementClient::new(AuthKey::DEFAULT)
+    }
+
+    #[test]
+    fn ping_and_info() {
+        let mut m = module();
+        let c = client();
+        c.ping(&mut m, 99).unwrap();
+        let info = c.info(&mut m).unwrap();
+        assert_eq!(info.app, "passthrough");
+        assert_eq!(info.boots, 1);
+        assert_eq!(info.module_id, "FSFP-PROTO-001");
+    }
+
+    #[test]
+    fn wrong_key_gets_no_response() {
+        let mut m = module();
+        let c = ManagementClient::new(AuthKey::from_passphrase("wrong"));
+        assert_eq!(c.ping(&mut m, 1), Err(MgmtError::NoResponse));
+    }
+
+    #[test]
+    fn dom_readout() {
+        let mut m = module();
+        let (temp, tx_mw, bias, _rx) = client().read_dom(&mut m).unwrap();
+        assert!(temp > 30.0 && temp < 60.0);
+        assert!(tx_mw > 0.0);
+        assert!(bias > 0.0);
+    }
+
+    #[test]
+    fn deploy_via_client_reboots_module() {
+        let mut m = module();
+        let c = client();
+        let bs = Bitstream::new("passthrough", 5, ResourceManifest::ZERO, 156_250_000);
+        c.deploy(&mut m, 1, &bs.to_bytes()).unwrap();
+        assert_eq!(m.app_version(), 5);
+        assert_eq!(m.boots(), 2);
+        let info = c.info(&mut m).unwrap();
+        assert_eq!(info.app_version, 5);
+    }
+
+    #[test]
+    fn deploy_to_golden_slot_fails_cleanly() {
+        let mut m = module();
+        let c = client();
+        let bs = Bitstream::new("passthrough", 5, ResourceManifest::ZERO, 1);
+        match c.deploy(&mut m, 0, &bs.to_bytes()) {
+            Err(MgmtError::Module(e)) => assert!(e.contains("BadSlot"), "{e}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.boots(), 1);
+    }
+
+    #[test]
+    fn rollback_to_golden() {
+        let mut m = module();
+        let c = client();
+        // Write a golden image at the factory.
+        let golden = Bitstream::new("passthrough", 1, ResourceManifest::ZERO, 156_250_000);
+        m.flash.write_slot(0, &golden.to_bytes()).unwrap();
+        // Deploy v9, then roll back.
+        let v9 = Bitstream::new("passthrough", 9, ResourceManifest::ZERO, 156_250_000);
+        c.deploy(&mut m, 2, &v9.to_bytes()).unwrap();
+        assert_eq!(m.app_version(), 9);
+        c.activate_slot(&mut m, 0).unwrap();
+        assert_eq!(m.app_version(), 1);
+        assert_eq!(m.boots(), 3);
+    }
+
+    #[test]
+    fn flow_collection_from_telemetry_module() {
+        use flexsfp_apps::TelemetryProbe;
+        use flexsfp_core::module::SimPacket;
+        use flexsfp_ppe::Direction;
+        let mut m = FlexSfp::new(
+            ModuleConfig::default(),
+            Box::new(TelemetryProbe::new(1024, 100_000, 1_000_000)),
+        );
+        // Push 80 distinct flows through the module.
+        let packets: Vec<SimPacket> = (0..80u16)
+            .map(|i| SimPacket {
+                arrival_ns: u64::from(i) * 1_000,
+                direction: Direction::EdgeToOptical,
+                frame: flexsfp_wire::builder::PacketBuilder::eth_ipv4_udp(
+                    flexsfp_wire::MacAddr([2; 6]),
+                    flexsfp_wire::MacAddr([4; 6]),
+                    0xc0a80001,
+                    0x08080808,
+                    10_000 + i,
+                    443,
+                    b"data",
+                ),
+            })
+            .collect();
+        m.run(packets);
+        // The host collector drains them in 32-record slices.
+        let flows = client().collect_flows(&mut m).unwrap();
+        assert_eq!(flows.len(), 80);
+        assert!(flows.iter().all(|f| f.record.packets == 1));
+        // Second collection finds nothing (read-and-evict).
+        assert!(client().collect_flows(&mut m).unwrap().is_empty());
+        // A non-telemetry module reports Unexpected.
+        let mut plain = FlexSfp::passthrough();
+        assert!(client().collect_flows(&mut plain).is_err());
+    }
+
+    #[test]
+    fn table_ops_against_nat() {
+        use flexsfp_apps::StaticNat;
+        let mut m = FlexSfp::new(ModuleConfig::default(), Box::new(StaticNat::new()));
+        let c = client();
+        let r = c
+            .table_op(
+                &mut m,
+                CtlTableOp::Insert {
+                    table: 0,
+                    key: 0xc0a80001u32.to_be_bytes().to_vec(),
+                    value: 0x65000001u32.to_be_bytes().to_vec(),
+                },
+            )
+            .unwrap();
+        assert_eq!(r, CtlTableResult::Ok);
+        let read = c
+            .table_op(
+                &mut m,
+                CtlTableOp::Read {
+                    table: 0,
+                    key: 0xc0a80001u32.to_be_bytes().to_vec(),
+                },
+            )
+            .unwrap();
+        assert_eq!(read, CtlTableResult::Value(0x65000001u32.to_be_bytes().to_vec()));
+        let (packets, _bytes) = c.read_counter(&mut m, 0).unwrap();
+        assert_eq!(packets, 0);
+    }
+}

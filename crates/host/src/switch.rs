@@ -1,0 +1,298 @@
+//! The §2.1 retrofit scenario: a legacy L2 switch with FlexSFP cages.
+//!
+//! The switch itself is a fixed-function MAC-learning bridge — it cannot
+//! filter, tag or observe. Each port's SFP cage may hold a FlexSFP;
+//! frames entering a port traverse that module optical→edge (toward the
+//! switch ASIC) and frames leaving traverse edge→optical, so the module
+//! is a per-port bump-in-the-wire exactly as the paper describes:
+//! "each port becomes a programmable enforcement point … without any
+//! modification to the chassis or switch OS".
+
+use flexsfp_core::module::{FlexSfp, Interface, SimPacket};
+use flexsfp_ppe::Direction;
+use flexsfp_wire::{EthernetFrame, MacAddr};
+use std::collections::HashMap;
+
+/// What a port forwards through.
+enum Cage {
+    /// A plain fixed-function SFP: transparent.
+    StandardSfp,
+    /// A FlexSFP module.
+    FlexSfp(Box<FlexSfp>),
+}
+
+/// One delivered frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Egress port.
+    pub port: usize,
+    /// The frame as it leaves the port (after any module processing).
+    pub frame: Vec<u8>,
+}
+
+/// Per-switch statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Frames received across all ports.
+    pub received: u64,
+    /// Frames flooded (unknown destination).
+    pub flooded: u64,
+    /// Frames dropped by port modules.
+    pub dropped_by_modules: u64,
+    /// Frames delivered out of ports.
+    pub delivered: u64,
+}
+
+/// The legacy switch.
+pub struct LegacySwitch {
+    cages: Vec<Cage>,
+    mac_table: HashMap<MacAddr, usize>,
+    /// Statistics.
+    pub stats: SwitchStats,
+    time_ns: u64,
+}
+
+impl LegacySwitch {
+    /// A switch with `ports` ports, all holding standard SFPs.
+    pub fn new(ports: usize) -> LegacySwitch {
+        LegacySwitch {
+            cages: (0..ports).map(|_| Cage::StandardSfp).collect(),
+            mac_table: HashMap::new(),
+            stats: SwitchStats::default(),
+            time_ns: 0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.cages.len()
+    }
+
+    /// Swap the SFP in `port` for a FlexSFP — the drop-in upgrade.
+    pub fn insert_flexsfp(&mut self, port: usize, module: FlexSfp) {
+        self.cages[port] = Cage::FlexSfp(Box::new(module));
+    }
+
+    /// Revert `port` to a standard SFP.
+    pub fn remove_flexsfp(&mut self, port: usize) -> Option<FlexSfp> {
+        match std::mem::replace(&mut self.cages[port], Cage::StandardSfp) {
+            Cage::FlexSfp(m) => Some(*m),
+            Cage::StandardSfp => None,
+        }
+    }
+
+    /// Access the module in `port`, if any (for management via the OOB
+    /// path).
+    pub fn module_mut(&mut self, port: usize) -> Option<&mut FlexSfp> {
+        match &mut self.cages[port] {
+            Cage::FlexSfp(m) => Some(m),
+            Cage::StandardSfp => None,
+        }
+    }
+
+    /// Learned MAC table size.
+    pub fn learned(&self) -> usize {
+        self.mac_table.len()
+    }
+
+    /// Pass a frame through the module in `cage` in `direction`;
+    /// `None` when the module dropped/diverted it.
+    fn through_module(
+        cage: &mut Cage,
+        frame: Vec<u8>,
+        direction: Direction,
+        t_ns: u64,
+    ) -> Option<Vec<u8>> {
+        match cage {
+            Cage::StandardSfp => Some(frame),
+            Cage::FlexSfp(m) => {
+                let report = m.run(vec![SimPacket {
+                    arrival_ns: t_ns,
+                    direction,
+                    frame,
+                }]);
+                let expect = Interface::egress_for(direction);
+                report
+                    .outputs
+                    .into_iter()
+                    .find(|o| o.egress == expect)
+                    .map(|o| o.frame)
+            }
+        }
+    }
+
+    /// Offer a frame arriving from the wire on `port` at `t_ns`.
+    /// Returns the deliveries out of other ports.
+    pub fn inject(&mut self, port: usize, frame: Vec<u8>, t_ns: u64) -> Vec<Delivery> {
+        assert!(port < self.cages.len(), "no such port");
+        self.time_ns = self.time_ns.max(t_ns);
+        self.stats.received += 1;
+        // Ingress: wire → module (optical side faces the wire) → ASIC.
+        let Some(frame) =
+            Self::through_module(&mut self.cages[port], frame, Direction::OpticalToEdge, t_ns)
+        else {
+            self.stats.dropped_by_modules += 1;
+            return Vec::new();
+        };
+        let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
+            return Vec::new();
+        };
+        // Learn the source.
+        let src = eth.src();
+        if src.is_unicast() {
+            self.mac_table.insert(src, port);
+        }
+        // Decide egress ports.
+        let dst = eth.dst();
+        let egress_ports: Vec<usize> = match self.mac_table.get(&dst) {
+            Some(&p) if p != port => vec![p],
+            Some(_) => Vec::new(), // destination is on the ingress port
+            None => {
+                self.stats.flooded += 1;
+                (0..self.cages.len()).filter(|&p| p != port).collect()
+            }
+        };
+        // Egress: ASIC → module (edge side faces the ASIC) → wire.
+        let mut out = Vec::new();
+        for p in egress_ports {
+            match Self::through_module(
+                &mut self.cages[p],
+                frame.clone(),
+                Direction::EdgeToOptical,
+                t_ns,
+            ) {
+                Some(f) => {
+                    self.stats.delivered += 1;
+                    out.push(Delivery { port: p, frame: f });
+                }
+                None => self.stats.dropped_by_modules += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfp_apps::{AclAction, AclFirewall, AclRule, VlanTagger};
+    use flexsfp_core::module::ModuleConfig;
+    use flexsfp_ppe::Direction as Dir;
+    use flexsfp_wire::builder::PacketBuilder;
+
+    const HOST_A: MacAddr = MacAddr([0xa; 6]); // even first octet: unicast
+    const HOST_B: MacAddr = MacAddr([0xc; 6]);
+
+    fn frame(dst: MacAddr, src: MacAddr, dport: u16) -> Vec<u8> {
+        PacketBuilder::eth_ipv4_udp(dst, src, 0xc0a80001, 0xc0a80002, 999, dport, b"data")
+    }
+
+    #[test]
+    fn learning_and_unicast_forwarding() {
+        let mut sw = LegacySwitch::new(4);
+        // A (port 0) talks first: flooded, A learned.
+        let out = sw.inject(0, frame(HOST_B, HOST_A, 80), 0);
+        assert_eq!(out.len(), 3); // flooded to 1,2,3
+        assert_eq!(sw.learned(), 1);
+        // B replies from port 2: unicast straight to port 0.
+        let out = sw.inject(2, frame(HOST_A, HOST_B, 80), 100);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 0);
+        assert_eq!(sw.learned(), 2);
+        // Now A→B is unicast to port 2.
+        let out = sw.inject(0, frame(HOST_B, HOST_A, 80), 200);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 2);
+        assert_eq!(sw.stats.flooded, 1);
+    }
+
+    #[test]
+    fn same_port_destination_filtered() {
+        let mut sw = LegacySwitch::new(2);
+        sw.inject(0, frame(HOST_B, HOST_A, 80), 0); // learn A@0
+        sw.inject(0, frame(HOST_A, HOST_B, 80), 1); // learn B@0 too
+        let out = sw.inject(0, frame(HOST_B, HOST_A, 80), 2);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn retrofit_firewall_blocks_at_the_port() {
+        let mut sw = LegacySwitch::new(2);
+        // Learn both hosts with permitted traffic first.
+        sw.inject(0, frame(HOST_B, HOST_A, 80), 0);
+        sw.inject(1, frame(HOST_A, HOST_B, 80), 1);
+        // Insert a FlexSFP firewall into port 0 that denies UDP/53
+        // arriving from the wire.
+        let mut fw = AclFirewall::new(16);
+        fw.screen_direction = Some(Dir::OpticalToEdge);
+        fw.add_rule(AclRule {
+            src: None,
+            dst: None,
+            protocol: Some(17),
+            src_port: None,
+            dst_port: Some(53),
+            priority: 1,
+            action: AclAction::Deny,
+        });
+        // The PPE must sit on the wire-facing (optical→edge) path —
+        // the paper's One-Way-Filter supports either placement (§4.1).
+        let cfg = ModuleConfig {
+            shell: flexsfp_core::ShellKind::OneWayFilter {
+                ppe_direction: Dir::OpticalToEdge,
+            },
+            ..ModuleConfig::default()
+        };
+        sw.insert_flexsfp(0, FlexSfp::new(cfg, Box::new(fw)));
+        // DNS from A is dropped in the cage, before the ASIC sees it.
+        let out = sw.inject(0, frame(HOST_B, HOST_A, 53), 100);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats.dropped_by_modules, 1);
+        // Web traffic still flows.
+        let out = sw.inject(0, frame(HOST_B, HOST_A, 443), 200);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 1);
+    }
+
+    #[test]
+    fn retrofit_vlan_tagger_tags_egress() {
+        let mut sw = LegacySwitch::new(2);
+        sw.inject(0, frame(HOST_B, HOST_A, 80), 0);
+        sw.inject(1, frame(HOST_A, HOST_B, 80), 1);
+        // Port 1's uplink gets a VLAN tagger: frames leaving port 1
+        // carry VID 200.
+        let mut tagger = VlanTagger::new(200);
+        tagger.drop_tagged_ingress = false;
+        sw.insert_flexsfp(1, FlexSfp::new(ModuleConfig::default(), Box::new(tagger)));
+        let out = sw.inject(0, frame(HOST_B, HOST_A, 80), 100);
+        assert_eq!(out.len(), 1);
+        let parsed = flexsfp_ppe::Parser::default().parse(&out[0].frame).unwrap();
+        assert_eq!(parsed.vlans, vec![200]);
+    }
+
+    #[test]
+    fn module_removal_restores_transparency() {
+        let mut sw = LegacySwitch::new(2);
+        sw.inject(0, frame(HOST_B, HOST_A, 80), 0);
+        sw.inject(1, frame(HOST_A, HOST_B, 80), 1);
+        let mut fw = AclFirewall::new(4);
+        fw.default_action = AclAction::Deny;
+        sw.insert_flexsfp(0, FlexSfp::new(ModuleConfig::two_way_2x(), Box::new(fw)));
+        assert!(sw.inject(0, frame(HOST_B, HOST_A, 80), 2).is_empty());
+        let removed = sw.remove_flexsfp(0);
+        assert!(removed.is_some());
+        assert_eq!(sw.inject(0, frame(HOST_B, HOST_A, 80), 3).len(), 1);
+    }
+
+    #[test]
+    fn per_port_management_through_switch() {
+        use crate::mgmt::ManagementClient;
+        use flexsfp_core::auth::AuthKey;
+        let mut sw = LegacySwitch::new(2);
+        sw.insert_flexsfp(0, FlexSfp::passthrough());
+        let client = ManagementClient::new(AuthKey::DEFAULT);
+        let m = sw.module_mut(0).unwrap();
+        let info = client.info(m).unwrap();
+        assert_eq!(info.app, "passthrough");
+        assert!(sw.module_mut(1).is_none());
+    }
+}

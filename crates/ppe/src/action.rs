@@ -1,0 +1,624 @@
+//! Action primitives of the match-action pipeline.
+//!
+//! Each [`Action`] is one hardware edit unit: field rewrites with
+//! incremental checksum maintenance, VLAN push/pop, tunnel encap/decap,
+//! counting, metering and verdict emission. The paper positions exactly
+//! this action vocabulary as FlexSFP's sweet spot: "composed L2–L4
+//! functions — multi-field parse/edit, label/tunnel manipulation,
+//! per-packet hashing for steering, and in-band timestamping" (§5.3).
+
+use crate::counters::CounterBank;
+use crate::engine::{ProcessContext, Verdict};
+use crate::meter::{Color, TokenBucket};
+use crate::parser::{ParsedPacket, L4};
+use flexsfp_wire::builder::PacketBuilder;
+use flexsfp_wire::{checksum, ethernet, ipv4::Ipv4Packet, vlan, EtherType, EthernetFrame, IpProtocol};
+
+/// One action unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Rewrite the IPv4 source address (incremental checksums).
+    SetIpv4Src(u32),
+    /// Rewrite the IPv4 destination address (incremental checksums).
+    SetIpv4Dst(u32),
+    /// Set the DSCP codepoint (incremental IP checksum).
+    SetDscp(u8),
+    /// Decrement TTL; emits Drop when TTL would reach zero.
+    DecTtl,
+    /// Push an 802.1Q tag.
+    PushVlan {
+        /// VLAN id.
+        vid: u16,
+        /// Priority code point.
+        pcp: u8,
+    },
+    /// Push an 802.1ad S-tag (QinQ outer tag).
+    PushSTag {
+        /// Service VLAN id.
+        vid: u16,
+    },
+    /// Pop the outermost VLAN tag (no-op if untagged).
+    PopVlan,
+    /// Rewrite the outermost VLAN id (no-op if untagged).
+    SetVlanVid(u16),
+    /// GRE-encapsulate the IP payload in a new outer IPv4 header.
+    EncapGre {
+        /// Outer source address.
+        src: u32,
+        /// Outer destination address.
+        dst: u32,
+        /// Optional GRE key.
+        key: u32,
+    },
+    /// IP-in-IP encapsulate.
+    EncapIpIp {
+        /// Outer source address.
+        src: u32,
+        /// Outer destination address.
+        dst: u32,
+    },
+    /// VXLAN-encapsulate the whole frame in outer IPv4/UDP.
+    EncapVxlan {
+        /// Outer source address.
+        src: u32,
+        /// Outer destination address.
+        dst: u32,
+        /// VXLAN network identifier.
+        vni: u32,
+    },
+    /// Strip one outer IPv4 tunnel layer (GRE or IP-in-IP).
+    DecapTunnel,
+    /// Count packet+bytes on counter `0`..bank size.
+    Count(usize),
+    /// Meter against token bucket `idx`; red packets are dropped.
+    Meter(usize),
+    /// Emit a final verdict.
+    Emit(VerdictAction),
+}
+
+/// Verdicts an action can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictAction {
+    /// Forward to natural egress.
+    Forward,
+    /// Drop.
+    Drop,
+    /// Divert to the control plane.
+    ToControlPlane,
+}
+
+impl VerdictAction {
+    fn to_verdict(self) -> Verdict {
+        match self {
+            VerdictAction::Forward => Verdict::Forward,
+            VerdictAction::Drop => Verdict::Drop,
+            VerdictAction::ToControlPlane => Verdict::ToControlPlane,
+        }
+    }
+}
+
+/// Outcome of applying one action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionOutcome {
+    /// Continue with the next action; `true` if the packet bytes or
+    /// layout changed (requiring a re-parse before further matching).
+    Continue {
+        /// Packet was modified.
+        modified: bool,
+    },
+    /// Stop: a verdict was decided.
+    Final(Verdict),
+}
+
+/// Executes actions against packets, owning the counter bank and meters
+/// the actions reference.
+#[derive(Debug)]
+pub struct ActionEngine {
+    /// Counter bank indexed by [`Action::Count`].
+    pub counters: CounterBank,
+    /// Meters indexed by [`Action::Meter`].
+    pub meters: Vec<TokenBucket>,
+}
+
+impl ActionEngine {
+    /// An engine with `n_counters` counters and the given meters.
+    pub fn new(n_counters: usize, meters: Vec<TokenBucket>) -> ActionEngine {
+        ActionEngine {
+            counters: CounterBank::new(n_counters),
+            meters,
+        }
+    }
+
+    /// Apply one action. `parsed` must describe the current `packet`.
+    pub fn apply(
+        &mut self,
+        action: Action,
+        ctx: &ProcessContext,
+        packet: &mut Vec<u8>,
+        parsed: &ParsedPacket,
+    ) -> ActionOutcome {
+        match action {
+            Action::SetIpv4Src(new) => rewrite_addr(packet, parsed, new, true),
+            Action::SetIpv4Dst(new) => rewrite_addr(packet, parsed, new, false),
+            Action::SetDscp(dscp) => set_dscp(packet, parsed, dscp),
+            Action::DecTtl => dec_ttl(packet, parsed),
+            Action::PushVlan { vid, pcp } => {
+                *packet = vlan::push_tag(
+                    packet,
+                    EtherType::Vlan,
+                    vlan::Tci {
+                        pcp,
+                        dei: false,
+                        vid,
+                    },
+                )
+                .expect("frame validated by parser");
+                ActionOutcome::Continue { modified: true }
+            }
+            Action::PushSTag { vid } => {
+                *packet = vlan::push_tag(
+                    packet,
+                    EtherType::QinQ,
+                    vlan::Tci {
+                        pcp: 0,
+                        dei: false,
+                        vid,
+                    },
+                )
+                .expect("frame validated by parser");
+                ActionOutcome::Continue { modified: true }
+            }
+            Action::PopVlan => match vlan::pop_tag(packet) {
+                Ok((_tci, untagged)) => {
+                    *packet = untagged;
+                    ActionOutcome::Continue { modified: true }
+                }
+                Err(_) => ActionOutcome::Continue { modified: false },
+            },
+            Action::SetVlanVid(vid) => set_vlan_vid(packet, parsed, vid),
+            Action::EncapGre { src, dst, key } => {
+                encap_ip_layer(packet, parsed, |inner| {
+                    PacketBuilder::gre_encap(src, dst, Some(key), inner)
+                })
+            }
+            Action::EncapIpIp { src, dst } => {
+                encap_ip_layer(packet, parsed, |inner| {
+                    PacketBuilder::ipip_encap(src, dst, inner)
+                })
+            }
+            Action::EncapVxlan { src, dst, vni } => {
+                // Entropy source port from the inner flow (RFC 7348).
+                let entropy = 0xc000
+                    | (flexsfp_fabric::hash::crc32(packet) & 0x3fff) as u16;
+                let outer = PacketBuilder::vxlan_encap(src, dst, entropy, vni, packet);
+                let mut frame = Vec::with_capacity(ethernet::HEADER_LEN + outer.len());
+                frame.extend_from_slice(&packet[..ethernet::HEADER_LEN]);
+                frame.extend_from_slice(&outer);
+                *packet = frame;
+                // The outer frame carries IPv4 regardless of what the
+                // inner frame was.
+                EthernetFrame::new_unchecked(&mut packet[..]).set_ethertype(EtherType::Ipv4);
+                ActionOutcome::Continue { modified: true }
+            }
+            Action::DecapTunnel => decap_tunnel(packet, parsed),
+            Action::Count(idx) => {
+                self.counters.count(idx, packet.len());
+                ActionOutcome::Continue { modified: false }
+            }
+            Action::Meter(idx) => match self.meters.get_mut(idx) {
+                Some(m) => match m.meter(packet.len(), ctx.timestamp_ns) {
+                    Color::Green => ActionOutcome::Continue { modified: false },
+                    Color::Red => ActionOutcome::Final(Verdict::Drop),
+                },
+                None => ActionOutcome::Continue { modified: false },
+            },
+            Action::Emit(v) => ActionOutcome::Final(v.to_verdict()),
+        }
+    }
+}
+
+/// Rewrite src or dst IPv4 address with incremental IP-header and
+/// L4 (TCP/UDP pseudo-header) checksum maintenance — the NAT fast path.
+fn rewrite_addr(
+    packet: &mut [u8],
+    parsed: &ParsedPacket,
+    new: u32,
+    is_src: bool,
+) -> ActionOutcome {
+    let Some(ip) = parsed.ipv4 else {
+        return ActionOutcome::Continue { modified: false };
+    };
+    let old = if is_src { ip.src } else { ip.dst };
+    if old == new {
+        return ActionOutcome::Continue { modified: false };
+    }
+    {
+        let mut view = Ipv4Packet::new_unchecked(&mut packet[ip.offset..]);
+        if is_src {
+            view.rewrite_src_incremental(new);
+        } else {
+            view.rewrite_dst_incremental(new);
+        }
+    }
+    // Patch the L4 checksum (pseudo-header includes the addresses).
+    if let Some(l4_off) = parsed.l4_offset {
+        match parsed.l4 {
+            L4::Tcp { .. } => {
+                let coff = l4_off + 16;
+                if packet.len() >= coff + 2 {
+                    let oldc = u16::from_be_bytes([packet[coff], packet[coff + 1]]);
+                    let newc = checksum::update32(oldc, old, new);
+                    packet[coff..coff + 2].copy_from_slice(&newc.to_be_bytes());
+                }
+            }
+            L4::Udp { .. } => {
+                let coff = l4_off + 6;
+                if packet.len() >= coff + 2 {
+                    let oldc = u16::from_be_bytes([packet[coff], packet[coff + 1]]);
+                    if oldc != 0 {
+                        let mut newc = checksum::update32(oldc, old, new);
+                        if newc == 0 {
+                            newc = 0xffff;
+                        }
+                        packet[coff..coff + 2].copy_from_slice(&newc.to_be_bytes());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    ActionOutcome::Continue { modified: true }
+}
+
+fn set_dscp(packet: &mut [u8], parsed: &ParsedPacket, dscp: u8) -> ActionOutcome {
+    let Some(ip) = parsed.ipv4 else {
+        return ActionOutcome::Continue { modified: false };
+    };
+    let old_word = u16::from_be_bytes([packet[ip.offset], packet[ip.offset + 1]]);
+    Ipv4Packet::new_unchecked(&mut packet[ip.offset..]).set_dscp(dscp);
+    let new_word = u16::from_be_bytes([packet[ip.offset], packet[ip.offset + 1]]);
+    if old_word != new_word {
+        let coff = ip.offset + 10;
+        let oldc = u16::from_be_bytes([packet[coff], packet[coff + 1]]);
+        let newc = checksum::update16(oldc, old_word, new_word);
+        packet[coff..coff + 2].copy_from_slice(&newc.to_be_bytes());
+        ActionOutcome::Continue { modified: true }
+    } else {
+        ActionOutcome::Continue { modified: false }
+    }
+}
+
+fn dec_ttl(packet: &mut [u8], parsed: &ParsedPacket) -> ActionOutcome {
+    let Some(ip) = parsed.ipv4 else {
+        return ActionOutcome::Continue { modified: false };
+    };
+    if ip.ttl <= 1 {
+        return ActionOutcome::Final(Verdict::Drop);
+    }
+    let mut view = Ipv4Packet::new_unchecked(&mut packet[ip.offset..]);
+    view.decrement_ttl();
+    ActionOutcome::Continue { modified: true }
+}
+
+fn set_vlan_vid(packet: &mut [u8], parsed: &ParsedPacket, vid: u16) -> ActionOutcome {
+    if parsed.vlans.is_empty() {
+        return ActionOutcome::Continue { modified: false };
+    }
+    let off = ethernet::HEADER_LEN;
+    let tci = vlan::Tci {
+        vid,
+        ..vlan::Tci::from_u16(u16::from_be_bytes([packet[off], packet[off + 1]]))
+    };
+    packet[off..off + 2].copy_from_slice(&tci.to_u16().to_be_bytes());
+    ActionOutcome::Continue { modified: true }
+}
+
+/// Replace the IP layer with `wrap(inner_ip)`, keeping the Ethernet (and
+/// VLAN) headers in place.
+fn encap_ip_layer(
+    packet: &mut Vec<u8>,
+    parsed: &ParsedPacket,
+    wrap: impl FnOnce(&[u8]) -> Vec<u8>,
+) -> ActionOutcome {
+    let Some(ip) = parsed.ipv4 else {
+        return ActionOutcome::Continue { modified: false };
+    };
+    let inner = packet[ip.offset..].to_vec();
+    let outer = wrap(&inner);
+    packet.truncate(ip.offset);
+    packet.extend_from_slice(&outer);
+    ActionOutcome::Continue { modified: true }
+}
+
+fn decap_tunnel(packet: &mut Vec<u8>, parsed: &ParsedPacket) -> ActionOutcome {
+    let Some(ip) = parsed.ipv4 else {
+        return ActionOutcome::Continue { modified: false };
+    };
+    let inner_start = match ip.protocol {
+        IpProtocol::IpIp => ip.offset + ip.header_len,
+        IpProtocol::Gre => {
+            let gre_off = ip.offset + ip.header_len;
+            match flexsfp_wire::GrePacket::new_checked(&packet[gre_off..]) {
+                Ok(g) => gre_off + g.header_len(),
+                Err(_) => return ActionOutcome::Final(Verdict::Drop),
+            }
+        }
+        _ => return ActionOutcome::Continue { modified: false },
+    };
+    let inner = packet[inner_start..].to_vec();
+    packet.truncate(ip.offset);
+    packet.extend_from_slice(&inner);
+    ActionOutcome::Continue { modified: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Parser;
+    use flexsfp_wire::tcp::TcpSegment;
+    use flexsfp_wire::udp::UdpDatagram;
+    use flexsfp_wire::MacAddr;
+
+    const SRC: u32 = 0xc0a80001;
+    const DST: u32 = 0x0a000002;
+    const NEW: u32 = 0x644f0001;
+
+    fn engine() -> ActionEngine {
+        ActionEngine::new(8, vec![TokenBucket::new(8_000_000, 2_000)])
+    }
+
+    fn udp_frame() -> Vec<u8> {
+        PacketBuilder::eth_ipv4_udp(MacAddr([1; 6]), MacAddr([2; 6]), SRC, DST, 1000, 2000, b"pp")
+    }
+
+    fn apply(e: &mut ActionEngine, action: Action, pkt: &mut Vec<u8>) -> ActionOutcome {
+        let parsed = Parser::default().parse(pkt).unwrap();
+        e.apply(action, &ProcessContext::egress(), pkt, &parsed)
+    }
+
+    #[test]
+    fn src_rewrite_fixes_all_checksums() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        let out = apply(&mut e, Action::SetIpv4Src(NEW), &mut pkt);
+        assert_eq!(out, ActionOutcome::Continue { modified: true });
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.src(), NEW);
+        assert!(ip.verify_checksum());
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert!(udp.verify_checksum_v4(NEW, DST));
+    }
+
+    #[test]
+    fn dst_rewrite_on_tcp_fixes_l4() {
+        let mut e = engine();
+        let mut pkt = PacketBuilder::eth_ipv4_tcp(
+            MacAddr([1; 6]),
+            MacAddr([2; 6]),
+            SRC,
+            DST,
+            80,
+            1234,
+            9,
+            flexsfp_wire::tcp::TcpFlags::syn_only(),
+            b"x",
+        );
+        apply(&mut e, Action::SetIpv4Dst(NEW), &mut pkt);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.dst(), NEW);
+        assert!(ip.verify_checksum());
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum_v4(SRC, NEW));
+    }
+
+    #[test]
+    fn rewrite_to_same_address_is_noop() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        let before = pkt.clone();
+        let out = apply(&mut e, Action::SetIpv4Src(SRC), &mut pkt);
+        assert_eq!(out, ActionOutcome::Continue { modified: false });
+        assert_eq!(pkt, before);
+    }
+
+    #[test]
+    fn dscp_rewrite_keeps_ip_checksum() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        apply(&mut e, Action::SetDscp(46), &mut pkt);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.dscp(), 46);
+        assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut pkt[14..]);
+            ip.set_ttl(1);
+            ip.fill_checksum();
+        }
+        let out = apply(&mut e, Action::DecTtl, &mut pkt);
+        assert_eq!(out, ActionOutcome::Final(Verdict::Drop));
+    }
+
+    #[test]
+    fn ttl_decrement_normal() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        apply(&mut e, Action::DecTtl, &mut pkt);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.ttl(), 63);
+        assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    fn vlan_push_set_pop() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        let orig = pkt.clone();
+        apply(&mut e, Action::PushVlan { vid: 100, pcp: 3 }, &mut pkt);
+        let p = Parser::default().parse(&pkt).unwrap();
+        assert_eq!(p.vlans, vec![100]);
+        apply(&mut e, Action::SetVlanVid(200), &mut pkt);
+        let p = Parser::default().parse(&pkt).unwrap();
+        assert_eq!(p.vlans, vec![200]);
+        apply(&mut e, Action::PopVlan, &mut pkt);
+        assert_eq!(pkt, orig);
+    }
+
+    #[test]
+    fn qinq_stag_over_ctag() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        apply(&mut e, Action::PushVlan { vid: 10, pcp: 0 }, &mut pkt);
+        apply(&mut e, Action::PushSTag { vid: 500 }, &mut pkt);
+        let p = Parser::default().parse(&pkt).unwrap();
+        assert_eq!(p.vlans, vec![500, 10]);
+    }
+
+    #[test]
+    fn pop_on_untagged_is_noop() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        let before = pkt.clone();
+        let out = apply(&mut e, Action::PopVlan, &mut pkt);
+        assert_eq!(out, ActionOutcome::Continue { modified: false });
+        assert_eq!(pkt, before);
+    }
+
+    #[test]
+    fn gre_encap_then_decap_round_trips() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        let orig = pkt.clone();
+        apply(
+            &mut e,
+            Action::EncapGre {
+                src: 0x01010101,
+                dst: 0x02020202,
+                key: 99,
+            },
+            &mut pkt,
+        );
+        let p = Parser::default().parse(&pkt).unwrap();
+        assert_eq!(p.ipv4.unwrap().protocol, IpProtocol::Gre);
+        assert_eq!(p.ipv4.unwrap().dst, 0x02020202);
+        apply(&mut e, Action::DecapTunnel, &mut pkt);
+        assert_eq!(pkt, orig);
+    }
+
+    #[test]
+    fn ipip_encap_then_decap_round_trips() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        let orig = pkt.clone();
+        apply(
+            &mut e,
+            Action::EncapIpIp {
+                src: 0x01010101,
+                dst: 0x02020202,
+            },
+            &mut pkt,
+        );
+        let p = Parser::default().parse(&pkt).unwrap();
+        assert_eq!(p.ipv4.unwrap().protocol, IpProtocol::IpIp);
+        apply(&mut e, Action::DecapTunnel, &mut pkt);
+        assert_eq!(pkt, orig);
+    }
+
+    #[test]
+    fn vxlan_encap_wraps_whole_frame() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        let orig = pkt.clone();
+        apply(
+            &mut e,
+            Action::EncapVxlan {
+                src: 0x0b0b0b0b,
+                dst: 0x0c0c0c0c,
+                vni: 42,
+            },
+            &mut pkt,
+        );
+        let p = Parser::default().parse(&pkt).unwrap();
+        match p.l4 {
+            L4::Udp { dst_port, .. } => assert_eq!(dst_port, flexsfp_wire::vxlan::UDP_PORT),
+            other => panic!("expected VXLAN UDP, got {other:?}"),
+        }
+        // The inner frame is recoverable.
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        let vx = flexsfp_wire::VxlanPacket::new_checked(udp.payload()).unwrap();
+        assert_eq!(vx.inner_frame(), &orig[..]);
+    }
+
+    #[test]
+    fn count_and_meter() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        apply(&mut e, Action::Count(2), &mut pkt);
+        apply(&mut e, Action::Count(2), &mut pkt);
+        assert_eq!(e.counters.get(2).packets, 2);
+        // Meter 0 allows the 2 kB burst then drops.
+        let mut green = 0;
+        let mut red = 0;
+        for _ in 0..100 {
+            match apply(&mut e, Action::Meter(0), &mut pkt) {
+                ActionOutcome::Continue { .. } => green += 1,
+                ActionOutcome::Final(Verdict::Drop) => red += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(green > 0 && red > 0);
+        assert_eq!(green + red, 100);
+    }
+
+    #[test]
+    fn emit_verdicts() {
+        let mut e = engine();
+        let mut pkt = udp_frame();
+        assert_eq!(
+            apply(&mut e, Action::Emit(VerdictAction::Drop), &mut pkt),
+            ActionOutcome::Final(Verdict::Drop)
+        );
+        assert_eq!(
+            apply(&mut e, Action::Emit(VerdictAction::Forward), &mut pkt),
+            ActionOutcome::Final(Verdict::Forward)
+        );
+        assert_eq!(
+            apply(&mut e, Action::Emit(VerdictAction::ToControlPlane), &mut pkt),
+            ActionOutcome::Final(Verdict::ToControlPlane)
+        );
+    }
+
+    #[test]
+    fn ip_actions_on_non_ip_are_noops() {
+        let mut e = engine();
+        let mut pkt = PacketBuilder::ethernet(
+            MacAddr([1; 6]),
+            MacAddr([2; 6]),
+            EtherType::Other(0x9999),
+            b"opaque",
+        );
+        let before = pkt.clone();
+        for a in [
+            Action::SetIpv4Src(1),
+            Action::SetIpv4Dst(1),
+            Action::SetDscp(1),
+            Action::DecTtl,
+            Action::DecapTunnel,
+            Action::EncapGre {
+                src: 1,
+                dst: 2,
+                key: 3,
+            },
+        ] {
+            let out = apply(&mut e, a, &mut pkt);
+            assert_eq!(out, ActionOutcome::Continue { modified: false }, "{a:?}");
+            assert_eq!(pkt, before, "{a:?}");
+        }
+    }
+}

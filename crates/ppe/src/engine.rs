@@ -1,0 +1,250 @@
+//! The packet-processor contract between applications and the module.
+//!
+//! An application embedded in the PPE sees packets one at a time, in
+//! arrival order, with a context naming the direction of travel and the
+//! hardware timestamp. It may modify the packet in place (including
+//! growing/shrinking it, as encap/decap does) and must return a
+//! [`Verdict`]. The architecture shell in `flexsfp-core` decides what each
+//! verdict means physically (which egress interface, the control-plane
+//! FIFO, or the bit bucket).
+
+/// Direction a packet travels through the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From the host edge connector toward the optical link (egress).
+    EdgeToOptical,
+    /// From the optical link toward the host edge connector (ingress).
+    OpticalToEdge,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::EdgeToOptical => Direction::OpticalToEdge,
+            Direction::OpticalToEdge => Direction::EdgeToOptical,
+        }
+    }
+}
+
+/// Per-packet processing context supplied by the shell.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcessContext {
+    /// Hardware timestamp in nanoseconds since module boot.
+    pub timestamp_ns: u64,
+    /// Direction of travel.
+    pub direction: Direction,
+}
+
+impl ProcessContext {
+    /// A context at time zero in the edge→optical direction (tests).
+    pub fn egress() -> ProcessContext {
+        ProcessContext {
+            timestamp_ns: 0,
+            direction: Direction::EdgeToOptical,
+        }
+    }
+
+    /// A context at time zero in the optical→edge direction (tests).
+    pub fn ingress() -> ProcessContext {
+        ProcessContext {
+            timestamp_ns: 0,
+            direction: Direction::OpticalToEdge,
+        }
+    }
+
+    /// The same context at a different timestamp.
+    pub fn at(self, timestamp_ns: u64) -> ProcessContext {
+        ProcessContext {
+            timestamp_ns,
+            ..self
+        }
+    }
+}
+
+/// What the PPE should do with a processed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward (possibly modified) to the natural egress for its
+    /// direction.
+    Forward,
+    /// Silently discard.
+    Drop,
+    /// Divert to the embedded control plane (management core).
+    ToControlPlane,
+    /// Forward, but flip to the opposite interface (hairpin) — used by
+    /// reflector-style applications in the Two-Way-Core shell.
+    Reflect,
+}
+
+/// A control-plane operation against an application's tables/counters —
+/// what the paper's "APIs to read/write tables and counters with atomic,
+/// runtime updates at line rate" (§4.2) carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableOp {
+    /// Insert or update an entry.
+    Insert {
+        /// Application-defined table id.
+        table: u8,
+        /// Serialized key.
+        key: Vec<u8>,
+        /// Serialized value.
+        value: Vec<u8>,
+    },
+    /// Delete an entry.
+    Delete {
+        /// Application-defined table id.
+        table: u8,
+        /// Serialized key.
+        key: Vec<u8>,
+    },
+    /// Read one entry.
+    Read {
+        /// Application-defined table id.
+        table: u8,
+        /// Serialized key.
+        key: Vec<u8>,
+    },
+    /// Read a counter by index.
+    ReadCounter {
+        /// Counter index.
+        index: u32,
+    },
+    /// Clear all state in a table.
+    Clear {
+        /// Application-defined table id.
+        table: u8,
+    },
+}
+
+/// Result of a [`TableOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableOpResult {
+    /// Operation applied.
+    Ok,
+    /// Read result.
+    Value(Vec<u8>),
+    /// Counter read result.
+    Counter {
+        /// Packets counted.
+        packets: u64,
+        /// Bytes counted.
+        bytes: u64,
+    },
+    /// Key not present.
+    NotFound,
+    /// Hash bucket / table capacity exhausted.
+    TableFull,
+    /// Malformed key/value encoding for this table.
+    BadEncoding,
+    /// The application does not expose this table.
+    Unsupported,
+}
+
+/// A packet-processing application embeddable in the PPE.
+///
+/// Implementations must be deterministic: hardware pipelines have no
+/// hidden nondeterminism, and the experiment harness relies on exact
+/// reproducibility.
+pub trait PacketProcessor: Send {
+    /// Short application name for reports and fit tables.
+    fn name(&self) -> &str;
+
+    /// Process one packet. `packet` contains a complete Ethernet frame
+    /// (without FCS); in-place edits, growth and shrinkage are allowed.
+    fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict;
+
+    /// Fabric resources this application's synthesized core occupies
+    /// (the "NAT app" row of Table 1 for the NAT). Defaults to zero for
+    /// pure-software test doubles.
+    fn resource_manifest(&self) -> flexsfp_fabric::ResourceManifest {
+        flexsfp_fabric::ResourceManifest::ZERO
+    }
+
+    /// Pipeline depth in match-action stages, used by the latency model.
+    /// The paper's §5.3 notes compact chains run "about 3–4 stages".
+    fn pipeline_depth(&self) -> u32 {
+        1
+    }
+
+    /// Handle a control-plane table/counter operation. Applications with
+    /// runtime-updatable state override this; the default rejects
+    /// everything (a fixed-function bitstream).
+    fn control_op(&mut self, _op: &TableOp) -> TableOpResult {
+        TableOpResult::Unsupported
+    }
+}
+
+/// A pass-through processor (the "empty bitstream" baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassThrough;
+
+impl PacketProcessor for PassThrough {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+
+    fn process(&mut self, _ctx: &ProcessContext, _packet: &mut Vec<u8>) -> Verdict {
+        Verdict::Forward
+    }
+
+    fn pipeline_depth(&self) -> u32 {
+        0
+    }
+}
+
+/// A processor that drops everything (used for fail-closed tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropAll;
+
+impl PacketProcessor for DropAll {
+    fn name(&self) -> &str {
+        "drop-all"
+    }
+
+    fn process(&mut self, _ctx: &ProcessContext, _packet: &mut Vec<u8>) -> Verdict {
+        Verdict::Drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(
+            Direction::EdgeToOptical.reverse(),
+            Direction::OpticalToEdge
+        );
+        assert_eq!(
+            Direction::OpticalToEdge.reverse(),
+            Direction::EdgeToOptical
+        );
+    }
+
+    #[test]
+    fn context_builders() {
+        let c = ProcessContext::egress().at(1234);
+        assert_eq!(c.timestamp_ns, 1234);
+        assert_eq!(c.direction, Direction::EdgeToOptical);
+        assert_eq!(ProcessContext::ingress().direction, Direction::OpticalToEdge);
+    }
+
+    #[test]
+    fn passthrough_forwards_unchanged() {
+        let mut p = PassThrough;
+        let mut pkt = vec![1, 2, 3];
+        assert_eq!(p.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(pkt, vec![1, 2, 3]);
+        assert_eq!(p.pipeline_depth(), 0);
+        assert_eq!(p.resource_manifest(), flexsfp_fabric::ResourceManifest::ZERO);
+    }
+
+    #[test]
+    fn drop_all_drops() {
+        let mut p = DropAll;
+        let mut pkt = vec![0; 64];
+        assert_eq!(p.process(&ProcessContext::ingress(), &mut pkt), Verdict::Drop);
+    }
+}

@@ -1,0 +1,43 @@
+//! # flexsfp-ppe
+//!
+//! The Packet Processing Engine (PPE) — the programmable heart of a
+//! FlexSFP module (§4.2 of the paper) — and its programming model:
+//!
+//! * [`engine`] — the [`engine::PacketProcessor`] trait
+//!   every application implements, verdicts and processing context;
+//! * [`parser`] — the configurable header parser producing the field
+//!   bundle match stages key on;
+//! * [`pipeline`] — RMT-style match-action pipelines (compact chains of
+//!   3–4 stages, per §5.3);
+//! * [`tables`] — the hardware hash-table model (bucketized, CRC-indexed)
+//!   backing exact-match stages such as the NAT's 32 k flow table;
+//! * [`match_kinds`] — exact / longest-prefix / ternary match tables;
+//! * [`action`] — the action primitives (rewrite, push/pop, encap,
+//!   hash-steer, count, meter, timestamp, drop);
+//! * [`state`] — FlowBlaze-style per-flow EFSM state tables;
+//! * [`meter`] — token-bucket meters for rate limiting;
+//! * [`counters`] — counters with atomic snapshot semantics;
+//! * [`codelet`] — the XDP-like register VM a developer writes packet
+//!   functions in before "HLS" synthesis;
+//! * [`hls`] — the high-level-synthesis model mapping codelets and
+//!   pipelines to fabric resources and an achievable clock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod codelet;
+pub mod counters;
+pub mod engine;
+pub mod hls;
+pub mod match_kinds;
+pub mod meter;
+pub mod parser;
+pub mod pipeline;
+pub mod state;
+pub mod tables;
+
+pub use engine::{Direction, PacketProcessor, ProcessContext, TableOp, TableOpResult, Verdict};
+pub use parser::{ParsedPacket, Parser};
+pub use pipeline::{Pipeline, PipelineBuilder, Stage};
+pub use tables::HashTable;

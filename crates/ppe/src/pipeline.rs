@@ -1,0 +1,583 @@
+//! RMT-style match-action pipelines.
+//!
+//! A pipeline is a short chain of stages (the paper's §5.3: "keeping
+//! chains compact (about 3–4 stages)"), each pairing a match structure
+//! with hit/miss action lists. Stages can use the matched value as an
+//! action parameter — that is how a single exact-match stage expresses
+//! the NAT's "translate source A to B" without one rule per action.
+
+use crate::action::{Action, ActionEngine, ActionOutcome};
+use crate::engine::{PacketProcessor, ProcessContext, Verdict};
+use crate::match_kinds::{LpmTable, TernaryTable};
+use crate::meter::TokenBucket;
+use crate::parser::{ParsedPacket, Parser, L4};
+use crate::tables::{HashTable, TableKey};
+
+/// Maximum pipeline depth the fabric comfortably supports (§5.3).
+pub const MAX_STAGES: usize = 6;
+
+/// Which parsed field(s) a stage keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySelector {
+    /// IPv4 source address.
+    SrcIp,
+    /// IPv4 destination address.
+    DstIp,
+    /// IPv4 5-tuple.
+    FiveTuple,
+    /// Outermost VLAN id.
+    OuterVlan,
+    /// EtherType after VLANs.
+    EtherType,
+    /// Source MAC.
+    SrcMac,
+    /// L4 destination port.
+    L4DstPort,
+    /// IPv6 source /64 prefix.
+    SrcPrefix64,
+}
+
+impl KeySelector {
+    /// Extract the key bytes from a parsed packet; `None` when the
+    /// needed layer is absent (treated as a miss).
+    pub fn extract(&self, p: &ParsedPacket) -> Option<[u8; 13]> {
+        let mut k = [0u8; 13];
+        match self {
+            KeySelector::SrcIp => {
+                k[..4].copy_from_slice(&p.ipv4?.src.to_be_bytes());
+            }
+            KeySelector::DstIp => {
+                k[..4].copy_from_slice(&p.ipv4?.dst.to_be_bytes());
+            }
+            KeySelector::FiveTuple => {
+                let (s, d, pr, sp, dp) = p.five_tuple()?;
+                k[0..4].copy_from_slice(&s.to_be_bytes());
+                k[4..8].copy_from_slice(&d.to_be_bytes());
+                k[8] = pr;
+                k[9..11].copy_from_slice(&sp.to_be_bytes());
+                k[11..13].copy_from_slice(&dp.to_be_bytes());
+            }
+            KeySelector::OuterVlan => {
+                k[..2].copy_from_slice(&p.outer_vlan()?.to_be_bytes());
+            }
+            KeySelector::EtherType => {
+                k[..2].copy_from_slice(&p.ethertype.to_u16().to_be_bytes());
+            }
+            KeySelector::SrcMac => {
+                k[..6].copy_from_slice(p.src_mac.as_bytes());
+            }
+            KeySelector::L4DstPort => {
+                let port = match p.l4 {
+                    L4::Tcp { dst_port, .. } => dst_port,
+                    L4::Udp { dst_port, .. } => dst_port,
+                    _ => return None,
+                };
+                k[..2].copy_from_slice(&port.to_be_bytes());
+            }
+            KeySelector::SrcPrefix64 => {
+                k[..8].copy_from_slice(&p.ipv6?.src_prefix64.to_be_bytes());
+            }
+        }
+        Some(k)
+    }
+
+    /// Width of the meaningful key in bits — what the synthesized table
+    /// actually stores per entry (the generic 13-byte key is a software
+    /// convenience; hardware stores only the selected fields).
+    pub fn key_bits(&self) -> u64 {
+        match self {
+            KeySelector::SrcIp | KeySelector::DstIp => 32,
+            KeySelector::FiveTuple => 104,
+            KeySelector::OuterVlan => 12,
+            KeySelector::EtherType | KeySelector::L4DstPort => 16,
+            KeySelector::SrcMac => 48,
+            KeySelector::SrcPrefix64 => 64,
+        }
+    }
+
+    /// Extract as IPv4 address (for LPM stages).
+    pub fn extract_ip(&self, p: &ParsedPacket) -> Option<u32> {
+        match self {
+            KeySelector::SrcIp => Some(p.ipv4?.src),
+            KeySelector::DstIp => Some(p.ipv4?.dst),
+            _ => None,
+        }
+    }
+}
+
+impl TableKey for [u8; 13] {
+    fn key_bytes(&self) -> [u8; 13] {
+        *self
+    }
+    fn key_bits() -> u64 {
+        104
+    }
+}
+
+/// The match structure of a stage.
+#[derive(Debug)]
+pub enum Matcher {
+    /// Unconditional hit.
+    Always,
+    /// Exact match in a hardware hash table; the value parameterizes
+    /// the stage's [`ParamAction`].
+    Exact {
+        /// Field(s) to key on.
+        selector: KeySelector,
+        /// The backing table.
+        table: HashTable<[u8; 13], u32>,
+    },
+    /// Longest-prefix match over src/dst IPv4.
+    Lpm {
+        /// [`KeySelector::SrcIp`] or [`KeySelector::DstIp`].
+        selector: KeySelector,
+        /// The backing table.
+        table: LpmTable<u32>,
+    },
+    /// Ternary (ACL) match with priorities.
+    Ternary {
+        /// Field(s) to key on.
+        selector: KeySelector,
+        /// The backing table.
+        table: TernaryTable<u32>,
+    },
+}
+
+/// How a stage uses the 32-bit value returned by a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamAction {
+    /// No use of the value.
+    None,
+    /// Rewrite IPv4 source to the value (NAT).
+    SetIpv4Src,
+    /// Rewrite IPv4 destination to the value.
+    SetIpv4Dst,
+    /// Rewrite the outer VLAN id to (value & 0xfff).
+    SetVlanVid,
+    /// Count on counter index `value`.
+    Count,
+    /// Set DSCP to (value & 0x3f).
+    SetDscp,
+}
+
+/// One match-action stage.
+#[derive(Debug)]
+pub struct Stage {
+    /// Stage name for diagnostics.
+    pub name: String,
+    /// The match structure.
+    pub matcher: Matcher,
+    /// Use of the hit value.
+    pub param_action: ParamAction,
+    /// Actions applied on hit (after the param action).
+    pub on_hit: Vec<Action>,
+    /// Actions applied on miss.
+    pub on_miss: Vec<Action>,
+    /// Hit count.
+    pub hits: u64,
+    /// Miss count.
+    pub misses: u64,
+}
+
+impl Stage {
+    /// A stage that always "hits" and runs `actions`.
+    pub fn always(name: &str, actions: Vec<Action>) -> Stage {
+        Stage {
+            name: name.into(),
+            matcher: Matcher::Always,
+            param_action: ParamAction::None,
+            on_hit: actions,
+            on_miss: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn lookup(&mut self, parsed: &ParsedPacket) -> Option<u32> {
+        match &mut self.matcher {
+            Matcher::Always => Some(0),
+            Matcher::Exact { selector, table } => {
+                let key = selector.extract(parsed)?;
+                table.lookup(&key)
+            }
+            Matcher::Lpm { selector, table } => {
+                let ip = selector.extract_ip(parsed)?;
+                table.lookup(ip).map(|(_, v)| v)
+            }
+            Matcher::Ternary { selector, table } => {
+                let key = selector.extract(parsed)?;
+                table.lookup(&key).map(|e| e.data)
+            }
+        }
+    }
+}
+
+/// Per-pipeline statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets that ended in a drop verdict.
+    pub drops: u64,
+    /// Packets diverted to the control plane.
+    pub to_control: u64,
+}
+
+/// A complete match-action pipeline, usable as a [`PacketProcessor`].
+#[derive(Debug)]
+pub struct Pipeline {
+    name: String,
+    parser: Parser,
+    stages: Vec<Stage>,
+    /// The action engine (counters/meters) actions execute against.
+    pub engine: ActionEngine,
+    stats: PipelineStats,
+}
+
+impl Pipeline {
+    /// Read-only view of the stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Mutable stage access (control-plane table updates).
+    pub fn stage_mut(&mut self, idx: usize) -> Option<&mut Stage> {
+        self.stages.get_mut(idx)
+    }
+
+    /// Pipeline statistics.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    fn run_actions(
+        &mut self,
+        stage_idx: usize,
+        hit_value: Option<u32>,
+        ctx: &ProcessContext,
+        packet: &mut Vec<u8>,
+        parsed: &mut ParsedPacket,
+    ) -> Option<Verdict> {
+        // Param action first.
+        let mut reparse = false;
+        if let Some(v) = hit_value {
+            let pa = self.stages[stage_idx].param_action;
+            let action = match pa {
+                ParamAction::None => None,
+                ParamAction::SetIpv4Src => Some(Action::SetIpv4Src(v)),
+                ParamAction::SetIpv4Dst => Some(Action::SetIpv4Dst(v)),
+                ParamAction::SetVlanVid => Some(Action::SetVlanVid((v & 0xfff) as u16)),
+                ParamAction::Count => Some(Action::Count(v as usize)),
+                ParamAction::SetDscp => Some(Action::SetDscp((v & 0x3f) as u8)),
+            };
+            if let Some(a) = action {
+                match self.engine.apply(a, ctx, packet, parsed) {
+                    ActionOutcome::Continue { modified } => reparse |= modified,
+                    ActionOutcome::Final(v) => return Some(v),
+                }
+            }
+        }
+        let actions = if hit_value.is_some() {
+            self.stages[stage_idx].on_hit.clone()
+        } else {
+            self.stages[stage_idx].on_miss.clone()
+        };
+        for a in actions {
+            if reparse {
+                if let Some(p) = self.parser.parse(packet) {
+                    *parsed = p;
+                }
+                reparse = false;
+            }
+            match self.engine.apply(a, ctx, packet, parsed) {
+                ActionOutcome::Continue { modified } => reparse |= modified,
+                ActionOutcome::Final(v) => return Some(v),
+            }
+        }
+        if reparse {
+            if let Some(p) = self.parser.parse(packet) {
+                *parsed = p;
+            }
+        }
+        None
+    }
+}
+
+impl PacketProcessor for Pipeline {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
+        self.stats.packets += 1;
+        let Some(mut parsed) = self.parser.parse(packet) else {
+            // Unparseable runt: hardware drops it.
+            self.stats.drops += 1;
+            return Verdict::Drop;
+        };
+        for idx in 0..self.stages.len() {
+            let hit = self.stages[idx].lookup(&parsed);
+            if hit.is_some() {
+                self.stages[idx].hits += 1;
+            } else {
+                self.stages[idx].misses += 1;
+            }
+            if let Some(v) = self.run_actions(idx, hit, ctx, packet, &mut parsed) {
+                match v {
+                    Verdict::Drop => self.stats.drops += 1,
+                    Verdict::ToControlPlane => self.stats.to_control += 1,
+                    _ => {}
+                }
+                return v;
+            }
+        }
+        Verdict::Forward
+    }
+
+    fn pipeline_depth(&self) -> u32 {
+        self.stages.len() as u32
+    }
+
+    fn resource_manifest(&self) -> flexsfp_fabric::ResourceManifest {
+        crate::hls::estimate_pipeline(self)
+    }
+}
+
+/// Builder for [`Pipeline`].
+#[derive(Debug)]
+pub struct PipelineBuilder {
+    name: String,
+    parser: Parser,
+    stages: Vec<Stage>,
+    counters: usize,
+    meters: Vec<TokenBucket>,
+}
+
+impl PipelineBuilder {
+    /// Start a pipeline named `name`.
+    pub fn new(name: &str) -> PipelineBuilder {
+        PipelineBuilder {
+            name: name.into(),
+            parser: Parser::default(),
+            stages: Vec::new(),
+            counters: 16,
+            meters: Vec::new(),
+        }
+    }
+
+    /// Override the parser configuration.
+    pub fn parser(mut self, parser: Parser) -> PipelineBuilder {
+        self.parser = parser;
+        self
+    }
+
+    /// Set the counter bank size.
+    pub fn counters(mut self, n: usize) -> PipelineBuilder {
+        self.counters = n;
+        self
+    }
+
+    /// Append a meter, returning its index via the builder order.
+    pub fn meter(mut self, m: TokenBucket) -> PipelineBuilder {
+        self.meters.push(m);
+        self
+    }
+
+    /// Append a stage. Panics beyond [`MAX_STAGES`] — the fabric cannot
+    /// fit deeper chains at speed (§5.3).
+    pub fn stage(mut self, stage: Stage) -> PipelineBuilder {
+        assert!(
+            self.stages.len() < MAX_STAGES,
+            "pipeline exceeds MAX_STAGES ({MAX_STAGES})"
+        );
+        self.stages.push(stage);
+        self
+    }
+
+    /// Finish the pipeline.
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            name: self.name,
+            parser: self.parser,
+            stages: self.stages,
+            engine: ActionEngine::new(self.counters, self.meters),
+            stats: PipelineStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::VerdictAction;
+    use flexsfp_wire::builder::PacketBuilder;
+    use flexsfp_wire::ipv4::Ipv4Packet;
+    use flexsfp_wire::MacAddr;
+
+    const SRC: u32 = 0xc0a80005;
+    const DST: u32 = 0x08080404;
+
+    fn frame(src: u32, dport: u16) -> Vec<u8> {
+        PacketBuilder::eth_ipv4_udp(MacAddr([1; 6]), MacAddr([2; 6]), src, DST, 999, dport, b"d")
+    }
+
+    fn nat_pipeline() -> Pipeline {
+        let mut table = HashTable::with_capacity(1024);
+        let mut key = [0u8; 13];
+        key[..4].copy_from_slice(&SRC.to_be_bytes());
+        table.insert(key, 0x64400001).unwrap();
+        PipelineBuilder::new("mini-nat")
+            .stage(Stage {
+                name: "snat".into(),
+                matcher: Matcher::Exact {
+                    selector: KeySelector::SrcIp,
+                    table,
+                },
+                param_action: ParamAction::SetIpv4Src,
+                on_hit: vec![Action::Count(0)],
+                on_miss: vec![Action::Count(1)],
+                hits: 0,
+                misses: 0,
+            })
+            .build()
+    }
+
+    #[test]
+    fn exact_stage_translates_on_hit() {
+        let mut p = nat_pipeline();
+        let mut pkt = frame(SRC, 53);
+        assert_eq!(p.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.src(), 0x64400001);
+        assert!(ip.verify_checksum());
+        assert_eq!(p.engine.counters.get(0).packets, 1);
+        assert_eq!(p.stages()[0].hits, 1);
+    }
+
+    #[test]
+    fn exact_stage_misses_pass_unchanged() {
+        let mut p = nat_pipeline();
+        let mut pkt = frame(0x0a0a0a0a, 53);
+        let before = pkt.clone();
+        p.process(&ProcessContext::egress(), &mut pkt);
+        assert_eq!(pkt, before);
+        assert_eq!(p.engine.counters.get(1).packets, 1);
+        assert_eq!(p.stages()[0].misses, 1);
+    }
+
+    #[test]
+    fn ternary_acl_drop_stage() {
+        let mut acl = TernaryTable::new(16);
+        // Block dst port 53 (bytes 11..13 of the 5-tuple key).
+        let mut value = [0u8; 13];
+        value[11..13].copy_from_slice(&53u16.to_be_bytes());
+        let mut mask = [0u8; 13];
+        mask[11..13].copy_from_slice(&0xffffu16.to_be_bytes());
+        acl.insert(crate::match_kinds::TernaryEntry {
+            value,
+            mask,
+            priority: 1,
+            data: 0,
+        });
+        let mut p = PipelineBuilder::new("acl")
+            .stage(Stage {
+                name: "block-dns".into(),
+                matcher: Matcher::Ternary {
+                    selector: KeySelector::FiveTuple,
+                    table: acl,
+                },
+                param_action: ParamAction::None,
+                on_hit: vec![Action::Emit(VerdictAction::Drop)],
+                on_miss: vec![],
+                hits: 0,
+                misses: 0,
+            })
+            .build();
+        let mut dns = frame(SRC, 53);
+        assert_eq!(p.process(&ProcessContext::egress(), &mut dns), Verdict::Drop);
+        let mut web = frame(SRC, 443);
+        assert_eq!(p.process(&ProcessContext::egress(), &mut web), Verdict::Forward);
+        assert_eq!(p.stats().drops, 1);
+        assert_eq!(p.stats().packets, 2);
+    }
+
+    #[test]
+    fn lpm_stage_selects_by_prefix() {
+        let mut lpm = LpmTable::new();
+        lpm.insert(0xc0a80000, 16, 46); // 192.168/16 -> DSCP EF
+        lpm.insert(0, 0, 0); // default -> best effort
+        let mut p = PipelineBuilder::new("dscp-by-prefix")
+            .stage(Stage {
+                name: "classify".into(),
+                matcher: Matcher::Lpm {
+                    selector: KeySelector::SrcIp,
+                    table: lpm,
+                },
+                param_action: ParamAction::SetDscp,
+                on_hit: vec![],
+                on_miss: vec![],
+                hits: 0,
+                misses: 0,
+            })
+            .build();
+        let mut pkt = frame(SRC, 80);
+        p.process(&ProcessContext::egress(), &mut pkt);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.dscp(), 46);
+        assert!(ip.verify_checksum());
+
+        let mut other = frame(0x0a000001, 80);
+        p.process(&ProcessContext::egress(), &mut other);
+        let ip = Ipv4Packet::new_checked(&other[14..]).unwrap();
+        assert_eq!(ip.dscp(), 0);
+    }
+
+    #[test]
+    fn multi_stage_chain_with_reparse() {
+        // Stage 1 pushes a VLAN; stage 2 keys on the new VLAN id.
+        let mut vlan_table = HashTable::with_capacity(64);
+        let mut key = [0u8; 13];
+        key[..2].copy_from_slice(&100u16.to_be_bytes());
+        vlan_table.insert(key, 7).unwrap();
+        let mut p = PipelineBuilder::new("chain")
+            .stage(Stage::always(
+                "tag",
+                vec![Action::PushVlan { vid: 100, pcp: 0 }],
+            ))
+            .stage(Stage {
+                name: "count-by-vlan".into(),
+                matcher: Matcher::Exact {
+                    selector: KeySelector::OuterVlan,
+                    table: vlan_table,
+                },
+                param_action: ParamAction::Count,
+                on_hit: vec![],
+                on_miss: vec![Action::Emit(VerdictAction::Drop)],
+                hits: 0,
+                misses: 0,
+            })
+            .build();
+        let mut pkt = frame(SRC, 80);
+        assert_eq!(p.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        // The second stage saw the tag pushed by the first (re-parse).
+        assert_eq!(p.engine.counters.get(7).packets, 1);
+        assert_eq!(p.pipeline_depth(), 2);
+    }
+
+    #[test]
+    fn runt_frames_drop() {
+        let mut p = nat_pipeline();
+        let mut runt = vec![0u8; 6];
+        assert_eq!(p.process(&ProcessContext::egress(), &mut runt), Verdict::Drop);
+        assert_eq!(p.stats().drops, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_STAGES")]
+    fn depth_limit_enforced() {
+        let mut b = PipelineBuilder::new("deep");
+        for i in 0..=MAX_STAGES {
+            b = b.stage(Stage::always(&format!("s{i}"), vec![]));
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The hardware hash-table model.
+//!
+//! Exact-match state in the PPE lives in bucketized hash tables carved
+//! out of LSRAM: CRC-32 of the key selects a bucket, and a small number
+//! of ways per bucket are probed in parallel. Unlike a software HashMap
+//! there is no rehashing and no unbounded chaining — a full bucket is an
+//! insertion failure the control plane must handle. The NAT case study's
+//! 32 768-flow source-IP table is exactly such a structure.
+
+use flexsfp_fabric::hash::crc32;
+use flexsfp_fabric::sram::TableShape;
+
+/// Fixed-width key material for hardware tables (13 bytes fits an IPv4
+/// 5-tuple; shorter keys zero-pad).
+pub trait TableKey: Copy + Eq {
+    /// Serialized key bytes (zero-padded to a fixed width in hardware).
+    fn key_bytes(&self) -> [u8; 13];
+    /// Width of the meaningful key in bits (for memory planning).
+    fn key_bits() -> u64;
+}
+
+impl TableKey for u32 {
+    fn key_bytes(&self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[..4].copy_from_slice(&self.to_be_bytes());
+        b
+    }
+    fn key_bits() -> u64 {
+        32
+    }
+}
+
+impl TableKey for u64 {
+    fn key_bytes(&self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[..8].copy_from_slice(&self.to_be_bytes());
+        b
+    }
+    fn key_bits() -> u64 {
+        64
+    }
+}
+
+/// IPv4 5-tuple key `(src, dst, proto, sport, dport)`.
+pub type FiveTuple = (u32, u32, u8, u16, u16);
+
+impl TableKey for FiveTuple {
+    fn key_bytes(&self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[0..4].copy_from_slice(&self.0.to_be_bytes());
+        b[4..8].copy_from_slice(&self.1.to_be_bytes());
+        b[8] = self.2;
+        b[9..11].copy_from_slice(&self.3.to_be_bytes());
+        b[11..13].copy_from_slice(&self.4.to_be_bytes());
+        b
+    }
+    fn key_bits() -> u64 {
+        104
+    }
+}
+
+/// Errors from table updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// Every way of the target bucket is occupied.
+    BucketFull,
+}
+
+impl core::fmt::Display for TableError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TableError::BucketFull => write!(f, "hash bucket full"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+}
+
+/// Statistics of a hardware hash table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Inserts rejected with a full bucket.
+    pub insert_failures: u64,
+}
+
+/// A bucketized, CRC-indexed hash table of fixed capacity.
+#[derive(Debug, Clone)]
+pub struct HashTable<K: TableKey, V: Copy> {
+    buckets: Vec<Vec<Entry<K, V>>>,
+    ways: usize,
+    occupied: usize,
+    stats: TableStats,
+}
+
+impl<K: TableKey, V: Copy> HashTable<K, V> {
+    /// A table with `buckets` buckets (rounded up to a power of two) of
+    /// `ways` entries each.
+    pub fn new(buckets: usize, ways: usize) -> HashTable<K, V> {
+        assert!(buckets > 0 && ways > 0);
+        let buckets = buckets.next_power_of_two();
+        HashTable {
+            buckets: vec![Vec::new(); buckets],
+            ways,
+            occupied: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// A table sized for `capacity` total entries with 4-way buckets —
+    /// the layout used for the NAT's 32 768-flow table.
+    pub fn with_capacity(capacity: usize) -> HashTable<K, V> {
+        let ways = 4;
+        HashTable::new(capacity.div_ceil(ways), ways)
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.buckets.len() * self.ways
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    fn bucket_index(&self, key: &K) -> usize {
+        (crc32(&key.key_bytes()) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Look up `key`, updating hit/miss statistics.
+    pub fn lookup(&mut self, key: &K) -> Option<V> {
+        let idx = self.bucket_index(key);
+        match self.buckets[idx].iter().find(|e| e.key == *key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some(e.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up without touching statistics (control-plane reads).
+    pub fn peek(&self, key: &K) -> Option<V> {
+        let idx = self.bucket_index(key);
+        self.buckets[idx].iter().find(|e| e.key == *key).map(|e| e.value)
+    }
+
+    /// Insert or update. Fails with [`TableError::BucketFull`] when the
+    /// bucket has no free way (the hardware has nowhere to put it —
+    /// there is no probing across buckets).
+    pub fn insert(&mut self, key: K, value: V) -> Result<(), TableError> {
+        let idx = self.bucket_index(&key);
+        let bucket = &mut self.buckets[idx];
+        if let Some(e) = bucket.iter_mut().find(|e| e.key == key) {
+            e.value = value;
+            return Ok(());
+        }
+        if bucket.len() >= self.ways {
+            self.stats.insert_failures += 1;
+            return Err(TableError::BucketFull);
+        }
+        bucket.push(Entry { key, value });
+        self.occupied += 1;
+        Ok(())
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.bucket_index(key);
+        let bucket = &mut self.buckets[idx];
+        let pos = bucket.iter().position(|e| e.key == *key)?;
+        self.occupied -= 1;
+        Some(bucket.swap_remove(pos).value)
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.occupied = 0;
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Iterate over `(key, value)` pairs (control-plane table dump).
+    pub fn iter(&self) -> impl Iterator<Item = (K, V)> + '_ {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|e| (e.key, e.value)))
+    }
+
+    /// Memory shape for the planner: one word per entry slot wide enough
+    /// for key + value + valid bit.
+    pub fn table_shape(&self, value_bits: u64) -> TableShape {
+        TableShape::new(self.capacity() as u64, K::key_bits() + value_bits + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfp_fabric::sram::{MemoryKind, MemoryPlanner};
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t: HashTable<u32, u64> = HashTable::with_capacity(1024);
+        assert!(t.is_empty());
+        t.insert(0xc0a80001, 42).unwrap();
+        assert_eq!(t.lookup(&0xc0a80001), Some(42));
+        assert_eq!(t.lookup(&0xc0a80002), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(&0xc0a80001), Some(42));
+        assert_eq!(t.lookup(&0xc0a80001), None);
+        assert!(t.is_empty());
+        let s = t.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut t: HashTable<u32, u64> = HashTable::with_capacity(16);
+        t.insert(7, 1).unwrap();
+        t.insert(7, 2).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&7), Some(2));
+    }
+
+    #[test]
+    fn bucket_overflow_is_an_error() {
+        // One bucket, two ways: the third distinct key must fail.
+        let mut t: HashTable<u32, u64> = HashTable::new(1, 2);
+        let mut inserted = 0;
+        let mut failed = 0;
+        for k in 0u32..3 {
+            match t.insert(k, u64::from(k)) {
+                Ok(()) => inserted += 1,
+                Err(TableError::BucketFull) => failed += 1,
+            }
+        }
+        assert_eq!(inserted, 2);
+        assert_eq!(failed, 1);
+        assert_eq!(t.stats().insert_failures, 1);
+    }
+
+    #[test]
+    fn holds_nat_scale_population() {
+        // The NAT's table: 32 768 entries, 4-way (8 192 buckets). At 25%
+        // load the per-bucket Poisson mean is 1, so overflow is rare;
+        // at 50% it degrades gracefully (a few percent), which is why
+        // real deployments keep exact-match tables under-filled.
+        let mut t: HashTable<u32, u32> = HashTable::with_capacity(32_768);
+        assert_eq!(t.capacity(), 32_768);
+        let mut failures_at_quarter = 0;
+        let mut failures_at_half = 0;
+        for i in 0..16_384u32 {
+            // Realistic subscriber addresses: 10.0.0.0/10 spread.
+            let ip = 0x0a000000 | (i.wrapping_mul(7919));
+            if t.insert(ip, i).is_err() {
+                failures_at_half += 1;
+                if i < 8_192 {
+                    failures_at_quarter += 1;
+                }
+            }
+        }
+        assert!(
+            failures_at_quarter < 100,
+            "excessive overflow at 25% load: {failures_at_quarter}"
+        );
+        assert!(
+            failures_at_half < 16_384 / 20,
+            "worse than 5% overflow at 50% load: {failures_at_half}"
+        );
+        assert!(t.len() > 15_000);
+    }
+
+    #[test]
+    fn five_tuple_keys() {
+        let mut t: HashTable<FiveTuple, u8> = HashTable::with_capacity(64);
+        let k1 = (1u32, 2u32, 6u8, 80u16, 443u16);
+        let k2 = (1u32, 2u32, 6u8, 80u16, 444u16);
+        t.insert(k1, 1).unwrap();
+        assert_eq!(t.lookup(&k1), Some(1));
+        assert_eq!(t.lookup(&k2), None);
+    }
+
+    #[test]
+    fn iter_dumps_all_entries() {
+        let mut t: HashTable<u32, u32> = HashTable::with_capacity(64);
+        for k in 0..10u32 {
+            t.insert(k, k * 2).unwrap();
+        }
+        let mut pairs: Vec<_> = t.iter().collect();
+        pairs.sort();
+        assert_eq!(pairs.len(), 10);
+        assert_eq!(pairs[3], (3, 6));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t: HashTable<u32, u32> = HashTable::with_capacity(64);
+        t.insert(1, 1).unwrap();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(&1), None);
+    }
+
+    #[test]
+    fn nat_table_memory_shape_matches_table1() {
+        // 32 768 entries of src-IP (32b key) + translated IP (32b) + a
+        // handful of metadata bits lands on the 160-LSRAM-block budget
+        // Table 1 attributes to the NAT.
+        let t: HashTable<u32, u32> = HashTable::with_capacity(32_768);
+        let shape = t.table_shape(63);
+        let p = MemoryPlanner::place(shape);
+        assert_eq!(p.kind, MemoryKind::Lsram);
+        assert_eq!(p.blocks, 160);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two_buckets() {
+        let t: HashTable<u32, u32> = HashTable::new(10, 4);
+        assert_eq!(t.capacity(), 16 * 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for PPE invariants: tables vs a model, meters vs an
+//! analytic bound, codelet verifier robustness, LPM vs naive search.
+
+use flexsfp_ppe::codelet::{self, AluOp, Cmp, Field, Insn, Operand, VerdictCode, WField};
+use flexsfp_ppe::match_kinds::LpmTable;
+use flexsfp_ppe::meter::{Color, TokenBucket};
+use flexsfp_ppe::tables::{HashTable, TableError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The hardware hash table agrees with a HashMap model on every
+    /// lookup, modulo capacity-induced insertion failures (which the
+    /// model then also forgets).
+    #[test]
+    fn hash_table_vs_model(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<bool>()), 0..300),
+    ) {
+        let mut table: HashTable<u32, u16> = HashTable::new(16, 2);
+        let mut model: HashMap<u32, u16> = HashMap::new();
+        for (k, v, is_insert) in ops {
+            let key = u32::from(k); // small key space forces collisions
+            if is_insert {
+                match table.insert(key, v) {
+                    Ok(()) => {
+                        model.insert(key, v);
+                    }
+                    Err(TableError::BucketFull) => {
+                        // Model must NOT have it (update would succeed).
+                        prop_assert!(!model.contains_key(&key));
+                    }
+                }
+            } else {
+                prop_assert_eq!(table.remove(&key), model.remove(&key));
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(table.peek(k), Some(*v));
+        }
+    }
+
+    /// Token bucket conformance: green bytes over any packet schedule
+    /// never exceed burst + rate × elapsed.
+    #[test]
+    fn token_bucket_long_run_bound(
+        rate_kbps in 1u64..100_000,
+        burst in 64u64..100_000,
+        packets in proptest::collection::vec((1usize..2000, 0u64..1_000_000), 1..200),
+    ) {
+        let rate_bps = rate_kbps * 1000;
+        let mut tb = TokenBucket::new(rate_bps, burst);
+        let mut now = 0u64;
+        let mut green_bytes = 0u64;
+        for (len, gap) in packets {
+            now += gap;
+            if tb.meter(len, now) == Color::Green {
+                green_bytes += len as u64;
+            }
+        }
+        let budget = burst as f64 + (rate_bps / 8) as f64 * (now as f64 / 1e9);
+        prop_assert!(
+            green_bytes as f64 <= budget + 2000.0,
+            "green {green_bytes} > budget {budget}"
+        );
+    }
+
+    /// The codelet verifier never panics on arbitrary instruction
+    /// sequences, and every program it accepts terminates in the
+    /// interpreter.
+    #[test]
+    fn verifier_total_and_sound(
+        raw in proptest::collection::vec((0u8..10, any::<u8>(), any::<u8>(), any::<u64>(), 0u16..16), 1..40),
+    ) {
+        let insns: Vec<Insn> = raw
+            .into_iter()
+            .map(|(op, a, b, imm, off)| match op {
+                0 => Insn::LdImm(a % 12, imm),
+                1 => Insn::LdField(a % 12, Field::SrcIp),
+                2 => Insn::Alu(AluOp::Add, a % 12, Operand::Imm(imm)),
+                3 => Insn::Alu(AluOp::Xor, a % 12, Operand::Reg(b % 12)),
+                4 => Insn::Jmp(off),
+                5 => Insn::JmpIf(Cmp::Gt, a % 12, Operand::Imm(imm), off),
+                6 => Insn::Lookup(a % 3, b % 12),
+                7 => Insn::SetField(WField::Dscp, a % 12),
+                8 => Insn::Count(u16::from(a)),
+                _ => Insn::Return(VerdictCode::Forward),
+            })
+            .collect();
+        let verdict = codelet::verify(&insns, 1);
+        if verdict.is_ok() {
+            // Accepted programs must run to completion on a packet.
+            let table = HashTable::with_capacity(16);
+            let mut app = codelet::Codelet::new("fuzz", insns, vec![table]).unwrap();
+            let mut frame = flexsfp_wire::builder::PacketBuilder::eth_ipv4_udp(
+                flexsfp_wire::MacAddr([1; 6]),
+                flexsfp_wire::MacAddr([2; 6]),
+                0xc0a80001,
+                0x08080808,
+                1,
+                2,
+                b"x",
+            );
+            use flexsfp_ppe::{PacketProcessor, ProcessContext};
+            let _ = app.process(&ProcessContext::egress(), &mut frame);
+        }
+    }
+
+    /// LPM lookup equals the naive longest-match scan.
+    #[test]
+    fn lpm_vs_naive(
+        prefixes in proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u16>()), 0..50),
+        probes in proptest::collection::vec(any::<u32>(), 1..50),
+    ) {
+        let mut lpm = LpmTable::new();
+        let mut naive: Vec<(u32, u8, u16)> = Vec::new();
+        for (prefix, len, v) in prefixes {
+            let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+            let masked = prefix & mask;
+            lpm.insert(masked, len, v);
+            naive.retain(|(p, l, _)| !(*p == masked && *l == len));
+            naive.push((masked, len, v));
+        }
+        for addr in probes {
+            let expect = naive
+                .iter()
+                .filter(|(p, l, _)| {
+                    let mask = if *l == 0 { 0 } else { u32::MAX << (32 - u32::from(*l)) };
+                    addr & mask == *p
+                })
+                .max_by_key(|(_, l, _)| *l)
+                .map(|(_, l, v)| (*l, *v));
+            prop_assert_eq!(lpm.lookup(addr), expect);
+        }
+    }
+
+    /// Counters: count/snapshot_and_clear over arbitrary interleavings
+    /// never lose or duplicate a byte.
+    #[test]
+    fn counter_export_lossless(
+        events in proptest::collection::vec((0usize..4, 1usize..2000, any::<bool>()), 0..200),
+    ) {
+        let mut bank = flexsfp_ppe::counters::CounterBank::new(4);
+        let mut exported = vec![0u64; 4];
+        let mut total = vec![0u64; 4];
+        for (idx, bytes, export_now) in events {
+            bank.count(idx, bytes);
+            total[idx] += bytes as u64;
+            if export_now {
+                for (i, c) in bank.snapshot_and_clear().into_iter().enumerate() {
+                    exported[i] += c.bytes;
+                }
+            }
+        }
+        for (i, c) in bank.snapshot().into_iter().enumerate() {
+            exported[i] += c.bytes;
+        }
+        prop_assert_eq!(exported, total);
+    }
+}

@@ -1,0 +1,144 @@
+//! Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//!
+//! The FlexSFP NAT case study rewrites the IPv4 source address at line
+//! rate; in hardware that is done with an incremental checksum update
+//! rather than a full recompute, because the full recompute would need the
+//! whole header to stream past before the checksum field can be emitted.
+//! [`update16`]/[`update32`] model exactly that hardware primitive, and the
+//! property tests prove equivalence with the full recompute.
+
+/// One's-complement sum of a byte slice, folding carries, *without* the
+/// final inversion. Odd trailing byte is padded with zero on the right,
+/// as the wire format requires.
+pub fn raw_sum(data: &[u8]) -> u32 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    fold(sum)
+}
+
+/// Fold a 32-bit running sum into 16 bits of one's-complement arithmetic.
+pub fn fold(mut sum: u32) -> u32 {
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum
+}
+
+/// RFC 1071 Internet checksum of `data` (the value to place in the
+/// checksum field, i.e. the inverted folded sum).
+pub fn checksum(data: &[u8]) -> u16 {
+    !(raw_sum(data) as u16)
+}
+
+/// Combine several partial raw sums (e.g. pseudo-header + payload).
+pub fn combine(sums: &[u32]) -> u16 {
+    !(fold(sums.iter().copied().fold(0u32, |a, s| a + fold(s))) as u16)
+}
+
+/// Raw sum of the IPv4/TCP/UDP pseudo-header.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], protocol: u8, l4_len: u16) -> u32 {
+    let mut sum = 0u32;
+    sum += u32::from(u16::from_be_bytes([src[0], src[1]]));
+    sum += u32::from(u16::from_be_bytes([src[2], src[3]]));
+    sum += u32::from(u16::from_be_bytes([dst[0], dst[1]]));
+    sum += u32::from(u16::from_be_bytes([dst[2], dst[3]]));
+    sum += u32::from(protocol);
+    sum += u32::from(l4_len);
+    fold(sum)
+}
+
+/// Incrementally update checksum `old_check` when a 16-bit field changes
+/// from `old` to `new` (RFC 1624, eqn. 3: `HC' = ~(~HC + ~m + m')`).
+pub fn update16(old_check: u16, old: u16, new: u16) -> u16 {
+    let sum = u32::from(!old_check) + u32::from(!old) + u32::from(new);
+    !(fold(sum) as u16)
+}
+
+/// Incrementally update checksum when a 32-bit field (e.g. an IPv4
+/// address) changes. Applies [`update16`] to both halves.
+pub fn update32(old_check: u16, old: u32, new: u32) -> u16 {
+    let c = update16(old_check, (old >> 16) as u16, (new >> 16) as u16);
+    update16(c, old as u16, new as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example from RFC 1071 §3.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(raw_sum(&data), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_pads_right() {
+        // 0x01 padded becomes word 0x0100.
+        assert_eq!(raw_sum(&[0x01]), 0x0100);
+        assert_eq!(raw_sum(&[0x00, 0x02, 0x01]), 0x0102);
+    }
+
+    #[test]
+    fn checksum_of_zeroes_is_ffff() {
+        assert_eq!(checksum(&[0u8; 20]), 0xffff);
+    }
+
+    #[test]
+    fn verification_property() {
+        // A buffer with its checksum embedded sums to 0xffff.
+        let mut header = vec![
+            0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let c = checksum(&header);
+        header[10..12].copy_from_slice(&c.to_be_bytes());
+        // Known-good value for this canonical example header.
+        assert_eq!(c, 0xb861);
+        assert_eq!(raw_sum(&header), 0xffff);
+    }
+
+    #[test]
+    fn incremental_16_matches_recompute() {
+        let mut data = vec![0x45u8, 0x00, 0x01, 0x02, 0xaa, 0xbb, 0x00, 0x00];
+        let c0 = checksum(&data);
+        // Change word at offset 4 from 0xaabb to 0x1234.
+        let updated = update16(c0, 0xaabb, 0x1234);
+        data[4..6].copy_from_slice(&0x1234u16.to_be_bytes());
+        assert_eq!(updated, checksum(&data));
+    }
+
+    #[test]
+    fn incremental_32_matches_recompute() {
+        let mut data = vec![0u8; 20];
+        data[0] = 0x45;
+        data[12..16].copy_from_slice(&0xc0a80001u32.to_be_bytes());
+        let c0 = checksum(&data);
+        let updated = update32(c0, 0xc0a80001, 0x0a000001);
+        data[12..16].copy_from_slice(&0x0a000001u32.to_be_bytes());
+        assert_eq!(updated, checksum(&data));
+    }
+
+    #[test]
+    fn pseudo_header_known_value() {
+        // 192.168.0.1 -> 192.168.0.199, UDP, len 0x5f
+        let s = pseudo_header_sum([192, 168, 0, 1], [192, 168, 0, 199], 17, 0x5f);
+        // Manual: c0a8 + 0001 + c0a8 + 00c7 + 0011 + 005f = 0x1_8288 -> 0x8289
+        assert_eq!(s, 0x8289);
+    }
+
+    #[test]
+    fn combine_folds_partials() {
+        let a = [0x12u8, 0x34, 0x56, 0x78];
+        let b = [0x9au8, 0xbc];
+        let whole = checksum(&[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc]);
+        assert_eq!(combine(&[raw_sum(&a), raw_sum(&b)]), whole);
+    }
+}

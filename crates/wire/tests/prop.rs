@@ -1,0 +1,179 @@
+//! Property-based tests for wire-format invariants.
+
+use flexsfp_wire::builder::PacketBuilder;
+use flexsfp_wire::checksum;
+use flexsfp_wire::dns;
+use flexsfp_wire::ipv4::Ipv4Packet;
+use flexsfp_wire::tcp::TcpFlags;
+use flexsfp_wire::udp::UdpDatagram;
+use flexsfp_wire::vlan::{self, Tci};
+use flexsfp_wire::{EtherType, EthernetFrame, MacAddr, TcpSegment};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any built IPv4/UDP packet validates under the checked views and
+    /// carries the payload intact.
+    #[test]
+    fn built_udp_packets_validate(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let buf = PacketBuilder::ipv4_udp(src, dst, sport, dport, &payload);
+        let ip = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        prop_assert!(ip.verify_checksum());
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        prop_assert!(udp.verify_checksum_v4(src, dst));
+        prop_assert_eq!(udp.src_port(), sport);
+        prop_assert_eq!(udp.dst_port(), dport);
+        prop_assert_eq!(udp.payload(), &payload[..]);
+    }
+
+    /// Built TCP packets validate and preserve header fields.
+    #[test]
+    fn built_tcp_packets_validate(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        flag_byte in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let flags = TcpFlags::from_u8(flag_byte);
+        let buf = PacketBuilder::ipv4_tcp(src, dst, sport, dport, seq, flags, &payload);
+        let ip = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        prop_assert!(tcp.verify_checksum_v4(src, dst));
+        prop_assert_eq!(tcp.seq(), seq);
+        prop_assert_eq!(tcp.flags().to_u8(), flag_byte);
+        prop_assert_eq!(tcp.payload(), &payload[..]);
+    }
+
+    /// Incremental checksum update (RFC 1624) over an arbitrary 32-bit
+    /// field change equals a full recompute.
+    #[test]
+    fn incremental_update_equals_recompute(
+        mut header in proptest::collection::vec(any::<u8>(), 20..=20),
+        new_src in any::<u32>(),
+    ) {
+        // Zero the checksum field, compute, then store it.
+        header[10] = 0;
+        header[11] = 0;
+        let c0 = checksum::checksum(&header);
+        header[10..12].copy_from_slice(&c0.to_be_bytes());
+
+        let old_src = u32::from_be_bytes(header[12..16].try_into().unwrap());
+        let incremental = checksum::update32(c0, old_src, new_src);
+
+        header[12..16].copy_from_slice(&new_src.to_be_bytes());
+        header[10] = 0;
+        header[11] = 0;
+        let recomputed = checksum::checksum(&header);
+        prop_assert_eq!(incremental, recomputed);
+    }
+
+    /// A buffer containing its own checksum always folds to 0xffff.
+    #[test]
+    fn embedded_checksum_folds_to_all_ones(
+        mut data in proptest::collection::vec(any::<u8>(), 4..256),
+    ) {
+        data[0] = 0;
+        data[1] = 0;
+        let c = checksum::checksum(&data);
+        data[0..2].copy_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(checksum::raw_sum(&data), 0xffff);
+    }
+
+    /// VLAN push followed by pop returns the original frame and TCI.
+    #[test]
+    fn vlan_push_pop_identity(
+        frame in proptest::collection::vec(any::<u8>(), 14..200),
+        pcp in 0u8..8,
+        dei in any::<bool>(),
+        vid in 0u16..4096,
+    ) {
+        let tci = Tci { pcp, dei, vid };
+        let tagged = vlan::push_tag(&frame, EtherType::Vlan, tci).unwrap();
+        let (popped, untagged) = vlan::pop_tag(&tagged).unwrap();
+        prop_assert_eq!(popped, tci);
+        prop_assert_eq!(untagged, frame);
+    }
+
+    /// TCI encode/decode round-trips for all in-range values.
+    #[test]
+    fn tci_round_trip(pcp in 0u8..8, dei in any::<bool>(), vid in 0u16..4096) {
+        let t = Tci { pcp, dei, vid };
+        prop_assert_eq!(Tci::from_u16(t.to_u16()), t);
+    }
+
+    /// Ethernet setters and getters are inverse.
+    #[test]
+    fn ethernet_field_round_trip(
+        dst in any::<[u8; 6]>(),
+        src in any::<[u8; 6]>(),
+        ety in any::<u16>(),
+    ) {
+        let mut buf = vec![0u8; 60];
+        let mut f = EthernetFrame::new_unchecked(&mut buf);
+        f.set_dst(MacAddr(dst));
+        f.set_src(MacAddr(src));
+        f.set_ethertype(EtherType::from_u16(ety));
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(f.dst(), MacAddr(dst));
+        prop_assert_eq!(f.src(), MacAddr(src));
+        prop_assert_eq!(f.ethertype().to_u16(), ety);
+    }
+
+    /// DNS name encode/parse round-trips for valid label strings.
+    #[test]
+    fn dns_query_round_trip(
+        labels in proptest::collection::vec("[a-z0-9]{1,20}", 1..5),
+        id in any::<u16>(),
+        qtype in 1u16..300,
+    ) {
+        let name = labels.join(".");
+        let q = dns::build_query(id, &name, qtype);
+        let h = dns::DnsHeader::new_checked(&q[..]).unwrap();
+        prop_assert_eq!(h.id(), id);
+        let question = h.first_question().unwrap();
+        prop_assert_eq!(question.qname, name);
+        prop_assert_eq!(question.qtype, qtype);
+    }
+
+    /// Parsing arbitrary bytes never panics — the views either accept or
+    /// return an error (hardware cannot afford a crash path).
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = EthernetFrame::new_checked(&data[..]);
+        let _ = Ipv4Packet::new_checked(&data[..]);
+        let _ = UdpDatagram::new_checked(&data[..]);
+        let _ = TcpSegment::new_checked(&data[..]);
+        let _ = flexsfp_wire::Ipv6Packet::new_checked(&data[..]);
+        let _ = flexsfp_wire::ArpPacket::new_checked(&data[..]);
+        let _ = flexsfp_wire::GrePacket::new_checked(&data[..]);
+        let _ = flexsfp_wire::VxlanPacket::new_checked(&data[..]);
+        let _ = flexsfp_wire::IcmpPacket::new_checked(&data[..]);
+        if let Ok(h) = dns::DnsHeader::new_checked(&data[..]) {
+            let _ = h.first_question();
+        }
+    }
+
+    /// GRE encap puts the inner packet back out unchanged.
+    #[test]
+    fn gre_encap_preserves_inner(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        key in proptest::option::of(any::<u32>()),
+        osrc in any::<u32>(),
+        odst in any::<u32>(),
+    ) {
+        let inner = PacketBuilder::ipv4(osrc ^ 1, odst ^ 1, flexsfp_wire::IpProtocol::Udp, &payload);
+        let outer = PacketBuilder::gre_encap(osrc, odst, key, &inner);
+        let ip = Ipv4Packet::new_checked(&outer[..]).unwrap();
+        let g = flexsfp_wire::GrePacket::new_checked(ip.payload()).unwrap();
+        prop_assert_eq!(g.key(), key);
+        prop_assert_eq!(g.payload(), &inner[..]);
+    }
+}

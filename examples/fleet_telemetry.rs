@@ -1,0 +1,124 @@
+//! Fleet operations: telemetry collection, OTA rollout and laser-fault
+//! diagnosis across a pool of FlexSFPs (§3 monitoring, §4.1 fleet
+//! orchestration, §5.3 failure recovery).
+//!
+//! Run with: `cargo run --example fleet_telemetry`
+
+use flexsfp::apps::factory::app_factory;
+use flexsfp::apps::TelemetryProbe;
+use flexsfp::core::bitstream::Bitstream;
+use flexsfp::core::module::{FlexSfp, ModuleConfig, SimPacket};
+use flexsfp::fabric::resources::ResourceManifest;
+use flexsfp::host::FleetManager;
+use flexsfp::ppe::Direction;
+use flexsfp::traffic::{SizeModel, TraceBuilder};
+use flexsfp_core::auth::AuthKey;
+use flexsfp_core::failure::FaultDiagnosis;
+
+fn main() {
+    // A pool of eight modules running telemetry probes, as a metro
+    // operator would deploy across an aggregation ring.
+    let modules: Vec<FlexSfp> = (0..8)
+        .map(|i| {
+            let cfg = ModuleConfig {
+                id: format!("RING-A-{i:02}"),
+                ..ModuleConfig::default()
+            };
+            let mut m = FlexSfp::new(
+                cfg,
+                Box::new(TelemetryProbe::new(8_192, 100_000, 50_000)),
+            );
+            m.set_factory(app_factory());
+            m
+        })
+        .collect();
+    let fleet = FleetManager::new(modules, AuthKey::DEFAULT);
+    println!("managing a fleet of {} FlexSFPs", fleet.len());
+
+    // Drive traffic through module 3, including a microburst that SNMP
+    // polling could never catch.
+    let trace = TraceBuilder::new(2026)
+        .flows(32)
+        .sizes(SizeModel::Imix)
+        .arrivals(flexsfp::traffic::gen::ArrivalModel::Poisson { utilization: 0.3 })
+        .microburst(500_000, 80)
+        .build(5_000);
+    fleet.with_module(3, |m| {
+        let packets: Vec<SimPacket> = trace
+            .iter()
+            .map(|p| SimPacket {
+                arrival_ns: p.arrival_ns,
+                direction: Direction::EdgeToOptical,
+                frame: p.frame.clone(),
+            })
+            .collect();
+        let report = m.run(packets);
+        println!(
+            "module RING-A-03 forwarded {} frames, mean latency {:.0} ns",
+            report.forwarded.1,
+            report.latency.mean_ns()
+        );
+    });
+
+    // Read the telemetry summary through the control plane.
+    fleet.with_module(3, |m| {
+        let op = flexsfp::ppe::TableOp::Read {
+            table: 1,
+            key: vec![],
+        };
+        if let flexsfp::ppe::TableOpResult::Value(v) = m.app_mut().control_op(&op) {
+            let flows = u64::from_be_bytes(v[0..8].try_into().unwrap());
+            let bursts = u64::from_be_bytes(v[8..16].try_into().unwrap());
+            let peak = u64::from_be_bytes(v[16..24].try_into().unwrap());
+            println!("telemetry: {flows} flows tracked, {bursts} microburst(s), peak window {peak} B");
+            assert!(bursts >= 1, "the injected microburst must be detected");
+        }
+    });
+
+    // Age one module's laser toward end-of-life and sweep the fleet.
+    fleet.with_module(5, |m| {
+        m.set_laser_ttf_hours(120_000.0);
+        m.age_laser(115_000.0);
+    });
+    let health = fleet.health_report().unwrap();
+    println!("\nfleet health:");
+    for h in &health {
+        println!(
+            "  {}: app {} v{}, {:.1} degC, diagnosis {:?}",
+            h.module_id, h.app, h.app_version, h.temperature_c, h.diagnosis
+        );
+    }
+    let service = fleet.modules_needing_service().unwrap();
+    println!("modules needing a TOSA swap: {service:?}");
+    assert_eq!(service, vec![5]);
+    assert!(matches!(
+        health[5].diagnosis,
+        FaultDiagnosis::LaserDegradation | FaultDiagnosis::LaserFailed
+    ));
+
+    // Roll out a new telemetry build fleet-wide, four modules at a time.
+    let image = Bitstream::new(
+        "telemetry",
+        2,
+        ResourceManifest::new(5_400, 6_800, 28, 44),
+        156_250_000,
+    )
+    .with_config(serde_json::json!({"flows": 16_384, "window_ns": 50_000, "burst_bytes": 40_000}))
+    .to_bytes();
+    println!("\nrolling out telemetry v2 ({} kB image) across the fleet...", image.len() / 1024);
+    let report = fleet.deploy_all(1, &image, 4);
+    println!(
+        "rollout complete: {} updated, {} failed",
+        report.updated.len(),
+        report.failed.len()
+    );
+    assert_eq!(report.updated.len(), 8);
+    for i in 0..fleet.len() {
+        fleet.with_module(i, |m| {
+            assert_eq!(m.app_version(), 2);
+            assert_eq!(m.app_name(), "telemetry");
+        });
+    }
+    println!("every module rebooted into telemetry v2 without touching the host dataplane");
+    println!("\nfleet example OK");
+}

@@ -1,0 +1,108 @@
+//! Quickstart: build a FlexSFP running the NAT from the paper's §5.1
+//! case study, push traffic through it, and talk to its control plane.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use flexsfp::apps::StaticNat;
+use flexsfp::core::module::{FlexSfp, ModuleConfig, SimPacket};
+use flexsfp::host::ManagementClient;
+use flexsfp::ppe::Direction;
+use flexsfp::wire::builder::PacketBuilder;
+use flexsfp::wire::ipv4::{fmt_addr, parse_addr, Ipv4Packet};
+use flexsfp::wire::MacAddr;
+use flexsfp_core::auth::AuthKey;
+
+fn main() {
+    // 1. An application: static 1:1 source NAT with the prototype's
+    //    32 768-flow table.
+    let mut nat = StaticNat::new();
+    let private = parse_addr("192.168.1.10").unwrap();
+    let public = parse_addr("100.64.0.10").unwrap();
+    nat.add_mapping(private, public).unwrap();
+
+    // 2. The module: One-Way-Filter shell, 64-bit datapath at
+    //    156.25 MHz — exactly the paper's prototype configuration.
+    let mut module = FlexSfp::new(ModuleConfig::default(), Box::new(nat));
+    println!("module: {:?}", module);
+    let fit = module.fit_report();
+    let (lut, ff, usram, lsram) = fit.utilization_pct();
+    println!(
+        "design fits the MPF200T: {} (4LUT {lut}%, FF {ff}%, uSRAM {usram}%, LSRAM {lsram}%)",
+        fit.fits()
+    );
+
+    // 3. Offer three frames: two from the mapped host, one from an
+    //    unmapped neighbour.
+    let frame = |src: &str| {
+        PacketBuilder::eth_ipv4_udp(
+            MacAddr([0x02, 0, 0, 0, 0, 1]),
+            MacAddr([0x02, 0, 0, 0, 0, 2]),
+            parse_addr(src).unwrap(),
+            parse_addr("8.8.8.8").unwrap(),
+            5000,
+            53,
+            b"query",
+        )
+    };
+    let report = module.run(vec![
+        SimPacket {
+            arrival_ns: 0,
+            direction: Direction::EdgeToOptical,
+            frame: frame("192.168.1.10"),
+        },
+        SimPacket {
+            arrival_ns: 1_000,
+            direction: Direction::EdgeToOptical,
+            frame: frame("192.168.1.10"),
+        },
+        SimPacket {
+            arrival_ns: 2_000,
+            direction: Direction::EdgeToOptical,
+            frame: frame("192.168.1.99"),
+        },
+    ]);
+
+    println!(
+        "\nforwarded {} frames (mean transit {:.0} ns):",
+        report.forwarded.1,
+        report.latency.mean_ns()
+    );
+    for out in &report.outputs {
+        let ip = Ipv4Packet::new_checked(&out.frame[14..]).unwrap();
+        println!(
+            "  t={:>5} ns  src {} -> dst {}  (checksum ok: {})",
+            out.departure_ns,
+            fmt_addr(ip.src()),
+            fmt_addr(ip.dst()),
+            ip.verify_checksum()
+        );
+    }
+
+    // 4. The embedded control plane: read counters and diagnostics over
+    //    the out-of-band management port.
+    let client = ManagementClient::new(AuthKey::DEFAULT);
+    let info = client.info(&mut module).unwrap();
+    println!("\ncontrol plane: app '{}' v{} on {}", info.app, info.app_version, info.module_id);
+    let (translated, bytes) = client.read_counter(&mut module, 0).unwrap();
+    let (missed, _) = client.read_counter(&mut module, 1).unwrap();
+    println!("NAT counters: {translated} translated ({bytes} B), {missed} passed untranslated");
+    let (temp, tx_mw, bias, _rx) = client.read_dom(&mut module).unwrap();
+    println!("DOM: {temp:.1} degC, tx {tx_mw:.2} mW @ {bias:.1} mA bias");
+
+    // 5. Module power at the line-rate stress point — the paper's
+    //    ~1.5 W "cheap path" headline.
+    let p = module.power(1.0, 1.0);
+    println!(
+        "power under stress: {:.2} W (optics {:.2} + static {:.2} + serdes {:.2} + fabric {:.2})",
+        p.total_w(),
+        p.optics_w,
+        p.fpga_static_w,
+        p.serdes_w,
+        p.fabric_dynamic_w
+    );
+
+    assert_eq!(report.forwarded.1, 3);
+    assert_eq!(translated, 2);
+    assert_eq!(missed, 1);
+    println!("\nquickstart OK");
+}

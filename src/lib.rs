@@ -1,0 +1,22 @@
+//! # FlexSFP — Rethinking Network Intelligence Inside the Cable
+//!
+//! Umbrella crate for the FlexSFP reproduction. Re-exports every subsystem
+//! crate under a short alias so downstream users can depend on a single
+//! crate:
+//!
+//! ```
+//! use flexsfp::wire::EthernetFrame;
+//! use flexsfp::core::FlexSfp;
+//! ```
+//!
+//! See `DESIGN.md` at the repository root for the system inventory and
+//! `EXPERIMENTS.md` for the paper-reproduction index.
+
+pub use flexsfp_apps as apps;
+pub use flexsfp_core as core;
+pub use flexsfp_cost as cost;
+pub use flexsfp_fabric as fabric;
+pub use flexsfp_host as host;
+pub use flexsfp_ppe as ppe;
+pub use flexsfp_traffic as traffic;
+pub use flexsfp_wire as wire;

@@ -1,0 +1,66 @@
+//! Integration smoke of the experiment harness: every paper artifact
+//! regenerates, and the headline qualitative results hold together.
+
+use flexsfp_bench::{ablations, fig1, fig2, linerate, power, scaling, table1, table2, table3};
+
+#[test]
+fn every_experiment_runs_and_serializes() {
+    let t1 = table1::run();
+    assert!(serde_json::to_string(&t1).unwrap().contains("31455"));
+    let t2 = table2::run();
+    assert!(serde_json::to_string(&t2).unwrap().contains("Pigasus"));
+    let t3 = table3::run();
+    assert!(serde_json::to_string(&t3).unwrap().contains("FlexSFP"));
+    let f1 = fig1::run(1_000);
+    assert_eq!(f1.points.len(), 5);
+    let f2 = fig2::run();
+    assert!(f2.all_ok);
+    let lr = linerate::run(1_000);
+    assert!(lr.line_rate_confirmed);
+    let pw = power::run();
+    assert!(pw.flexsfp_w > pw.sfp_w);
+    let sc = scaling::run();
+    assert_eq!(sc.points.len(), 8);
+    let ab = ablations::run(1_000);
+    assert_eq!(ab.chain_depth.len(), 6);
+}
+
+#[test]
+fn paper_narrative_holds_end_to_end() {
+    // The paper's overall argument, checked across experiments:
+    // 1. The NAT design fits the MPF200T with ample headroom (Table 1)…
+    let t1 = table1::run();
+    assert!(t1.fits);
+    let (lut, _, _, lsram) = t1.utilization_pct;
+    assert!(lut < 30 && lsram < 40);
+
+    // 2. …which is plausible because a same-order published design
+    //    (hXDP) also fits, while heavyweight NFs do not (Table 2).
+    let t2 = table2::run();
+    let fitting = t2.designs.iter().filter(|d| d.fits()).count();
+    assert_eq!(fitting, 1);
+
+    // 3. The module draws ~1.5 W where SmartNICs draw 5–15 W per 10 G
+    //    slice (Table 3 + §5 power).
+    let pw = power::run();
+    assert!(pw.flexsfp_w < 2.0);
+    let t3 = table3::run();
+    let flex_w = t3.rows.last().unwrap().power_per_10g.max;
+    assert!(t3.rows[0].power_per_10g.min / flex_w >= 10.0);
+
+    // 4. It sustains 10 G line rate in the prototype configuration
+    //    (§5.1)…
+    let lr = linerate::run(2_000);
+    assert!(lr.line_rate_confirmed);
+
+    // 5. …and scaling to 100 G requires a wider datapath that busts the
+    //    SFP+ power envelope — hence QSFP/OSFP form factors (§5.3).
+    let sc = scaling::run();
+    let hundred = sc
+        .points
+        .iter()
+        .find(|p| p.max_line_rate_gbps >= 100)
+        .expect("a 100G point exists");
+    assert_eq!(hundred.width_bits, 512);
+    assert!(hundred.power_w > 2.5);
+}

@@ -1,0 +1,152 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! generated workloads and configurations.
+
+use flexsfp::apps::{Sanitizer, StaticNat};
+use flexsfp::core::module::{FlexSfp, ModuleConfig, SimPacket};
+use flexsfp::ppe::{Direction, PacketProcessor, ProcessContext, Verdict};
+use flexsfp::traffic::{SizeModel, TraceBuilder};
+use flexsfp::wire::ipv4::Ipv4Packet;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A passthrough module forwards every frame of any seeded trace
+    /// unmodified, in order, with conserved byte counts.
+    #[test]
+    fn passthrough_module_conserves_frames(
+        seed in any::<u64>(),
+        n in 50usize..300,
+        util in 0.05f64..1.0,
+    ) {
+        let trace = TraceBuilder::new(seed)
+            .sizes(SizeModel::Imix)
+            .arrivals(flexsfp::traffic::gen::ArrivalModel::Paced { utilization: util })
+            .build(n);
+        let frames: Vec<Vec<u8>> = trace.iter().map(|p| p.frame.clone()).collect();
+        let offered_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+        let mut module = FlexSfp::passthrough();
+        let report = module.run(
+            trace
+                .into_iter()
+                .map(|p| SimPacket {
+                    arrival_ns: p.arrival_ns,
+                    direction: Direction::EdgeToOptical,
+                    frame: p.frame,
+                })
+                .collect(),
+        );
+        prop_assert_eq!(report.forwarded.1 as usize, n);
+        prop_assert_eq!(report.forwarded_bytes, offered_bytes);
+        prop_assert_eq!(report.drops.total(), 0);
+        for (out, sent) in report.outputs.iter().zip(&frames) {
+            prop_assert_eq!(&out.frame, sent);
+        }
+        // Latency is always positive and finite.
+        prop_assert!(report.latency.min_ns > 0.0);
+        prop_assert!(report.latency.max_ns.is_finite());
+    }
+
+    /// NAT translation: for arbitrary mappings, the translated packet
+    /// carries the mapped source, valid checksums, and identical
+    /// payload bytes; unmapped sources pass untouched.
+    #[test]
+    fn nat_translation_invariants(
+        private in 1u32..0xfffffffe,
+        public in 1u32..0xfffffffe,
+        other in 1u32..0xfffffffe,
+        sport in 1u16..65535,
+        dport in 1u16..65535,
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        prop_assume!(private != other);
+        let mut nat = StaticNat::new();
+        nat.add_mapping(private, public).unwrap();
+        let build = |src: u32| {
+            flexsfp::wire::builder::PacketBuilder::eth_ipv4_udp(
+                flexsfp::wire::MacAddr([2; 6]),
+                flexsfp::wire::MacAddr([4; 6]),
+                src,
+                0x08080808,
+                sport,
+                dport,
+                &payload,
+            )
+        };
+        let mut mapped = build(private);
+        prop_assert_eq!(nat.process(&ProcessContext::egress(), &mut mapped), Verdict::Forward);
+        let ip = Ipv4Packet::new_checked(&mapped[14..]).unwrap();
+        prop_assert_eq!(ip.src(), public);
+        prop_assert!(ip.verify_checksum());
+        let udp = flexsfp::wire::UdpDatagram::new_checked(ip.payload()).unwrap();
+        prop_assert!(udp.verify_checksum_v4(public, 0x08080808));
+        prop_assert_eq!(udp.payload(), &payload[..]);
+
+        let mut unmapped = build(other);
+        let before = unmapped.clone();
+        nat.process(&ProcessContext::egress(), &mut unmapped);
+        prop_assert_eq!(unmapped, before);
+    }
+
+    /// The sanitizer never modifies packets it forwards, and its
+    /// counters exactly partition the offered packets.
+    #[test]
+    fn sanitizer_partitions_traffic(
+        seed in any::<u64>(),
+        n in 20usize..150,
+    ) {
+        let trace = TraceBuilder::new(seed).build(n);
+        let mut s = Sanitizer::default();
+        let mut forwarded = 0u64;
+        for p in &trace {
+            let mut f = p.frame.clone();
+            let before = f.clone();
+            match s.process(&ProcessContext::egress(), &mut f) {
+                Verdict::Forward => {
+                    forwarded += 1;
+                    prop_assert_eq!(f, before);
+                }
+                Verdict::Drop => {}
+                other => prop_assert!(false, "unexpected verdict {:?}", other),
+            }
+        }
+        prop_assert_eq!(s.stats.passed, forwarded);
+        prop_assert_eq!(s.stats.passed + s.stats.dropped(), n as u64);
+    }
+
+    /// Module outputs are always sorted by departure time, for any
+    /// shell and load.
+    #[test]
+    fn outputs_sorted_by_departure(
+        seed in any::<u64>(),
+        two_way in any::<bool>(),
+        util in 0.3f64..1.0,
+    ) {
+        let cfg = if two_way {
+            ModuleConfig::two_way_2x()
+        } else {
+            ModuleConfig::default()
+        };
+        let mut module = FlexSfp::new(cfg, Box::new(flexsfp::ppe::engine::PassThrough));
+        let trace = TraceBuilder::new(seed)
+            .sizes(SizeModel::Fixed(60))
+            .arrivals(flexsfp::traffic::gen::ArrivalModel::Poisson { utilization: util })
+            .build(200);
+        let mut packets = Vec::new();
+        for (i, p) in trace.into_iter().enumerate() {
+            packets.push(SimPacket {
+                arrival_ns: p.arrival_ns,
+                direction: if i % 2 == 0 {
+                    Direction::EdgeToOptical
+                } else {
+                    Direction::OpticalToEdge
+                },
+                frame: p.frame,
+            });
+        }
+        let report = module.run(packets);
+        for w in report.outputs.windows(2) {
+            prop_assert!(w[0].departure_ns <= w[1].departure_ns);
+        }
+    }
+}
