@@ -86,7 +86,7 @@ fn measure(shell: ShellKind, ppe_clock: ClockDomain, bidir: bool, n: usize) -> P
         delivery: report.delivery_ratio(),
         fifo_drops: report.drops.fifo_overflow,
         mean_latency_ns: report.latency.mean_ns(),
-        max_latency_ns: report.latency.max_ns,
+        max_latency_ns: report.latency.max_ns(),
     }
 }
 

@@ -129,6 +129,11 @@ pub enum ControlRequest {
     Table(CtlTableOp),
     /// Read digital optical monitoring values.
     ReadDom,
+    /// Read a full telemetry snapshot (counters, latency histogram,
+    /// DOM, laser health, event-ring drain). Only honoured on the
+    /// out-of-band management port — the module answers it before the
+    /// generic handler, which lacks module-level access.
+    ReadTelemetry,
     /// Begin an OTA update.
     BeginUpdate {
         /// Target flash slot (1..).
@@ -192,6 +197,8 @@ pub enum ControlResponse {
         /// RX power, mW.
         rx_power_mw: f64,
     },
+    /// Full telemetry snapshot (boxed: it dwarfs the other variants).
+    Telemetry(Box<flexsfp_obs::TelemetrySnapshot>),
     /// Generic success.
     Ack,
     /// Failure with reason.
@@ -370,6 +377,12 @@ impl ControlPlane {
             },
             ControlRequest::Table(op) => {
                 ControlResponse::Table(ctx.app.control_op(&op.to_table_op()).into())
+            }
+            ControlRequest::ReadTelemetry => {
+                // The snapshot needs module-level state (transceivers,
+                // event ring, laser model); FlexSfp::handle_oob
+                // intercepts this request before delegating here.
+                ControlResponse::Error("telemetry is only available out-of-band".into())
             }
             ControlRequest::ReadDom => ControlResponse::Dom {
                 temperature_c: ctx.dom.temperature_c,

@@ -12,8 +12,13 @@
 
 use crate::auth::AuthKey;
 use crate::bitstream::{Bitstream, BitstreamMeta};
-use crate::control::{ControlContext, ControlPlane};
-use crate::failure::VcselModel;
+use crate::control::{ControlContext, ControlPlane, ControlRequest, ControlResponse};
+use crate::failure::{DiagnosisThresholds, FaultDiagnosis, VcselModel};
+use crate::reprogram::UpdateState;
+use flexsfp_obs::{
+    DomSnapshot, DropCounters, DropReason, EventKind, EventRing, LatencyHistogram, PortCounters,
+    TelemetrySnapshot,
+};
 use crate::shell::{ControlPlaneClass, ShellKind};
 use flexsfp_fabric::clock::ClockDomain;
 use flexsfp_fabric::i2c::ManagementInterface;
@@ -153,39 +158,63 @@ impl DropStats {
     }
 }
 
-/// Latency aggregate over forwarded packets.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// Latency aggregate over forwarded packets, backed by the shared
+/// log-linear histogram (`flexsfp-obs`): percentiles within 1 %
+/// relative error, bounded memory, and lossless merging across runs
+/// and modules.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LatencyStats {
-    /// Packets measured.
-    pub count: u64,
-    /// Minimum, ns.
-    pub min_ns: f64,
-    /// Maximum, ns.
-    pub max_ns: f64,
-    /// Sum (for the mean), ns.
-    pub sum_ns: f64,
+    hist: LatencyHistogram,
 }
 
 impl LatencyStats {
     fn record(&mut self, l: f64) {
-        if self.count == 0 {
-            self.min_ns = l;
-            self.max_ns = l;
-        } else {
-            self.min_ns = self.min_ns.min(l);
-            self.max_ns = self.max_ns.max(l);
-        }
-        self.count += 1;
-        self.sum_ns += l;
+        self.hist.record_f64(l);
     }
 
-    /// Mean latency, ns.
+    /// Packets measured.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Minimum, ns (rounded to the nearest nanosecond).
+    pub fn min_ns(&self) -> f64 {
+        self.hist.min() as f64
+    }
+
+    /// Maximum, ns (rounded to the nearest nanosecond).
+    pub fn max_ns(&self) -> f64 {
+        self.hist.max() as f64
+    }
+
+    /// Mean latency, ns (exact).
     pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ns / self.count as f64
-        }
+        self.hist.mean()
+    }
+
+    /// Median latency, ns.
+    pub fn p50_ns(&self) -> f64 {
+        self.hist.p50() as f64
+    }
+
+    /// 90th-percentile latency, ns.
+    pub fn p90_ns(&self) -> f64 {
+        self.hist.p90() as f64
+    }
+
+    /// 99th-percentile latency, ns.
+    pub fn p99_ns(&self) -> f64 {
+        self.hist.p99() as f64
+    }
+
+    /// 99.9th-percentile latency, ns.
+    pub fn p999_ns(&self) -> f64 {
+        self.hist.p999() as f64
+    }
+
+    /// The underlying mergeable histogram.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.hist
     }
 }
 
@@ -312,6 +341,17 @@ pub struct FlexSfp {
     boots: u32,
     factory: AppFactory,
     power_model: PowerModel,
+    /// Dataplane event trace ring (a hardware trace buffer: drops,
+    /// auth rejects, reprogram/reboot events), drained with each
+    /// telemetry snapshot.
+    pub events: EventRing,
+    lifetime_drops: DropCounters,
+    lifetime_latency: LatencyHistogram,
+    /// High-water mark of simulated time, used to stamp events raised
+    /// on the control path (which carries no packet timestamps).
+    clock_ns: u64,
+    snapshot_seq: u64,
+    events_exported: u64,
 }
 
 impl std::fmt::Debug for FlexSfp {
@@ -351,6 +391,12 @@ impl FlexSfp {
             boots: 1,
             factory: Box::new(default_factory),
             power_model: PowerModel::flexsfp_prototype(),
+            events: EventRing::default(),
+            lifetime_drops: DropCounters::default(),
+            lifetime_latency: LatencyHistogram::new(),
+            clock_ns: 0,
+            snapshot_seq: 0,
+            events_exported: 0,
         };
         module.refresh_dom();
         module
@@ -445,7 +491,25 @@ impl FlexSfp {
     /// port (the arbiter's third port in Figure 1) — payload-level, no
     /// Ethernet framing. Returns the encoded response payload.
     pub fn handle_oob(&mut self, payload: &[u8]) -> Option<Vec<u8>> {
-        let req = self.control.decode(payload)?;
+        let Some(req) = self.control.decode(payload) else {
+            self.clock_ns += 1;
+            self.events.record(self.clock_ns, EventKind::AuthReject);
+            return None;
+        };
+        // Telemetry is answered at module level: the generic handler
+        // cannot see the transceivers, event ring or laser model.
+        if matches!(req, ControlRequest::ReadTelemetry) {
+            let snap = self.telemetry_snapshot();
+            return Some(self.control.encode(&ControlResponse::Telemetry(Box::new(snap))));
+        }
+        // A commit flashes the image staged at `slot`; remember it so
+        // the success can be traced as a Reprogram event.
+        let committing_slot = match (&req, self.control.update_state()) {
+            (ControlRequest::CommitUpdate, UpdateState::Receiving { slot, .. }) => {
+                Some(*slot as u8)
+            }
+            _ => None,
+        };
         let dom = self.mgmt.read_dom();
         let mut ctx = ControlContext {
             app: self.app.as_mut(),
@@ -456,6 +520,11 @@ impl FlexSfp {
             boots: self.boots,
         };
         let resp = self.control.handle(req, &mut ctx);
+        if let (Some(slot), ControlResponse::Ack) = (committing_slot, &resp) {
+            self.clock_ns += 1;
+            self.events
+                .record(self.clock_ns, EventKind::Reprogram { slot });
+        }
         let encoded = self.control.encode(&resp);
         self.maybe_reboot();
         Some(encoded)
@@ -469,7 +538,16 @@ impl FlexSfp {
             return false;
         };
         self.boots += 1;
-        if self.try_boot_slot(slot) {
+        let ok = self.try_boot_slot(slot);
+        self.clock_ns += 1;
+        self.events.record(
+            self.clock_ns,
+            EventKind::Reboot {
+                slot: slot as u8,
+                ok,
+            },
+        );
+        if ok {
             return true;
         }
         // Fallback: golden image.
@@ -538,6 +616,13 @@ impl FlexSfp {
             };
             if !rx_ok {
                 report.drops.link += 1;
+                self.lifetime_drops.link += 1;
+                self.events.record(
+                    pkt.arrival_ns,
+                    EventKind::Drop {
+                        reason: DropReason::LinkDown,
+                    },
+                );
                 continue;
             }
 
@@ -597,6 +682,10 @@ impl FlexSfp {
                         latency_ns: 10_000.0,
                     });
                     last_time_ns = last_time_ns.max(departure);
+                } else {
+                    // A classified control frame that failed decode or
+                    // authentication: trace the rejection.
+                    self.events.record(pkt.arrival_ns, EventKind::AuthReject);
                 }
                 self.maybe_reboot();
                 continue;
@@ -613,6 +702,13 @@ impl FlexSfp {
                     shared_server.admit(arrival_fs, pkt.frame.len(), service_fs)
                 else {
                     report.drops.fifo_overflow += 1;
+                    self.lifetime_drops.fifo_overflow += 1;
+                    self.events.record(
+                        pkt.arrival_ns,
+                        EventKind::Drop {
+                            reason: DropReason::FifoOverflow,
+                        },
+                    );
                     continue;
                 };
                 let mut frame = pkt.frame;
@@ -634,6 +730,13 @@ impl FlexSfp {
             match verdict {
                 Verdict::Drop => {
                     report.drops.app += 1;
+                    self.lifetime_drops.app += 1;
+                    self.events.record(
+                        pkt.arrival_ns,
+                        EventKind::Drop {
+                            reason: DropReason::App,
+                        },
+                    );
                     continue;
                 }
                 Verdict::ToControlPlane => {
@@ -664,6 +767,13 @@ impl FlexSfp {
             };
             if !tx_ok {
                 report.drops.link += 1;
+                self.lifetime_drops.link += 1;
+                self.events.record(
+                    pkt.arrival_ns,
+                    EventKind::Drop {
+                        reason: DropReason::LinkDown,
+                    },
+                );
                 continue;
             }
 
@@ -686,7 +796,68 @@ impl FlexSfp {
         }
         report.duration_ns = last_time_ns;
         report.outputs.sort_by_key(|o| o.departure_ns);
+        // Fold this run into the module's lifetime telemetry.
+        self.lifetime_latency.merge(report.latency.histogram());
+        self.clock_ns = self.clock_ns.max(last_time_ns);
         report
+    }
+
+    /// Produce one telemetry export: lifetime counters and latency
+    /// histogram, the DOM/laser-health readout, and the drained event
+    /// ring (module trace buffer plus the running app's own ring).
+    /// This is what a `ReadTelemetry` request on the OOB port returns.
+    pub fn telemetry_snapshot(&mut self) -> TelemetrySnapshot {
+        self.snapshot_seq += 1;
+        self.refresh_dom();
+        let dom = self.mgmt.read_dom();
+        let diag = crate::failure::diagnose(&dom, &self.vcsel, &DiagnosisThresholds::default());
+        let mut events = self.events.drain();
+        events.extend(self.app.drain_events());
+        events.sort_by_key(|e| e.timestamp_ns);
+        self.events_exported += events.len() as u64;
+        TelemetrySnapshot {
+            module_id: self.config.id.clone(),
+            seq: self.snapshot_seq,
+            app: self.app.name().to_string(),
+            app_version: self.app_version,
+            boots: self.boots,
+            edge_rx: port_counters(&self.edge.rx),
+            edge_tx: port_counters(&self.edge.tx),
+            optical_rx: port_counters(&self.optical.rx),
+            optical_tx: port_counters(&self.optical.tx),
+            drops: self.lifetime_drops,
+            latency: self.lifetime_latency.clone(),
+            dom: DomSnapshot::from_milliwatts(
+                dom.tx_power_mw,
+                dom.rx_power_mw,
+                dom.tx_bias_ma,
+                dom.temperature_c,
+            ),
+            laser_fault: fault_label(&diag).to_string(),
+            laser_healthy: diag == FaultDiagnosis::Healthy,
+            events,
+            events_overwritten: self.events.overwritten() + self.app.events_lost(),
+            events_drained: self.events_exported,
+        }
+    }
+}
+
+fn port_counters(lane: &flexsfp_fabric::serdes::LaneCounters) -> PortCounters {
+    PortCounters {
+        frames: lane.frames,
+        bytes: lane.bytes,
+        errors: lane.errors,
+    }
+}
+
+/// Stable lowercase label for a fault diagnosis (Prometheus-friendly).
+fn fault_label(d: &FaultDiagnosis) -> &'static str {
+    match d {
+        FaultDiagnosis::Healthy => "healthy",
+        FaultDiagnosis::LaserDegradation => "laser_degradation",
+        FaultDiagnosis::LaserFailed => "laser_failed",
+        FaultDiagnosis::DriverFault => "driver_fault",
+        FaultDiagnosis::RxLoss => "rx_loss",
     }
 }
 
@@ -756,10 +927,13 @@ mod tests {
         assert!(report.latency.mean_ns() > 0.0);
         // Sub-microsecond transit (the low-latency claim).
         assert!(
-            report.latency.max_ns < 1_000.0,
+            report.latency.max_ns() < 1_000.0,
             "max latency {} ns",
-            report.latency.max_ns
+            report.latency.max_ns()
         );
+        // Percentiles are ordered and bracketed by min/max.
+        assert!(report.latency.p50_ns() <= report.latency.p99_ns());
+        assert!(report.latency.p99_ns() <= report.latency.max_ns());
     }
 
     #[test]
@@ -1087,6 +1261,71 @@ mod tests {
         }]);
         assert_eq!(r2.cp_originated, 0);
         assert_eq!(r2.forwarded.0, 1); // forwarded like any other frame
+    }
+
+    #[test]
+    fn telemetry_snapshot_via_oob() {
+        let mut m = FlexSfp::new(ModuleConfig::default(), Box::new(DropAll));
+        m.run(line_rate_trace(Direction::EdgeToOptical, 20, 64));
+        let req = ControlPlane::encode_request(&AuthKey::DEFAULT, &ControlRequest::ReadTelemetry);
+        let resp_payload = m.handle_oob(&req).unwrap();
+        let resp = ControlPlane::decode_response(&AuthKey::DEFAULT, &resp_payload).unwrap();
+        let ControlResponse::Telemetry(snap) = resp else {
+            panic!("expected telemetry");
+        };
+        assert_eq!(snap.seq, 1);
+        assert_eq!(snap.app, "drop-all");
+        assert_eq!(snap.edge_rx.frames, 20);
+        assert_eq!(snap.drops.app, 20);
+        assert_eq!(snap.drops.total(), 20);
+        // Every app drop left a trace event.
+        assert_eq!(snap.events.len(), 20);
+        assert!(snap
+            .events
+            .iter()
+            .all(|e| e.kind == EventKind::Drop { reason: DropReason::App }));
+        assert_eq!(snap.events_overwritten, 0);
+        assert_eq!(snap.events_drained, 20);
+        assert!(snap.laser_healthy);
+        assert_eq!(snap.laser_fault, "healthy");
+        // A second snapshot finds the ring drained but keeps lifetime
+        // counters.
+        let resp2 = m.handle_oob(&req).unwrap();
+        let ControlResponse::Telemetry(snap2) =
+            ControlPlane::decode_response(&AuthKey::DEFAULT, &resp2).unwrap()
+        else {
+            panic!("expected telemetry");
+        };
+        assert_eq!(snap2.seq, 2);
+        assert!(snap2.events.is_empty());
+        assert_eq!(snap2.drops.app, 20);
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate_across_runs() {
+        let mut m = FlexSfp::passthrough();
+        m.run(line_rate_trace(Direction::EdgeToOptical, 10, 64));
+        m.run(line_rate_trace(Direction::EdgeToOptical, 15, 64));
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.latency.count(), 25);
+        assert_eq!(snap.edge_rx.frames, 25);
+        assert_eq!(snap.optical_tx.frames, 25);
+        assert!(snap.latency.p99() > 0);
+    }
+
+    #[test]
+    fn reboot_and_auth_events_traced() {
+        let mut m = FlexSfp::passthrough();
+        // A garbage OOB payload is an auth reject.
+        assert!(m.handle_oob(b"not a control payload").is_none());
+        // A reboot into an empty slot falls back and is traced as
+        // failed.
+        m.control.pending_activation = Some(3);
+        m.maybe_reboot();
+        let snap = m.telemetry_snapshot();
+        let kinds: Vec<&EventKind> = snap.events.iter().map(|e| &e.kind).collect();
+        assert!(kinds.contains(&&EventKind::AuthReject));
+        assert!(kinds.contains(&&EventKind::Reboot { slot: 3, ok: false }));
     }
 
     #[test]

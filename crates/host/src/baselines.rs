@@ -9,6 +9,7 @@
 //! low microseconds; kernel software paths in the tens of microseconds
 //! with heavy scheduling tails).
 
+use flexsfp_obs::LatencyHistogram;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -21,45 +22,43 @@ pub struct PathOutput {
     pub latency_ns: f64,
 }
 
-/// Latency aggregate with percentile support.
+/// Latency aggregate with percentile support, backed by the shared
+/// log-linear histogram (bounded memory even over million-packet runs;
+/// quantiles within 1 %, mean/max exact).
 #[derive(Debug, Clone, Default)]
 pub struct PathStats {
-    latencies: Vec<f64>,
+    hist: LatencyHistogram,
 }
 
 impl PathStats {
     /// Record one latency.
     pub fn record(&mut self, l: f64) {
-        self.latencies.push(l);
+        self.hist.record_f64(l);
     }
 
     /// Sample count.
     pub fn count(&self) -> usize {
-        self.latencies.len()
+        self.hist.count() as usize
     }
 
-    /// Mean latency, ns.
+    /// Mean latency, ns (exact).
     pub fn mean_ns(&self) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        self.latencies.iter().sum::<f64>() / self.latencies.len() as f64
+        self.hist.mean()
     }
 
-    /// The `q`-quantile (0..=1), ns.
+    /// The `q`-quantile (0..=1), ns (≤1 % relative error).
     pub fn quantile_ns(&self, q: f64) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[idx]
+        self.hist.value_at_quantile(q) as f64
     }
 
-    /// Maximum latency, ns.
+    /// Maximum latency, ns (exact).
     pub fn max_ns(&self) -> f64 {
-        self.latencies.iter().copied().fold(0.0, f64::max)
+        self.hist.max() as f64
+    }
+
+    /// The underlying histogram, for merging or full-distribution dumps.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.hist
     }
 }
 

@@ -1,0 +1,483 @@
+//! Host-side fleet metrics collector.
+//!
+//! The exporter half of the telemetry pipeline (§4.1/§5.3): modules
+//! serialize [`TelemetrySnapshot`]s over their management channel; the
+//! collector keeps the latest snapshot per module, accumulates the
+//! traced dataplane events, merges the per-module latency histograms
+//! into a fleet-wide distribution, and renders everything as
+//! Prometheus text exposition or JSON.
+//!
+//! Snapshots carry *lifetime* counters and histograms, so a fresh
+//! snapshot **replaces** the stored one for that module — merging two
+//! snapshots of the same module would double-count. Only the
+//! cross-module fleet histogram is produced by merging.
+
+use flexsfp_obs::{DataplaneEvent, LatencyHistogram, PromText, TelemetrySnapshot};
+use std::collections::BTreeMap;
+
+/// Traced events retained per module on the host (ring rings drain into
+/// this bounded log; oldest entries are discarded first).
+pub const EVENT_LOG_CAPACITY: usize = 1024;
+
+/// Per-module state held by the collector.
+#[derive(Debug, Clone)]
+struct ModuleRecord {
+    /// Latest lifetime snapshot (replaced wholesale on each scrape).
+    snapshot: TelemetrySnapshot,
+    /// Accumulated event trace across scrapes, capped at
+    /// [`EVENT_LOG_CAPACITY`] most-recent entries.
+    events: Vec<DataplaneEvent>,
+}
+
+/// Aggregates telemetry from a fleet of modules and renders metrics.
+#[derive(Debug, Clone, Default)]
+pub struct FleetCollector {
+    modules: BTreeMap<String, ModuleRecord>,
+}
+
+impl FleetCollector {
+    /// An empty collector.
+    pub fn new() -> FleetCollector {
+        FleetCollector::default()
+    }
+
+    /// Number of modules seen so far.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// True before any snapshot has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Ingest one snapshot, replacing the module's previous one. The
+    /// snapshot's drained events are appended to the module's host-side
+    /// event log.
+    pub fn ingest(&mut self, snapshot: TelemetrySnapshot) {
+        let id = snapshot.module_id.clone();
+        match self.modules.get_mut(&id) {
+            Some(rec) => {
+                rec.events.extend(snapshot.events.iter().cloned());
+                if rec.events.len() > EVENT_LOG_CAPACITY {
+                    let excess = rec.events.len() - EVENT_LOG_CAPACITY;
+                    rec.events.drain(..excess);
+                }
+                rec.snapshot = snapshot;
+            }
+            None => {
+                let mut events = snapshot.events.clone();
+                if events.len() > EVENT_LOG_CAPACITY {
+                    let excess = events.len() - EVENT_LOG_CAPACITY;
+                    events.drain(..excess);
+                }
+                self.modules.insert(id, ModuleRecord { snapshot, events });
+            }
+        }
+    }
+
+    /// Ingest a whole sweep (e.g. `FleetManager::telemetry_snapshots`).
+    pub fn ingest_all(&mut self, snapshots: impl IntoIterator<Item = TelemetrySnapshot>) {
+        for s in snapshots {
+            self.ingest(s);
+        }
+    }
+
+    /// Latest snapshot for one module, if it has reported.
+    pub fn module(&self, module_id: &str) -> Option<&TelemetrySnapshot> {
+        self.modules.get(module_id).map(|r| &r.snapshot)
+    }
+
+    /// Accumulated event trace for one module (most recent
+    /// [`EVENT_LOG_CAPACITY`] entries).
+    pub fn recent_events(&self, module_id: &str) -> Option<&[DataplaneEvent]> {
+        self.modules.get(module_id).map(|r| r.events.as_slice())
+    }
+
+    /// Fleet-wide latency distribution: the per-module lifetime
+    /// histograms merged into one (mergeability is the point of the
+    /// log-linear design — no raw samples cross the wire).
+    pub fn fleet_latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for rec in self.modules.values() {
+            merged.merge(&rec.snapshot.latency);
+        }
+        merged
+    }
+
+    /// Total drops across the fleet, all reasons.
+    pub fn fleet_drops(&self) -> u64 {
+        self.modules.values().map(|r| r.snapshot.drops.total()).sum()
+    }
+
+    /// Render the fleet as Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        let mut p = PromText::new();
+
+        p.header("flexsfp_modules", "Modules reporting telemetry.", "gauge");
+        p.sample("flexsfp_modules", &[], self.modules.len() as f64);
+
+        p.header(
+            "flexsfp_app_info",
+            "Running packet-processing application (value is always 1).",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            let s = &rec.snapshot;
+            let version = s.app_version.to_string();
+            p.sample(
+                "flexsfp_app_info",
+                &[("module", id), ("app", &s.app), ("version", &version)],
+                1.0,
+            );
+        }
+
+        p.header("flexsfp_boots_total", "Lifetime module boot count.", "counter");
+        for (id, rec) in &self.modules {
+            p.sample("flexsfp_boots_total", &[("module", id)], f64::from(rec.snapshot.boots));
+        }
+
+        p.header(
+            "flexsfp_frames_total",
+            "Frames per module, port (edge/optical) and direction (rx/tx).",
+            "counter",
+        );
+        self.port_samples(&mut p, "flexsfp_frames_total", |c| c.frames as f64);
+        p.header(
+            "flexsfp_bytes_total",
+            "Bytes per module, port (edge/optical) and direction (rx/tx).",
+            "counter",
+        );
+        self.port_samples(&mut p, "flexsfp_bytes_total", |c| c.bytes as f64);
+        p.header(
+            "flexsfp_errors_total",
+            "Errored frames per module, port and direction.",
+            "counter",
+        );
+        self.port_samples(&mut p, "flexsfp_errors_total", |c| c.errors as f64);
+
+        p.header(
+            "flexsfp_drops_total",
+            "Packets dropped, by module and reason.",
+            "counter",
+        );
+        for (id, rec) in &self.modules {
+            let d = &rec.snapshot.drops;
+            for (reason, n) in [
+                ("fifo_overflow", d.fifo_overflow),
+                ("app", d.app),
+                ("link", d.link),
+            ] {
+                p.sample(
+                    "flexsfp_drops_total",
+                    &[("module", id), ("reason", reason)],
+                    n as f64,
+                );
+            }
+        }
+
+        p.header(
+            "flexsfp_latency_ns",
+            "Per-module lifetime forwarding latency, nanoseconds.",
+            "summary",
+        );
+        for (id, rec) in &self.modules {
+            Self::summary_samples(&mut p, "flexsfp_latency_ns", Some(id), &rec.snapshot.latency);
+        }
+
+        p.header(
+            "flexsfp_fleet_latency_ns",
+            "Fleet-wide forwarding latency (per-module histograms merged).",
+            "summary",
+        );
+        Self::summary_samples(&mut p, "flexsfp_fleet_latency_ns", None, &self.fleet_latency());
+
+        p.header(
+            "flexsfp_laser_healthy",
+            "1 when the laser is diagnosed healthy, else 0.",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_laser_healthy",
+                &[("module", id)],
+                if rec.snapshot.laser_healthy { 1.0 } else { 0.0 },
+            );
+        }
+        p.header(
+            "flexsfp_laser_fault_info",
+            "Current laser fault diagnosis label (value is always 1).",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_laser_fault_info",
+                &[("module", id), ("fault", &rec.snapshot.laser_fault)],
+                1.0,
+            );
+        }
+
+        for (name, help, get) in [
+            (
+                "flexsfp_tx_power_dbm",
+                "DOM transmit optical power, dBm.",
+                (|s: &TelemetrySnapshot| s.dom.tx_power_dbm) as fn(&TelemetrySnapshot) -> f64,
+            ),
+            (
+                "flexsfp_rx_power_dbm",
+                "DOM receive optical power, dBm.",
+                |s| s.dom.rx_power_dbm,
+            ),
+            ("flexsfp_bias_ma", "DOM laser bias current, mA.", |s| s.dom.bias_ma),
+            ("flexsfp_temperature_c", "Module case temperature, °C.", |s| s.dom.temp_c),
+        ] {
+            p.header(name, help, "gauge");
+            for (id, rec) in &self.modules {
+                p.sample(name, &[("module", id)], get(&rec.snapshot));
+            }
+        }
+
+        p.header(
+            "flexsfp_trace_events_overwritten_total",
+            "Trace events lost to ring overwrite before they could be drained.",
+            "counter",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_trace_events_overwritten_total",
+                &[("module", id)],
+                rec.snapshot.events_overwritten as f64,
+            );
+        }
+        p.header(
+            "flexsfp_trace_events_drained_total",
+            "Trace events successfully drained over all scrapes.",
+            "counter",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_trace_events_drained_total",
+                &[("module", id)],
+                rec.snapshot.events_drained as f64,
+            );
+        }
+
+        p.into_string()
+    }
+
+    /// Latest snapshots (and accumulated event logs) as a JSON document,
+    /// keyed by module id.
+    pub fn to_json(&self) -> String {
+        let doc: BTreeMap<&str, serde_json::Value> = self
+            .modules
+            .iter()
+            .map(|(id, rec)| {
+                (
+                    id.as_str(),
+                    serde_json::json!({
+                        "snapshot": &rec.snapshot,
+                        "recent_events": &rec.events,
+                    }),
+                )
+            })
+            .collect();
+        serde_json::to_string_pretty(&doc).expect("telemetry snapshots are plain data")
+    }
+
+    fn port_samples(
+        &self,
+        p: &mut PromText,
+        name: &str,
+        get: impl Fn(&flexsfp_obs::PortCounters) -> f64,
+    ) {
+        for (id, rec) in &self.modules {
+            let s = &rec.snapshot;
+            for (port, dir, c) in [
+                ("edge", "rx", &s.edge_rx),
+                ("edge", "tx", &s.edge_tx),
+                ("optical", "rx", &s.optical_rx),
+                ("optical", "tx", &s.optical_tx),
+            ] {
+                p.sample(name, &[("module", id), ("port", port), ("direction", dir)], get(c));
+            }
+        }
+    }
+
+    fn summary_samples(p: &mut PromText, name: &str, module: Option<&str>, h: &LatencyHistogram) {
+        for (q, v) in [
+            ("0.5", h.p50()),
+            ("0.9", h.p90()),
+            ("0.99", h.p99()),
+            ("0.999", h.p999()),
+        ] {
+            match module {
+                Some(id) => p.sample(name, &[("module", id), ("quantile", q)], v as f64),
+                None => p.sample(name, &[("quantile", q)], v as f64),
+            };
+        }
+        let sum_name = format!("{name}_sum");
+        let count_name = format!("{name}_count");
+        match module {
+            Some(id) => {
+                p.sample(&sum_name, &[("module", id)], h.sum());
+                p.sample(&count_name, &[("module", id)], h.count() as f64);
+            }
+            None => {
+                p.sample(&sum_name, &[], h.sum());
+                p.sample(&count_name, &[], h.count() as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetManager;
+    use flexsfp_core::auth::AuthKey;
+    use flexsfp_core::module::{FlexSfp, ModuleConfig, SimPacket};
+    use flexsfp_ppe::Direction;
+
+    fn fleet(n: usize) -> FleetManager {
+        let modules = (0..n)
+            .map(|i| {
+                let cfg = ModuleConfig {
+                    id: format!("FSFP-{i:04}"),
+                    ..ModuleConfig::default()
+                };
+                FlexSfp::new(cfg, Box::new(flexsfp_ppe::engine::PassThrough))
+            })
+            .collect();
+        FleetManager::new(modules, AuthKey::DEFAULT)
+    }
+
+    fn packets(n: u16) -> Vec<SimPacket> {
+        (0..n)
+            .map(|i| SimPacket {
+                arrival_ns: u64::from(i) * 2_000,
+                direction: Direction::EdgeToOptical,
+                frame: flexsfp_wire::builder::PacketBuilder::eth_ipv4_udp(
+                    flexsfp_wire::MacAddr([2; 6]),
+                    flexsfp_wire::MacAddr([4; 6]),
+                    0xc0a80001,
+                    0x08080808,
+                    5_000 + i,
+                    443,
+                    b"payload",
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn four_module_fleet_scrape_renders_prometheus() {
+        let f = fleet(4);
+        for i in 0..4 {
+            f.with_module(i, |m| {
+                m.run(packets(10 + 5 * i as u16));
+            });
+        }
+        let mut c = FleetCollector::new();
+        c.ingest_all(f.telemetry_snapshots().unwrap());
+        assert_eq!(c.len(), 4);
+
+        let text = c.render_prometheus();
+        // Per-module packet counters, all four modules present.
+        for (i, frames) in [(0, 10), (1, 15), (2, 20), (3, 25)] {
+            let line = format!(
+                "flexsfp_frames_total{{module=\"FSFP-{i:04}\",port=\"edge\",direction=\"rx\"}} {frames}\n"
+            );
+            assert!(text.contains(&line), "missing {line:?} in:\n{text}");
+        }
+        // Byte counters are present and nonzero.
+        assert!(text.contains("flexsfp_bytes_total{module=\"FSFP-0000\",port=\"optical\",direction=\"tx\"}"));
+        // p99 latency per module and fleet-wide.
+        assert!(text.contains("flexsfp_latency_ns{module=\"FSFP-0002\",quantile=\"0.99\"}"));
+        assert!(text.contains("flexsfp_fleet_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("flexsfp_fleet_latency_ns_count 70\n"));
+        // Laser health gauges.
+        assert!(text.contains("flexsfp_laser_healthy{module=\"FSFP-0003\"} 1\n"));
+        assert!(text.contains("flexsfp_laser_fault_info{module=\"FSFP-0001\",fault=\"healthy\"} 1\n"));
+        // Every sample line is well-formed: `name{...} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (lhs, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            assert!(!lhs.is_empty());
+        }
+
+        // The fleet histogram equals the merge of the stored ones.
+        assert_eq!(c.fleet_latency().count(), 70);
+        assert_eq!(c.fleet_drops(), 0);
+    }
+
+    #[test]
+    fn reingest_replaces_rather_than_double_counts() {
+        let f = fleet(1);
+        f.with_module(0, |m| {
+            m.run(packets(10));
+        });
+        let mut c = FleetCollector::new();
+        c.ingest_all(f.telemetry_snapshots().unwrap());
+        assert_eq!(c.module("FSFP-0000").unwrap().latency.count(), 10);
+
+        // More traffic, second scrape: lifetime count grows to 25 — it
+        // must not become 35 by summing the two snapshots.
+        f.with_module(0, |m| {
+            m.run(packets(15));
+        });
+        c.ingest_all(f.telemetry_snapshots().unwrap());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.module("FSFP-0000").unwrap().latency.count(), 25);
+        assert_eq!(c.fleet_latency().count(), 25);
+        assert_eq!(c.module("FSFP-0000").unwrap().seq, 2);
+    }
+
+    #[test]
+    fn event_log_accumulates_across_scrapes_and_stays_bounded() {
+        use flexsfp_ppe::engine::DropAll;
+        let cfg = ModuleConfig {
+            id: "FSFP-0000".into(),
+            ..ModuleConfig::default()
+        };
+        let f = FleetManager::new(vec![FlexSfp::new(cfg, Box::new(DropAll))], AuthKey::DEFAULT);
+        let mut c = FleetCollector::new();
+        // Each run drops every packet, tracing one event per drop.
+        for _ in 0..3 {
+            f.with_module(0, |m| {
+                m.run(packets(20));
+            });
+            c.ingest_all(f.telemetry_snapshots().unwrap());
+        }
+        // 60 events accumulated on the host even though each scrape
+        // only carried that round's 20.
+        assert_eq!(c.recent_events("FSFP-0000").unwrap().len(), 60);
+        assert_eq!(c.module("FSFP-0000").unwrap().events.len(), 20);
+        assert_eq!(c.module("FSFP-0000").unwrap().drops.app, 60);
+    }
+
+    #[test]
+    fn json_export_parses_and_carries_all_modules() {
+        let f = fleet(2);
+        for i in 0..2 {
+            f.with_module(i, |m| {
+                m.run(packets(5));
+            });
+        }
+        let mut c = FleetCollector::new();
+        c.ingest_all(f.telemetry_snapshots().unwrap());
+        let doc: serde_json::Value = serde_json::from_str(&c.to_json()).unwrap();
+        let obj = doc.as_object().unwrap();
+        assert_eq!(obj.len(), 2);
+        assert_eq!(obj["FSFP-0001"]["snapshot"]["app"], "passthrough");
+        assert_eq!(obj["FSFP-0000"]["snapshot"]["edge_rx"]["frames"], 5);
+    }
+
+    #[test]
+    fn empty_collector_renders_valid_document() {
+        let c = FleetCollector::new();
+        let text = c.render_prometheus();
+        assert!(text.contains("flexsfp_modules 0\n"));
+        assert!(text.contains("flexsfp_fleet_latency_ns_count 0\n"));
+        assert_eq!(c.to_json(), "{}");
+    }
+}

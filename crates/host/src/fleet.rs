@@ -120,6 +120,19 @@ impl FleetManager {
         Ok(out)
     }
 
+    /// Pull one telemetry snapshot from every module over the
+    /// authenticated management channel, in fleet order. Each pull
+    /// drains that module's event ring, so events appear exactly once
+    /// across successive sweeps.
+    pub fn telemetry_snapshots(&self) -> Result<Vec<flexsfp_obs::TelemetrySnapshot>, MgmtError> {
+        let mut out = Vec::with_capacity(self.modules.len());
+        for m in &self.modules {
+            let mut module = m.lock();
+            out.push(self.client.read_telemetry(&mut *module)?);
+        }
+        Ok(out)
+    }
+
     /// Indices of modules whose lasers need attention.
     pub fn modules_needing_service(&self) -> Result<Vec<usize>, MgmtError> {
         Ok(self
@@ -220,6 +233,20 @@ mod tests {
         assert_eq!(report[1].module_id, "FSFP-0001");
         assert_eq!(report[0].app, "passthrough");
         assert!(report[0].temperature_c > 30.0);
+    }
+
+    #[test]
+    fn telemetry_sweep_covers_fleet_in_order() {
+        let f = fleet(3);
+        let snaps = f.telemetry_snapshots().unwrap();
+        assert_eq!(snaps.len(), 3);
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.module_id, format!("FSFP-{i:04}"));
+            assert_eq!(s.seq, 1);
+        }
+        // A second sweep advances every module's sequence number.
+        let again = f.telemetry_snapshots().unwrap();
+        assert!(again.iter().all(|s| s.seq == 2));
     }
 
     #[test]

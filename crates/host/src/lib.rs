@@ -11,12 +11,16 @@
 //! * [`nic`] — the Thunderbolt 10 G NIC of the §5 power testbed;
 //! * [`testbed`] — the power-measurement experiment itself;
 //! * [`fleet`] — orchestration across many modules: parallel rolling
-//!   OTA deployment and fleet-wide health/diagnosis sweeps.
+//!   OTA deployment and fleet-wide health/diagnosis sweeps;
+//! * [`collector`] — the fleet telemetry collector: ingests per-module
+//!   [`flexsfp_obs::TelemetrySnapshot`]s, merges latency histograms
+//!   fleet-wide and renders Prometheus text or JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod collector;
 pub mod fleet;
 pub mod link;
 pub mod mgmt;
@@ -25,6 +29,7 @@ pub mod switch;
 pub mod testbed;
 
 pub use baselines::ProcessingPath;
+pub use collector::FleetCollector;
 pub use fleet::FleetManager;
 pub use link::FiberLink;
 pub use mgmt::ManagementClient;

@@ -10,6 +10,7 @@ use flexsfp_core::control::{ControlPlane, ControlRequest, ControlResponse, CtlTa
 use flexsfp_core::module::FlexSfp;
 use flexsfp_core::reprogram::MAX_CHUNK;
 use flexsfp_fabric::hash::crc32;
+use flexsfp_obs::{DomSnapshot, TelemetrySnapshot};
 
 /// A transport that delivers one control payload and returns the
 /// response payload.
@@ -118,8 +119,8 @@ impl ManagementClient {
         }
     }
 
-    /// DOM reading as (temperature °C, tx power mW, tx bias mA, rx mW).
-    pub fn read_dom<P: ModulePort>(&self, port: &mut P) -> Result<(f64, f64, f64, f64), MgmtError> {
+    /// DOM reading in SFF-8472 units (powers in dBm, bias in mA).
+    pub fn read_dom<P: ModulePort>(&self, port: &mut P) -> Result<DomSnapshot, MgmtError> {
         match self.call(port, &ControlRequest::ReadDom)? {
             ControlResponse::Dom {
                 temperature_c,
@@ -127,7 +128,26 @@ impl ManagementClient {
                 tx_bias_ma,
                 rx_power_mw,
                 ..
-            } => Ok((temperature_c, tx_power_mw, tx_bias_ma, rx_power_mw)),
+            } => Ok(DomSnapshot::from_milliwatts(
+                tx_power_mw,
+                rx_power_mw,
+                tx_bias_ma,
+                temperature_c,
+            )),
+            _ => Err(MgmtError::Unexpected),
+        }
+    }
+
+    /// Pull the module's full telemetry snapshot: counters, drop
+    /// breakdown, the lifetime latency histogram, DOM and the traced
+    /// dataplane events since the previous pull.
+    pub fn read_telemetry<P: ModulePort>(
+        &self,
+        port: &mut P,
+    ) -> Result<TelemetrySnapshot, MgmtError> {
+        match self.call(port, &ControlRequest::ReadTelemetry)? {
+            ControlResponse::Telemetry(snap) => Ok(*snap),
+            ControlResponse::Error(e) => Err(MgmtError::Module(e)),
             _ => Err(MgmtError::Unexpected),
         }
     }
@@ -256,10 +276,24 @@ mod tests {
     #[test]
     fn dom_readout() {
         let mut m = module();
-        let (temp, tx_mw, bias, _rx) = client().read_dom(&mut m).unwrap();
-        assert!(temp > 30.0 && temp < 60.0);
-        assert!(tx_mw > 0.0);
-        assert!(bias > 0.0);
+        let dom = client().read_dom(&mut m).unwrap();
+        assert!(dom.temp_c > 30.0 && dom.temp_c < 60.0);
+        // A live laser emits well above the -40 dBm floor.
+        assert!(dom.tx_power_dbm.is_finite() && dom.tx_power_dbm > -40.0);
+        assert!(dom.bias_ma > 0.0);
+    }
+
+    #[test]
+    fn telemetry_readout_via_client() {
+        let mut m = module();
+        let snap = client().read_telemetry(&mut m).unwrap();
+        assert_eq!(snap.module_id, "FSFP-PROTO-001");
+        assert_eq!(snap.app, "passthrough");
+        assert_eq!(snap.seq, 1);
+        assert!(snap.laser_healthy);
+        // Telemetry is only served out-of-band; the wrong key gets nothing.
+        let bad = ManagementClient::new(AuthKey::from_passphrase("wrong"));
+        assert_eq!(bad.read_telemetry(&mut m), Err(MgmtError::NoResponse));
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Log-linear HDR-style latency histogram.
+//!
+//! The hardware pattern behind this model: a line-rate latency monitor
+//! cannot store per-packet samples, so it buckets each measurement into
+//! a log-linear grid — a linear array of buckets per power-of-two tier —
+//! and increments a counter. With 128 sub-buckets per tier the bucket
+//! midpoint is never more than 1/128 ≈ 0.78 % away from the true value,
+//! comfortably inside the ≤1 % relative-error budget, while the whole
+//! grid for the full `u64` range fits in < 4 k counters (bounded
+//! memory). Two histograms recorded on different modules merge by adding
+//! bucket counts, which is exactly what the fleet collector does.
+
+use serde::{Deserialize, Serialize};
+
+/// log2 of the number of linear sub-buckets per power-of-two tier.
+const SUB_BUCKET_BITS: u32 = 7;
+/// Linear sub-buckets per tier (values below this are recorded exactly).
+const SUB_BUCKET_COUNT: u64 = 1 << SUB_BUCKET_BITS; // 128
+/// Upper half of a tier's sub-buckets (the part each new tier adds).
+const SUB_BUCKET_HALF: u64 = SUB_BUCKET_COUNT / 2; // 64
+
+/// A mergeable log-linear latency histogram over `u64` nanosecond
+/// values with ≤1 % relative quantile error and bounded memory.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket counts, grown on demand up to the highest recorded index
+    /// (at most 3 776 entries for the full `u64` range).
+    counts: Vec<u64>,
+    /// Total samples recorded.
+    count: u64,
+    /// Exact sum of raw recorded values (for the mean).
+    sum: f64,
+    /// Exact minimum recorded value.
+    min: u64,
+    /// Exact maximum recorded value.
+    max: u64,
+}
+
+/// Bucket index for a value: identity below [`SUB_BUCKET_COUNT`], then
+/// [`SUB_BUCKET_HALF`] buckets per power-of-two tier.
+fn index_for(v: u64) -> usize {
+    if v < SUB_BUCKET_COUNT {
+        v as usize
+    } else {
+        // 2^h <= v < 2^(h+1), h >= SUB_BUCKET_BITS.
+        let h = 63 - u64::from(v.leading_zeros());
+        let shift = h - u64::from(SUB_BUCKET_BITS - 1);
+        let sub = v >> shift; // in [SUB_BUCKET_HALF*2 .. SUB_BUCKET_COUNT*2) / 2
+        (SUB_BUCKET_COUNT + (shift - 1) * SUB_BUCKET_HALF + (sub - SUB_BUCKET_HALF)) as usize
+    }
+}
+
+/// Representative (midpoint) value of a bucket index — the inverse of
+/// [`index_for`] up to the bucket's width.
+fn value_for(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKET_COUNT {
+        idx
+    } else {
+        let t = idx - SUB_BUCKET_COUNT;
+        let shift = t / SUB_BUCKET_HALF + 1;
+        let sub = t % SUB_BUCKET_HALF + SUB_BUCKET_HALF;
+        let low = sub << shift;
+        low + (1u64 << shift) / 2
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` occurrences of the same sample.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = index_for(v);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += n;
+        self.sum += v as f64 * n as f64;
+    }
+
+    /// Record a floating-point nanosecond sample (rounded to the
+    /// nearest integer bucket; the exact value still feeds the mean).
+    pub fn record_f64(&mut self, v: f64) {
+        let clamped = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        let rounded = clamped.round().min(u64::MAX as f64) as u64;
+        let idx = index_for(rounded);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = rounded;
+            self.max = rounded;
+        } else {
+            self.min = self.min.min(rounded);
+            self.max = self.max.max(rounded);
+        }
+        self.count += 1;
+        self.sum += clamped;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The value at quantile `q` (0..=1): the representative value of
+    /// the bucket holding the `ceil(q·count)`-th smallest sample,
+    /// clamped into the exact `[min, max]` range. Within 1 % relative
+    /// error of the true sample quantile.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return value_for(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.value_at_quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.value_at_quantile(0.999)
+    }
+
+    /// Merge another histogram into this one. Bucket counts add, so the
+    /// result is identical to having recorded both sample streams into
+    /// one histogram (mergeability is what lets the fleet collector
+    /// aggregate per-module histograms without raw samples).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Iterate non-empty buckets as `(representative_value, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (value_for(i), c))
+    }
+
+    /// Number of allocated buckets (memory-bound diagnostics).
+    pub fn bucket_capacity(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 3, 64, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 127);
+        assert_eq!(h.value_at_quantile(0.0), 0);
+        assert_eq!(h.value_at_quantile(1.0), 127);
+    }
+
+    #[test]
+    fn index_value_round_trip_error_bound() {
+        // Every representable value's bucket midpoint is within 1 %.
+        for shift in 0..57u32 {
+            for sub in [64u64, 65, 100, 127] {
+                let v = sub << (shift + 1);
+                let idx = index_for(v);
+                let rep = value_for(idx);
+                let err = rep.abs_diff(v) as f64;
+                assert!(
+                    err <= v as f64 * 0.01,
+                    "v={v} rep={rep} err={err}"
+                );
+            }
+        }
+        // Linear region: exact.
+        for v in 0..128u64 {
+            assert_eq!(value_for(index_for(v)), v);
+        }
+    }
+
+    #[test]
+    fn indexes_are_contiguous_and_monotone() {
+        // Bucket index is nondecreasing in the value, and every value
+        // maps inside the bounded grid.
+        let mut last = 0usize;
+        for h in 7..63u32 {
+            for v in [1u64 << h, (1u64 << h) + 1, (1u64 << (h + 1)) - 1] {
+                let idx = index_for(v);
+                assert!(idx >= last, "index regressed at {v}");
+                assert!(idx < 3776, "index {idx} out of grid at {v}");
+                last = idx;
+            }
+        }
+        assert_eq!(index_for(127), 127);
+        assert_eq!(index_for(128), 128);
+        assert_eq!(index_for(255), 191);
+        assert_eq!(index_for(256), 192);
+    }
+
+    #[test]
+    fn quantiles_match_exact_within_bound() {
+        let mut h = LatencyHistogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            // A deterministic heavy-tailed-ish sequence.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 40) % (1 + i * 37);
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let n = samples.len() as u64;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let exact = samples[(target - 1) as usize];
+            let approx = h.value_at_quantile(q);
+            let err = approx.abs_diff(exact) as f64;
+            assert!(
+                err <= exact as f64 * 0.01,
+                "q={q} exact={exact} approx={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for v in 0..5_000u64 {
+            let x = v * v % 77_777;
+            a.record(x);
+            all.record(x);
+        }
+        for v in 0..3_000u64 {
+            let x = v * 13 % 901;
+            b.record(x);
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 8_000);
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record_f64(100.5);
+        h.record_f64(299.5);
+        assert_eq!(h.count(), 2);
+        assert!((h.mean() - 200.0).abs() < 1e-9);
+        assert_eq!(h.min(), 101); // f64::round is half-away-from-zero
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn bounded_memory_for_extreme_values() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert!(h.bucket_capacity() <= 3776, "{}", h.bucket_capacity());
+        assert_eq!(h.max(), u64::MAX);
+        // The p100 estimate stays within 1 % even at the top of range.
+        let err = h.value_at_quantile(1.0).abs_diff(u64::MAX) as f64;
+        assert!(err <= u64::MAX as f64 * 0.01);
+    }
+
+    #[test]
+    fn negative_and_nan_samples_clamp_to_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record_f64(-5.0);
+        h.record_f64(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # flexsfp-obs
+//!
+//! The fleet-wide observability layer. The paper's operational claim
+//! (§4.2, §5.3) is that FlexSFP's value comes from *visibility inside
+//! the cable*: line-rate counters, DOM/laser health and failure
+//! diagnosis that the host can stream out of every module. This crate
+//! provides the shared primitives every other crate builds on:
+//!
+//! * [`histogram`] — a log-linear HDR-style latency histogram with
+//!   bounded memory, ≤1 % relative quantile error and lossless merging
+//!   (the single percentile implementation for the whole workspace);
+//! * [`events`] — a fixed-capacity dataplane event ring modeled on a
+//!   hardware trace buffer: overwrite-oldest semantics with an exposed
+//!   overwrite counter, so event loss is never silent;
+//! * [`snapshot`] — the [`TelemetrySnapshot`] wire format a module
+//!   serializes over its OOB/management channel, plus the named
+//!   [`DomSnapshot`] DOM readout;
+//! * [`prometheus`] — Prometheus text-exposition rendering helpers used
+//!   by the host-side fleet collector.
+//!
+//! The crate is a leaf: it depends only on `serde`, so the PPE, the
+//! module core, the host tooling and the bench harness can all share
+//! one set of telemetry types without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod histogram;
+pub mod prometheus;
+pub mod snapshot;
+
+pub use events::{DataplaneEvent, DropReason, EventKind, EventRing};
+pub use histogram::LatencyHistogram;
+pub use prometheus::PromText;
+pub use snapshot::{DomSnapshot, DropCounters, PortCounters, TelemetrySnapshot};

@@ -1,0 +1,139 @@
+//! Prometheus text-exposition rendering.
+//!
+//! A minimal builder for the text format scraped by Prometheus
+//! (`# HELP` / `# TYPE` headers followed by `name{labels} value`
+//! samples). Only the subset the fleet collector needs — counters,
+//! gauges and summaries — no client-library dependency.
+
+/// Builder for a Prometheus text-exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline must be escaped.
+fn escape_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            c => s.push(c),
+        }
+    }
+    s
+}
+
+/// Format a sample value: integers render without a decimal point,
+/// everything else with enough digits to round-trip.
+fn format_value(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Emit `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is one of `counter`, `gauge`, `summary`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) -> &mut PromText {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+        self
+    }
+
+    /// Emit one sample line with the given `(key, value)` labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut PromText {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&format_value(value));
+        self.out.push('\n');
+        self
+    }
+
+    /// Finish the document and return the text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    /// Borrow the text rendered so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_samples() {
+        let mut p = PromText::new();
+        p.header("flexsfp_rx_frames_total", "Frames received", "counter");
+        p.sample("flexsfp_rx_frames_total", &[("module", "0")], 42.0);
+        p.sample("flexsfp_rx_frames_total", &[("module", "1")], 7.0);
+        let text = p.into_string();
+        assert!(text.contains("# HELP flexsfp_rx_frames_total Frames received\n"));
+        assert!(text.contains("# TYPE flexsfp_rx_frames_total counter\n"));
+        assert!(text.contains("flexsfp_rx_frames_total{module=\"0\"} 42\n"));
+        assert!(text.contains("flexsfp_rx_frames_total{module=\"1\"} 7\n"));
+    }
+
+    #[test]
+    fn bare_sample_has_no_braces() {
+        let mut p = PromText::new();
+        p.sample("up", &[], 1.0);
+        assert_eq!(p.as_str(), "up 1\n");
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let mut p = PromText::new();
+        p.sample("m", &[("app", "a\"b\\c\nd")], 1.0);
+        assert_eq!(p.as_str(), "m{app=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn formats_integers_and_floats() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(-12.0), "-12");
+        assert_eq!(format_value(0.5), "0.5");
+        assert_eq!(format_value(314.159), "314.159");
+    }
+
+    #[test]
+    fn multiple_labels_render_comma_separated() {
+        let mut p = PromText::new();
+        p.sample("lat", &[("module", "2"), ("quantile", "0.99")], 312.0);
+        assert_eq!(p.as_str(), "lat{module=\"2\",quantile=\"0.99\"} 312\n");
+    }
+}

@@ -1,0 +1,179 @@
+//! The telemetry wire format.
+//!
+//! A [`TelemetrySnapshot`] is what one module serializes over its
+//! OOB/management channel on each scrape: lifetime counters, the
+//! latency histogram, the DOM/laser-health readout and the drained
+//! event-ring contents. Every field is plain serde data so the host
+//! can decode it without sharing module internals.
+
+use crate::events::DataplaneEvent;
+use crate::histogram::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Floor applied when converting a zero/negative optical power to dBm,
+/// standing in for the receiver sensitivity floor of a real module.
+pub const DBM_FLOOR: f64 = -40.0;
+
+/// Convert an optical power in milliwatts to dBm, clamped at
+/// [`DBM_FLOOR`] so a dark lane serializes as a finite number.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    if mw > 0.0 {
+        (10.0 * mw.log10()).max(DBM_FLOOR)
+    } else {
+        DBM_FLOOR
+    }
+}
+
+/// Named DOM (digital optical monitoring) readout.
+///
+/// Replaces the bare `(f64, f64, f64, f64)` tuple the management
+/// client used to return — with four same-typed fields, a tuple is an
+/// invitation to swap tx for rx silently.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomSnapshot {
+    /// Transmit optical power, dBm.
+    pub tx_power_dbm: f64,
+    /// Receive optical power, dBm.
+    pub rx_power_dbm: f64,
+    /// Laser bias current, mA.
+    pub bias_ma: f64,
+    /// Module case temperature, °C.
+    pub temp_c: f64,
+}
+
+impl DomSnapshot {
+    /// Build a snapshot from raw milliwatt powers (the units the I²C
+    /// DOM registers report in).
+    pub fn from_milliwatts(tx_power_mw: f64, rx_power_mw: f64, bias_ma: f64, temp_c: f64) -> DomSnapshot {
+        DomSnapshot {
+            tx_power_dbm: mw_to_dbm(tx_power_mw),
+            rx_power_dbm: mw_to_dbm(rx_power_mw),
+            bias_ma,
+            temp_c,
+        }
+    }
+}
+
+/// Frame/byte/error counters for one direction of one port.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortCounters {
+    /// Frames seen.
+    pub frames: u64,
+    /// Bytes seen.
+    pub bytes: u64,
+    /// Errored frames.
+    pub errors: u64,
+}
+
+/// Lifetime packet-drop counters, broken out by reason.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DropCounters {
+    /// Dropped because the ingress FIFO overflowed.
+    pub fifo_overflow: u64,
+    /// Dropped by the packet-processing app's verdict.
+    pub app: u64,
+    /// Dropped because the egress link was down.
+    pub link: u64,
+}
+
+impl DropCounters {
+    /// Total drops across all reasons.
+    pub fn total(&self) -> u64 {
+        self.fifo_overflow + self.app + self.link
+    }
+}
+
+/// One module's full telemetry export for one scrape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Module identifier (serial).
+    pub module_id: String,
+    /// Monotonic per-module snapshot sequence number.
+    pub seq: u64,
+    /// Name of the running packet-processing app.
+    pub app: String,
+    /// Version of the running app image.
+    pub app_version: u32,
+    /// Lifetime boot count.
+    pub boots: u32,
+    /// Electrical (host-facing) receive counters.
+    pub edge_rx: PortCounters,
+    /// Electrical (host-facing) transmit counters.
+    pub edge_tx: PortCounters,
+    /// Optical (line-facing) receive counters.
+    pub optical_rx: PortCounters,
+    /// Optical (line-facing) transmit counters.
+    pub optical_tx: PortCounters,
+    /// Lifetime drop counters by reason.
+    pub drops: DropCounters,
+    /// Lifetime per-packet forwarding latency histogram.
+    pub latency: LatencyHistogram,
+    /// DOM readout at snapshot time.
+    pub dom: DomSnapshot,
+    /// Laser fault diagnosis label ("healthy", "laser_degradation", …).
+    pub laser_fault: String,
+    /// 1 when the laser is diagnosed healthy, else 0 (gauge-friendly).
+    pub laser_healthy: bool,
+    /// Events drained from the module's trace ring for this snapshot.
+    pub events: Vec<DataplaneEvent>,
+    /// Lifetime count of events lost to ring overwrite (module ring
+    /// plus any app-internal rings) — nonzero means `events` has gaps.
+    pub events_overwritten: u64,
+    /// Lifetime count of events drained over all snapshots.
+    pub events_drained: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    #[test]
+    fn mw_to_dbm_reference_points() {
+        assert!((mw_to_dbm(1.0) - 0.0).abs() < 1e-9);
+        assert!((mw_to_dbm(2.0) - 3.0103).abs() < 1e-3);
+        assert!((mw_to_dbm(0.5) + 3.0103).abs() < 1e-3);
+        assert_eq!(mw_to_dbm(0.0), DBM_FLOOR);
+        assert_eq!(mw_to_dbm(-1.0), DBM_FLOOR);
+    }
+
+    #[test]
+    fn dom_snapshot_from_milliwatts() {
+        let d = DomSnapshot::from_milliwatts(1.0, 0.5, 6.5, 41.0);
+        assert!((d.tx_power_dbm - 0.0).abs() < 1e-9);
+        assert!(d.rx_power_dbm < 0.0);
+        assert_eq!(d.bias_ma, 6.5);
+        assert_eq!(d.temp_c, 41.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut latency = LatencyHistogram::new();
+        latency.record(300);
+        latency.record(1_200);
+        let snap = TelemetrySnapshot {
+            module_id: "FSFP-0003".into(),
+            seq: 7,
+            app: "l4-firewall".into(),
+            app_version: 2,
+            boots: 1,
+            edge_rx: PortCounters { frames: 10, bytes: 12_800, errors: 0 },
+            edge_tx: PortCounters { frames: 9, bytes: 11_520, errors: 0 },
+            optical_rx: PortCounters::default(),
+            optical_tx: PortCounters { frames: 9, bytes: 11_520, errors: 1 },
+            drops: DropCounters { fifo_overflow: 1, app: 2, link: 0 },
+            latency,
+            dom: DomSnapshot::from_milliwatts(1.0, 0.8, 6.0, 40.0),
+            laser_fault: "healthy".into(),
+            laser_healthy: true,
+            events: vec![DataplaneEvent { timestamp_ns: 5, kind: EventKind::AuthReject }],
+            events_overwritten: 0,
+            events_drained: 1,
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.drops.total(), 3);
+        assert_eq!(back.latency.count(), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the observability primitives: the histogram's
+//! relative-error bound, merge-equals-concatenation, and event-ring
+//! loss accounting.
+
+use flexsfp_obs::{DataplaneEvent, EventKind, EventRing, LatencyHistogram};
+use proptest::prelude::*;
+
+/// The exact sample quantile using the same rank rule as the
+/// histogram: the `ceil(q·n)`-th smallest sample, clamped to `[1, n]`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(target - 1) as usize]
+}
+
+/// Allowed absolute error at a given exact value: 1 % relative, with a
+/// ±1 floor for the integer rounding of tiny values.
+fn tolerance(exact: u64) -> f64 {
+    (exact as f64 * 0.01).max(1.0)
+}
+
+proptest! {
+    /// For arbitrary u64 samples, every quantile estimate is within
+    /// 1 % relative error of the exact sample quantile computed with
+    /// the same rank rule.
+    #[test]
+    fn quantile_relative_error_bound(
+        mut samples in prop::collection::vec(any::<u64>(), 1..500),
+        quantiles in prop::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in quantiles {
+            let exact = exact_quantile(&samples, q);
+            let approx = h.value_at_quantile(q);
+            let err = approx.abs_diff(exact) as f64;
+            prop_assert!(
+                err <= tolerance(exact),
+                "q={} exact={} approx={} err={}", q, exact, approx, err
+            );
+        }
+    }
+
+    /// merge(a, b) produces quantiles equal (within bound) to the
+    /// quantiles of the concatenated sample stream — in fact the
+    /// merged histogram is bit-identical to one fed both streams.
+    #[test]
+    fn merge_quantiles_equal_concat(
+        xs in prop::collection::vec(0u64..1_000_000, 0..300),
+        ys in prop::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut concat = LatencyHistogram::new();
+        for &x in &xs {
+            a.record(x);
+            concat.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            concat.record(y);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &concat);
+
+        let mut all: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        if !all.is_empty() {
+            all.sort_unstable();
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                let exact = exact_quantile(&all, q);
+                let approx = a.value_at_quantile(q);
+                let err = approx.abs_diff(exact) as f64;
+                prop_assert!(
+                    err <= tolerance(exact),
+                    "q={} exact={} approx={}", q, exact, approx
+                );
+            }
+        }
+    }
+
+    /// Exact min/max/count survive any merge order.
+    #[test]
+    fn merge_preserves_exact_extrema(
+        xs in prop::collection::vec(any::<u64>(), 1..100),
+        ys in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for &x in &xs { a.record(x); }
+        for &y in &ys { b.record(y); }
+        a.merge(&b);
+        let true_min = xs.iter().chain(ys.iter()).copied().min().unwrap();
+        let true_max = xs.iter().chain(ys.iter()).copied().max().unwrap();
+        prop_assert_eq!(a.min(), true_min);
+        prop_assert_eq!(a.max(), true_max);
+        prop_assert_eq!(a.count(), (xs.len() + ys.len()) as u64);
+    }
+
+    /// The event ring never loses events silently: across any sequence
+    /// of pushes and drains, pushed == drained + overwritten + buffered.
+    #[test]
+    fn event_ring_conserves_events(
+        capacity in 1usize..32,
+        ops in prop::collection::vec(prop::bool::ANY, 0..400),
+    ) {
+        let mut ring = EventRing::new(capacity);
+        let mut pushed = 0u64;
+        let mut collected = 0u64;
+        for (t, op) in ops.into_iter().enumerate() {
+            if op {
+                ring.push(DataplaneEvent {
+                    timestamp_ns: t as u64,
+                    kind: EventKind::AuthReject,
+                });
+                pushed += 1;
+            } else {
+                collected += ring.drain().len() as u64;
+            }
+        }
+        prop_assert_eq!(ring.drained(), collected);
+        prop_assert_eq!(
+            pushed,
+            ring.drained() + ring.overwritten() + ring.len() as u64
+        );
+    }
+}

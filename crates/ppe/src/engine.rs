@@ -173,6 +173,19 @@ pub trait PacketProcessor: Send {
     fn control_op(&mut self, _op: &TableOp) -> TableOpResult {
         TableOpResult::Unsupported
     }
+
+    /// Drain buffered dataplane trace events (parse errors, table
+    /// misses, app-level drops). Applications with an internal trace
+    /// ring override this; the default traces nothing.
+    fn drain_events(&mut self) -> Vec<flexsfp_obs::DataplaneEvent> {
+        Vec::new()
+    }
+
+    /// Lifetime count of trace events the application lost to ring
+    /// overwrite — exported with telemetry so loss is never silent.
+    fn events_lost(&self) -> u64 {
+        0
+    }
 }
 
 /// A pass-through processor (the "empty bitstream" baseline).

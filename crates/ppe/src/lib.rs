@@ -39,5 +39,5 @@ pub mod tables;
 
 pub use engine::{Direction, PacketProcessor, ProcessContext, TableOp, TableOpResult, Verdict};
 pub use parser::{ParsedPacket, Parser};
-pub use pipeline::{Pipeline, PipelineBuilder, Stage};
+pub use pipeline::{Pipeline, PipelineBuilder, PipelineObs, Stage};
 pub use tables::HashTable;

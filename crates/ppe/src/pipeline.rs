@@ -12,6 +12,7 @@ use crate::match_kinds::{LpmTable, TernaryTable};
 use crate::meter::TokenBucket;
 use crate::parser::{ParsedPacket, Parser, L4};
 use crate::tables::{HashTable, TableKey};
+use flexsfp_obs::{DataplaneEvent, DropReason, EventKind, EventRing, LatencyHistogram};
 
 /// Maximum pipeline depth the fabric comfortably supports (§5.3).
 pub const MAX_STAGES: usize = 6;
@@ -223,6 +224,19 @@ pub struct PipelineStats {
     pub to_control: u64,
 }
 
+/// Observability state of a pipeline: the hardware-style trace ring
+/// the dataplane pushes events into, and a histogram of per-packet
+/// PPE occupancy in pipeline cycles.
+#[derive(Debug, Default)]
+pub struct PipelineObs {
+    /// Dataplane trace ring (parse errors, table misses, drops).
+    pub events: EventRing,
+    /// Per-packet pipeline occupancy in PPE cycles (4 fixed cycles +
+    /// 3 per match-action stage executed — the latency model the
+    /// module simulator charges for the PPE transit).
+    pub stage_cycles: LatencyHistogram,
+}
+
 /// A complete match-action pipeline, usable as a [`PacketProcessor`].
 #[derive(Debug)]
 pub struct Pipeline {
@@ -232,6 +246,8 @@ pub struct Pipeline {
     /// The action engine (counters/meters) actions execute against.
     pub engine: ActionEngine,
     stats: PipelineStats,
+    /// Event trace ring and stage-timing histogram.
+    pub obs: PipelineObs,
 }
 
 impl Pipeline {
@@ -313,24 +329,46 @@ impl PacketProcessor for Pipeline {
         let Some(mut parsed) = self.parser.parse(packet) else {
             // Unparseable runt: hardware drops it.
             self.stats.drops += 1;
+            self.obs
+                .events
+                .record(ctx.timestamp_ns, EventKind::ParseError);
+            self.obs.stage_cycles.record(4);
             return Verdict::Drop;
         };
+        let mut stages_run = 0u64;
         for idx in 0..self.stages.len() {
+            stages_run += 1;
             let hit = self.stages[idx].lookup(&parsed);
             if hit.is_some() {
                 self.stages[idx].hits += 1;
             } else {
                 self.stages[idx].misses += 1;
+                self.obs.events.record(
+                    ctx.timestamp_ns,
+                    EventKind::TableMiss {
+                        stage: self.stages[idx].name.clone(),
+                    },
+                );
             }
             if let Some(v) = self.run_actions(idx, hit, ctx, packet, &mut parsed) {
                 match v {
-                    Verdict::Drop => self.stats.drops += 1,
+                    Verdict::Drop => {
+                        self.stats.drops += 1;
+                        self.obs.events.record(
+                            ctx.timestamp_ns,
+                            EventKind::Drop {
+                                reason: DropReason::App,
+                            },
+                        );
+                    }
                     Verdict::ToControlPlane => self.stats.to_control += 1,
                     _ => {}
                 }
+                self.obs.stage_cycles.record(4 + 3 * stages_run);
                 return v;
             }
         }
+        self.obs.stage_cycles.record(4 + 3 * stages_run);
         Verdict::Forward
     }
 
@@ -340,6 +378,14 @@ impl PacketProcessor for Pipeline {
 
     fn resource_manifest(&self) -> flexsfp_fabric::ResourceManifest {
         crate::hls::estimate_pipeline(self)
+    }
+
+    fn drain_events(&mut self) -> Vec<DataplaneEvent> {
+        self.obs.events.drain()
+    }
+
+    fn events_lost(&self) -> u64 {
+        self.obs.events.overwritten()
     }
 }
 
@@ -402,6 +448,7 @@ impl PipelineBuilder {
             stages: self.stages,
             engine: ActionEngine::new(self.counters, self.meters),
             stats: PipelineStats::default(),
+            obs: PipelineObs::default(),
         }
     }
 }
@@ -570,6 +617,38 @@ mod tests {
         let mut runt = vec![0u8; 6];
         assert_eq!(p.process(&ProcessContext::egress(), &mut runt), Verdict::Drop);
         assert_eq!(p.stats().drops, 1);
+    }
+
+    #[test]
+    fn events_trace_misses_and_drops() {
+        let mut p = nat_pipeline();
+        // A miss records a TableMiss event naming the stage.
+        let mut miss = frame(0x0a0a0a0a, 53);
+        p.process(&ProcessContext::egress().at(42), &mut miss);
+        // A runt records a ParseError event.
+        let mut runt = vec![0u8; 6];
+        p.process(&ProcessContext::egress().at(43), &mut runt);
+        let events = p.drain_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].kind,
+            EventKind::TableMiss { stage: "snat".into() }
+        );
+        assert_eq!(events[0].timestamp_ns, 42);
+        assert_eq!(events[1].kind, EventKind::ParseError);
+        assert_eq!(p.events_lost(), 0);
+        // Drained: a second drain is empty.
+        assert!(p.drain_events().is_empty());
+    }
+
+    #[test]
+    fn stage_cycles_match_latency_model() {
+        let mut p = nat_pipeline();
+        let mut pkt = frame(SRC, 53);
+        p.process(&ProcessContext::egress(), &mut pkt);
+        // One stage executed: 4 + 3×1 cycles.
+        assert_eq!(p.obs.stage_cycles.count(), 1);
+        assert_eq!(p.obs.stage_cycles.max(), 7);
     }
 
     #[test]

@@ -134,6 +134,33 @@ proptest! {
         }
     }
 
+    /// `CounterBank::snapshot` is consistent under interleaved `count`
+    /// calls: every snapshot equals a model accumulated from exactly
+    /// the counts issued so far — no torn, stale or phantom values.
+    #[test]
+    fn counter_snapshot_consistent_under_interleaved_counts(
+        events in proptest::collection::vec((0usize..6, 1usize..2000, any::<bool>()), 0..300),
+    ) {
+        let mut bank = flexsfp_ppe::counters::CounterBank::new(4);
+        let mut model = vec![(0u64, 0u64); 4]; // (packets, bytes)
+        for (idx, bytes, snapshot_now) in events {
+            bank.count(idx, bytes);
+            if idx < 4 {
+                model[idx].0 += 1;
+                model[idx].1 += bytes as u64;
+            }
+            if snapshot_now {
+                let snap = bank.snapshot();
+                prop_assert_eq!(snap.len(), 4);
+                for (i, c) in snap.iter().enumerate() {
+                    prop_assert_eq!((c.packets, c.bytes), model[i]);
+                    // Point reads agree with the latched bank.
+                    prop_assert_eq!(bank.get(i), *c);
+                }
+            }
+        }
+    }
+
     /// Counters: count/snapshot_and_clear over arbitrary interleavings
     /// never lose or duplicate a byte.
     #[test]

@@ -86,8 +86,11 @@ fn main() {
     let (translated, bytes) = client.read_counter(&mut module, 0).unwrap();
     let (missed, _) = client.read_counter(&mut module, 1).unwrap();
     println!("NAT counters: {translated} translated ({bytes} B), {missed} passed untranslated");
-    let (temp, tx_mw, bias, _rx) = client.read_dom(&mut module).unwrap();
-    println!("DOM: {temp:.1} degC, tx {tx_mw:.2} mW @ {bias:.1} mA bias");
+    let dom = client.read_dom(&mut module).unwrap();
+    println!(
+        "DOM: {:.1} degC, tx {:.1} dBm / rx {:.1} dBm @ {:.1} mA bias",
+        dom.temp_c, dom.tx_power_dbm, dom.rx_power_dbm, dom.bias_ma
+    );
 
     // 5. Module power at the line-rate stress point — the paper's
     //    ~1.5 W "cheap path" headline.

@@ -17,6 +17,7 @@ pub use flexsfp_core as core;
 pub use flexsfp_cost as cost;
 pub use flexsfp_fabric as fabric;
 pub use flexsfp_host as host;
+pub use flexsfp_obs as obs;
 pub use flexsfp_ppe as ppe;
 pub use flexsfp_traffic as traffic;
 pub use flexsfp_wire as wire;

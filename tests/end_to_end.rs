@@ -48,7 +48,7 @@ fn nat_module_sustains_imix_line_rate_with_verified_translations() {
         assert!(ip.verify_checksum());
     }
     // Sub-2µs worst case even at IMIX sizes.
-    assert!(report.latency.max_ns < 2_000.0, "{}", report.latency.max_ns);
+    assert!(report.latency.max_ns() < 2_000.0, "{}", report.latency.max_ns());
 }
 
 #[test]

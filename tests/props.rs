@@ -43,8 +43,9 @@ proptest! {
             prop_assert_eq!(&out.frame, sent);
         }
         // Latency is always positive and finite.
-        prop_assert!(report.latency.min_ns > 0.0);
-        prop_assert!(report.latency.max_ns.is_finite());
+        prop_assert!(report.latency.min_ns() > 0.0);
+        prop_assert!(report.latency.max_ns().is_finite());
+        prop_assert!(report.latency.p99_ns() <= report.latency.max_ns());
     }
 
     /// NAT translation: for arbitrary mappings, the translated packet
