@@ -256,7 +256,10 @@ mod tests {
             flexsfp_wire::tcp::TcpFlags::syn_only(),
             &[],
         );
-        assert_eq!(f.process(&ProcessContext::egress(), &mut tls), Verdict::Drop);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut tls),
+            Verdict::Drop
+        );
         assert_eq!(f.stats.blocked_doh, 1);
         // Ordinary HTTPS to another address passes.
         let mut ok = PacketBuilder::eth_ipv4_tcp(
@@ -270,7 +273,10 @@ mod tests {
             flexsfp_wire::tcp::TcpFlags::syn_only(),
             &[],
         );
-        assert_eq!(f.process(&ProcessContext::egress(), &mut ok), Verdict::Forward);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut ok),
+            Verdict::Forward
+        );
     }
 
     #[test]
@@ -289,7 +295,10 @@ mod tests {
             53,
             &resp_payload,
         );
-        assert_eq!(f.process(&ProcessContext::ingress(), &mut frame), Verdict::Forward);
+        assert_eq!(
+            f.process(&ProcessContext::ingress(), &mut frame),
+            Verdict::Forward
+        );
     }
 
     #[test]
@@ -354,7 +363,10 @@ mod tests {
             123,
             &[0u8; 48],
         );
-        assert_eq!(f.process(&ProcessContext::egress(), &mut ntp), Verdict::Forward);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut ntp),
+            Verdict::Forward
+        );
         assert_eq!(f.stats.inspected, 0);
     }
 }

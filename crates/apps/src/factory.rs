@@ -20,6 +20,7 @@ use crate::tunnel::{TunnelGateway, TunnelKind};
 use crate::vlan::VlanTagger;
 use flexsfp_core::bitstream::BitstreamMeta;
 use flexsfp_core::module::AppFactory;
+use flexsfp_obs::FromJson;
 use flexsfp_ppe::engine::PassThrough;
 use flexsfp_ppe::PacketProcessor;
 
@@ -53,7 +54,7 @@ pub fn build_app(meta: &BitstreamMeta) -> Option<Box<dyn PacketProcessor>> {
             }
             if let Some(rules) = cfg["rules"].as_array() {
                 for r in rules {
-                    if let Ok(rule) = serde_json::from_value::<AclRule>(r.clone()) {
+                    if let Some(rule) = AclRule::from_json(r) {
                         fw.add_rule(rule);
                     }
                 }
@@ -88,7 +89,12 @@ pub fn build_app(meta: &BitstreamMeta) -> Option<Box<dyn PacketProcessor>> {
             let port = cfg["port"].as_u64().unwrap_or(0) as u16;
             let backends: Vec<u32> = cfg["backends"]
                 .as_array()
-                .map(|a| a.iter().filter_map(|v| v.as_u64()).map(|v| v as u32).collect())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|v| v.as_u64())
+                        .map(|v| v as u32)
+                        .collect()
+                })
                 .unwrap_or_default();
             Some(Box::new(L4LoadBalancer::new(vip, port, backends)))
         }
@@ -120,14 +126,17 @@ pub fn build_app(meta: &BitstreamMeta) -> Option<Box<dyn PacketProcessor>> {
             let capacity = cfg["capacity"].as_u64().unwrap_or(4_096) as usize;
             let threshold = cfg["threshold"].as_u64().unwrap_or(64);
             let quarantine = cfg["quarantine_ns"].as_u64().unwrap_or(5_000_000_000);
-            Some(Box::new(SynFloodGuard::new(capacity, threshold, quarantine)))
+            Some(Box::new(SynFloodGuard::new(
+                capacity, threshold, quarantine,
+            )))
         }
         "ipv6-filter" => {
             let mut f = Ipv6SubscriberFilter::new();
             f.block_all_v6 = cfg["block_all"].as_bool().unwrap_or(false);
             if let Some(delegations) = cfg["delegations"].as_array() {
                 for d in delegations {
-                    let (Some(prefix), Some(sub)) = (d["prefix64"].as_u64(), d["subscriber"].as_u64())
+                    let (Some(prefix), Some(sub)) =
+                        (d["prefix64"].as_u64(), d["subscriber"].as_u64())
                     else {
                         continue;
                     };
@@ -151,7 +160,7 @@ mod tests {
     use flexsfp_core::Bitstream;
     use flexsfp_fabric::resources::ResourceManifest;
 
-    fn meta(app: &str, config: serde_json::Value) -> BitstreamMeta {
+    fn meta(app: &str, config: flexsfp_obs::Value) -> BitstreamMeta {
         Bitstream::new(app, 1, ResourceManifest::ZERO, 156_250_000)
             .with_config(config)
             .meta
@@ -160,26 +169,26 @@ mod tests {
     #[test]
     fn builds_every_registered_app() {
         let cases = vec![
-            ("passthrough", serde_json::json!({})),
-            ("nat", serde_json::json!({"table_size": 1024})),
-            ("firewall", serde_json::json!({"default": "deny"})),
-            ("vlan-tagger", serde_json::json!({"vid": 100})),
+            ("passthrough", flexsfp_obs::json!({})),
+            ("nat", flexsfp_obs::json!({"table_size": 1024})),
+            ("firewall", flexsfp_obs::json!({"default": "deny"})),
+            ("vlan-tagger", flexsfp_obs::json!({"vid": 100})),
             (
                 "tunnel-gw",
-                serde_json::json!({"kind": "gre", "local": 1, "remote": 2, "key": 3}),
+                flexsfp_obs::json!({"kind": "gre", "local": 1, "remote": 2, "key": 3}),
             ),
             (
                 "l4-lb",
-                serde_json::json!({"vip": 167772161u32, "port": 80, "backends": [1, 2]}),
+                flexsfp_obs::json!({"vip": 167772161u32, "port": 80, "backends": [1, 2]}),
             ),
-            ("telemetry", serde_json::json!({"flows": 128})),
-            ("rate-limiter", serde_json::json!({})),
-            ("dns-filter", serde_json::json!({"blocked": ["x.com"]})),
-            ("sanitizer", serde_json::json!({})),
-            ("syn-flood-guard", serde_json::json!({"threshold": 32})),
+            ("telemetry", flexsfp_obs::json!({"flows": 128})),
+            ("rate-limiter", flexsfp_obs::json!({})),
+            ("dns-filter", flexsfp_obs::json!({"blocked": ["x.com"]})),
+            ("sanitizer", flexsfp_obs::json!({})),
+            ("syn-flood-guard", flexsfp_obs::json!({"threshold": 32})),
             (
                 "ipv6-filter",
-                serde_json::json!({"delegations": [{"prefix64": 1u64, "subscriber": 2}]}),
+                flexsfp_obs::json!({"delegations": [{"prefix64": 1u64, "subscriber": 2}]}),
             ),
         ];
         for (name, cfg) in cases {
@@ -190,12 +199,12 @@ mod tests {
 
     #[test]
     fn unknown_app_rejected() {
-        assert!(build_app(&meta("quantum-router", serde_json::json!({}))).is_none());
+        assert!(build_app(&meta("quantum-router", flexsfp_obs::json!({}))).is_none());
     }
 
     #[test]
     fn nat_mappings_from_config() {
-        let cfg = serde_json::json!({
+        let cfg = flexsfp_obs::json!({
             "table_size": 64,
             "mappings": [{"private": 0xc0a80001u32, "public": 0x65000001u32}]
         });
@@ -213,10 +222,10 @@ mod tests {
 
     #[test]
     fn tunnel_requires_endpoints() {
-        assert!(build_app(&meta("tunnel-gw", serde_json::json!({"kind": "gre"}))).is_none());
+        assert!(build_app(&meta("tunnel-gw", flexsfp_obs::json!({"kind": "gre"}))).is_none());
         assert!(build_app(&meta(
             "tunnel-gw",
-            serde_json::json!({"kind": "bad", "local": 1, "remote": 2})
+            flexsfp_obs::json!({"kind": "bad", "local": 1, "remote": 2})
         ))
         .is_none());
     }
@@ -224,11 +233,19 @@ mod tests {
     #[test]
     fn ota_switch_between_apps_on_module() {
         use flexsfp_core::module::{FlexSfp, ModuleConfig};
-        let mut m = FlexSfp::new(ModuleConfig::default(), build_app(&meta("nat", serde_json::json!({}))).unwrap());
+        let mut m = FlexSfp::new(
+            ModuleConfig::default(),
+            build_app(&meta("nat", flexsfp_obs::json!({}))).unwrap(),
+        );
         m.set_factory(app_factory());
         // Stage a firewall bitstream and activate it.
-        let bs = Bitstream::new("firewall", 2, ResourceManifest::new(8_000, 6_000, 24, 2), 156_250_000)
-            .with_config(serde_json::json!({"default": "deny"}));
+        let bs = Bitstream::new(
+            "firewall",
+            2,
+            ResourceManifest::new(8_000, 6_000, 24, 2),
+            156_250_000,
+        )
+        .with_config(flexsfp_obs::json!({"default": "deny"}));
         m.flash.write_slot(1, &bs.to_bytes()).unwrap();
         m.control.pending_activation = Some(1);
         assert!(m.maybe_reboot());

@@ -8,15 +8,16 @@
 //! serialized rule encoding).
 
 use flexsfp_fabric::resources::ResourceManifest;
+use flexsfp_obs::json::{FromJson, ToJson, Value};
 use flexsfp_ppe::counters::CounterBank;
 use flexsfp_ppe::match_kinds::{TernaryEntry, TernaryTable};
 use flexsfp_ppe::parser::Parser;
 use flexsfp_ppe::pipeline::KeySelector;
 use flexsfp_ppe::{Direction, PacketProcessor, ProcessContext, TableOp, TableOpResult, Verdict};
-use serde::{Deserialize, Serialize};
 
 /// What a matching rule does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AclAction {
     /// Let the packet through.
     Permit,
@@ -28,7 +29,8 @@ pub enum AclAction {
 
 /// One ACL rule over the IPv4 5-tuple; `None` fields are wildcards.
 /// Address fields take `(addr, prefix_len)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AclRule {
     /// Source prefix.
     pub src: Option<(u32, u8)>,
@@ -45,6 +47,40 @@ pub struct AclRule {
     /// Action on match.
     pub action: AclAction,
 }
+
+impl ToJson for AclAction {
+    fn to_json(&self) -> Value {
+        Value::Str(
+            match self {
+                AclAction::Permit => "Permit",
+                AclAction::Deny => "Deny",
+                AclAction::Punt => "Punt",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for AclAction {
+    fn from_json(v: &Value) -> Option<AclAction> {
+        match v.as_str()? {
+            "Permit" => Some(AclAction::Permit),
+            "Deny" => Some(AclAction::Deny),
+            "Punt" => Some(AclAction::Punt),
+            _ => None,
+        }
+    }
+}
+
+flexsfp_obs::impl_json_struct!(AclRule {
+    src,
+    dst,
+    protocol,
+    src_port,
+    dst_port,
+    priority,
+    action,
+});
 
 impl AclRule {
     /// A wildcard rule with the given action and priority.
@@ -213,8 +249,14 @@ impl PacketProcessor for AclFirewall {
 
     fn control_op(&mut self, op: &TableOp) -> TableOpResult {
         match op {
-            TableOp::Insert { table: 0, value, .. } => {
-                let Ok(rule) = serde_json::from_slice::<AclRule>(value) else {
+            TableOp::Insert {
+                table: 0, value, ..
+            } => {
+                let Some(rule) = std::str::from_utf8(value)
+                    .ok()
+                    .and_then(|s| Value::parse(s).ok())
+                    .and_then(|v| AclRule::from_json(&v))
+                else {
                     return TableOpResult::BadEncoding;
                 };
                 if self.add_rule(rule) {
@@ -256,7 +298,15 @@ mod tests {
     const OUTSIDE: u32 = 0x2d2d2d2d;
 
     fn udp(src: u32, dst: u32, dport: u16) -> Vec<u8> {
-        PacketBuilder::eth_ipv4_udp(MacAddr([1; 6]), MacAddr([2; 6]), src, dst, 1234, dport, b"x")
+        PacketBuilder::eth_ipv4_udp(
+            MacAddr([1; 6]),
+            MacAddr([2; 6]),
+            src,
+            dst,
+            1234,
+            dport,
+            b"x",
+        )
     }
 
     fn tcp(src: u32, dst: u32, dport: u16) -> Vec<u8> {
@@ -286,9 +336,15 @@ mod tests {
             action: AclAction::Deny,
         }));
         let mut dns = udp(INSIDE, OUTSIDE, 53);
-        assert_eq!(fw.process(&ProcessContext::egress(), &mut dns), Verdict::Drop);
+        assert_eq!(
+            fw.process(&ProcessContext::egress(), &mut dns),
+            Verdict::Drop
+        );
         let mut web = udp(INSIDE, OUTSIDE, 443);
-        assert_eq!(fw.process(&ProcessContext::egress(), &mut web), Verdict::Forward);
+        assert_eq!(
+            fw.process(&ProcessContext::egress(), &mut web),
+            Verdict::Forward
+        );
         assert_eq!(fw.counter(counters::DENIED).packets, 1);
         assert_eq!(fw.counter(counters::PERMITTED).packets, 1);
     }
@@ -306,7 +362,10 @@ mod tests {
             ..AclRule::any(5, AclAction::Deny)
         });
         let mut ours = tcp(INSIDE, OUTSIDE, 80);
-        assert_eq!(fw.process(&ProcessContext::egress(), &mut ours), Verdict::Forward);
+        assert_eq!(
+            fw.process(&ProcessContext::egress(), &mut ours),
+            Verdict::Forward
+        );
         let mut neighbor = tcp(0xc0a80102, OUTSIDE, 80);
         assert_eq!(
             fw.process(&ProcessContext::egress(), &mut neighbor),
@@ -324,9 +383,15 @@ mod tests {
             ..AclRule::any(1, AclAction::Permit)
         });
         let mut https = tcp(INSIDE, OUTSIDE, 443);
-        assert_eq!(fw.process(&ProcessContext::egress(), &mut https), Verdict::Forward);
+        assert_eq!(
+            fw.process(&ProcessContext::egress(), &mut https),
+            Verdict::Forward
+        );
         let mut telnet = tcp(INSIDE, OUTSIDE, 23);
-        assert_eq!(fw.process(&ProcessContext::egress(), &mut telnet), Verdict::Drop);
+        assert_eq!(
+            fw.process(&ProcessContext::egress(), &mut telnet),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -355,7 +420,10 @@ mod tests {
             flexsfp_wire::EtherType::Arp,
             &[0u8; 28],
         );
-        assert_eq!(fw.process(&ProcessContext::egress(), &mut arp), Verdict::Forward);
+        assert_eq!(
+            fw.process(&ProcessContext::egress(), &mut arp),
+            Verdict::Forward
+        );
         assert_eq!(fw.counter(counters::UNMATCHED).packets, 1);
     }
 
@@ -366,10 +434,16 @@ mod tests {
         fw.add_rule(AclRule::any(1, AclAction::Deny));
         // Egress unscreened.
         let mut out = tcp(INSIDE, OUTSIDE, 80);
-        assert_eq!(fw.process(&ProcessContext::egress(), &mut out), Verdict::Forward);
+        assert_eq!(
+            fw.process(&ProcessContext::egress(), &mut out),
+            Verdict::Forward
+        );
         // Ingress screened.
         let mut inbound = tcp(OUTSIDE, INSIDE, 80);
-        assert_eq!(fw.process(&ProcessContext::ingress(), &mut inbound), Verdict::Drop);
+        assert_eq!(
+            fw.process(&ProcessContext::ingress(), &mut inbound),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -383,11 +457,14 @@ mod tests {
         let r = fw.control_op(&TableOp::Insert {
             table: 0,
             key: vec![],
-            value: serde_json::to_vec(&rule).unwrap(),
+            value: rule.to_json().to_string().into_bytes(),
         });
         assert_eq!(r, TableOpResult::Ok);
         let mut dns = udp(INSIDE, OUTSIDE, 53);
-        assert_eq!(fw.process(&ProcessContext::egress(), &mut dns), Verdict::Drop);
+        assert_eq!(
+            fw.process(&ProcessContext::egress(), &mut dns),
+            Verdict::Drop
+        );
         // Delete by priority.
         assert_eq!(
             fw.control_op(&TableOp::Delete {
@@ -397,7 +474,10 @@ mod tests {
             TableOpResult::Ok
         );
         let mut dns2 = udp(INSIDE, OUTSIDE, 53);
-        assert_eq!(fw.process(&ProcessContext::egress(), &mut dns2), Verdict::Forward);
+        assert_eq!(
+            fw.process(&ProcessContext::egress(), &mut dns2),
+            Verdict::Forward
+        );
     }
 
     #[test]
@@ -408,7 +488,10 @@ mod tests {
         let r = fw.control_op(&TableOp::Insert {
             table: 0,
             key: vec![],
-            value: serde_json::to_vec(&AclRule::any(3, AclAction::Deny)).unwrap(),
+            value: AclRule::any(3, AclAction::Deny)
+                .to_json()
+                .to_string()
+                .into_bytes(),
         });
         assert_eq!(r, TableOpResult::TableFull);
     }

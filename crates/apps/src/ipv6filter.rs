@@ -135,7 +135,11 @@ impl PacketProcessor for Ipv6SubscriberFilter {
         match op {
             // Table 0: delegations. key = 8-byte prefix, value = 4-byte
             // subscriber id.
-            TableOp::Insert { table: 0, key, value } => {
+            TableOp::Insert {
+                table: 0,
+                key,
+                value,
+            } => {
                 let (Ok(p), Ok(s)) = (
                     <[u8; 8]>::try_from(&key[..]),
                     <[u8; 4]>::try_from(&value[..]),
@@ -192,7 +196,9 @@ mod tests {
             src[..8].copy_from_slice(&src_prefix.to_be_bytes());
             src[15] = 0x42;
             p.set_src(Ipv6Addr(src));
-            p.set_dst(Ipv6Addr([0x20, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9]));
+            p.set_dst(Ipv6Addr([
+                0x20, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9,
+            ]));
         }
         {
             let mut u = flexsfp_wire::UdpDatagram::new_unchecked(&mut ip6[40..]);
@@ -213,7 +219,10 @@ mod tests {
     fn delegated_prefix_passes() {
         let mut f = filter();
         let mut pkt = v6_frame(SUB_PREFIX);
-        assert_eq!(f.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(f.stats.valid, 1);
     }
 
@@ -221,7 +230,10 @@ mod tests {
     fn unknown_prefix_dropped_strict() {
         let mut f = filter();
         let mut pkt = v6_frame(0x2001_0db8_9999_0000);
-        assert_eq!(f.process(&ProcessContext::egress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(f.stats.unknown, 1);
     }
 
@@ -236,7 +248,10 @@ mod tests {
         );
         f.unknown_policy = UnknownPrefixPolicy::Permit;
         let mut pkt = v6_frame(0xdead_beef_0000_0000);
-        assert_eq!(f.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(f.stats.unknown, 2);
     }
 
@@ -245,7 +260,10 @@ mod tests {
         let mut f = filter();
         f.block_all_v6 = true;
         let mut pkt = v6_frame(SUB_PREFIX); // even the delegated one
-        assert_eq!(f.process(&ProcessContext::egress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(f.stats.blocked_all, 1);
     }
 
@@ -261,7 +279,10 @@ mod tests {
             2,
             b"x",
         );
-        assert_eq!(f.process(&ProcessContext::egress(), &mut v4), Verdict::Forward);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut v4),
+            Verdict::Forward
+        );
         assert_eq!(f.stats.non_v6, 1);
     }
 
@@ -269,7 +290,10 @@ mod tests {
     fn downstream_direction_unscreened() {
         let mut f = filter();
         let mut pkt = v6_frame(0xdead_beef_0000_0000);
-        assert_eq!(f.process(&ProcessContext::ingress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            f.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(f.stats.unknown, 0);
     }
 
@@ -283,7 +307,10 @@ mod tests {
             EtherType::Ipv6,
             &[0x60, 0, 0, 0, 0, 0, 0, 0, 0, 0],
         );
-        assert_eq!(f.process(&ProcessContext::egress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -297,7 +324,10 @@ mod tests {
         assert_eq!(r, TableOpResult::Ok);
         assert_eq!(f.delegation_count(), 1);
         let mut pkt = v6_frame(SUB_PREFIX);
-        assert_eq!(f.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(
             f.control_op(&TableOp::Delete {
                 table: 0,
@@ -306,7 +336,10 @@ mod tests {
             TableOpResult::Ok
         );
         let mut pkt = v6_frame(SUB_PREFIX);
-        assert_eq!(f.process(&ProcessContext::egress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            f.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(
             f.control_op(&TableOp::ReadCounter { index: 1 }),
             TableOpResult::Counter {

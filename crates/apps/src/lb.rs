@@ -166,7 +166,9 @@ impl PacketProcessor for L4LoadBalancer {
     fn control_op(&mut self, op: &TableOp) -> TableOpResult {
         match op {
             // Insert/delete backends by 4-byte address; key unused.
-            TableOp::Insert { table: 0, value, .. } => {
+            TableOp::Insert {
+                table: 0, value, ..
+            } => {
                 let Ok(bytes) = <[u8; 4]>::try_from(&value[..]) else {
                     return TableOpResult::BadEncoding;
                 };
@@ -237,7 +239,10 @@ mod tests {
     fn vip_traffic_steers_to_a_backend() {
         let mut lb = lb();
         let mut pkt = vip_frame(0xc0a80001, 5000);
-        assert_eq!(lb.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            lb.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
         assert!([B1, B2, B3].contains(&ip.dst()));
         assert!(ip.verify_checksum());
@@ -274,7 +279,10 @@ mod tests {
             &[],
         );
         let before = pkt.clone();
-        assert_eq!(lb.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            lb.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(pkt, before);
         assert_eq!(lb.counter(counters::PASSED).packets, 1);
     }
@@ -302,7 +310,10 @@ mod tests {
     fn no_backends_drops_vip_traffic() {
         let mut lb = L4LoadBalancer::new(VIP, 80, vec![]);
         let mut pkt = vip_frame(1, 2);
-        assert_eq!(lb.process(&ProcessContext::egress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            lb.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(lb.counter(counters::NO_BACKEND).packets, 1);
     }
 

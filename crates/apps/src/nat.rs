@@ -140,7 +140,11 @@ impl PacketProcessor for StaticNat {
             Some(u32::from_be_bytes(k.try_into().ok()?))
         }
         match op {
-            TableOp::Insert { table: 0, key, value } => {
+            TableOp::Insert {
+                table: 0,
+                key,
+                value,
+            } => {
                 let (Some(k), Some(v)) = (ip_key(key), ip_key(value)) else {
                     return TableOpResult::BadEncoding;
                 };
@@ -210,7 +214,10 @@ mod tests {
     fn translates_mapped_source_udp() {
         let mut n = nat_with_mapping();
         let mut pkt = udp_frame(PRIVATE);
-        assert_eq!(n.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            n.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
         assert_eq!(ip.src(), PUBLIC);
         assert!(ip.verify_checksum());
@@ -245,7 +252,10 @@ mod tests {
         let mut n = nat_with_mapping();
         let mut pkt = udp_frame(0x0a0b0c0d);
         let before = pkt.clone();
-        assert_eq!(n.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            n.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(pkt, before);
         assert_eq!(n.counter(counters::MISSED).packets, 1);
     }
@@ -255,7 +265,10 @@ mod tests {
         let mut n = nat_with_mapping();
         let mut pkt = udp_frame(PRIVATE);
         let before = pkt.clone();
-        assert_eq!(n.process(&ProcessContext::ingress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            n.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(pkt, before);
     }
 
@@ -268,7 +281,10 @@ mod tests {
             flexsfp_wire::EtherType::Arp,
             &[0u8; 28],
         );
-        assert_eq!(n.process(&ProcessContext::egress(), &mut arp), Verdict::Forward);
+        assert_eq!(
+            n.process(&ProcessContext::egress(), &mut arp),
+            Verdict::Forward
+        );
         assert_eq!(n.counter(counters::NON_IP).packets, 1);
     }
 

@@ -111,7 +111,11 @@ impl PacketProcessor for PerSourceRateLimiter {
     fn control_op(&mut self, op: &TableOp) -> TableOpResult {
         match op {
             // key = prefix(4) | len(1); value = rate_bps(8) | burst(8)
-            TableOp::Insert { table: 0, key, value } => {
+            TableOp::Insert {
+                table: 0,
+                key,
+                value,
+            } => {
                 if key.len() != 5 || value.len() != 16 {
                     return TableOpResult::BadEncoding;
                 }
@@ -190,9 +194,15 @@ mod tests {
         let mut rl = PerSourceRateLimiter::new();
         rl.add_limit(0x0a000000, 8, 8_000_000, 1_000);
         let mut pkt = frame(0x0a000001, 1000);
-        assert_eq!(rl.process(&ProcessContext::egress().at(0), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            rl.process(&ProcessContext::egress().at(0), &mut pkt),
+            Verdict::Forward
+        );
         let mut pkt = frame(0x0a000001, 1000);
-        assert_eq!(rl.process(&ProcessContext::egress().at(1), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            rl.process(&ProcessContext::egress().at(1), &mut pkt),
+            Verdict::Drop
+        );
         // After 1 ms, 1000 bytes of credit at 1 MB/s.
         let mut pkt = frame(0x0a000001, 1000);
         assert_eq!(
@@ -207,7 +217,10 @@ mod tests {
         rl.add_limit(0x0a000000, 8, 8_000, 100);
         for _ in 0..50 {
             let mut pkt = frame(0xc0a80001, 1000);
-            assert_eq!(rl.process(&ProcessContext::egress().at(0), &mut pkt), Verdict::Forward);
+            assert_eq!(
+                rl.process(&ProcessContext::egress().at(0), &mut pkt),
+                Verdict::Forward
+            );
         }
         assert_eq!(rl.stats.unlimited, 50);
         assert_eq!(rl.stats.dropped, 0);
@@ -220,12 +233,21 @@ mod tests {
         rl.add_limit(0x0a000000, 8, 80_000_000, 100_000);
         rl.add_limit(0x0a0a0000, 16, 8_000, 60); // one 60B packet only
         let mut pkt = frame(0x0a0a0001, 60);
-        assert_eq!(rl.process(&ProcessContext::egress().at(0), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            rl.process(&ProcessContext::egress().at(0), &mut pkt),
+            Verdict::Forward
+        );
         let mut pkt = frame(0x0a0a0001, 60);
-        assert_eq!(rl.process(&ProcessContext::egress().at(0), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            rl.process(&ProcessContext::egress().at(0), &mut pkt),
+            Verdict::Drop
+        );
         // A sibling under the /8 is unaffected by the /16's exhaustion.
         let mut pkt = frame(0x0a0b0001, 60);
-        assert_eq!(rl.process(&ProcessContext::egress().at(0), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            rl.process(&ProcessContext::egress().at(0), &mut pkt),
+            Verdict::Forward
+        );
     }
 
     #[test]
@@ -245,9 +267,15 @@ mod tests {
         );
         assert_eq!(rl.limit_count(), 1);
         let mut pkt = frame(0x0a000001, 1000);
-        assert_eq!(rl.process(&ProcessContext::egress().at(0), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            rl.process(&ProcessContext::egress().at(0), &mut pkt),
+            Verdict::Forward
+        );
         let mut pkt = frame(0x0a000001, 1000);
-        assert_eq!(rl.process(&ProcessContext::egress().at(0), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            rl.process(&ProcessContext::egress().at(0), &mut pkt),
+            Verdict::Drop
+        );
         // Stats via counters.
         assert_eq!(
             rl.control_op(&TableOp::ReadCounter { index: 1 }),

@@ -208,7 +208,10 @@ mod tests {
     fn clean_traffic_passes() {
         let mut s = Sanitizer::default();
         let mut pkt = clean_frame(0x2d2d2d2d);
-        assert_eq!(s.process(&ProcessContext::ingress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            s.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(s.stats.passed, 1);
         assert_eq!(s.stats.dropped(), 0);
     }
@@ -218,7 +221,10 @@ mod tests {
         let mut s = Sanitizer::default();
         let mut pkt = clean_frame(0x2d2d2d2d);
         pkt[14 + 10] ^= 0xff; // flip checksum bits
-        assert_eq!(s.process(&ProcessContext::ingress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            s.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(s.stats.bad_ip_header, 1);
     }
 
@@ -232,7 +238,10 @@ mod tests {
             EtherType::Ipv4,
             &[0x45, 0, 0, 99, 0, 0],
         );
-        assert_eq!(s.process(&ProcessContext::ingress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            s.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(s.stats.bad_ip_header, 1);
     }
 
@@ -256,7 +265,10 @@ mod tests {
         ip[24..].copy_from_slice(payload);
         let mut pkt =
             PacketBuilder::ethernet(MacAddr([1; 6]), MacAddr([2; 6]), EtherType::Ipv4, &ip);
-        assert_eq!(s.process(&ProcessContext::ingress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            s.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(s.stats.ip_options, 1);
         // With the policy off, it passes.
         let mut lax = Sanitizer::new(SanitizerPolicy {
@@ -265,7 +277,10 @@ mod tests {
         });
         let mut pkt2 =
             PacketBuilder::ethernet(MacAddr([1; 6]), MacAddr([2; 6]), EtherType::Ipv4, &ip);
-        assert_eq!(lax.process(&ProcessContext::ingress(), &mut pkt2), Verdict::Forward);
+        assert_eq!(
+            lax.process(&ProcessContext::ingress(), &mut pkt2),
+            Verdict::Forward
+        );
     }
 
     #[test]
@@ -277,7 +292,10 @@ mod tests {
             ip.set_fragment(false, true, 1);
             ip.fill_checksum();
         }
-        assert_eq!(s.process(&ProcessContext::ingress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            s.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(s.stats.tiny_fragment, 1);
     }
 
@@ -296,7 +314,10 @@ mod tests {
         // The same sources are fine from the edge (that's where they
         // legitimately live).
         let mut pkt = clean_frame(0x0a010101);
-        assert_eq!(s.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            s.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
     }
 
     #[test]
@@ -308,7 +329,10 @@ mod tests {
             ip.set_ttl(0);
             ip.fill_checksum();
         }
-        assert_eq!(s.process(&ProcessContext::ingress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            s.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(s.stats.zero_ttl, 1);
     }
 
@@ -316,7 +340,10 @@ mod tests {
     fn runt_frames_dropped() {
         let mut s = Sanitizer::default();
         let mut runt = vec![0u8; 8];
-        assert_eq!(s.process(&ProcessContext::ingress(), &mut runt), Verdict::Drop);
+        assert_eq!(
+            s.process(&ProcessContext::ingress(), &mut runt),
+            Verdict::Drop
+        );
         assert_eq!(s.stats.runt, 1);
     }
 
@@ -329,7 +356,10 @@ mod tests {
             EtherType::Arp,
             &[0u8; 28],
         );
-        assert_eq!(s.process(&ProcessContext::ingress(), &mut arp), Verdict::Forward);
+        assert_eq!(
+            s.process(&ProcessContext::ingress(), &mut arp),
+            Verdict::Forward
+        );
     }
 
     #[test]

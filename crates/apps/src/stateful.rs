@@ -231,7 +231,10 @@ mod tests {
         // 50 handshakes: SYN then ACK each time.
         for i in 0..50u64 {
             let mut s = tcp(CLIENT, syn(), 5000 + i as u16);
-            assert_eq!(g.process(&ProcessContext::egress().at(i * 1000), &mut s), Verdict::Forward);
+            assert_eq!(
+                g.process(&ProcessContext::egress().at(i * 1000), &mut s),
+                Verdict::Forward
+            );
             let mut a = tcp(CLIENT, ack(), 5000 + i as u16);
             assert_eq!(
                 g.process(&ProcessContext::egress().at(i * 1000 + 500), &mut a),
@@ -258,7 +261,10 @@ mod tests {
         assert!(g.is_quarantined(ATTACKER));
         // Everything from the attacker drops during quarantine.
         let mut a = tcp(ATTACKER, ack(), 1);
-        assert_eq!(g.process(&ProcessContext::egress().at(5_000), &mut a), Verdict::Drop);
+        assert_eq!(
+            g.process(&ProcessContext::egress().at(5_000), &mut a),
+            Verdict::Drop
+        );
         // After the cooling-off period the source gets a clean slate.
         let mut s = tcp(ATTACKER, syn(), 7000);
         assert_eq!(
@@ -277,7 +283,10 @@ mod tests {
         }
         assert!(g.is_quarantined(ATTACKER));
         let mut s = tcp(CLIENT, syn(), 5000);
-        assert_eq!(g.process(&ProcessContext::egress().at(2_000), &mut s), Verdict::Forward);
+        assert_eq!(
+            g.process(&ProcessContext::egress().at(2_000), &mut s),
+            Verdict::Forward
+        );
         assert_eq!(g.tracked(), 2);
     }
 
@@ -293,7 +302,10 @@ mod tests {
             53,
             b"q",
         );
-        assert_eq!(g.process(&ProcessContext::egress(), &mut udp), Verdict::Forward);
+        assert_eq!(
+            g.process(&ProcessContext::egress(), &mut udp),
+            Verdict::Forward
+        );
         assert_eq!(g.stats.passed_non_tcp, 1);
         assert_eq!(g.stats.inspected, 0);
     }
@@ -315,7 +327,10 @@ mod tests {
         );
         assert!(!g.is_quarantined(ATTACKER));
         let mut s = tcp(ATTACKER, syn(), 9000);
-        assert_eq!(g.process(&ProcessContext::egress().at(99_999), &mut s), Verdict::Forward);
+        assert_eq!(
+            g.process(&ProcessContext::egress().at(99_999), &mut s),
+            Verdict::Forward
+        );
     }
 
     #[test]

@@ -206,7 +206,9 @@ pub fn parse_export(payload: &[u8]) -> Option<Vec<ExportRecord>> {
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let off = 4 + i * EXPORT_RECORD_BYTES;
-        out.push(ExportRecord::from_bytes(&payload[off..off + EXPORT_RECORD_BYTES])?);
+        out.push(ExportRecord::from_bytes(
+            &payload[off..off + EXPORT_RECORD_BYTES],
+        )?);
     }
     Some(out)
 }
@@ -254,9 +256,11 @@ impl PacketProcessor for TelemetryProbe {
 
     fn resource_manifest(&self) -> ResourceManifest {
         // Flow cache dominates: capacity × (104b key + 192b record).
-        let mem = flexsfp_fabric::sram::MemoryPlanner::plan(&[
-            flexsfp_fabric::sram::TableShape::new(self.flows.capacity() as u64, 104 + 192),
-        ]);
+        let mem =
+            flexsfp_fabric::sram::MemoryPlanner::plan(&[flexsfp_fabric::sram::TableShape::new(
+                self.flows.capacity() as u64,
+                104 + 192,
+            )]);
         ResourceManifest::new(5_400, 6_800, 28, 0) + mem
     }
 
@@ -340,7 +344,7 @@ mod tests {
     #[test]
     fn microburst_detection() {
         let mut p = probe(); // 100 µs windows, 10 kB threshold
-        // A burst: 20 × 1000 B within one window.
+                             // A burst: 20 × 1000 B within one window.
         let mut burst_flagged = false;
         for i in 0..20u64 {
             let mut pkt = frame(5000);
@@ -358,7 +362,10 @@ mod tests {
         for i in 0..20u64 {
             let mut pkt = frame(5001);
             pkt.resize(1000, 0);
-            p.process(&ProcessContext::egress().at(10_000_000 + i * 200_000), &mut pkt);
+            p.process(
+                &ProcessContext::egress().at(10_000_000 + i * 200_000),
+                &mut pkt,
+            );
         }
         assert_eq!(p.microburst.bursts, 1);
     }
@@ -379,14 +386,20 @@ mod tests {
     fn observation_never_drops() {
         let mut p = probe();
         let mut junk = vec![0u8; 60];
-        assert_eq!(p.process(&ProcessContext::egress(), &mut junk), Verdict::Forward);
+        assert_eq!(
+            p.process(&ProcessContext::egress(), &mut junk),
+            Verdict::Forward
+        );
         let mut arp = PacketBuilder::ethernet(
             MacAddr::BROADCAST,
             MacAddr([2; 6]),
             flexsfp_wire::EtherType::Arp,
             &[0u8; 28],
         );
-        assert_eq!(p.process(&ProcessContext::egress(), &mut arp), Verdict::Forward);
+        assert_eq!(
+            p.process(&ProcessContext::egress(), &mut arp),
+            Verdict::Forward
+        );
     }
 
     #[test]

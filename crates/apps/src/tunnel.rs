@@ -141,7 +141,8 @@ impl TunnelGateway {
                 let Some(l4_off) = parsed.l4_offset else {
                     return Verdict::Drop;
                 };
-                let inner_start = l4_off + flexsfp_wire::udp::HEADER_LEN + flexsfp_wire::vxlan::HEADER_LEN;
+                let inner_start =
+                    l4_off + flexsfp_wire::udp::HEADER_LEN + flexsfp_wire::vxlan::HEADER_LEN;
                 if inner_start >= packet.len() {
                     return Verdict::Drop;
                 }
@@ -204,7 +205,11 @@ impl PacketProcessor for TunnelGateway {
     fn control_op(&mut self, op: &TableOp) -> TableOpResult {
         match op {
             // Runtime endpoint re-pointing: key "remote", 4-byte value.
-            TableOp::Insert { table: 0, key, value } if key == b"remote" => {
+            TableOp::Insert {
+                table: 0,
+                key,
+                value,
+            } if key == b"remote" => {
                 let Ok(bytes) = <[u8; 4]>::try_from(&value[..]) else {
                     return TableOpResult::BadEncoding;
                 };
@@ -250,7 +255,10 @@ mod tests {
         let mut pkt = host_frame();
         let orig = pkt.clone();
         // Encap toward the fiber.
-        assert_eq!(gw.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            gw.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_ne!(pkt, orig);
         assert_eq!(gw.counter(counters::ENCAPPED).packets, 1);
         // The far-end module would decap; simulate the return path by
@@ -293,7 +301,10 @@ mod tests {
         let mut gw = TunnelGateway::new(TunnelKind::Gre { key: 1 }, LOCAL, REMOTE);
         let mut pkt = host_frame();
         let before = pkt.clone();
-        assert_eq!(gw.process(&ProcessContext::ingress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            gw.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(pkt, before);
         assert_eq!(gw.counter(counters::PASSED).packets, 1);
     }
@@ -315,7 +326,10 @@ mod tests {
         }
         let before = pkt.clone();
         // Key-2 gateway refuses to decap key-1 traffic.
-        assert_eq!(gw_b.process(&ProcessContext::ingress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            gw_b.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(pkt, before);
         assert_eq!(gw_b.counter(counters::PASSED).packets, 1);
     }
@@ -330,7 +344,10 @@ mod tests {
             &[0u8; 28],
         );
         let before = arp.clone();
-        assert_eq!(gw.process(&ProcessContext::egress(), &mut arp), Verdict::Forward);
+        assert_eq!(
+            gw.process(&ProcessContext::egress(), &mut arp),
+            Verdict::Forward
+        );
         assert_eq!(arp, before);
     }
 
@@ -343,7 +360,10 @@ mod tests {
             flexsfp_wire::EtherType::Arp,
             &[0u8; 28],
         );
-        assert_eq!(gw.process(&ProcessContext::egress(), &mut arp), Verdict::Forward);
+        assert_eq!(
+            gw.process(&ProcessContext::egress(), &mut arp),
+            Verdict::Forward
+        );
         assert_eq!(gw.counter(counters::ENCAPPED).packets, 1);
         let p = Parser::default().parse(&arp).unwrap();
         assert!(p.ipv4.is_some());

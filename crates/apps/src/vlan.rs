@@ -130,9 +130,7 @@ impl PacketProcessor for VlanTagger {
                     stripped = true;
                 }
                 if stripped {
-                    self.engine
-                        .counters
-                        .count(counters::UNTAGGED, packet.len());
+                    self.engine.counters.count(counters::UNTAGGED, packet.len());
                 }
                 Verdict::Forward
             }
@@ -152,7 +150,11 @@ impl PacketProcessor for VlanTagger {
         match op {
             // Table 0, key "vid": runtime re-assignment of the access
             // VLAN (coarse-grained update, as §4.1 describes).
-            TableOp::Insert { table: 0, key, value } if key == b"vid" => {
+            TableOp::Insert {
+                table: 0,
+                key,
+                value,
+            } if key == b"vid" => {
                 let Ok(bytes) = <[u8; 2]>::try_from(&value[..]) else {
                     return TableOpResult::BadEncoding;
                 };
@@ -196,13 +198,19 @@ mod tests {
         t.pcp = 5;
         let mut pkt = frame();
         let orig = pkt.clone();
-        assert_eq!(t.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            t.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         let p = Parser::default().parse(&pkt).unwrap();
         assert_eq!(p.vlans, vec![100]);
         assert_eq!(t.counter(counters::TAGGED).packets, 1);
 
         // Now the frame comes back from the network.
-        assert_eq!(t.process(&ProcessContext::ingress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            t.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(pkt, orig);
         assert_eq!(t.counter(counters::UNTAGGED).packets, 1);
     }
@@ -224,7 +232,10 @@ mod tests {
     fn tagged_ingress_from_host_is_spoofing() {
         let mut t = VlanTagger::new(100);
         let mut pkt = PacketBuilder::with_vlan(&frame(), 999, 0);
-        assert_eq!(t.process(&ProcessContext::egress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            t.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Drop
+        );
         assert_eq!(t.counter(counters::SPOOF_DROPPED).packets, 1);
     }
 
@@ -234,7 +245,10 @@ mod tests {
         t.drop_tagged_ingress = false;
         let mut pkt = PacketBuilder::with_vlan(&frame(), 999, 0);
         let before = pkt.clone();
-        assert_eq!(t.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            t.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(pkt, before);
     }
 
@@ -243,7 +257,10 @@ mod tests {
         let mut t = VlanTagger::new(100);
         let mut pkt = frame();
         let before = pkt.clone();
-        assert_eq!(t.process(&ProcessContext::ingress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            t.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(pkt, before);
         assert_eq!(t.counter(counters::UNTAGGED).packets, 0);
     }

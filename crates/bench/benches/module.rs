@@ -33,8 +33,16 @@ fn bench_shells(c: &mut Criterion) {
     let mut group = c.benchmark_group("module/run");
     group.throughput(Throughput::Elements(n as u64));
     for (label, shell, clock) in [
-        ("one_way_1x", ShellKind::one_way_egress(), ClockDomain::XGMII_10G),
-        ("two_way_2x", ShellKind::TwoWayCore, ClockDomain::XGMII_10G_X2),
+        (
+            "one_way_1x",
+            ShellKind::one_way_egress(),
+            ClockDomain::XGMII_10G,
+        ),
+        (
+            "two_way_2x",
+            ShellKind::TwoWayCore,
+            ClockDomain::XGMII_10G_X2,
+        ),
         (
             "active_cp_2x",
             ShellKind::ActiveControlPlane,

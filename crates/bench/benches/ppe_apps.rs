@@ -5,11 +5,11 @@
 //! "Performance vs. simplicity" question of §6).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flexsfp_apps::tunnel::TunnelKind;
 use flexsfp_apps::{
     AclAction, AclFirewall, AclRule, DnsFilter, L4LoadBalancer, PerSourceRateLimiter, Sanitizer,
     StaticNat, TelemetryProbe, TunnelGateway, VlanTagger,
 };
-use flexsfp_apps::tunnel::TunnelKind;
 use flexsfp_ppe::{PacketProcessor, ProcessContext};
 use flexsfp_wire::builder::PacketBuilder;
 use flexsfp_wire::MacAddr;
@@ -77,8 +77,16 @@ fn benches(c: &mut Criterion) {
         "l4_lb_pass",
         Box::new(L4LoadBalancer::new(0x0a636363, 80, vec![1, 2, 3])),
     );
-    bench_app(c, "telemetry", Box::new(TelemetryProbe::new(8_192, 100_000, 50_000)));
-    bench_app(c, "rate_limiter_unlimited", Box::new(PerSourceRateLimiter::new()));
+    bench_app(
+        c,
+        "telemetry",
+        Box::new(TelemetryProbe::new(8_192, 100_000, 50_000)),
+    );
+    bench_app(
+        c,
+        "rate_limiter_unlimited",
+        Box::new(PerSourceRateLimiter::new()),
+    );
     bench_app(c, "dns_filter_non_dns", Box::new(DnsFilter::new()));
     bench_app(c, "sanitizer", Box::new(Sanitizer::default()));
 

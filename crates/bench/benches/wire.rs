@@ -46,7 +46,13 @@ fn bench_checksum(c: &mut Criterion) {
         });
     }
     group.bench_function("incremental_update32", |b| {
-        b.iter(|| checksum::update32(black_box(0x1234), black_box(0xc0a80001), black_box(0x0a000001)))
+        b.iter(|| {
+            checksum::update32(
+                black_box(0x1234),
+                black_box(0xc0a80001),
+                black_box(0x0a000001),
+            )
+        })
     });
     group.finish();
 }
@@ -88,5 +94,11 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_checksum, bench_rewrite, bench_build);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_checksum,
+    bench_rewrite,
+    bench_build
+);
 criterion_main!(benches);

@@ -21,10 +21,10 @@ use flexsfp_ppe::engine::PassThrough;
 use flexsfp_ppe::Direction;
 use flexsfp_traffic::{SizeModel, TraceBuilder};
 use flexsfp_wire::builder::PacketBuilder;
-use serde::Serialize;
 
 /// Control-share sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ControlSharePoint {
     /// Fraction of offered frames that are control traffic.
     pub share: f64,
@@ -34,8 +34,15 @@ pub struct ControlSharePoint {
     pub control_handled: u64,
 }
 
+flexsfp_obs::impl_json_struct!(ControlSharePoint {
+    share,
+    data_delivery,
+    control_handled
+});
+
 /// NAT table-size sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TableSizePoint {
     /// Flow capacity.
     pub capacity: usize,
@@ -47,8 +54,16 @@ pub struct TableSizePoint {
     pub fits: bool,
 }
 
+flexsfp_obs::impl_json_struct!(TableSizePoint {
+    capacity,
+    lsram_blocks,
+    lsram_share,
+    fits
+});
+
 /// Chain-depth sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChainDepthPoint {
     /// Stages in the chain.
     pub depth: usize,
@@ -60,8 +75,16 @@ pub struct ChainDepthPoint {
     pub closes_2x: bool,
 }
 
+flexsfp_obs::impl_json_struct!(ChainDepthPoint {
+    depth,
+    fmax_mhz,
+    closes_1x,
+    closes_2x
+});
+
 /// FIFO sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FifoPoint {
     /// FIFO capacity, KiB.
     pub fifo_kib: usize,
@@ -69,8 +92,11 @@ pub struct FifoPoint {
     pub delivery: f64,
 }
 
+flexsfp_obs::impl_json_struct!(FifoPoint { fifo_kib, delivery });
+
 /// The combined report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// Ablation 1.
     pub control_share: Vec<ControlSharePoint>,
@@ -81,6 +107,13 @@ pub struct Report {
     /// Ablation 4.
     pub fifo: Vec<FifoPoint>,
 }
+
+flexsfp_obs::impl_json_struct!(Report {
+    control_share,
+    table_size,
+    chain_depth,
+    fifo
+});
 
 fn control_share_sweep(n: usize) -> Vec<ControlSharePoint> {
     let mut out = Vec::new();

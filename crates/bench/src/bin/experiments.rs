@@ -18,7 +18,9 @@
 //!
 //! `--json` additionally emits the machine-readable report on stdout.
 
-use flexsfp_bench::{ablations, fig1, fig2, latency, linerate, power, scaling, table1, table2, table3};
+use flexsfp_bench::{
+    ablations, fig1, fig2, latency, linerate, power, scaling, table1, table2, table3,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,8 +32,17 @@ fn main() {
         .unwrap_or("all");
 
     let known = [
-        "table1", "table2", "table3", "fig1", "fig2", "linerate", "power", "scaling",
-        "ablations", "latency", "all",
+        "table1",
+        "table2",
+        "table3",
+        "fig1",
+        "fig2",
+        "linerate",
+        "power",
+        "scaling",
+        "ablations",
+        "latency",
+        "all",
     ];
     if !known.contains(&cmd) {
         eprintln!("unknown experiment '{cmd}'; expected one of {known:?}");
@@ -43,70 +54,70 @@ fn main() {
             let r = table1::run();
             println!("{}", table1::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         "table2" => {
             let r = table2::run();
             println!("{}", table2::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         "table3" => {
             let r = table3::run();
             println!("{}", table3::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         "fig1" => {
             let r = fig1::run(20_000);
             println!("{}", fig1::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         "fig2" => {
             let r = fig2::run();
             println!("{}", fig2::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         "linerate" => {
             let r = linerate::run(20_000);
             println!("{}", linerate::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         "power" => {
             let r = power::run();
             println!("{}", power::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         "scaling" => {
             let r = scaling::run();
             println!("{}", scaling::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         "latency" => {
             let r = latency::run(20_000);
             println!("{}", latency::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         "ablations" => {
             let r = ablations::run(30_000);
             println!("{}", ablations::render(&r));
             if json {
-                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
         }
         _ => unreachable!(),

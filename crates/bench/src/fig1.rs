@@ -13,10 +13,10 @@ use flexsfp_fabric::ClockDomain;
 use flexsfp_ppe::engine::PassThrough;
 use flexsfp_ppe::Direction;
 use flexsfp_traffic::{LineRateCalc, SizeModel, TraceBuilder};
-use serde::Serialize;
 
 /// One measured operating point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Shell name.
     pub shell: String,
@@ -36,12 +36,26 @@ pub struct Point {
     pub max_latency_ns: f64,
 }
 
+flexsfp_obs::impl_json_struct!(Point {
+    shell,
+    ppe_mhz,
+    load,
+    offered,
+    delivery,
+    fifo_drops,
+    mean_latency_ns,
+    max_latency_ns
+});
+
 /// The report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// All measured points.
     pub points: Vec<Point>,
 }
+
+flexsfp_obs::impl_json_struct!(Report { points });
 
 fn trace(bidir: bool, n: usize) -> Vec<SimPacket> {
     let packets = TraceBuilder::new(0xf1)
@@ -98,7 +112,12 @@ pub fn run(n: usize) -> Report {
         measure(one_way, ClockDomain::XGMII_10G, true, n),
         measure(ShellKind::TwoWayCore, ClockDomain::XGMII_10G, true, n),
         measure(ShellKind::TwoWayCore, ClockDomain::XGMII_10G_X2, true, n),
-        measure(ShellKind::ActiveControlPlane, ClockDomain::XGMII_10G_X2, true, n),
+        measure(
+            ShellKind::ActiveControlPlane,
+            ClockDomain::XGMII_10G_X2,
+            true,
+            n,
+        ),
     ];
     Report { points }
 }

@@ -8,10 +8,10 @@
 use flexsfp_core::module::FlexSfp;
 use flexsfp_fabric::jtag::JtagAdapter;
 use flexsfp_fabric::resources::Device;
-use serde::Serialize;
 
 /// One inventory line.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Component {
     /// Component name.
     pub name: String,
@@ -21,14 +21,19 @@ pub struct Component {
     pub ok: bool,
 }
 
+flexsfp_obs::impl_json_struct!(Component { name, detail, ok });
+
 /// The report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// Inventory lines.
     pub components: Vec<Component>,
     /// Every self-check passed.
     pub all_ok: bool,
 }
+
+flexsfp_obs::impl_json_struct!(Report { components, all_ok });
 
 /// Build and inventory the prototype module.
 pub fn run() -> Report {
@@ -57,7 +62,10 @@ pub fn run() -> Report {
         ),
         ok: module.flash.read(0, 4).is_ok(),
     });
-    for (name, t) in [("Electrical transceiver", &module.edge), ("Optical transceiver", &module.optical)] {
+    for (name, t) in [
+        ("Electrical transceiver", &module.edge),
+        ("Optical transceiver", &module.optical),
+    ] {
         components.push(Component {
             name: name.into(),
             detail: format!(

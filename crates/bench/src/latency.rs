@@ -14,10 +14,10 @@
 
 use flexsfp_host::baselines::ProcessingPath;
 use flexsfp_traffic::{LineRateCalc, SizeModel, TraceBuilder};
-use serde::Serialize;
 
 /// Latency of one placement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PlacementLatency {
     /// Placement name.
     pub placement: String,
@@ -29,8 +29,16 @@ pub struct PlacementLatency {
     pub max_ns: f64,
 }
 
+flexsfp_obs::impl_json_struct!(PlacementLatency {
+    placement,
+    mean_ns,
+    p99_ns,
+    max_ns
+});
+
 /// Early-enforcement accounting for one placement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnforcementRow {
     /// Placement name.
     pub placement: String,
@@ -41,8 +49,15 @@ pub struct EnforcementRow {
     pub wasted_share: f64,
 }
 
+flexsfp_obs::impl_json_struct!(EnforcementRow {
+    placement,
+    wasted_downstream_bytes,
+    wasted_share
+});
+
 /// The report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// Latency comparison at moderate load.
     pub latency: Vec<PlacementLatency>,
@@ -54,6 +69,13 @@ pub struct Report {
     /// line rate at 64 B frames), derived from service times.
     pub saturation_load: Vec<(String, f64)>,
 }
+
+flexsfp_obs::impl_json_struct!(Report {
+    latency,
+    enforcement,
+    blocked_fraction,
+    saturation_load
+});
 
 /// Run the comparison (`n` packets).
 pub fn run(n: usize) -> Report {
@@ -92,7 +114,8 @@ pub fn run(n: usize) -> Report {
     let blocked_fraction = 0.20;
     let doomed_bytes = (total_bytes as f64 * blocked_fraction) as u64;
     let span_ns = arrivals.last().copied().unwrap_or(1).max(1);
-    let link_capacity_bytes = (LineRateCalc::TEN_GIG.rate_bps as f64 / 8.0 * span_ns as f64 / 1e9) as u64;
+    let link_capacity_bytes =
+        (LineRateCalc::TEN_GIG.rate_bps as f64 / 8.0 * span_ns as f64 / 1e9) as u64;
     let enforcement = vec![
         EnforcementRow {
             placement: "FlexSFP (drop at cable)".into(),
@@ -179,7 +202,10 @@ mod tests {
         // Sub-microsecond vs microseconds vs tens of microseconds.
         assert!(flex.mean_ns < 1_000.0, "{flex:?}");
         assert!(nic.mean_ns > 3_000.0 && nic.mean_ns < 10_000.0, "{nic:?}");
-        assert!(host.mean_ns > 25_000.0 && host.mean_ns < 100_000.0, "{host:?}");
+        assert!(
+            host.mean_ns > 25_000.0 && host.mean_ns < 100_000.0,
+            "{host:?}"
+        );
         // The host tail is the pathology the paper motivates with.
         assert!(host.p99_ns > 1.8 * host.mean_ns, "{host:?}");
         assert!(flex.p99_ns < 1_000.0);
@@ -196,7 +222,10 @@ mod tests {
         );
         // At 5% load with 20% blocked, ~0.7% of the link is wasted by
         // late enforcement (scales linearly with load).
-        assert!((0.004..0.02).contains(&r.enforcement[1].wasted_share), "{r:?}");
+        assert!(
+            (0.004..0.02).contains(&r.enforcement[1].wasted_share),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -11,10 +11,10 @@ use flexsfp_core::module::{FlexSfp, ModuleConfig, SimPacket};
 use flexsfp_ppe::Direction;
 use flexsfp_traffic::{LineRateCalc, SizeModel, TraceBuilder};
 use flexsfp_wire::ipv4::Ipv4Packet;
-use serde::Serialize;
 
 /// One frame-size measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Frame size (no FCS), bytes.
     pub frame_len: usize,
@@ -30,14 +30,29 @@ pub struct Point {
     pub mean_latency_ns: f64,
 }
 
+flexsfp_obs::impl_json_struct!(Point {
+    frame_len,
+    offered_pps,
+    delivery,
+    delivered_gbps,
+    translated_ok,
+    mean_latency_ns
+});
+
 /// The report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// Per-size points.
     pub points: Vec<Point>,
     /// Line rate confirmed at every size.
     pub line_rate_confirmed: bool,
 }
+
+flexsfp_obs::impl_json_struct!(Report {
+    points,
+    line_rate_confirmed
+});
 
 const PRIVATE_BASE: u32 = 0xc0a8_0000;
 const PUBLIC_BASE: u32 = 0x6540_0000;

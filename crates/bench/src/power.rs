@@ -7,10 +7,10 @@
 use flexsfp_apps::StaticNat;
 use flexsfp_core::module::{FlexSfp, ModuleConfig};
 use flexsfp_host::testbed::{PowerMeasurement, PowerTestbed};
-use serde::Serialize;
 
 /// The report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// NIC-level three-point measurement under stress.
     pub nic_only_w: f64,
@@ -29,6 +29,17 @@ pub struct Report {
     /// Idle FlexSFP power.
     pub flexsfp_idle_w: f64,
 }
+
+flexsfp_obs::impl_json_struct!(Report {
+    nic_only_w,
+    nic_with_sfp_w,
+    nic_with_flexsfp_w,
+    sfp_w,
+    flexsfp_w,
+    premium_w,
+    breakdown_w,
+    flexsfp_idle_w
+});
 
 /// Run the measurement.
 pub fn run() -> Report {

@@ -13,10 +13,10 @@ use flexsfp_fabric::power::{PowerClass, PowerModel};
 use flexsfp_fabric::resources::table1;
 use flexsfp_fabric::stream::{BusWidth, DatapathConfig};
 use flexsfp_fabric::ClockDomain;
-use serde::Serialize;
 
 /// One (width, clock) design point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Datapath width, bits.
     pub width_bits: u32,
@@ -32,12 +32,24 @@ pub struct Point {
     pub power_class: Option<String>,
 }
 
+flexsfp_obs::impl_json_struct!(Point {
+    width_bits,
+    clock_mhz,
+    bus_gbps,
+    max_line_rate_gbps,
+    power_w,
+    power_class
+});
+
 /// The report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// All sweep points.
     pub points: Vec<Point>,
 }
+
+flexsfp_obs::impl_json_struct!(Report { points });
 
 /// Standard line rates probed, Gb/s.
 const LINE_RATES: [u32; 4] = [10, 25, 40, 100];
@@ -115,7 +127,14 @@ pub fn render(r: &Report) -> String {
     format!(
         "S5.3 scaling: datapath width x clock -> sustainable line rate and power envelope\n{}",
         crate::render::table(
-            &["Width b", "Clock MHz", "Bus Gb/s", "Line rate", "Power W", "Envelope"],
+            &[
+                "Width b",
+                "Clock MHz",
+                "Bus Gb/s",
+                "Line rate",
+                "Power W",
+                "Envelope"
+            ],
             &rows
         )
     )
@@ -161,7 +180,10 @@ mod tests {
         // The 100 G point busts the SFP+ envelope — the §5.3 "larger
         // form factors like QSFP and OSFP" observation.
         let hundred = point(&r, 512, 312.5);
-        assert!(hundred.power_class.is_none() || hundred.power_w > 2.0, "{hundred:?}");
+        assert!(
+            hundred.power_class.is_none() || hundred.power_w > 2.0,
+            "{hundred:?}"
+        );
     }
 
     #[test]

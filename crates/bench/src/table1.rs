@@ -8,10 +8,10 @@ use crate::render;
 use flexsfp_apps::StaticNat;
 use flexsfp_fabric::resources::{table1, Device, ResourceManifest};
 use flexsfp_ppe::PacketProcessor;
-use serde::Serialize;
 
 /// One row of the table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Row {
     /// Component name.
     pub component: String,
@@ -19,8 +19,11 @@ pub struct Row {
     pub usage: ResourceManifest,
 }
 
+flexsfp_obs::impl_json_struct!(Row { component, usage });
+
 /// The full report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// Per-component rows.
     pub rows: Vec<Row>,
@@ -33,6 +36,14 @@ pub struct Report {
     /// Whole design fits the device.
     pub fits: bool,
 }
+
+flexsfp_obs::impl_json_struct!(Report {
+    rows,
+    used,
+    available,
+    utilization_pct,
+    fits
+});
 
 /// Regenerate Table 1.
 pub fn run() -> Report {
@@ -139,7 +150,15 @@ mod tests {
     #[test]
     fn render_contains_all_rows() {
         let text = render(&run());
-        for needle in ["Mi-V", "Elec. I/F", "Opt. I/F", "NAT app", "Used", "Avail.", "Perc."] {
+        for needle in [
+            "Mi-V",
+            "Elec. I/F",
+            "Opt. I/F",
+            "NAT app",
+            "Used",
+            "Avail.",
+            "Perc.",
+        ] {
             assert!(text.contains(needle), "missing {needle}\n{text}");
         }
         assert!(text.contains("31 455"));

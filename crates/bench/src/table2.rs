@@ -4,10 +4,10 @@
 use crate::render;
 use flexsfp_cost::designs::{fit_check, DesignFit};
 use flexsfp_fabric::resources::Device;
-use serde::Serialize;
 
 /// The report: per-design fits plus the reference device row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// Fit rows.
     pub designs: Vec<DesignFit>,
@@ -18,6 +18,13 @@ pub struct Report {
     /// Device BRAM (kbit).
     pub device_bram_kbits: u64,
 }
+
+flexsfp_obs::impl_json_struct!(Report {
+    designs,
+    device,
+    device_le,
+    device_bram_kbits
+});
 
 /// Regenerate Table 2.
 pub fn run() -> Report {
@@ -86,7 +93,10 @@ mod tests {
     #[test]
     fn render_matches_table2_numbers() {
         let text = render(&run());
-        assert!(text.contains("~114 k LE") || text.contains("~115 k LE"), "{text}");
+        assert!(
+            text.contains("~114 k LE") || text.contains("~115 k LE"),
+            "{text}"
+        );
         assert!(text.contains("~415 k LE") || text.contains("~416 k LE"));
         assert!(text.contains("hXDP"));
         assert!(text.contains("13 300"));

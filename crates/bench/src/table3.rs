@@ -3,10 +3,10 @@
 use crate::render;
 use flexsfp_cost::catalog::{solutions, Solution};
 use flexsfp_cost::ideal_scaling::Range;
-use serde::Serialize;
 
 /// One rendered row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Row {
     /// Solution name.
     pub name: String,
@@ -20,12 +20,23 @@ pub struct Row {
     pub power_per_10g: Range,
 }
 
+flexsfp_obs::impl_json_struct!(Row {
+    name,
+    raw_cost,
+    raw_power,
+    cost_per_10g,
+    power_per_10g
+});
+
 /// The report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// Table rows.
     pub rows: Vec<Row>,
 }
+
+flexsfp_obs::impl_json_struct!(Report { rows });
 
 /// Regenerate Table 3.
 pub fn run() -> Report {
@@ -73,7 +84,12 @@ mod tests {
         let names: Vec<&str> = r.rows.iter().map(|x| x.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["DPU (BF-2)", "Many-core (Ag./DSC)", "FPGA (U25/U50)", "FlexSFP"]
+            vec![
+                "DPU (BF-2)",
+                "Many-core (Ag./DSC)",
+                "FPGA (U25/U50)",
+                "FlexSFP"
+            ]
         );
     }
 
@@ -100,7 +116,11 @@ mod tests {
         let r = run();
         let flex = r.rows.last().unwrap();
         for row in &r.rows[..3] {
-            assert!(row.power_per_10g.min > flex.power_per_10g.max, "{}", row.name);
+            assert!(
+                row.power_per_10g.min > flex.power_per_10g.max,
+                "{}",
+                row.name
+            );
         }
         // FlexSFP's cost is competitive with the DPU band, not with the
         // many-core band — exactly what the paper concedes.

@@ -4,18 +4,20 @@
 //! system needs from it is (a) identity — which application, which
 //! version, (b) the resource manifest for fit checking before activation,
 //! (c) the target clock, and (d) integrity. This container carries
-//! exactly that: a JSON-encoded metadata header (serde) followed by the
-//! payload, protected by a CRC-32.
+//! exactly that: a JSON-encoded metadata header (via the in-tree
+//! `flexsfp_obs::json` codec) followed by the payload, protected by a
+//! CRC-32.
 
 use flexsfp_fabric::hash::crc32;
 use flexsfp_fabric::resources::ResourceManifest;
-use serde::{Deserialize, Serialize};
+use flexsfp_obs::json::{FromJson, ToJson, Value};
 
 /// Magic bytes introducing a FlexSFP bitstream image.
 pub const MAGIC: &[u8; 4] = b"FSBS";
 
 /// Bitstream metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitstreamMeta {
     /// Application identifier (resolved through the module's app
     /// factory at boot, standing in for the synthesized netlist).
@@ -28,8 +30,39 @@ pub struct BitstreamMeta {
     /// Datapath clock the design closed timing at, Hz.
     pub clock_hz: u64,
     /// Free-form application configuration (e.g. initial table rules).
-    #[serde(default)]
-    pub config: serde_json::Value,
+    #[cfg_attr(feature = "serde", serde(skip, default = "default_config"))]
+    pub config: Value,
+}
+
+#[cfg(feature = "serde")]
+fn default_config() -> Value {
+    Value::Null
+}
+
+impl ToJson for BitstreamMeta {
+    fn to_json(&self) -> Value {
+        flexsfp_obs::json!({
+            "app": self.app.as_str(),
+            "version": self.version,
+            "manifest": self.manifest.to_json(),
+            "clock_hz": self.clock_hz,
+            "config": self.config.clone(),
+        })
+    }
+}
+
+impl FromJson for BitstreamMeta {
+    fn from_json(v: &Value) -> Option<BitstreamMeta> {
+        let object = v.as_object()?;
+        Some(BitstreamMeta {
+            app: String::from_json(object.get("app")?)?,
+            version: u32::from_json(object.get("version")?)?,
+            manifest: ResourceManifest::from_json(object.get("manifest")?)?,
+            clock_hz: u64::from_json(object.get("clock_hz")?)?,
+            // Absent config defaults to null (images from older tools).
+            config: object.get("config").cloned().unwrap_or(Value::Null),
+        })
+    }
 }
 
 /// A complete bitstream: metadata + payload.
@@ -71,7 +104,7 @@ impl Bitstream {
                 version,
                 manifest,
                 clock_hz,
-                config: serde_json::Value::Null,
+                config: Value::Null,
             },
             // A deterministic synthetic payload whose size scales with
             // the design (roughly 100 bits of config per LUT).
@@ -80,14 +113,14 @@ impl Bitstream {
     }
 
     /// Attach application configuration.
-    pub fn with_config(mut self, config: serde_json::Value) -> Bitstream {
+    pub fn with_config(mut self, config: Value) -> Bitstream {
         self.meta.config = config;
         self
     }
 
     /// Serialize: `MAGIC | meta_len:u32 | meta_json | payload | crc32`.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let meta = serde_json::to_vec(&self.meta).expect("meta serializes");
+        let meta = self.meta.to_json().to_string().into_bytes();
         let mut out = Vec::with_capacity(4 + 4 + meta.len() + self.payload.len() + 4);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(meta.len() as u32).to_be_bytes());
@@ -115,8 +148,12 @@ impl Bitstream {
         if 8 + meta_len > body_len {
             return Err(BitstreamError::Truncated);
         }
-        let meta: BitstreamMeta =
-            serde_json::from_slice(&data[8..8 + meta_len]).map_err(|_| BitstreamError::BadMeta)?;
+        let meta_text =
+            std::str::from_utf8(&data[8..8 + meta_len]).map_err(|_| BitstreamError::BadMeta)?;
+        let meta = Value::parse(meta_text)
+            .ok()
+            .and_then(|v| BitstreamMeta::from_json(&v))
+            .ok_or(BitstreamError::BadMeta)?;
         Ok(Bitstream {
             meta,
             payload: data[8 + meta_len..body_len].to_vec(),
@@ -156,7 +193,7 @@ mod tests {
             ResourceManifest::new(9_122, 11_294, 36, 160),
             156_250_000,
         )
-        .with_config(serde_json::json!({"table_size": 32768}))
+        .with_config(flexsfp_obs::json!({"table_size": 32768}))
     }
 
     #[test]
@@ -167,7 +204,7 @@ mod tests {
         assert_eq!(parsed, b);
         assert_eq!(parsed.meta.app, "nat");
         assert_eq!(parsed.meta.clock_hz, 156_250_000);
-        assert_eq!(parsed.meta.config["table_size"], 32768);
+        assert_eq!(parsed.meta.config["table_size"], Value::from(32768u64));
     }
 
     #[test]

@@ -17,10 +17,10 @@ use crate::auth::{self, AuthKey};
 use crate::reprogram::{UpdateError, UpdateFsm, UpdateState};
 use flexsfp_fabric::flash::SpiFlash;
 use flexsfp_fabric::i2c::DomReading;
+use flexsfp_obs::json::{FromJson, ToJson, Value};
 use flexsfp_ppe::{PacketProcessor, TableOp, TableOpResult};
 use flexsfp_wire::builder::PacketBuilder;
 use flexsfp_wire::{EthernetFrame, Ipv4Packet, MacAddr, UdpDatagram};
-use serde::{Deserialize, Serialize};
 
 /// UDP port the control plane listens on.
 pub const CONTROL_PORT: u16 = 5577;
@@ -28,7 +28,8 @@ pub const CONTROL_PORT: u16 = 5577;
 pub const MAGIC: &[u8; 4] = b"FSCP";
 
 /// Serializable mirror of [`TableOp`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CtlTableOp {
     /// Insert or update.
     Insert {
@@ -78,7 +79,8 @@ impl CtlTableOp {
 }
 
 /// Serializable mirror of [`TableOpResult`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CtlTableResult {
     /// Operation applied.
     Ok,
@@ -116,7 +118,8 @@ impl From<TableOpResult> for CtlTableResult {
 }
 
 /// A control request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ControlRequest {
     /// Liveness probe.
     Ping {
@@ -162,7 +165,8 @@ pub enum ControlRequest {
 }
 
 /// A control response.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ControlResponse {
     /// Ping echo.
     Pong {
@@ -203,6 +207,252 @@ pub enum ControlResponse {
     Ack,
     /// Failure with reason.
     Error(String),
+}
+
+// Hand-written JSON codecs for the control messages, byte-compatible
+// with serde's externally tagged enum encoding (unit variant → string,
+// data variant → single-key object) so captures from serde-built peers
+// still decode.
+
+impl ToJson for CtlTableOp {
+    fn to_json(&self) -> Value {
+        match self {
+            CtlTableOp::Insert { table, key, value } => flexsfp_obs::json!({
+                "Insert": {"table": *table, "key": key.to_json(), "value": value.to_json()}
+            }),
+            CtlTableOp::Delete { table, key } => {
+                flexsfp_obs::json!({"Delete": {"table": *table, "key": key.to_json()}})
+            }
+            CtlTableOp::Read { table, key } => {
+                flexsfp_obs::json!({"Read": {"table": *table, "key": key.to_json()}})
+            }
+            CtlTableOp::ReadCounter { index } => {
+                flexsfp_obs::json!({"ReadCounter": {"index": *index}})
+            }
+            CtlTableOp::Clear { table } => flexsfp_obs::json!({"Clear": {"table": *table}}),
+        }
+    }
+}
+
+impl FromJson for CtlTableOp {
+    fn from_json(v: &Value) -> Option<CtlTableOp> {
+        let (tag, body) = single_variant(v)?;
+        match tag {
+            "Insert" => Some(CtlTableOp::Insert {
+                table: u8::from_json(&body["table"])?,
+                key: Vec::<u8>::from_json(&body["key"])?,
+                value: Vec::<u8>::from_json(&body["value"])?,
+            }),
+            "Delete" => Some(CtlTableOp::Delete {
+                table: u8::from_json(&body["table"])?,
+                key: Vec::<u8>::from_json(&body["key"])?,
+            }),
+            "Read" => Some(CtlTableOp::Read {
+                table: u8::from_json(&body["table"])?,
+                key: Vec::<u8>::from_json(&body["key"])?,
+            }),
+            "ReadCounter" => Some(CtlTableOp::ReadCounter {
+                index: u32::from_json(&body["index"])?,
+            }),
+            "Clear" => Some(CtlTableOp::Clear {
+                table: u8::from_json(&body["table"])?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for CtlTableResult {
+    fn to_json(&self) -> Value {
+        match self {
+            CtlTableResult::Ok => Value::Str("Ok".into()),
+            CtlTableResult::NotFound => Value::Str("NotFound".into()),
+            CtlTableResult::TableFull => Value::Str("TableFull".into()),
+            CtlTableResult::BadEncoding => Value::Str("BadEncoding".into()),
+            CtlTableResult::Unsupported => Value::Str("Unsupported".into()),
+            CtlTableResult::Value(v) => flexsfp_obs::json!({"Value": v.to_json()}),
+            CtlTableResult::Counter { packets, bytes } => {
+                flexsfp_obs::json!({"Counter": {"packets": *packets, "bytes": *bytes}})
+            }
+        }
+    }
+}
+
+impl FromJson for CtlTableResult {
+    fn from_json(v: &Value) -> Option<CtlTableResult> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "Ok" => Some(CtlTableResult::Ok),
+                "NotFound" => Some(CtlTableResult::NotFound),
+                "TableFull" => Some(CtlTableResult::TableFull),
+                "BadEncoding" => Some(CtlTableResult::BadEncoding),
+                "Unsupported" => Some(CtlTableResult::Unsupported),
+                _ => None,
+            };
+        }
+        let (tag, body) = single_variant(v)?;
+        match tag {
+            "Value" => Some(CtlTableResult::Value(Vec::<u8>::from_json(body)?)),
+            "Counter" => Some(CtlTableResult::Counter {
+                packets: u64::from_json(&body["packets"])?,
+                bytes: u64::from_json(&body["bytes"])?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for ControlRequest {
+    fn to_json(&self) -> Value {
+        match self {
+            ControlRequest::GetInfo => Value::Str("GetInfo".into()),
+            ControlRequest::ReadDom => Value::Str("ReadDom".into()),
+            ControlRequest::ReadTelemetry => Value::Str("ReadTelemetry".into()),
+            ControlRequest::CommitUpdate => Value::Str("CommitUpdate".into()),
+            ControlRequest::AbortUpdate => Value::Str("AbortUpdate".into()),
+            ControlRequest::Ping { nonce } => flexsfp_obs::json!({"Ping": {"nonce": *nonce}}),
+            ControlRequest::Table(op) => flexsfp_obs::json!({"Table": op.to_json()}),
+            ControlRequest::BeginUpdate {
+                slot,
+                total_len,
+                crc32,
+            } => flexsfp_obs::json!({
+                "BeginUpdate": {"slot": *slot as u64, "total_len": *total_len as u64, "crc32": *crc32}
+            }),
+            ControlRequest::UpdateChunk { seq, data } => {
+                flexsfp_obs::json!({"UpdateChunk": {"seq": *seq, "data": data.to_json()}})
+            }
+            ControlRequest::Activate { slot } => {
+                flexsfp_obs::json!({"Activate": {"slot": *slot as u64}})
+            }
+        }
+    }
+}
+
+impl FromJson for ControlRequest {
+    fn from_json(v: &Value) -> Option<ControlRequest> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "GetInfo" => Some(ControlRequest::GetInfo),
+                "ReadDom" => Some(ControlRequest::ReadDom),
+                "ReadTelemetry" => Some(ControlRequest::ReadTelemetry),
+                "CommitUpdate" => Some(ControlRequest::CommitUpdate),
+                "AbortUpdate" => Some(ControlRequest::AbortUpdate),
+                _ => None,
+            };
+        }
+        let (tag, body) = single_variant(v)?;
+        match tag {
+            "Ping" => Some(ControlRequest::Ping {
+                nonce: u64::from_json(&body["nonce"])?,
+            }),
+            "Table" => Some(ControlRequest::Table(CtlTableOp::from_json(body)?)),
+            "BeginUpdate" => Some(ControlRequest::BeginUpdate {
+                slot: usize::from_json(&body["slot"])?,
+                total_len: usize::from_json(&body["total_len"])?,
+                crc32: u32::from_json(&body["crc32"])?,
+            }),
+            "UpdateChunk" => Some(ControlRequest::UpdateChunk {
+                seq: u32::from_json(&body["seq"])?,
+                data: Vec::<u8>::from_json(&body["data"])?,
+            }),
+            "Activate" => Some(ControlRequest::Activate {
+                slot: usize::from_json(&body["slot"])?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for ControlResponse {
+    fn to_json(&self) -> Value {
+        match self {
+            ControlResponse::Ack => Value::Str("Ack".into()),
+            ControlResponse::Pong { nonce } => flexsfp_obs::json!({"Pong": {"nonce": *nonce}}),
+            ControlResponse::Info {
+                module_id,
+                app,
+                app_version,
+                boots,
+                update_state,
+            } => flexsfp_obs::json!({
+                "Info": {
+                    "module_id": module_id.as_str(),
+                    "app": app.as_str(),
+                    "app_version": *app_version,
+                    "boots": *boots,
+                    "update_state": update_state.as_str(),
+                }
+            }),
+            ControlResponse::Table(r) => flexsfp_obs::json!({"Table": r.to_json()}),
+            ControlResponse::Dom {
+                temperature_c,
+                vcc_v,
+                tx_bias_ma,
+                tx_power_mw,
+                rx_power_mw,
+            } => flexsfp_obs::json!({
+                "Dom": {
+                    "temperature_c": *temperature_c,
+                    "vcc_v": *vcc_v,
+                    "tx_bias_ma": *tx_bias_ma,
+                    "tx_power_mw": *tx_power_mw,
+                    "rx_power_mw": *rx_power_mw,
+                }
+            }),
+            ControlResponse::Telemetry(snap) => {
+                flexsfp_obs::json!({"Telemetry": snap.to_json()})
+            }
+            ControlResponse::Error(msg) => flexsfp_obs::json!({"Error": msg.as_str()}),
+        }
+    }
+}
+
+impl FromJson for ControlResponse {
+    fn from_json(v: &Value) -> Option<ControlResponse> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "Ack" => Some(ControlResponse::Ack),
+                _ => None,
+            };
+        }
+        let (tag, body) = single_variant(v)?;
+        match tag {
+            "Pong" => Some(ControlResponse::Pong {
+                nonce: u64::from_json(&body["nonce"])?,
+            }),
+            "Info" => Some(ControlResponse::Info {
+                module_id: String::from_json(&body["module_id"])?,
+                app: String::from_json(&body["app"])?,
+                app_version: u32::from_json(&body["app_version"])?,
+                boots: u32::from_json(&body["boots"])?,
+                update_state: String::from_json(&body["update_state"])?,
+            }),
+            "Table" => Some(ControlResponse::Table(CtlTableResult::from_json(body)?)),
+            "Dom" => Some(ControlResponse::Dom {
+                temperature_c: f64::from_json(&body["temperature_c"])?,
+                vcc_v: f64::from_json(&body["vcc_v"])?,
+                tx_bias_ma: f64::from_json(&body["tx_bias_ma"])?,
+                tx_power_mw: f64::from_json(&body["tx_power_mw"])?,
+                rx_power_mw: f64::from_json(&body["rx_power_mw"])?,
+            }),
+            "Telemetry" => Some(ControlResponse::Telemetry(Box::new(
+                flexsfp_obs::TelemetrySnapshot::from_json(body)?,
+            ))),
+            "Error" => Some(ControlResponse::Error(String::from_json(body)?)),
+            _ => None,
+        }
+    }
+}
+
+/// Split an externally tagged data variant: exactly one key, its value.
+fn single_variant(v: &Value) -> Option<(&str, &Value)> {
+    let object = v.as_object()?;
+    if object.len() != 1 {
+        return None;
+    }
+    let (tag, body) = object.iter().next()?;
+    Some((tag.as_str(), body))
 }
 
 /// Authentication/framing statistics.
@@ -327,12 +577,12 @@ impl ControlPlane {
         if !auth::verify(&self.key, body, &tag) {
             return None;
         }
-        serde_json::from_slice(body).ok()
+        ControlRequest::from_json(&Value::parse(std::str::from_utf8(body).ok()?).ok()?)
     }
 
     /// Encode (and tag) a response payload.
-    pub fn encode<T: Serialize>(&self, msg: &T) -> Vec<u8> {
-        let body = serde_json::to_vec(msg).expect("control message serializes");
+    pub fn encode<T: ToJson>(&self, msg: &T) -> Vec<u8> {
+        let body = msg.to_json().to_string().into_bytes();
         let mut out = Vec::with_capacity(12 + body.len());
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&auth::tag(&self.key, &body));
@@ -343,7 +593,7 @@ impl ControlPlane {
     /// Build an authenticated request payload (host-side helper shares
     /// the same key material via `flexsfp-host`).
     pub fn encode_request(key: &AuthKey, req: &ControlRequest) -> Vec<u8> {
-        let body = serde_json::to_vec(req).expect("control message serializes");
+        let body = req.to_json().to_string().into_bytes();
         let mut out = Vec::with_capacity(12 + body.len());
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&auth::tag(key, &body));
@@ -361,7 +611,7 @@ impl ControlPlane {
         if !auth::verify(key, body, &tag) {
             return None;
         }
-        serde_json::from_slice(body).ok()
+        ControlResponse::from_json(&Value::parse(std::str::from_utf8(body).ok()?).ok()?)
     }
 
     /// Execute one request.
@@ -524,9 +774,8 @@ mod tests {
         assert_eq!(ip.src(), MGMT_IP);
         assert_eq!(ip.dst(), HOST_IP);
         let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
-        let resp =
-            ControlPlane::decode_response(&AuthKey::from_passphrase("test"), udp.payload())
-                .unwrap();
+        let resp = ControlPlane::decode_response(&AuthKey::from_passphrase("test"), udp.payload())
+            .unwrap();
         assert_eq!(resp, ControlResponse::Pong { nonce: 77 });
         assert_eq!(cp.stats().handled, 1);
     }

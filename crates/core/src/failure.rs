@@ -248,7 +248,9 @@ mod tests {
         let ttf = 200_000.0;
         let th = DiagnosisThresholds::default();
         let mut seen = Vec::new();
-        for age in [0.0, 40_000.0, 80_000.0, 120_000.0, 160_000.0, 200_000.0, 240_000.0] {
+        for age in [
+            0.0, 40_000.0, 80_000.0, 120_000.0, 160_000.0, 200_000.0, 240_000.0,
+        ] {
             let h = m.health_at(age, ttf);
             let d = dom(10f64.powf(h.tx_power_dbm / 10.0), h.bias_ma, 0.4);
             seen.push(diagnose(&d, &m, &th));

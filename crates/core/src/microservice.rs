@@ -12,8 +12,8 @@
 
 use flexsfp_wire::builder::PacketBuilder;
 use flexsfp_wire::{
-    arp, icmp, ArpOperation, ArpPacket, EtherType, EthernetFrame, IcmpPacket, IcmpType,
-    IpProtocol, Ipv4Packet, MacAddr,
+    arp, icmp, ArpOperation, ArpPacket, EtherType, EthernetFrame, IcmpPacket, IcmpType, IpProtocol,
+    Ipv4Packet, MacAddr,
 };
 
 /// Which microservice produced a reply (for statistics).

@@ -15,10 +15,6 @@ use crate::bitstream::{Bitstream, BitstreamMeta};
 use crate::control::{ControlContext, ControlPlane, ControlRequest, ControlResponse};
 use crate::failure::{DiagnosisThresholds, FaultDiagnosis, VcselModel};
 use crate::reprogram::UpdateState;
-use flexsfp_obs::{
-    DomSnapshot, DropCounters, DropReason, EventKind, EventRing, LatencyHistogram, PortCounters,
-    TelemetrySnapshot,
-};
 use crate::shell::{ControlPlaneClass, ShellKind};
 use flexsfp_fabric::clock::ClockDomain;
 use flexsfp_fabric::i2c::ManagementInterface;
@@ -27,6 +23,10 @@ use flexsfp_fabric::resources::{table1, Device, FitReport, ResourceManifest};
 use flexsfp_fabric::serdes::{LineRate, Transceiver};
 use flexsfp_fabric::stream::DatapathConfig;
 use flexsfp_fabric::SpiFlash;
+use flexsfp_obs::{
+    DomSnapshot, DropCounters, DropReason, EventKind, EventRing, LatencyHistogram, PortCounters,
+    TelemetrySnapshot,
+};
 use flexsfp_ppe::engine::PassThrough;
 use flexsfp_ppe::{Direction, PacketProcessor, ProcessContext, Verdict};
 use flexsfp_wire::MacAddr;
@@ -434,9 +434,9 @@ impl FlexSfp {
         self.app.as_mut()
     }
 
-    /// Total design manifest: application + interfaces + control plane
-    /// + shell plumbing (the Table 1 decomposition; the control-plane
-    /// row is the Mi-V only for the softcore class).
+    /// Total design manifest: application + interfaces + control
+    /// plane + shell plumbing (the Table 1 decomposition; the
+    /// control-plane row is the Mi-V only for the softcore class).
     pub fn design_manifest(&self) -> ResourceManifest {
         self.app.resource_manifest()
             + self.config.cp_class.manifest()
@@ -483,8 +483,7 @@ impl FlexSfp {
     pub fn refresh_dom(&mut self) {
         let temp = 38.0 + 4.0 * self.power(1.0, 1.0).total_w();
         let rx_mw = 0.4; // nominal received light; link models override
-        self.mgmt
-            .update_dom(temp, 3.3, &self.optical.health, rx_mw);
+        self.mgmt.update_dom(temp, 3.3, &self.optical.health, rx_mw);
     }
 
     /// Handle a control request arriving on the out-of-band management
@@ -500,7 +499,10 @@ impl FlexSfp {
         // cannot see the transceivers, event ring or laser model.
         if matches!(req, ControlRequest::ReadTelemetry) {
             let snap = self.telemetry_snapshot();
-            return Some(self.control.encode(&ControlResponse::Telemetry(Box::new(snap))));
+            return Some(
+                self.control
+                    .encode(&ControlResponse::Telemetry(Box::new(snap))),
+            );
         }
         // A commit flashes the image staged at `slot`; remember it so
         // the success can be traced as a Reprogram event.
@@ -560,7 +562,10 @@ impl FlexSfp {
     }
 
     fn try_boot_slot(&mut self, slot: usize) -> bool {
-        let Ok(raw) = self.flash.read_slot(slot, flexsfp_fabric::flash::SLOT_BYTES) else {
+        let Ok(raw) = self
+            .flash
+            .read_slot(slot, flexsfp_fabric::flash::SLOT_BYTES)
+        else {
             return false;
         };
         let Ok(bs) = Bitstream::from_bytes(trim_flash_image(raw)) else {
@@ -695,11 +700,9 @@ impl FlexSfp {
             let uses_ppe = self.config.shell.ppe_applies(pkt.direction);
 
             let (mut frame, verdict, departure_fs) = if uses_ppe {
-                let beats =
-                    u128::from(self.config.datapath.beats_for(pkt.frame.len()));
+                let beats = u128::from(self.config.datapath.beats_for(pkt.frame.len()));
                 let service_fs = beats * ppe_period_fs;
-                let Some(start_fs) =
-                    shared_server.admit(arrival_fs, pkt.frame.len(), service_fs)
+                let Some(start_fs) = shared_server.admit(arrival_fs, pkt.frame.len(), service_fs)
                 else {
                     report.drops.fifo_overflow += 1;
                     self.lifetime_drops.fifo_overflow += 1;
@@ -717,10 +720,8 @@ impl FlexSfp {
                     direction: pkt.direction,
                 };
                 let verdict = self.app.process(&ctx, &mut frame);
-                let departure_fs = start_fs
-                    + service_fs
-                    + pipeline_cycles * ppe_period_fs
-                    + 2 * serdes_fs;
+                let departure_fs =
+                    start_fs + service_fs + pipeline_cycles * ppe_period_fs + 2 * serdes_fs;
                 (frame, verdict, departure_fs)
             } else {
                 // Bypass path: SerDes in, merge, SerDes out.
@@ -868,10 +869,7 @@ fn trim_flash_image(raw: &[u8]) -> &[u8] {
     // Find the last non-0xFF byte; the CRC trailer is extremely unlikely
     // to be 0xFFFFFFFF on a real image (and the golden images we write
     // never are).
-    let end = raw
-        .iter()
-        .rposition(|&b| b != 0xff)
-        .map_or(0, |p| p + 1);
+    let end = raw.iter().rposition(|&b| b != 0xff).map_or(0, |p| p + 1);
     &raw[..end]
 }
 
@@ -994,10 +992,8 @@ mod tests {
     #[test]
     fn control_frames_divert_and_answer() {
         let mut m = FlexSfp::passthrough();
-        let payload = ControlPlane::encode_request(
-            &AuthKey::DEFAULT,
-            &ControlRequest::Ping { nonce: 5 },
-        );
+        let payload =
+            ControlPlane::encode_request(&AuthKey::DEFAULT, &ControlRequest::Ping { nonce: 5 });
         let frame = PacketBuilder::eth_ipv4_udp(
             m.config.mgmt_mac,
             MacAddr([0xee; 6]),
@@ -1079,7 +1075,10 @@ mod tests {
                 ControlResponse::Ack
             );
         }
-        assert_eq!(send(&mut m, &ControlRequest::CommitUpdate), ControlResponse::Ack);
+        assert_eq!(
+            send(&mut m, &ControlRequest::CommitUpdate),
+            ControlResponse::Ack
+        );
         assert_eq!(
             send(&mut m, &ControlRequest::Activate { slot: 1 }),
             ControlResponse::Ack
@@ -1094,12 +1093,7 @@ mod tests {
     fn corrupt_staged_image_falls_back_to_golden() {
         let mut m = FlexSfp::passthrough();
         // Write a golden image first.
-        let golden = Bitstream::new(
-            "passthrough",
-            1,
-            ResourceManifest::ZERO,
-            156_250_000,
-        );
+        let golden = Bitstream::new("passthrough", 1, ResourceManifest::ZERO, 156_250_000);
         m.flash.write_slot(0, &golden.to_bytes()).unwrap();
         // Slot 2 contains garbage.
         m.flash.write_slot(2, b"not a bitstream").unwrap();
@@ -1165,10 +1159,7 @@ mod tests {
         // §4.1: SoC-based control planes are "more expensive and
         // power-hungry" — with one, the module exceeds every SFP+
         // power class under stress, while the softcore stays inside.
-        let softcore = FlexSfp::new(
-            ModuleConfig::default(),
-            Box::new(PassThrough),
-        );
+        let softcore = FlexSfp::new(ModuleConfig::default(), Box::new(PassThrough));
         let soc = FlexSfp::new(
             ModuleConfig {
                 cp_class: ControlPlaneClass::Soc,
@@ -1243,7 +1234,7 @@ mod tests {
         ]);
         assert_eq!(report.cp_originated, 1);
         assert_eq!(report.forwarded.0, 1); // only the data frame transits
-        // The reply went back out the optical side.
+                                           // The reply went back out the optical side.
         let reply = report
             .outputs
             .iter()
@@ -1280,10 +1271,10 @@ mod tests {
         assert_eq!(snap.drops.total(), 20);
         // Every app drop left a trace event.
         assert_eq!(snap.events.len(), 20);
-        assert!(snap
-            .events
-            .iter()
-            .all(|e| e.kind == EventKind::Drop { reason: DropReason::App }));
+        assert!(snap.events.iter().all(|e| e.kind
+            == EventKind::Drop {
+                reason: DropReason::App
+            }));
         assert_eq!(snap.events_overwritten, 0);
         assert_eq!(snap.events_drained, 20);
         assert!(snap.laser_healthy);

@@ -99,7 +99,12 @@ impl UpdateFsm {
     }
 
     /// Begin an update targeting `slot` (1..SLOTS; 0 is golden).
-    pub fn begin(&mut self, slot: usize, total_len: usize, expected_crc: u32) -> Result<(), UpdateError> {
+    pub fn begin(
+        &mut self,
+        slot: usize,
+        total_len: usize,
+        expected_crc: u32,
+    ) -> Result<(), UpdateError> {
         if !matches!(self.state, UpdateState::Idle) {
             return Err(UpdateError::WrongState);
         }

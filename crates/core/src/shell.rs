@@ -138,10 +138,9 @@ impl ControlPlaneClass {
     /// Which control-plane features this class supports.
     pub fn supports(&self, feature: CpFeature) -> bool {
         match self {
-            ControlPlaneClass::Softcore => matches!(
-                feature,
-                CpFeature::StaticRules | CpFeature::OtaUpdate
-            ),
+            ControlPlaneClass::Softcore => {
+                matches!(feature, CpFeature::StaticRules | CpFeature::OtaUpdate)
+            }
             ControlPlaneClass::Soc => true,
         }
     }

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+// Needs the proptest dev-dependency; see "Building" in the README.
 //! Property tests for core-module invariants: bitstream container
 //! robustness, authentication soundness, and the update FSM under
 //! arbitrary chunkings.

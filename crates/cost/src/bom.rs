@@ -9,10 +9,10 @@
 //! increases."
 
 use crate::ideal_scaling::Range;
-use serde::{Deserialize, Serialize};
 
 /// One BOM line item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BomItem {
     /// Component name.
     pub name: String,
@@ -21,7 +21,8 @@ pub struct BomItem {
 }
 
 /// The FlexSFP prototype bill of materials.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FlexSfpBom {
     /// Line items.
     pub items: Vec<BomItem>,
@@ -85,7 +86,10 @@ impl FlexSfpBom {
     /// "Raw $" 250–300 band.
     pub fn unit_cost(&self) -> Range {
         let sub = self.subtotal();
-        Range::new(sub.min * self.volume_factor.min, sub.max * self.volume_factor.max)
+        Range::new(
+            sub.min * self.volume_factor.min,
+            sub.max * self.volume_factor.max,
+        )
     }
 
     /// Share of unit cost attributable to the FPGA (the paper's "most

@@ -12,10 +12,10 @@
 //! | FlexSFP             | 250–300  | 1.5   | 250–300 | 1.5   |
 
 use crate::ideal_scaling::{per_10g, Range};
-use serde::{Deserialize, Serialize};
 
 /// One acceleration solution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Solution {
     /// Display name (the Table 3 row label).
     pub name: String,

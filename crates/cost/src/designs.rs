@@ -7,10 +7,10 @@
 //! 1 ALM ≈ 2 LE.
 
 use flexsfp_fabric::resources::{normalize, Device};
-use serde::{Deserialize, Serialize};
 
 /// Vendor logic unit a design was reported in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LogicUnit {
     /// Xilinx 6-input LUTs.
     Lut6,
@@ -21,7 +21,8 @@ pub enum LogicUnit {
 }
 
 /// One published design (a Table 2 row).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PublishedDesign {
     /// Design name.
     pub name: String,
@@ -45,7 +46,8 @@ impl PublishedDesign {
 }
 
 /// Fit assessment of a design against a device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DesignFit {
     /// Design name.
     pub name: String,
@@ -58,6 +60,14 @@ pub struct DesignFit {
     /// BRAM fits the device.
     pub bram_fits: bool,
 }
+
+flexsfp_obs::impl_json_struct!(DesignFit {
+    name,
+    logic_le,
+    bram_kbits,
+    logic_fits,
+    bram_fits,
+});
 
 impl DesignFit {
     /// Fits in both dimensions.

@@ -6,16 +6,17 @@
 //! multiply by 10 G. The rule is deliberately generous to big devices
 //! (it assumes perfect slicing), which makes FlexSFP's win conservative.
 
-use serde::{Deserialize, Serialize};
-
 /// An inclusive numeric range (costs and powers are quoted as bands).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Range {
     /// Lower bound.
     pub min: f64,
     /// Upper bound.
     pub max: f64,
 }
+
+flexsfp_obs::impl_json_struct!(Range { min, max });
 
 impl Range {
     /// A range.

@@ -5,14 +5,13 @@
 //! Two-Way-Core shell raises the PPE clock to absorb the doubled packet
 //! rate; [`ClockDomain`] makes such ratios explicit.
 
-use serde::{Deserialize, Serialize};
-
 /// One picosecond in femtoseconds, the internal time base. Femtoseconds
 /// keep integer arithmetic exact at 312.5 MHz (3 200 000 fs period).
 const FS_PER_PS: u64 = 1_000;
 
 /// A fixed-frequency clock domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClockDomain {
     hz: u64,
 }
@@ -93,10 +92,7 @@ mod tests {
             ClockDomain::XGMII_10G_X2.bus_bits_per_sec(64),
             20_000_000_000
         );
-        assert_eq!(
-            ClockDomain::XGMII_10G.scaled(2),
-            ClockDomain::XGMII_10G_X2
-        );
+        assert_eq!(ClockDomain::XGMII_10G.scaled(2), ClockDomain::XGMII_10G_X2);
     }
 
     #[test]

@@ -7,8 +7,6 @@
 //! physical realities that matter to that FSM: erase-before-write
 //! semantics and sector granularity.
 
-use serde::{Deserialize, Serialize};
-
 /// Total size: 128 Mb = 16 MiB.
 pub const FLASH_BYTES: usize = 16 * 1024 * 1024;
 /// Erase sector size (typical 64 KiB for this class of part).
@@ -49,7 +47,8 @@ impl core::fmt::Display for FlashError {
 impl std::error::Error for FlashError {}
 
 /// The SPI flash device.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpiFlash {
     data: Vec<u8>,
     /// Cumulative erase operations (wear proxy).
@@ -109,7 +108,9 @@ impl SpiFlash {
     /// Program `bytes` at `addr`. Flash programming can only clear bits
     /// (1→0); setting a 0 bit back to 1 requires an erase first.
     pub fn program(&mut self, addr: usize, bytes: &[u8]) -> Result<(), FlashError> {
-        let end = addr.checked_add(bytes.len()).ok_or(FlashError::OutOfRange)?;
+        let end = addr
+            .checked_add(bytes.len())
+            .ok_or(FlashError::OutOfRange)?;
         if end > FLASH_BYTES {
             return Err(FlashError::OutOfRange);
         }

@@ -8,7 +8,6 @@
 //! module to detect laser degradation and link faults.
 
 use crate::serdes::OpticalHealth;
-use serde::{Deserialize, Serialize};
 
 /// I2C address of the identification EEPROM.
 pub const ADDR_A0: u8 = 0x50;
@@ -16,7 +15,8 @@ pub const ADDR_A0: u8 = 0x50;
 pub const ADDR_A2: u8 = 0x51;
 
 /// Decoded SFF-8472 diagnostic values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DomReading {
     /// Module temperature in °C.
     pub temperature_c: f64,
@@ -43,7 +43,8 @@ impl DomReading {
 }
 
 /// The module's management EEPROM + diagnostics, as seen over I2C.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ManagementInterface {
     a0: Vec<u8>,
     a2: Vec<u8>,
@@ -107,7 +108,13 @@ impl ManagementInterface {
     /// Update the A2h diagnostics page from physical state. Encodings per
     /// SFF-8472: temp = signed 1/256 °C, vcc = 100 µV units,
     /// bias = 2 µA units, power = 0.1 µW units.
-    pub fn update_dom(&mut self, temperature_c: f64, vcc_v: f64, optical: &OpticalHealth, rx_power_mw: f64) {
+    pub fn update_dom(
+        &mut self,
+        temperature_c: f64,
+        vcc_v: f64,
+        optical: &OpticalHealth,
+        rx_power_mw: f64,
+    ) {
         let temp = (temperature_c * 256.0) as i16;
         self.a2[96..98].copy_from_slice(&temp.to_be_bytes());
         let vcc = (vcc_v / 100e-6) as u16;

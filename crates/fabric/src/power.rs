@@ -11,10 +11,10 @@
 
 use crate::clock::ClockDomain;
 use crate::resources::ResourceManifest;
-use serde::{Deserialize, Serialize};
 
 /// Decomposed module power, watts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerBreakdown {
     /// Optical subsystem: laser driver, VCSEL bias, limiting amp, CDR.
     pub optics_w: f64,
@@ -34,7 +34,8 @@ impl PowerBreakdown {
 }
 
 /// SFP+ MSA power classification levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PowerClass {
     /// Power Level I: ≤ 1.0 W.
     Level1,
@@ -66,12 +67,15 @@ impl PowerClass {
             PowerClass::Level2,
             PowerClass::Level3,
             PowerClass::Level4,
-        ].into_iter().find(|&c| watts <= c.limit_w() + EPS)
+        ]
+        .into_iter()
+        .find(|&c| watts <= c.limit_w() + EPS)
     }
 }
 
 /// The power model with calibration constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerModel {
     /// Optics power at idle (laser bias etc.).
     pub optics_static_w: f64,
@@ -143,7 +147,10 @@ impl PowerModel {
             optics_w: self.optics_static_w + self.optics_dynamic_max_w * u,
             fpga_static_w: self.fpga_static_w,
             serdes_w: self.serdes_lane_w * f64::from(lanes),
-            fabric_dynamic_w: self.fabric_k * clock.mhz() * (Self::active_units(design) / 1000.0) * a,
+            fabric_dynamic_w: self.fabric_k
+                * clock.mhz()
+                * (Self::active_units(design) / 1000.0)
+                * a,
         }
     }
 }

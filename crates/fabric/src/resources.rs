@@ -6,13 +6,13 @@
 //! and Table 2 (normalizing published designs to 4-input logic-element
 //! equivalents to judge whether they could fit a FlexSFP).
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Resource usage of one design component, in PolarFire units:
 /// 4-input LUTs, flip-flops, uSRAM blocks (64×12 b each) and LSRAM blocks
 /// (20 kb each).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ResourceManifest {
     /// 4-input look-up tables.
     pub lut4: u64,
@@ -23,6 +23,15 @@ pub struct ResourceManifest {
     /// LSRAM blocks (20 kb each).
     pub lsram: u64,
 }
+
+// The manifest travels inside the bitstream container's JSON header, so
+// it needs the in-tree codec (the impl must live here, next to the type).
+flexsfp_obs::impl_json_struct!(ResourceManifest {
+    lut4,
+    ff,
+    usram,
+    lsram
+});
 
 /// Bits held by one uSRAM block (64 × 12 b).
 pub const USRAM_BLOCK_BITS: u64 = 64 * 12;
@@ -98,7 +107,8 @@ impl std::iter::Sum for ResourceManifest {
 }
 
 /// An FPGA device with its resource capacities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Device {
     /// Marketing/device name.
     pub name: String,
@@ -157,7 +167,8 @@ impl Device {
 
 /// Result of checking a design against a device, with the percentage
 /// utilizations the paper reports in Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FitReport {
     /// Device name.
     pub device: String,
@@ -293,7 +304,10 @@ mod tests {
         let usram_kb = table1::USED.usram * USRAM_BLOCK_BITS / 1000;
         assert!((200..=230).contains(&usram_kb), "uSRAM ~{usram_kb} kbit");
         let lsram_mb = table1::USED.lsram * LSRAM_BLOCK_BITS / 1024;
-        assert!((3_000..=4_200).contains(&lsram_mb), "LSRAM ~{lsram_mb} kbit");
+        assert!(
+            (3_000..=4_200).contains(&lsram_mb),
+            "LSRAM ~{lsram_mb} kbit"
+        );
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //! delivers exactly 10.0 Gb/s of MAC-layer bits. Line-rate feasibility
 //! throughout the workspace leans on this arithmetic.
 
-use serde::{Deserialize, Serialize};
-
 /// Ethernet per-packet line overhead: 7 B preamble + 1 B SFD + 12 B IFG.
 pub const LINE_OVERHEAD_BYTES: usize = 20;
 /// Minimum Ethernet frame (with FCS) on the wire.
@@ -16,7 +14,8 @@ pub const MIN_FRAME_BYTES: usize = 64;
 pub const MAX_FRAME_BYTES: usize = 1518;
 
 /// Nominal line rates the model supports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LineRate {
     /// 10GBASE-R: 10.3125 GBd, 10 Gb/s MAC rate.
     TenGig,
@@ -50,7 +49,8 @@ impl LineRate {
 }
 
 /// Health state of one optical lane, driven by the failure model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpticalHealth {
     /// Transmit optical power in dBm (healthy VCSEL ≈ -2 dBm).
     pub tx_power_dbm: f64,
@@ -68,7 +68,8 @@ impl Default for OpticalHealth {
 }
 
 /// One direction of a transceiver lane, with frame/byte counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LaneCounters {
     /// Frames transferred.
     pub frames: u64,
@@ -80,7 +81,8 @@ pub struct LaneCounters {
 
 /// A bidirectional transceiver: the electrical-edge or optical-side
 /// SerDes of the module.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Transceiver {
     /// Identifying label ("electrical", "optical").
     pub name: String,
@@ -177,7 +179,9 @@ mod tests {
     #[test]
     fn hundred_gig_scales() {
         assert_eq!(LineRate::HundredGig.baud(), 103_125_000_000);
-        assert!((LineRate::HundredGig.max_fps(64) / LineRate::TenGig.max_fps(64) - 10.0).abs() < 1e-9);
+        assert!(
+            (LineRate::HundredGig.max_fps(64) / LineRate::TenGig.max_fps(64) - 10.0).abs() < 1e-9
+        );
     }
 
     #[test]

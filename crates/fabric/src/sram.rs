@@ -8,10 +8,10 @@
 //! arithmetic so any application's table set can be mapped to blocks.
 
 use crate::resources::{ResourceManifest, LSRAM_BLOCK_BITS, USRAM_BLOCK_BITS};
-use serde::{Deserialize, Serialize};
 
 /// The two embedded memory types of the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MemoryKind {
     /// 64×12 b distributed blocks.
     Usram,
@@ -20,7 +20,8 @@ pub enum MemoryKind {
 }
 
 /// A memory requirement: some number of words of some width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TableShape {
     /// Number of addressable entries.
     pub entries: u64,
@@ -44,7 +45,8 @@ impl TableShape {
 }
 
 /// Placement decision for one table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Placement {
     /// Chosen memory kind.
     pub kind: MemoryKind,
@@ -206,10 +208,7 @@ mod tests {
 
     #[test]
     fn plan_sums_mixed_tables() {
-        let m = MemoryPlanner::plan(&[
-            TableShape::new(64, 12),
-            TableShape::new(32_768, 96),
-        ]);
+        let m = MemoryPlanner::plan(&[TableShape::new(64, 12), TableShape::new(32_768, 96)]);
         assert_eq!(m.usram, 1);
         assert_eq!(m.lsram, 160);
         assert_eq!(m.lut4, 0);

@@ -8,7 +8,6 @@
 //! sustains line rate.
 
 use crate::clock::ClockDomain;
-use serde::{Deserialize, Serialize};
 
 /// One beat of the streaming bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +31,8 @@ impl BusWord {
 
 /// Datapath width in bits; only power-of-two widths realizable on the
 /// fabric are allowed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BusWidth {
     /// 64-bit datapath (the SFP+ prototype).
     W64,
@@ -62,12 +62,18 @@ impl BusWidth {
 
     /// All supported widths, narrowest first.
     pub fn all() -> [BusWidth; 4] {
-        [BusWidth::W64, BusWidth::W128, BusWidth::W256, BusWidth::W512]
+        [
+            BusWidth::W64,
+            BusWidth::W128,
+            BusWidth::W256,
+            BusWidth::W512,
+        ]
     }
 }
 
 /// A datapath configuration: bus width and clock domain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DatapathConfig {
     /// Bus width.
     pub width: BusWidth,

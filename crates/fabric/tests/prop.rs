@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+// Needs the proptest dev-dependency; see "Building" in the README.
 //! Property tests for fabric substrate invariants.
 
 use flexsfp_fabric::fifo::Fifo;

@@ -10,8 +10,7 @@
 //! with heavy scheduling tails).
 
 use flexsfp_obs::LatencyHistogram;
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use flexsfp_traffic::rng::Xoshiro256;
 
 /// One processed packet's outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,7 +73,7 @@ pub struct ProcessingPath {
     pub service_ns: f64,
     /// Mean of the exponential jitter term, ns (0 = deterministic).
     pub jitter_mean_ns: f64,
-    rng: StdRng,
+    rng: Xoshiro256,
     server_free_ns: f64,
 }
 
@@ -89,7 +88,7 @@ impl ProcessingPath {
             fixed_ns: 264.0,
             service_ns: 51.2,
             jitter_mean_ns: 0.0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
             server_free_ns: 0.0,
         }
     }
@@ -102,7 +101,7 @@ impl ProcessingPath {
             fixed_ns: 4_500.0,
             service_ns: 45.0, // ~22 Mpps pipeline
             jitter_mean_ns: 300.0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
             server_free_ns: 0.0,
         }
     }
@@ -116,7 +115,7 @@ impl ProcessingPath {
             fixed_ns: 25_000.0,
             service_ns: 770.0, // ~1.3 Mpps
             jitter_mean_ns: 15_000.0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
             server_free_ns: 0.0,
         }
     }
@@ -127,8 +126,7 @@ impl ProcessingPath {
         let finish = start + self.service_ns;
         self.server_free_ns = finish;
         let jitter = if self.jitter_mean_ns > 0.0 {
-            let u: f64 = self.rng.random::<f64>().max(1e-12);
-            -u.ln() * self.jitter_mean_ns
+            self.rng.exp(self.jitter_mean_ns)
         } else {
             0.0
         };

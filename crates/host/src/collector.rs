@@ -12,7 +12,7 @@
 //! snapshots of the same module would double-count. Only the
 //! cross-module fleet histogram is produced by merging.
 
-use flexsfp_obs::{DataplaneEvent, LatencyHistogram, PromText, TelemetrySnapshot};
+use flexsfp_obs::{DataplaneEvent, LatencyHistogram, PromText, TelemetrySnapshot, ToJson, Value};
 use std::collections::BTreeMap;
 
 /// Traced events retained per module on the host (ring rings drain into
@@ -107,7 +107,10 @@ impl FleetCollector {
 
     /// Total drops across the fleet, all reasons.
     pub fn fleet_drops(&self) -> u64 {
-        self.modules.values().map(|r| r.snapshot.drops.total()).sum()
+        self.modules
+            .values()
+            .map(|r| r.snapshot.drops.total())
+            .sum()
     }
 
     /// Render the fleet as Prometheus text exposition.
@@ -132,9 +135,17 @@ impl FleetCollector {
             );
         }
 
-        p.header("flexsfp_boots_total", "Lifetime module boot count.", "counter");
+        p.header(
+            "flexsfp_boots_total",
+            "Lifetime module boot count.",
+            "counter",
+        );
         for (id, rec) in &self.modules {
-            p.sample("flexsfp_boots_total", &[("module", id)], f64::from(rec.snapshot.boots));
+            p.sample(
+                "flexsfp_boots_total",
+                &[("module", id)],
+                f64::from(rec.snapshot.boots),
+            );
         }
 
         p.header(
@@ -182,7 +193,12 @@ impl FleetCollector {
             "summary",
         );
         for (id, rec) in &self.modules {
-            Self::summary_samples(&mut p, "flexsfp_latency_ns", Some(id), &rec.snapshot.latency);
+            Self::summary_samples(
+                &mut p,
+                "flexsfp_latency_ns",
+                Some(id),
+                &rec.snapshot.latency,
+            );
         }
 
         p.header(
@@ -190,7 +206,12 @@ impl FleetCollector {
             "Fleet-wide forwarding latency (per-module histograms merged).",
             "summary",
         );
-        Self::summary_samples(&mut p, "flexsfp_fleet_latency_ns", None, &self.fleet_latency());
+        Self::summary_samples(
+            &mut p,
+            "flexsfp_fleet_latency_ns",
+            None,
+            &self.fleet_latency(),
+        );
 
         p.header(
             "flexsfp_laser_healthy",
@@ -228,8 +249,14 @@ impl FleetCollector {
                 "DOM receive optical power, dBm.",
                 |s| s.dom.rx_power_dbm,
             ),
-            ("flexsfp_bias_ma", "DOM laser bias current, mA.", |s| s.dom.bias_ma),
-            ("flexsfp_temperature_c", "Module case temperature, °C.", |s| s.dom.temp_c),
+            ("flexsfp_bias_ma", "DOM laser bias current, mA.", |s| {
+                s.dom.bias_ma
+            }),
+            (
+                "flexsfp_temperature_c",
+                "Module case temperature, °C.",
+                |s| s.dom.temp_c,
+            ),
         ] {
             p.header(name, help, "gauge");
             for (id, rec) in &self.modules {
@@ -268,20 +295,20 @@ impl FleetCollector {
     /// Latest snapshots (and accumulated event logs) as a JSON document,
     /// keyed by module id.
     pub fn to_json(&self) -> String {
-        let doc: BTreeMap<&str, serde_json::Value> = self
+        let doc: BTreeMap<String, Value> = self
             .modules
             .iter()
             .map(|(id, rec)| {
                 (
-                    id.as_str(),
-                    serde_json::json!({
-                        "snapshot": &rec.snapshot,
-                        "recent_events": &rec.events,
+                    id.clone(),
+                    flexsfp_obs::json!({
+                        "snapshot": rec.snapshot.to_json(),
+                        "recent_events": rec.events.to_json(),
                     }),
                 )
             })
             .collect();
-        serde_json::to_string_pretty(&doc).expect("telemetry snapshots are plain data")
+        Value::Object(doc).to_string_pretty()
     }
 
     fn port_samples(
@@ -298,7 +325,11 @@ impl FleetCollector {
                 ("optical", "rx", &s.optical_rx),
                 ("optical", "tx", &s.optical_tx),
             ] {
-                p.sample(name, &[("module", id), ("port", port), ("direction", dir)], get(c));
+                p.sample(
+                    name,
+                    &[("module", id), ("port", port), ("direction", dir)],
+                    get(c),
+                );
             }
         }
     }
@@ -390,14 +421,18 @@ mod tests {
             assert!(text.contains(&line), "missing {line:?} in:\n{text}");
         }
         // Byte counters are present and nonzero.
-        assert!(text.contains("flexsfp_bytes_total{module=\"FSFP-0000\",port=\"optical\",direction=\"tx\"}"));
+        assert!(text.contains(
+            "flexsfp_bytes_total{module=\"FSFP-0000\",port=\"optical\",direction=\"tx\"}"
+        ));
         // p99 latency per module and fleet-wide.
         assert!(text.contains("flexsfp_latency_ns{module=\"FSFP-0002\",quantile=\"0.99\"}"));
         assert!(text.contains("flexsfp_fleet_latency_ns{quantile=\"0.99\"}"));
         assert!(text.contains("flexsfp_fleet_latency_ns_count 70\n"));
         // Laser health gauges.
         assert!(text.contains("flexsfp_laser_healthy{module=\"FSFP-0003\"} 1\n"));
-        assert!(text.contains("flexsfp_laser_fault_info{module=\"FSFP-0001\",fault=\"healthy\"} 1\n"));
+        assert!(
+            text.contains("flexsfp_laser_fault_info{module=\"FSFP-0001\",fault=\"healthy\"} 1\n")
+        );
         // Every sample line is well-formed: `name{...} value` or `name value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (lhs, value) = line.rsplit_once(' ').expect("sample has a value");
@@ -465,11 +500,17 @@ mod tests {
         }
         let mut c = FleetCollector::new();
         c.ingest_all(f.telemetry_snapshots().unwrap());
-        let doc: serde_json::Value = serde_json::from_str(&c.to_json()).unwrap();
+        let doc = Value::parse(&c.to_json()).unwrap();
         let obj = doc.as_object().unwrap();
         assert_eq!(obj.len(), 2);
-        assert_eq!(obj["FSFP-0001"]["snapshot"]["app"], "passthrough");
-        assert_eq!(obj["FSFP-0000"]["snapshot"]["edge_rx"]["frames"], 5);
+        assert_eq!(
+            doc["FSFP-0001"]["snapshot"]["app"],
+            Value::from("passthrough")
+        );
+        assert_eq!(
+            doc["FSFP-0000"]["snapshot"]["edge_rx"]["frames"],
+            Value::from(5u64)
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::mgmt::{ManagementClient, MgmtError};
 use flexsfp_core::auth::AuthKey;
 use flexsfp_core::failure::{diagnose, DiagnosisThresholds, FaultDiagnosis, VcselModel};
 use flexsfp_core::module::FlexSfp;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Health snapshot of one module.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +65,7 @@ impl FleetManager {
 
     /// Run `f` against one module under its lock.
     pub fn with_module<R>(&self, idx: usize, f: impl FnOnce(&mut FlexSfp) -> R) -> R {
-        f(&mut self.modules[idx].lock())
+        f(&mut self.modules[idx].lock().unwrap())
     }
 
     /// Deploy `image` to flash `slot` on every module, in parallel
@@ -75,24 +75,23 @@ impl FleetManager {
         let report = Mutex::new(DeployReport::default());
         let next = std::sync::atomic::AtomicUsize::new(0);
         let workers = workers.clamp(1, self.modules.len().max(1));
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|_| loop {
+                s.spawn(|| loop {
                     let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if idx >= self.modules.len() {
                         break;
                     }
-                    let mut module = self.modules[idx].lock();
+                    let mut module = self.modules[idx].lock().unwrap();
                     let id = module.config.id.clone();
                     match self.client.deploy(&mut *module, slot, image) {
-                        Ok(()) => report.lock().updated.push(id),
-                        Err(e) => report.lock().failed.push((id, e.to_string())),
+                        Ok(()) => report.lock().unwrap().updated.push(id),
+                        Err(e) => report.lock().unwrap().failed.push((id, e.to_string())),
                     }
                 });
             }
-        })
-        .expect("deployment workers never panic");
-        let mut r = report.into_inner();
+        });
+        let mut r = report.into_inner().unwrap();
         r.updated.sort();
         r.failed.sort();
         r
@@ -105,7 +104,7 @@ impl FleetManager {
         let model = VcselModel::default();
         let mut out = Vec::with_capacity(self.modules.len());
         for m in &self.modules {
-            let mut module = m.lock();
+            let mut module = m.lock().unwrap();
             module.refresh_dom();
             let info = self.client.info(&mut *module)?;
             let dom = module.mgmt.read_dom();
@@ -127,7 +126,7 @@ impl FleetManager {
     pub fn telemetry_snapshots(&self) -> Result<Vec<flexsfp_obs::TelemetrySnapshot>, MgmtError> {
         let mut out = Vec::with_capacity(self.modules.len());
         for m in &self.modules {
-            let mut module = m.lock();
+            let mut module = m.lock().unwrap();
             out.push(self.client.read_telemetry(&mut *module)?);
         }
         Ok(out)

@@ -6,7 +6,9 @@
 //! forwards control frames) can carry it.
 
 use flexsfp_core::auth::AuthKey;
-use flexsfp_core::control::{ControlPlane, ControlRequest, ControlResponse, CtlTableOp, CtlTableResult};
+use flexsfp_core::control::{
+    ControlPlane, ControlRequest, ControlResponse, CtlTableOp, CtlTableResult,
+};
 use flexsfp_core::module::FlexSfp;
 use flexsfp_core::reprogram::MAX_CHUNK;
 use flexsfp_fabric::hash::crc32;
@@ -398,7 +400,10 @@ mod tests {
                 },
             )
             .unwrap();
-        assert_eq!(read, CtlTableResult::Value(0x65000001u32.to_be_bytes().to_vec()));
+        assert_eq!(
+            read,
+            CtlTableResult::Value(0x65000001u32.to_be_bytes().to_vec())
+        );
         let (packets, _bytes) = c.read_counter(&mut m, 0).unwrap();
         assert_eq!(packets, 0);
     }

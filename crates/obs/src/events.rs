@@ -8,14 +8,15 @@
 //! with each drain, so event loss shows up in telemetry instead of
 //! disappearing.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, ToJson, Value};
 use std::collections::VecDeque;
 
 /// Default ring capacity; matches a small on-module SRAM trace buffer.
 pub const DEFAULT_RING_CAPACITY: usize = 256;
 
 /// Why a packet was dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DropReason {
     /// Ingress FIFO overflowed (module could not keep up with arrivals).
     FifoOverflow,
@@ -40,7 +41,8 @@ impl DropReason {
 }
 
 /// What happened, without the when.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EventKind {
     /// A packet was dropped for the given reason.
     Drop {
@@ -87,8 +89,92 @@ impl EventKind {
     }
 }
 
+impl ToJson for DropReason {
+    fn to_json(&self) -> Value {
+        // Externally tagged, matching serde's default enum encoding.
+        Value::Str(
+            match self {
+                DropReason::FifoOverflow => "FifoOverflow",
+                DropReason::App => "App",
+                DropReason::LinkDown => "LinkDown",
+                DropReason::ParseError => "ParseError",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for DropReason {
+    fn from_json(v: &Value) -> Option<DropReason> {
+        match v.as_str()? {
+            "FifoOverflow" => Some(DropReason::FifoOverflow),
+            "App" => Some(DropReason::App),
+            "LinkDown" => Some(DropReason::LinkDown),
+            "ParseError" => Some(DropReason::ParseError),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for EventKind {
+    fn to_json(&self) -> Value {
+        match self {
+            EventKind::ParseError => Value::Str("ParseError".into()),
+            EventKind::AuthReject => Value::Str("AuthReject".into()),
+            EventKind::LinkDown => Value::Str("LinkDown".into()),
+            EventKind::Drop { reason } => {
+                crate::json!({"Drop": {"reason": reason.to_json()}})
+            }
+            EventKind::TableMiss { stage } => {
+                crate::json!({"TableMiss": {"stage": stage.as_str()}})
+            }
+            EventKind::Reprogram { slot } => {
+                crate::json!({"Reprogram": {"slot": *slot}})
+            }
+            EventKind::Reboot { slot, ok } => {
+                crate::json!({"Reboot": {"slot": *slot, "ok": *ok}})
+            }
+        }
+    }
+}
+
+impl FromJson for EventKind {
+    fn from_json(v: &Value) -> Option<EventKind> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "ParseError" => Some(EventKind::ParseError),
+                "AuthReject" => Some(EventKind::AuthReject),
+                "LinkDown" => Some(EventKind::LinkDown),
+                _ => None,
+            };
+        }
+        let object = v.as_object()?;
+        let (tag, body) = object.iter().next()?;
+        if object.len() != 1 {
+            return None;
+        }
+        match tag.as_str() {
+            "Drop" => Some(EventKind::Drop {
+                reason: DropReason::from_json(&body["reason"])?,
+            }),
+            "TableMiss" => Some(EventKind::TableMiss {
+                stage: body["stage"].as_str()?.to_string(),
+            }),
+            "Reprogram" => Some(EventKind::Reprogram {
+                slot: u8::from_json(&body["slot"])?,
+            }),
+            "Reboot" => Some(EventKind::Reboot {
+                slot: u8::from_json(&body["slot"])?,
+                ok: body["ok"].as_bool()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// One traced dataplane event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataplaneEvent {
     /// Module-local timestamp of the event, nanoseconds.
     pub timestamp_ns: u64,
@@ -96,8 +182,10 @@ pub struct DataplaneEvent {
     pub kind: EventKind,
 }
 
+crate::impl_json_struct!(DataplaneEvent { timestamp_ns, kind });
+
 /// Fixed-capacity overwrite-oldest event ring with loss accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventRing {
     ring: VecDeque<DataplaneEvent>,
     capacity: usize,
@@ -191,7 +279,9 @@ mod tests {
         }
         let out = r.drain();
         assert_eq!(out.len(), 5);
-        assert!(out.windows(2).all(|w| w[0].timestamp_ns < w[1].timestamp_ns));
+        assert!(out
+            .windows(2)
+            .all(|w| w[0].timestamp_ns < w[1].timestamp_ns));
         assert!(r.is_empty());
         assert_eq!(r.drained(), 5);
         assert_eq!(r.overwritten(), 0);
@@ -245,11 +335,17 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(DropReason::FifoOverflow.label(), "fifo_overflow");
         assert_eq!(
-            EventKind::Drop { reason: DropReason::App }.label(),
+            EventKind::Drop {
+                reason: DropReason::App
+            }
+            .label(),
             "drop"
         );
         assert_eq!(
-            EventKind::TableMiss { stage: "acl".into() }.label(),
+            EventKind::TableMiss {
+                stage: "acl".into()
+            }
+            .label(),
             "table_miss"
         );
         assert_eq!(EventKind::Reboot { slot: 1, ok: true }.label(), "reboot");

@@ -10,8 +10,6 @@
 //! memory). Two histograms recorded on different modules merge by adding
 //! bucket counts, which is exactly what the fleet collector does.
 
-use serde::{Deserialize, Serialize};
-
 /// log2 of the number of linear sub-buckets per power-of-two tier.
 const SUB_BUCKET_BITS: u32 = 7;
 /// Linear sub-buckets per tier (values below this are recorded exactly).
@@ -21,7 +19,8 @@ const SUB_BUCKET_HALF: u64 = SUB_BUCKET_COUNT / 2; // 64
 
 /// A mergeable log-linear latency histogram over `u64` nanosecond
 /// values with ≤1 % relative quantile error and bounded memory.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatencyHistogram {
     /// Bucket counts, grown on demand up to the highest recorded index
     /// (at most 3 776 entries for the full `u64` range).
@@ -232,6 +231,14 @@ impl LatencyHistogram {
     }
 }
 
+crate::impl_json_struct!(LatencyHistogram {
+    counts,
+    count,
+    sum,
+    min,
+    max
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,10 +265,7 @@ mod tests {
                 let idx = index_for(v);
                 let rep = value_for(idx);
                 let err = rep.abs_diff(v) as f64;
-                assert!(
-                    err <= v as f64 * 0.01,
-                    "v={v} rep={rep} err={err}"
-                );
+                assert!(err <= v as f64 * 0.01, "v={v} rep={rep} err={err}");
             }
         }
         // Linear region: exact.
@@ -296,7 +300,9 @@ mod tests {
         let mut x = 1u64;
         for i in 0..10_000u64 {
             // A deterministic heavy-tailed-ish sequence.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 40) % (1 + i * 37);
             samples.push(v);
             h.record(v);

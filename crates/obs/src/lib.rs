@@ -16,9 +16,13 @@
 //!   serializes over its OOB/management channel, plus the named
 //!   [`DomSnapshot`] DOM readout;
 //! * [`prometheus`] — Prometheus text-exposition rendering helpers used
-//!   by the host-side fleet collector.
+//!   by the host-side fleet collector;
+//! * [`json`] — a dependency-free JSON value/parser/emitter (with the
+//!   [`json!`] macro and [`json::ToJson`]/[`json::FromJson`] traits)
+//!   that the control plane, bitstream container and exporters use so
+//!   the default build needs no registry access.
 //!
-//! The crate is a leaf: it depends only on `serde`, so the PPE, the
+//! The crate is a leaf: it has no dependencies at all, so the PPE, the
 //! module core, the host tooling and the bench harness can all share
 //! one set of telemetry types without dependency cycles.
 
@@ -27,10 +31,12 @@
 
 pub mod events;
 pub mod histogram;
+pub mod json;
 pub mod prometheus;
 pub mod snapshot;
 
 pub use events::{DataplaneEvent, DropReason, EventKind, EventRing};
 pub use histogram::LatencyHistogram;
+pub use json::{FromJson, ToJson, Value};
 pub use prometheus::PromText;
 pub use snapshot::{DomSnapshot, DropCounters, PortCounters, TelemetrySnapshot};

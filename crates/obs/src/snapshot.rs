@@ -8,7 +8,6 @@
 
 use crate::events::DataplaneEvent;
 use crate::histogram::LatencyHistogram;
-use serde::{Deserialize, Serialize};
 
 /// Floor applied when converting a zero/negative optical power to dBm,
 /// standing in for the receiver sensitivity floor of a real module.
@@ -29,7 +28,8 @@ pub fn mw_to_dbm(mw: f64) -> f64 {
 /// Replaces the bare `(f64, f64, f64, f64)` tuple the management
 /// client used to return — with four same-typed fields, a tuple is an
 /// invitation to swap tx for rx silently.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DomSnapshot {
     /// Transmit optical power, dBm.
     pub tx_power_dbm: f64,
@@ -44,7 +44,12 @@ pub struct DomSnapshot {
 impl DomSnapshot {
     /// Build a snapshot from raw milliwatt powers (the units the I²C
     /// DOM registers report in).
-    pub fn from_milliwatts(tx_power_mw: f64, rx_power_mw: f64, bias_ma: f64, temp_c: f64) -> DomSnapshot {
+    pub fn from_milliwatts(
+        tx_power_mw: f64,
+        rx_power_mw: f64,
+        bias_ma: f64,
+        temp_c: f64,
+    ) -> DomSnapshot {
         DomSnapshot {
             tx_power_dbm: mw_to_dbm(tx_power_mw),
             rx_power_dbm: mw_to_dbm(rx_power_mw),
@@ -55,7 +60,8 @@ impl DomSnapshot {
 }
 
 /// Frame/byte/error counters for one direction of one port.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PortCounters {
     /// Frames seen.
     pub frames: u64,
@@ -66,7 +72,8 @@ pub struct PortCounters {
 }
 
 /// Lifetime packet-drop counters, broken out by reason.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DropCounters {
     /// Dropped because the ingress FIFO overflowed.
     pub fifo_overflow: u64,
@@ -84,7 +91,8 @@ impl DropCounters {
 }
 
 /// One module's full telemetry export for one scrape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TelemetrySnapshot {
     /// Module identifier (serial).
     pub module_id: String,
@@ -123,6 +131,42 @@ pub struct TelemetrySnapshot {
     pub events_drained: u64,
 }
 
+crate::impl_json_struct!(DomSnapshot {
+    tx_power_dbm,
+    rx_power_dbm,
+    bias_ma,
+    temp_c
+});
+crate::impl_json_struct!(PortCounters {
+    frames,
+    bytes,
+    errors
+});
+crate::impl_json_struct!(DropCounters {
+    fifo_overflow,
+    app,
+    link
+});
+crate::impl_json_struct!(TelemetrySnapshot {
+    module_id,
+    seq,
+    app,
+    app_version,
+    boots,
+    edge_rx,
+    edge_tx,
+    optical_rx,
+    optical_tx,
+    drops,
+    latency,
+    dom,
+    laser_fault,
+    laser_healthy,
+    events,
+    events_overwritten,
+    events_drained,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,21 +201,41 @@ mod tests {
             app: "l4-firewall".into(),
             app_version: 2,
             boots: 1,
-            edge_rx: PortCounters { frames: 10, bytes: 12_800, errors: 0 },
-            edge_tx: PortCounters { frames: 9, bytes: 11_520, errors: 0 },
+            edge_rx: PortCounters {
+                frames: 10,
+                bytes: 12_800,
+                errors: 0,
+            },
+            edge_tx: PortCounters {
+                frames: 9,
+                bytes: 11_520,
+                errors: 0,
+            },
             optical_rx: PortCounters::default(),
-            optical_tx: PortCounters { frames: 9, bytes: 11_520, errors: 1 },
-            drops: DropCounters { fifo_overflow: 1, app: 2, link: 0 },
+            optical_tx: PortCounters {
+                frames: 9,
+                bytes: 11_520,
+                errors: 1,
+            },
+            drops: DropCounters {
+                fifo_overflow: 1,
+                app: 2,
+                link: 0,
+            },
             latency,
             dom: DomSnapshot::from_milliwatts(1.0, 0.8, 6.0, 40.0),
             laser_fault: "healthy".into(),
             laser_healthy: true,
-            events: vec![DataplaneEvent { timestamp_ns: 5, kind: EventKind::AuthReject }],
+            events: vec![DataplaneEvent {
+                timestamp_ns: 5,
+                kind: EventKind::AuthReject,
+            }],
             events_overwritten: 0,
             events_drained: 1,
         };
-        let json = serde_json::to_string(&snap).unwrap();
-        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        use crate::json::{FromJson, ToJson, Value};
+        let json = snap.to_json().to_string();
+        let back = TelemetrySnapshot::from_json(&Value::parse(&json).unwrap()).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.drops.total(), 3);
         assert_eq!(back.latency.count(), 2);

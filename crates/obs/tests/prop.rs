@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+// Needs the proptest dev-dependency; see "Building" in the README.
 //! Property tests for the observability primitives: the histogram's
 //! relative-error bound, merge-equals-concatenation, and event-ring
 //! loss accounting.

@@ -12,7 +12,9 @@ use crate::engine::{ProcessContext, Verdict};
 use crate::meter::{Color, TokenBucket};
 use crate::parser::{ParsedPacket, L4};
 use flexsfp_wire::builder::PacketBuilder;
-use flexsfp_wire::{checksum, ethernet, ipv4::Ipv4Packet, vlan, EtherType, EthernetFrame, IpProtocol};
+use flexsfp_wire::{
+    checksum, ethernet, ipv4::Ipv4Packet, vlan, EtherType, EthernetFrame, IpProtocol,
+};
 
 /// One action unit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -176,20 +178,15 @@ impl ActionEngine {
                 Err(_) => ActionOutcome::Continue { modified: false },
             },
             Action::SetVlanVid(vid) => set_vlan_vid(packet, parsed, vid),
-            Action::EncapGre { src, dst, key } => {
-                encap_ip_layer(packet, parsed, |inner| {
-                    PacketBuilder::gre_encap(src, dst, Some(key), inner)
-                })
-            }
-            Action::EncapIpIp { src, dst } => {
-                encap_ip_layer(packet, parsed, |inner| {
-                    PacketBuilder::ipip_encap(src, dst, inner)
-                })
-            }
+            Action::EncapGre { src, dst, key } => encap_ip_layer(packet, parsed, |inner| {
+                PacketBuilder::gre_encap(src, dst, Some(key), inner)
+            }),
+            Action::EncapIpIp { src, dst } => encap_ip_layer(packet, parsed, |inner| {
+                PacketBuilder::ipip_encap(src, dst, inner)
+            }),
             Action::EncapVxlan { src, dst, vni } => {
                 // Entropy source port from the inner flow (RFC 7348).
-                let entropy = 0xc000
-                    | (flexsfp_fabric::hash::crc32(packet) & 0x3fff) as u16;
+                let entropy = 0xc000 | (flexsfp_fabric::hash::crc32(packet) & 0x3fff) as u16;
                 let outer = PacketBuilder::vxlan_encap(src, dst, entropy, vni, packet);
                 let mut frame = Vec::with_capacity(ethernet::HEADER_LEN + outer.len());
                 frame.extend_from_slice(&packet[..ethernet::HEADER_LEN]);
@@ -219,12 +216,7 @@ impl ActionEngine {
 
 /// Rewrite src or dst IPv4 address with incremental IP-header and
 /// L4 (TCP/UDP pseudo-header) checksum maintenance — the NAT fast path.
-fn rewrite_addr(
-    packet: &mut [u8],
-    parsed: &ParsedPacket,
-    new: u32,
-    is_src: bool,
-) -> ActionOutcome {
+fn rewrite_addr(packet: &mut [u8], parsed: &ParsedPacket, new: u32, is_src: bool) -> ActionOutcome {
     let Some(ip) = parsed.ipv4 else {
         return ActionOutcome::Continue { modified: false };
     };
@@ -368,7 +360,15 @@ mod tests {
     }
 
     fn udp_frame() -> Vec<u8> {
-        PacketBuilder::eth_ipv4_udp(MacAddr([1; 6]), MacAddr([2; 6]), SRC, DST, 1000, 2000, b"pp")
+        PacketBuilder::eth_ipv4_udp(
+            MacAddr([1; 6]),
+            MacAddr([2; 6]),
+            SRC,
+            DST,
+            1000,
+            2000,
+            b"pp",
+        )
     }
 
     fn apply(e: &mut ActionEngine, action: Action, pkt: &mut Vec<u8>) -> ActionOutcome {
@@ -589,7 +589,11 @@ mod tests {
             ActionOutcome::Final(Verdict::Forward)
         );
         assert_eq!(
-            apply(&mut e, Action::Emit(VerdictAction::ToControlPlane), &mut pkt),
+            apply(
+                &mut e,
+                Action::Emit(VerdictAction::ToControlPlane),
+                &mut pkt
+            ),
             ActionOutcome::Final(Verdict::ToControlPlane)
         );
     }

@@ -447,7 +447,10 @@ mod tests {
     fn allowed_source_passes() {
         let mut c = dns_guard();
         let mut pkt = udp(53);
-        assert_eq!(c.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            c.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(c.engine.counters.get(0).packets, 1);
     }
 
@@ -463,14 +466,20 @@ mod tests {
             53,
             b"x",
         );
-        assert_eq!(c.process(&ProcessContext::egress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            c.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Drop
+        );
     }
 
     #[test]
     fn non_dns_always_passes() {
         let mut c = dns_guard();
         let mut pkt = udp(443);
-        assert_eq!(c.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            c.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         // Forwarded via the "not DNS" fast path, which also counts.
         assert_eq!(c.engine.counters.get(0).packets, 1);
     }
@@ -540,10 +549,7 @@ mod tests {
             Err(VerifyError::BackwardJump(0))
         );
         // Missing return.
-        assert_eq!(
-            verify(&[Insn::LdImm(0, 1)], 0),
-            Err(VerifyError::NoReturn)
-        );
+        assert_eq!(verify(&[Insn::LdImm(0, 1)], 0), Err(VerifyError::NoReturn));
     }
 
     #[test]

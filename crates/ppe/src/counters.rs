@@ -79,7 +79,13 @@ mod tests {
         b.count(0, 64);
         b.count(0, 1500);
         b.count(3, 100);
-        assert_eq!(b.get(0), Counter { packets: 2, bytes: 1564 });
+        assert_eq!(
+            b.get(0),
+            Counter {
+                packets: 2,
+                bytes: 1564
+            }
+        );
         assert_eq!(b.get(3).packets, 1);
         assert_eq!(b.get(1), Counter::default());
         assert_eq!(b.len(), 4);

@@ -226,14 +226,8 @@ mod tests {
 
     #[test]
     fn direction_reverse() {
-        assert_eq!(
-            Direction::EdgeToOptical.reverse(),
-            Direction::OpticalToEdge
-        );
-        assert_eq!(
-            Direction::OpticalToEdge.reverse(),
-            Direction::EdgeToOptical
-        );
+        assert_eq!(Direction::EdgeToOptical.reverse(), Direction::OpticalToEdge);
+        assert_eq!(Direction::OpticalToEdge.reverse(), Direction::EdgeToOptical);
     }
 
     #[test]
@@ -241,23 +235,35 @@ mod tests {
         let c = ProcessContext::egress().at(1234);
         assert_eq!(c.timestamp_ns, 1234);
         assert_eq!(c.direction, Direction::EdgeToOptical);
-        assert_eq!(ProcessContext::ingress().direction, Direction::OpticalToEdge);
+        assert_eq!(
+            ProcessContext::ingress().direction,
+            Direction::OpticalToEdge
+        );
     }
 
     #[test]
     fn passthrough_forwards_unchanged() {
         let mut p = PassThrough;
         let mut pkt = vec![1, 2, 3];
-        assert_eq!(p.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            p.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         assert_eq!(pkt, vec![1, 2, 3]);
         assert_eq!(p.pipeline_depth(), 0);
-        assert_eq!(p.resource_manifest(), flexsfp_fabric::ResourceManifest::ZERO);
+        assert_eq!(
+            p.resource_manifest(),
+            flexsfp_fabric::ResourceManifest::ZERO
+        );
     }
 
     #[test]
     fn drop_all_drops() {
         let mut p = DropAll;
         let mut pkt = vec![0; 64];
-        assert_eq!(p.process(&ProcessContext::ingress(), &mut pkt), Verdict::Drop);
+        assert_eq!(
+            p.process(&ProcessContext::ingress(), &mut pkt),
+            Verdict::Drop
+        );
     }
 }

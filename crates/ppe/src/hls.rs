@@ -12,10 +12,10 @@ use crate::codelet::{Codelet, Insn};
 use crate::pipeline::{Matcher, Pipeline, Stage};
 use flexsfp_fabric::resources::ResourceManifest;
 use flexsfp_fabric::sram::{MemoryKind, MemoryPlanner, TableShape};
-use serde::{Deserialize, Serialize};
 
 /// Result of "synthesizing" a packet program.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SynthesisReport {
     /// Estimated fabric resources.
     pub manifest: ResourceManifest,
@@ -266,12 +266,7 @@ mod tests {
 
     #[test]
     fn bigger_codelets_cost_more_and_clock_lower() {
-        let small = Codelet::new(
-            "s",
-            vec![Insn::Return(VerdictCode::Forward)],
-            vec![],
-        )
-        .unwrap();
+        let small = Codelet::new("s", vec![Insn::Return(VerdictCode::Forward)], vec![]).unwrap();
         let mut prog = Vec::new();
         for i in 0..200 {
             prog.push(Insn::LdImm(2, i));

@@ -390,7 +390,8 @@ mod tests {
     fn truncated_l4_is_other_not_error() {
         // IPv4 claims UDP but carries only 3 payload bytes.
         let short_ip = PacketBuilder::ipv4(SRC, DST, IpProtocol::Udp, &[1, 2, 3]);
-        let f = PacketBuilder::ethernet(MacAddr([1; 6]), MacAddr([2; 6]), EtherType::Ipv4, &short_ip);
+        let f =
+            PacketBuilder::ethernet(MacAddr([1; 6]), MacAddr([2; 6]), EtherType::Ipv4, &short_ip);
         let p = Parser::default().parse(&f).unwrap();
         assert!(p.ipv4.is_some());
         assert_eq!(p.l4, L4::Other);

@@ -493,7 +493,10 @@ mod tests {
     fn exact_stage_translates_on_hit() {
         let mut p = nat_pipeline();
         let mut pkt = frame(SRC, 53);
-        assert_eq!(p.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            p.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
         assert_eq!(ip.src(), 0x64400001);
         assert!(ip.verify_checksum());
@@ -541,9 +544,15 @@ mod tests {
             })
             .build();
         let mut dns = frame(SRC, 53);
-        assert_eq!(p.process(&ProcessContext::egress(), &mut dns), Verdict::Drop);
+        assert_eq!(
+            p.process(&ProcessContext::egress(), &mut dns),
+            Verdict::Drop
+        );
         let mut web = frame(SRC, 443);
-        assert_eq!(p.process(&ProcessContext::egress(), &mut web), Verdict::Forward);
+        assert_eq!(
+            p.process(&ProcessContext::egress(), &mut web),
+            Verdict::Forward
+        );
         assert_eq!(p.stats().drops, 1);
         assert_eq!(p.stats().packets, 2);
     }
@@ -605,7 +614,10 @@ mod tests {
             })
             .build();
         let mut pkt = frame(SRC, 80);
-        assert_eq!(p.process(&ProcessContext::egress(), &mut pkt), Verdict::Forward);
+        assert_eq!(
+            p.process(&ProcessContext::egress(), &mut pkt),
+            Verdict::Forward
+        );
         // The second stage saw the tag pushed by the first (re-parse).
         assert_eq!(p.engine.counters.get(7).packets, 1);
         assert_eq!(p.pipeline_depth(), 2);
@@ -615,7 +627,10 @@ mod tests {
     fn runt_frames_drop() {
         let mut p = nat_pipeline();
         let mut runt = vec![0u8; 6];
-        assert_eq!(p.process(&ProcessContext::egress(), &mut runt), Verdict::Drop);
+        assert_eq!(
+            p.process(&ProcessContext::egress(), &mut runt),
+            Verdict::Drop
+        );
         assert_eq!(p.stats().drops, 1);
     }
 
@@ -632,7 +647,9 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(
             events[0].kind,
-            EventKind::TableMiss { stage: "snat".into() }
+            EventKind::TableMiss {
+                stage: "snat".into()
+            }
         );
         assert_eq!(events[0].timestamp_ns, 42);
         assert_eq!(events[1].kind, EventKind::ParseError);

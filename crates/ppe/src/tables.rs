@@ -160,7 +160,10 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
     /// Look up without touching statistics (control-plane reads).
     pub fn peek(&self, key: &K) -> Option<V> {
         let idx = self.bucket_index(key);
-        self.buckets[idx].iter().find(|e| e.key == *key).map(|e| e.value)
+        self.buckets[idx]
+            .iter()
+            .find(|e| e.key == *key)
+            .map(|e| e.value)
     }
 
     /// Insert or update. Fails with [`TableError::BucketFull`] when the

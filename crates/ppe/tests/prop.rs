@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+// Needs the proptest dev-dependency; see "Building" in the README.
 //! Property tests for PPE invariants: tables vs a model, meters vs an
 //! analytic bound, codelet verifier robustness, LPM vs naive search.
 

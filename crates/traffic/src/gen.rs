@@ -6,11 +6,10 @@
 //! trace, byte for byte.
 
 use crate::rate::LineRateCalc;
+use crate::rng::Xoshiro256;
 use flexsfp_wire::builder::PacketBuilder;
 use flexsfp_wire::tcp::TcpFlags;
 use flexsfp_wire::MacAddr;
-use rand::prelude::*;
-use rand::rngs::StdRng;
 
 /// One generated packet.
 #[derive(Debug, Clone)]
@@ -33,11 +32,11 @@ pub enum SizeModel {
 }
 
 impl SizeModel {
-    fn sample(&self, rng: &mut StdRng) -> usize {
+    fn sample(&self, rng: &mut Xoshiro256) -> usize {
         match *self {
             SizeModel::Fixed(n) => n,
-            SizeModel::Uniform(lo, hi) => rng.random_range(lo..=hi),
-            SizeModel::Imix => match rng.random_range(0..12u32) {
+            SizeModel::Uniform(lo, hi) => rng.range_inclusive_usize(lo, hi),
+            SizeModel::Imix => match rng.range_u64(0, 12) {
                 0..=6 => 60,
                 7..=10 => 590,
                 _ => 1514,
@@ -177,14 +176,14 @@ impl TraceBuilder {
 
     /// The flow population this builder will use.
     pub fn flow_specs(&self) -> Vec<FlowSpec> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xf10f_f10f);
+        let mut rng = Xoshiro256::seed_from_u64(self.seed ^ 0xf10f_f10f);
         (0..self.flows)
             .map(|i| FlowSpec {
                 src: self.src_base.wrapping_add(i as u32),
                 dst: self.dst_base.wrapping_add((i % 16) as u32),
                 sport: 1024 + (i % 60_000) as u16,
                 dport: self.dport,
-                tcp: rng.random::<f64>() < self.tcp_share,
+                tcp: rng.next_f64() < self.tcp_share,
             })
             .collect()
     }
@@ -223,12 +222,12 @@ impl TraceBuilder {
     /// Generate `count` packets (plus any injected microbursts), sorted
     /// by arrival time.
     pub fn build(&self, count: usize) -> Vec<TracePacket> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
         let flows = self.flow_specs();
         let mut out = Vec::with_capacity(count);
         let mut t_fs: u128 = 0; // femtoseconds for exact pacing
         for i in 0..count {
-            let flow = &flows[rng.random_range(0..flows.len())];
+            let flow = &flows[rng.range_usize(0, flows.len())];
             let len = self.size.sample(&mut rng);
             let frame = Self::build_frame(flow, len, i as u32);
             let flen = frame.len();
@@ -239,8 +238,7 @@ impl TraceBuilder {
             let mean_gap_ns = match self.arrival {
                 ArrivalModel::Paced { utilization } => self.rate.gap_ns(flen, utilization),
                 ArrivalModel::Poisson { utilization } => {
-                    let u: f64 = rng.random::<f64>().max(1e-12);
-                    -u.ln() * self.rate.gap_ns(flen, utilization)
+                    rng.exp(self.rate.gap_ns(flen, utilization))
                 }
             };
             t_fs += (mean_gap_ns * 1e6) as u128;
@@ -306,7 +304,10 @@ mod tests {
         // Offered frame-bit rate should be ~0.5 × 10G × 1000/1024ths
         // of wire share; just assert the 10% band around goodput.
         let expected = LineRateCalc::TEN_GIG.goodput_bps(1000, 0.5);
-        assert!((rate - expected).abs() / expected < 0.05, "rate {rate:.3e} vs {expected:.3e}");
+        assert!(
+            (rate - expected).abs() / expected < 0.05,
+            "rate {rate:.3e} vs {expected:.3e}"
+        );
     }
 
     #[test]

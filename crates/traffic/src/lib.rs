@@ -20,6 +20,8 @@
 pub mod gen;
 pub mod profiles;
 pub mod rate;
+pub mod rng;
 
 pub use gen::{ArrivalModel, SizeModel, TraceBuilder, TracePacket};
 pub use rate::LineRateCalc;
+pub use rng::{SplitMix64, Xoshiro256};

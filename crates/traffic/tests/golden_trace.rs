@@ -1,0 +1,91 @@
+//! Seed-stability golden tests for the in-tree PRNG and the traffic
+//! generator.
+//!
+//! The deterministic-replay property (§"same builder always emits the
+//! same trace, byte for byte") is what makes every benchmark in
+//! `flexsfp-bench` reproducible. These tests pin it across releases:
+//! a fixed seed must keep producing the exact same raw PRNG stream and
+//! the exact same first-N packets — arrival timestamps and frame bytes
+//! both — forever. An intentional change to the generator or the
+//! xoshiro256** port must update the digests here, consciously.
+//!
+//! Runs with default features only; the digest is an in-tree FNV-1a.
+
+use flexsfp_traffic::gen::{ArrivalModel, SizeModel, TraceBuilder, TracePacket};
+use flexsfp_traffic::rng::Xoshiro256;
+
+/// 64-bit FNV-1a over the concatenation fed so far.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Digest a trace: every packet's little-endian arrival time followed by
+/// its frame bytes, all chained through one FNV-1a state.
+fn trace_digest(trace: &[TracePacket]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for p in trace {
+        h = fnv1a(h, &p.arrival_ns.to_le_bytes());
+        h = fnv1a(h, &p.frame);
+    }
+    h
+}
+
+#[test]
+fn xoshiro_stream_is_seed_stable() {
+    // First six outputs for seed 1 (SplitMix64-expanded), pinned.
+    let mut r = Xoshiro256::seed_from_u64(1);
+    let got: Vec<u64> = (0..6).map(|_| r.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            0xb3f2_af6d_0fc7_10c5,
+            0x853b_5596_4736_4cea,
+            0x92f8_9756_082a_4514,
+            0x642e_1c7b_c266_a3a7,
+            0xb27a_48e2_9a23_3673,
+            0x24c1_2312_6ffd_a722,
+        ]
+    );
+}
+
+#[test]
+fn default_trace_first_64_packets_are_golden() {
+    // Default builder (10G, 64 flows, IMIX, 50% paced) with a quarter of
+    // the flows TCP. Seed 0x5eed_f00d, first 64 packets.
+    let trace = TraceBuilder::new(0x5eed_f00d).tcp_share(0.25).build(64);
+    assert_eq!(trace.len(), 64);
+    assert_eq!(trace_digest(&trace), 0x73d7_765a_9dcd_1ece);
+    // The digest covers timestamps too, but pin the span explicitly so a
+    // failure here points at pacing rather than frame contents.
+    assert_eq!(trace.last().unwrap().arrival_ns, 44_451);
+}
+
+#[test]
+fn poisson_trace_first_64_packets_are_golden() {
+    // Poisson arrivals exercise the exponential sampler (`Rng::exp`),
+    // whose f64 path is the most fragile part of seed stability.
+    let trace = TraceBuilder::new(7)
+        .sizes(SizeModel::Fixed(256))
+        .arrivals(ArrivalModel::Poisson { utilization: 0.4 })
+        .flows(16)
+        .build(64);
+    assert_eq!(trace.len(), 64);
+    assert_eq!(trace_digest(&trace), 0x9cc4_797e_d22a_631e);
+    assert_eq!(trace.last().unwrap().arrival_ns, 31_903);
+}
+
+#[test]
+fn rebuilding_reproduces_the_golden_digest() {
+    // Replay stability: two independently constructed builders agree
+    // with each other and with the pinned digest.
+    let a = TraceBuilder::new(0x5eed_f00d).tcp_share(0.25).build(64);
+    let b = TraceBuilder::new(0x5eed_f00d).tcp_share(0.25).build(64);
+    assert_eq!(trace_digest(&a), trace_digest(&b));
+    assert_eq!(trace_digest(&a), 0x73d7_765a_9dcd_1ece);
+}

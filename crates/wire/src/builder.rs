@@ -211,15 +211,7 @@ mod tests {
 
     #[test]
     fn vlan_tagging() {
-        let f = PacketBuilder::eth_ipv4_udp(
-            MacAddr([2; 6]),
-            MacAddr([3; 6]),
-            SRC,
-            DST,
-            1,
-            2,
-            b"p",
-        );
+        let f = PacketBuilder::eth_ipv4_udp(MacAddr([2; 6]), MacAddr([3; 6]), SRC, DST, 1, 2, b"p");
         let tagged = PacketBuilder::with_vlan(&f, 300, 5);
         let eth = EthernetFrame::new_checked(&tagged[..]).unwrap();
         assert_eq!(eth.ethertype(), EtherType::Vlan);
@@ -254,7 +246,8 @@ mod tests {
 
     #[test]
     fn vxlan_encap_decap() {
-        let inner = PacketBuilder::ethernet(MacAddr([9; 6]), MacAddr([8; 6]), EtherType::Ipv4, b"q");
+        let inner =
+            PacketBuilder::ethernet(MacAddr([9; 6]), MacAddr([8; 6]), EtherType::Ipv4, b"q");
         let outer = PacketBuilder::vxlan_encap(0x0b0b0b0b, 0x0c0c0c0c, 0xbeef, 5001, &inner);
         let ip = Ipv4Packet::new_checked(&outer[..]).unwrap();
         let udp = UdpDatagram::new_checked(ip.payload()).unwrap();

@@ -253,9 +253,7 @@ mod tests {
 
     #[test]
     fn display_full_form() {
-        let a = Ipv6Addr::from_bytes(&[
-            0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
-        ]);
+        let a = Ipv6Addr::from_bytes(&[0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
         assert_eq!(a.to_string(), "2001:db8:0:0:0:0:0:1");
     }
 }

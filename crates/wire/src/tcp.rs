@@ -149,7 +149,8 @@ impl<T: AsRef<[u8]>> TcpSegment<T> {
     /// Verify the checksum against an IPv4 pseudo-header.
     pub fn verify_checksum_v4(&self, src: u32, dst: u32) -> bool {
         let buf = self.buffer.as_ref();
-        let ph = checksum::pseudo_header_sum(src.to_be_bytes(), dst.to_be_bytes(), 6, buf.len() as u16);
+        let ph =
+            checksum::pseudo_header_sum(src.to_be_bytes(), dst.to_be_bytes(), 6, buf.len() as u16);
         checksum::fold(ph + checksum::raw_sum(buf)) == 0xffff
     }
 }
@@ -200,7 +201,8 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
     pub fn fill_checksum_v4(&mut self, src: u32, dst: u32) {
         self.set_checksum(0);
         let buf = self.buffer.as_ref();
-        let ph = checksum::pseudo_header_sum(src.to_be_bytes(), dst.to_be_bytes(), 6, buf.len() as u16);
+        let ph =
+            checksum::pseudo_header_sum(src.to_be_bytes(), dst.to_be_bytes(), 6, buf.len() as u16);
         let c = !(checksum::fold(ph + checksum::raw_sum(buf)) as u16);
         self.set_checksum(c);
     }

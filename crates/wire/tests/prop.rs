@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+// Needs the proptest dev-dependency; see "Building" in the README.
 //! Property-based tests for wire-format invariants.
 
 use flexsfp_wire::builder::PacketBuilder;

@@ -69,8 +69,7 @@ fn main() {
     );
 
     // --- 3. Fit check next to the fixed components ----------------------
-    let whole_design =
-        report.manifest + table1::MI_V + table1::ELECTRICAL_IF + table1::OPTICAL_IF;
+    let whole_design = report.manifest + table1::MI_V + table1::ELECTRICAL_IF + table1::OPTICAL_IF;
     let fit = Device::mpf200t().fit(whole_design);
     let (lut, ff, us, ls) = fit.utilization_pct();
     println!(
@@ -117,9 +116,7 @@ fn main() {
     let report = module.run(packets);
     println!(
         "\ntraffic: {} offered, {} forwarded, {} dropped by the guard",
-        report.offered,
-        report.forwarded.1,
-        report.drops.app
+        report.offered, report.forwarded.1, report.drops.app
     );
     // The first 50 tiny packets pass (learning), the remaining 70 drop;
     // all 120 legitimate packets pass.

@@ -69,8 +69,12 @@ fn main() {
 
     // The demo's own sanity checks.
     assert_eq!(collector.len(), 4);
-    assert!(text.contains("flexsfp_frames_total{module=\"RACK7-00\",port=\"edge\",direction=\"rx\"}"));
-    assert!(text.contains("flexsfp_bytes_total{module=\"RACK7-03\",port=\"optical\",direction=\"tx\"}"));
+    assert!(
+        text.contains("flexsfp_frames_total{module=\"RACK7-00\",port=\"edge\",direction=\"rx\"}")
+    );
+    assert!(
+        text.contains("flexsfp_bytes_total{module=\"RACK7-03\",port=\"optical\",direction=\"tx\"}")
+    );
     assert!(text.contains("flexsfp_latency_ns{module=\"RACK7-01\",quantile=\"0.99\"}"));
     assert!(text.contains("flexsfp_fleet_latency_ns{quantile=\"0.99\"}"));
     assert!(text.contains("flexsfp_laser_healthy{module=\"RACK7-00\"} 1"));

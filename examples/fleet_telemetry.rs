@@ -24,10 +24,7 @@ fn main() {
                 id: format!("RING-A-{i:02}"),
                 ..ModuleConfig::default()
             };
-            let mut m = FlexSfp::new(
-                cfg,
-                Box::new(TelemetryProbe::new(8_192, 100_000, 50_000)),
-            );
+            let mut m = FlexSfp::new(cfg, Box::new(TelemetryProbe::new(8_192, 100_000, 50_000)));
             m.set_factory(app_factory());
             m
         })
@@ -70,7 +67,9 @@ fn main() {
             let flows = u64::from_be_bytes(v[0..8].try_into().unwrap());
             let bursts = u64::from_be_bytes(v[8..16].try_into().unwrap());
             let peak = u64::from_be_bytes(v[16..24].try_into().unwrap());
-            println!("telemetry: {flows} flows tracked, {bursts} microburst(s), peak window {peak} B");
+            println!(
+                "telemetry: {flows} flows tracked, {bursts} microburst(s), peak window {peak} B"
+            );
             assert!(bursts >= 1, "the injected microburst must be detected");
         }
     });
@@ -103,9 +102,12 @@ fn main() {
         ResourceManifest::new(5_400, 6_800, 28, 44),
         156_250_000,
     )
-    .with_config(serde_json::json!({"flows": 16_384, "window_ns": 50_000, "burst_bytes": 40_000}))
+    .with_config(flexsfp_obs::json!({"flows": 16_384, "window_ns": 50_000, "burst_bytes": 40_000}))
     .to_bytes();
-    println!("\nrolling out telemetry v2 ({} kB image) across the fleet...", image.len() / 1024);
+    println!(
+        "\nrolling out telemetry v2 ({} kB image) across the fleet...",
+        image.len() / 1024
+    );
     let report = fleet.deploy_all(1, &image, 4);
     println!(
         "rollout complete: {} updated, {} failed",

@@ -68,12 +68,22 @@ fn main() {
     let mut sw = LegacySwitch::new(4);
 
     // Teach the switch where the uplink lives.
-    sw.inject(UPLINK_PORT, PacketBuilder::ethernet(
-        SUBSCRIBER_MAC,
-        UPLINK_MAC,
-        flexsfp::wire::EtherType::Ipv4,
-        &PacketBuilder::ipv4_udp(parse_addr("203.0.113.1").unwrap(), parse_addr("10.100.1.10").unwrap(), 1, 2, b"hi"),
-    ), 0);
+    sw.inject(
+        UPLINK_PORT,
+        PacketBuilder::ethernet(
+            SUBSCRIBER_MAC,
+            UPLINK_MAC,
+            flexsfp::wire::EtherType::Ipv4,
+            &PacketBuilder::ipv4_udp(
+                parse_addr("203.0.113.1").unwrap(),
+                parse_addr("10.100.1.10").unwrap(),
+                1,
+                2,
+                b"hi",
+            ),
+        ),
+        0,
+    );
 
     // --- Before the retrofit: the legacy switch forwards everything.
     let delivered = sw.inject(SUBSCRIBER_PORT, dns_query("ads.tracker.example"), 1_000);
@@ -92,18 +102,26 @@ fn main() {
     // Uplink port: QinQ service tag for the metro core.
     let mut tagger = VlanTagger::new(10).with_s_tag(500);
     tagger.drop_tagged_ingress = false;
-    sw.insert_flexsfp(UPLINK_PORT, FlexSfp::new(ModuleConfig::default(), Box::new(tagger)));
+    sw.insert_flexsfp(
+        UPLINK_PORT,
+        FlexSfp::new(ModuleConfig::default(), Box::new(tagger)),
+    );
     println!("inserted FlexSFP (vlan-tagger, QinQ S-tag 500) into uplink port {UPLINK_PORT}");
 
     // Blocked domain: dropped in the cage, the switch ASIC never sees it.
     let out = sw.inject(SUBSCRIBER_PORT, dns_query("ads.tracker.example"), 2_000);
-    println!("\nDNS query for ads.tracker.example -> delivered to {} ports (blocked at the cable)", out.len());
+    println!(
+        "\nDNS query for ads.tracker.example -> delivered to {} ports (blocked at the cable)",
+        out.len()
+    );
     assert!(out.is_empty());
 
     // Legitimate DNS passes and leaves the uplink double-tagged.
     let out = sw.inject(SUBSCRIBER_PORT, dns_query("example.org"), 3_000);
     assert_eq!(out.len(), 1);
-    let parsed = flexsfp::ppe::Parser::default().parse(&out[0].frame).unwrap();
+    let parsed = flexsfp::ppe::Parser::default()
+        .parse(&out[0].frame)
+        .unwrap();
     println!(
         "DNS query for example.org -> uplink port {} with VLAN stack {:?}",
         out[0].port, parsed.vlans
@@ -133,7 +151,10 @@ fn main() {
 
     println!(
         "\nswitch stats: {} received, {} delivered, {} dropped by port modules, {} MACs learned",
-        sw.stats.received, sw.stats.delivered, sw.stats.dropped_by_modules, sw.learned()
+        sw.stats.received,
+        sw.stats.delivered,
+        sw.stats.dropped_by_modules,
+        sw.learned()
     );
     println!("\nretrofit example OK — the chassis never changed");
 }

@@ -82,7 +82,10 @@ fn main() {
     //    the out-of-band management port.
     let client = ManagementClient::new(AuthKey::DEFAULT);
     let info = client.info(&mut module).unwrap();
-    println!("\ncontrol plane: app '{}' v{} on {}", info.app, info.app_version, info.module_id);
+    println!(
+        "\ncontrol plane: app '{}' v{} on {}",
+        info.app, info.app_version, info.module_id
+    );
     let (translated, bytes) = client.read_counter(&mut module, 0).unwrap();
     let (missed, _) = client.read_counter(&mut module, 1).unwrap();
     println!("NAT counters: {translated} translated ({bytes} B), {missed} passed untranslated");

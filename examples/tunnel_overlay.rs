@@ -99,7 +99,10 @@ fn main() {
         link.loss_db
     );
     let report_b = module_b.run(link.carry(&report_a.outputs));
-    println!("module B decapsulated {} frames toward host B", report_b.forwarded.0);
+    println!(
+        "module B decapsulated {} frames toward host B",
+        report_b.forwarded.0
+    );
 
     // Host B receives exactly what host A sent.
     assert_eq!(report_b.forwarded.0, 5);
@@ -115,9 +118,9 @@ fn main() {
     );
 
     // End-to-end latency including the fiber.
-    let total_latency =
-        report_b.outputs[0].departure_ns as f64 - report_a.outputs[0].departure_ns as f64
-            + report_a.outputs[0].latency_ns;
+    let total_latency = report_b.outputs[0].departure_ns as f64
+        - report_a.outputs[0].departure_ns as f64
+        + report_a.outputs[0].latency_ns;
     println!("end-to-end added latency (encap + fiber + decap): {total_latency:.0} ns");
 
     println!("\ntunnel overlay example OK");

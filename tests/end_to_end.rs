@@ -48,7 +48,11 @@ fn nat_module_sustains_imix_line_rate_with_verified_translations() {
         assert!(ip.verify_checksum());
     }
     // Sub-2µs worst case even at IMIX sizes.
-    assert!(report.latency.max_ns() < 2_000.0, "{}", report.latency.max_ns());
+    assert!(
+        report.latency.max_ns() < 2_000.0,
+        "{}",
+        report.latency.max_ns()
+    );
 }
 
 #[test]
@@ -88,7 +92,7 @@ fn ota_swap_from_nat_to_firewall_changes_behaviour() {
         ResourceManifest::new(8_000, 6_000, 24, 2),
         156_250_000,
     )
-    .with_config(serde_json::json!({"default": "deny", "capacity": 16}));
+    .with_config(flexsfp_obs::json!({"default": "deny", "capacity": 16}));
     client.deploy(&mut module, 1, &fw_bs.to_bytes()).unwrap();
     assert_eq!(module.app_name(), "firewall");
     assert_eq!(module.boots(), 2);
@@ -118,7 +122,7 @@ fn ota_swap_from_nat_to_firewall_changes_behaviour() {
             flexsfp::core::control::CtlTableOp::Insert {
                 table: 0,
                 key: vec![],
-                value: serde_json::to_vec(&rule).unwrap(),
+                value: flexsfp_obs::ToJson::to_json(&rule).to_string().into_bytes(),
             },
         )
         .unwrap();

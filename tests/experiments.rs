@@ -6,11 +6,17 @@ use flexsfp_bench::{ablations, fig1, fig2, linerate, power, scaling, table1, tab
 #[test]
 fn every_experiment_runs_and_serializes() {
     let t1 = table1::run();
-    assert!(serde_json::to_string(&t1).unwrap().contains("31455"));
+    assert!(flexsfp_obs::ToJson::to_json(&t1)
+        .to_string()
+        .contains("31455"));
     let t2 = table2::run();
-    assert!(serde_json::to_string(&t2).unwrap().contains("Pigasus"));
+    assert!(flexsfp_obs::ToJson::to_json(&t2)
+        .to_string()
+        .contains("Pigasus"));
     let t3 = table3::run();
-    assert!(serde_json::to_string(&t3).unwrap().contains("FlexSFP"));
+    assert!(flexsfp_obs::ToJson::to_json(&t3)
+        .to_string()
+        .contains("FlexSFP"));
     let f1 = fig1::run(1_000);
     assert_eq!(f1.points.len(), 5);
     let f2 = fig2::run();

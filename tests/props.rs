@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+// Needs the proptest dev-dependency; see "Building" in the README.
 //! Cross-crate property tests: invariants that must hold for arbitrary
 //! generated workloads and configurations.
 
