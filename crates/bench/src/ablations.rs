@@ -116,8 +116,7 @@ flexsfp_obs::impl_json_struct!(Report {
 });
 
 fn control_share_sweep(n: usize) -> Vec<ControlSharePoint> {
-    let mut out = Vec::new();
-    for share in [0.0, 0.01, 0.05, 0.10, 0.20] {
+    crate::par::par_map(vec![0.0, 0.01, 0.05, 0.10, 0.20], |share| {
         let mut module = FlexSfp::passthrough();
         let mgmt_mac = module.config.mgmt_mac;
         let mgmt_ip = module.config.mgmt_ip;
@@ -163,7 +162,7 @@ fn control_share_sweep(n: usize) -> Vec<ControlSharePoint> {
         }
         let report = module.run(packets);
         let delivered = report.forwarded.0 + report.forwarded.1;
-        out.push(ControlSharePoint {
+        ControlSharePoint {
             share,
             data_delivery: if data_count == 0 {
                 1.0
@@ -171,9 +170,8 @@ fn control_share_sweep(n: usize) -> Vec<ControlSharePoint> {
                 delivered as f64 / data_count as f64
             },
             control_handled: report.control_handled,
-        });
-    }
-    out
+        }
+    })
 }
 
 fn table_size_sweep() -> Vec<TableSizePoint> {
@@ -232,42 +230,39 @@ fn chain_depth_sweep() -> Vec<ChainDepthPoint> {
 }
 
 fn fifo_sweep(n: usize) -> Vec<FifoPoint> {
-    [16usize, 64, 256, 1024]
-        .into_iter()
-        .map(|kib| {
-            let mut module = FlexSfp::new(
-                ModuleConfig {
-                    shell: ShellKind::TwoWayCore,
-                    ppe_clock: ClockDomain::XGMII_10G,
-                    fifo_bytes: kib * 1024,
-                    ..Default::default()
-                },
-                Box::new(PassThrough),
-            );
-            let base = TraceBuilder::new(0xcd)
-                .sizes(SizeModel::Fixed(60))
-                .arrivals(flexsfp_traffic::gen::ArrivalModel::Paced { utilization: 1.0 })
-                .build(n);
-            let mut packets = Vec::with_capacity(2 * n);
-            for p in base {
-                packets.push(SimPacket {
-                    arrival_ns: p.arrival_ns,
-                    direction: Direction::EdgeToOptical,
-                    frame: p.frame.clone(),
-                });
-                packets.push(SimPacket {
-                    arrival_ns: p.arrival_ns,
-                    direction: Direction::OpticalToEdge,
-                    frame: p.frame,
-                });
-            }
-            let report = module.run(packets);
-            FifoPoint {
-                fifo_kib: kib,
-                delivery: report.delivery_ratio(),
-            }
-        })
-        .collect()
+    crate::par::par_map(vec![16usize, 64, 256, 1024], |kib| {
+        let mut module = FlexSfp::new(
+            ModuleConfig {
+                shell: ShellKind::TwoWayCore,
+                ppe_clock: ClockDomain::XGMII_10G,
+                fifo_bytes: kib * 1024,
+                ..Default::default()
+            },
+            Box::new(PassThrough),
+        );
+        let base = TraceBuilder::new(0xcd)
+            .sizes(SizeModel::Fixed(60))
+            .arrivals(flexsfp_traffic::gen::ArrivalModel::Paced { utilization: 1.0 })
+            .build(n);
+        let mut packets = Vec::with_capacity(2 * n);
+        for p in base {
+            packets.push(SimPacket {
+                arrival_ns: p.arrival_ns,
+                direction: Direction::EdgeToOptical,
+                frame: p.frame.clone(),
+            });
+            packets.push(SimPacket {
+                arrival_ns: p.arrival_ns,
+                direction: Direction::OpticalToEdge,
+                frame: p.frame,
+            });
+        }
+        let report = module.run(packets);
+        FifoPoint {
+            fifo_kib: kib,
+            delivery: report.delivery_ratio(),
+        }
+    })
 }
 
 /// Run all ablations (`n` packets for the traffic-driven ones).

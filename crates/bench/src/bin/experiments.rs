@@ -1,7 +1,7 @@
 //! The experiments CLI: regenerate every table and figure of the paper.
 //!
 //! ```text
-//! cargo run -p flexsfp-bench --bin experiments -- <subcommand> [--json]
+//! cargo run -p flexsfp-bench --bin experiments -- <subcommand> [--json] [--quick]
 //!
 //! subcommands:
 //!   table1     Table 1  — NAT resource usage per component
@@ -13,18 +13,25 @@
 //!   power      §5       — testbed power measurements
 //!   scaling    §5.3     — width × clock scaling sweep
 //!   ablations  extras   — design-choice ablations
+//!   latency    §6       — latency vs placement
+//!   perf       baseline — simulator throughput (writes BENCH_throughput.json)
 //!   all        everything above in order
 //! ```
 //!
 //! `--json` additionally emits the machine-readable report on stdout.
+//! `--quick` shrinks the `perf` run to its CI size (200 k packets instead
+//! of 2 M); the JSON baseline is written either way, to the current
+//! directory. Run `perf` in `--release` — a debug-build measurement is
+//! not comparable to the committed baseline.
 
 use flexsfp_bench::{
-    ablations, fig1, fig2, latency, linerate, power, scaling, table1, table2, table3,
+    ablations, fig1, fig2, latency, linerate, perf, power, scaling, table1, table2, table3,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -42,6 +49,7 @@ fn main() {
         "scaling",
         "ablations",
         "latency",
+        "perf",
         "all",
     ];
     if !known.contains(&cmd) {
@@ -118,6 +126,22 @@ fn main() {
             println!("{}", ablations::render(&r));
             if json {
                 println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
+            }
+        }
+        "perf" => {
+            let packets = if quick {
+                perf::QUICK_PACKETS
+            } else {
+                perf::FULL_PACKETS
+            };
+            let r = perf::run(packets);
+            println!("{}", perf::render(&r));
+            let text = flexsfp_obs::ToJson::to_json(&r).to_string_pretty();
+            std::fs::write("BENCH_throughput.json", format!("{text}\n"))
+                .expect("write BENCH_throughput.json");
+            println!("wrote BENCH_throughput.json");
+            if json {
+                println!("{text}");
             }
         }
         _ => unreachable!(),

@@ -14,6 +14,7 @@
 
 use flexsfp_host::baselines::ProcessingPath;
 use flexsfp_traffic::{LineRateCalc, SizeModel, TraceBuilder};
+use flexsfp_wire::PacketArena;
 
 /// Latency of one placement.
 #[derive(Debug, Clone)]
@@ -83,28 +84,41 @@ pub fn run(n: usize) -> Report {
     // below every placement's saturation point, so the comparison
     // isolates *path* latency. (At 64 B the host-CPU path saturates
     // around 9% of 10G line rate; the FlexSFP runs to 100%.)
-    let trace = TraceBuilder::new(0x6a7)
+    // Only arrival times and byte totals are needed downstream, so the
+    // trace streams through one recycled arena buffer instead of being
+    // materialized.
+    let arena = PacketArena::new();
+    let mut arrivals: Vec<u64> = Vec::with_capacity(n);
+    let mut total_bytes: u64 = 0;
+    for p in TraceBuilder::new(0x6a7)
         .sizes(SizeModel::Fixed(60))
         .arrivals(flexsfp_traffic::gen::ArrivalModel::Poisson { utilization: 0.05 })
-        .build(n);
-    let arrivals: Vec<u64> = trace.iter().map(|p| p.arrival_ns).collect();
-    let total_bytes: u64 = trace.iter().map(|p| p.frame.len() as u64).sum();
-
-    let mut latency = Vec::new();
-    for mut path in [
-        ProcessingPath::flexsfp(1),
-        ProcessingPath::smartnic(1),
-        ProcessingPath::host_cpu(1),
-    ] {
-        let name = path.name;
-        let stats = path.run(&arrivals);
-        latency.push(PlacementLatency {
-            placement: name.into(),
-            mean_ns: stats.mean_ns(),
-            p99_ns: stats.quantile_ns(0.99),
-            max_ns: stats.max_ns(),
-        });
+        .stream_pooled(n, arena.clone())
+    {
+        arrivals.push(p.arrival_ns);
+        total_bytes += p.frame.len() as u64;
+        arena.recycle(p.frame);
     }
+
+    // The three placements are independent servers over the same arrival
+    // sequence — one sweep point each.
+    let latency = crate::par::par_map(
+        vec![
+            ProcessingPath::flexsfp(1),
+            ProcessingPath::smartnic(1),
+            ProcessingPath::host_cpu(1),
+        ],
+        |mut path| {
+            let name = path.name;
+            let stats = path.run(&arrivals);
+            PlacementLatency {
+                placement: name.into(),
+                mean_ns: stats.mean_ns(),
+                p99_ns: stats.quantile_ns(0.99),
+                max_ns: stats.max_ns(),
+            }
+        },
+    );
 
     // Early enforcement: 20% of traffic is policy-blocked. At the cable
     // the doomed bytes never touch the downstream link; at the NIC they

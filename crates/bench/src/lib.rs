@@ -16,10 +16,16 @@
 //! | §5.3 scalability | [`scaling`] | `scaling` |
 //! | design-choice ablations | [`ablations`] | `ablations` |
 //! | §6 latency vs placement | [`latency`] | `latency` |
+//! | simulator throughput baseline | [`perf`] | `perf` |
 //!
 //! Each module exposes a `run()` returning a serde-serializable report
 //! and a `render()` producing the human-readable table with the same
 //! rows the paper prints. The `experiments` binary wires them to a CLI.
+//!
+//! Sweeps with independent points run on scoped worker threads via
+//! [`par::par_map`] (one module instance per point, results in input
+//! order), so multi-core hosts cut sweep wall-clock without changing any
+//! output byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +35,8 @@ pub mod fig1;
 pub mod fig2;
 pub mod latency;
 pub mod linerate;
+pub mod par;
+pub mod perf;
 pub mod power;
 pub mod render;
 pub mod scaling;

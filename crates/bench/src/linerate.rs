@@ -11,6 +11,7 @@ use flexsfp_core::module::{FlexSfp, ModuleConfig, SimPacket};
 use flexsfp_ppe::Direction;
 use flexsfp_traffic::{LineRateCalc, SizeModel, TraceBuilder};
 use flexsfp_wire::ipv4::Ipv4Packet;
+use flexsfp_wire::PacketArena;
 
 /// One frame-size measurement.
 #[derive(Debug, Clone)]
@@ -66,47 +67,50 @@ fn nat_module(flows: usize) -> FlexSfp {
     FlexSfp::new(ModuleConfig::default(), Box::new(nat))
 }
 
-/// Run the sweep with `n` packets per size.
+/// Run the sweep with `n` packets per size. Sizes are independent points
+/// (one module each), so they run on scoped worker threads; each point
+/// streams its trace through an arena, verifying translation in the sink,
+/// so memory stays O(1) in `n` and no frame is ever cloned.
 pub fn run(n: usize) -> Report {
-    let sizes = [60usize, 128, 256, 512, 1024, 1514];
+    let sizes = vec![60usize, 128, 256, 512, 1024, 1514];
     let flows = 64;
     let calc = LineRateCalc::TEN_GIG;
-    let mut points = Vec::new();
-    for &len in &sizes {
+    let points = crate::par::par_map(sizes, |len| {
         let mut module = nat_module(flows);
-        let trace = TraceBuilder::new(0x51)
+        let arena = PacketArena::new();
+        let stream = TraceBuilder::new(0x51)
             .flows(flows)
             .src_base(PRIVATE_BASE)
             .sizes(SizeModel::Fixed(len))
             .arrivals(flexsfp_traffic::gen::ArrivalModel::Paced { utilization: 1.0 })
-            .build(n);
-        let packets: Vec<SimPacket> = trace
-            .into_iter()
-            .map(|p| SimPacket {
+            .stream_pooled(n, arena.clone());
+        // Verify translation on each output as it leaves the module.
+        let mut translated_ok = true;
+        let report = module.run_stream_with(
+            stream.map(|p| SimPacket {
                 arrival_ns: p.arrival_ns,
                 direction: Direction::EdgeToOptical,
                 frame: p.frame,
-            })
-            .collect();
-        let report = module.run(packets);
-        // Verify translation on the outputs.
-        let translated_ok = report.outputs.iter().all(|o| {
-            Ipv4Packet::new_checked(&o.frame[14..])
-                .map(|ip| {
-                    (PUBLIC_BASE..PUBLIC_BASE + flows as u32).contains(&ip.src())
-                        && ip.verify_checksum()
-                })
-                .unwrap_or(false)
-        });
-        points.push(Point {
+            }),
+            |o| {
+                translated_ok &= Ipv4Packet::new_checked(&o.frame[14..])
+                    .map(|ip| {
+                        (PUBLIC_BASE..PUBLIC_BASE + flows as u32).contains(&ip.src())
+                            && ip.verify_checksum()
+                    })
+                    .unwrap_or(false);
+                arena.recycle(o.frame);
+            },
+        );
+        Point {
             frame_len: len,
             offered_pps: calc.max_fps(len),
             delivery: report.delivery_ratio(),
             delivered_gbps: report.delivered_bps() / 1e9,
             translated_ok,
             mean_latency_ns: report.latency.mean_ns(),
-        });
-    }
+        }
+    });
     let line_rate_confirmed = points.iter().all(|p| p.delivery >= 1.0 && p.translated_ok);
     Report {
         points,

@@ -1,0 +1,98 @@
+//! Scoped-thread parallel sweep runner.
+//!
+//! Every §5 experiment sweep evaluates independent points (one module
+//! instance per frame-size/rate/config point), so they parallelize with
+//! no locking beyond a work-stealing index — and no dependencies beyond
+//! `std::thread::scope`, preserving the hermetic build. Results come back
+//! in input order, so sweep output (and every golden digest derived from
+//! it) is identical to the serial path regardless of worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` on up to [`std::thread::available_parallelism`]
+/// scoped worker threads, preserving input order in the result.
+///
+/// `f` runs once per item, on exactly one worker; items are claimed from
+/// a shared atomic cursor, so uneven point costs (e.g. 64 B vs 1514 B
+/// frame sweeps) balance automatically. With one available core (or one
+/// item) this degrades to a plain serial map with no thread spawn.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("sweep item lock")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let r = f(item);
+                *results[i].lock().expect("sweep result lock") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker panics propagate via scope")
+                .expect("every slot was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = par_map((0..100).collect(), |i: usize| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn each_item_processed_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let out = par_map((0..257).collect(), |i: u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 257);
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn non_copy_items_move_through() {
+        let items: Vec<String> = (0..16).map(|i| format!("p{i}")).collect();
+        let out = par_map(items, |s| s.len());
+        assert_eq!(out[10], 3);
+    }
+}

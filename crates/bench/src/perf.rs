@@ -1,0 +1,210 @@
+//! Simulator-throughput baseline (`experiments perf`).
+//!
+//! Measures how fast the simulator itself runs — not the modeled
+//! hardware — on the §5.1 NAT workload with 64-byte frames: packets
+//! simulated per wall-clock second (Mpps), peak RSS as the memory proxy,
+//! and the arena's allocation count as the O(1)-memory witness. The
+//! whole run is streaming: frames are leased from a [`PacketArena`],
+//! generated on the fly by [`TraceBuilder::stream_pooled`], pushed
+//! through [`FlexSfp::run_stream_with`], and recycled from the sink, so
+//! neither the trace nor the outputs are ever materialized and memory
+//! stays constant in trace length.
+//!
+//! `BENCH_throughput.json` (written by the `perf` subcommand, committed
+//! at the repo root) is the perf trajectory every optimization PR is
+//! measured against.
+
+use crate::render;
+use flexsfp_apps::StaticNat;
+use flexsfp_core::module::{FlexSfp, ModuleConfig, SimPacket};
+use flexsfp_ppe::Direction;
+use flexsfp_traffic::gen::ArrivalModel;
+use flexsfp_traffic::{SizeModel, TraceBuilder};
+use flexsfp_wire::PacketArena;
+use std::time::Instant;
+
+/// Packets in the full measurement run (§5.1 scale).
+pub const FULL_PACKETS: usize = 2_000_000;
+/// Packets in the `--quick` (CI) run.
+pub const QUICK_PACKETS: usize = 200_000;
+
+/// Trace seed — same workload as the line-rate experiment.
+const SEED: u64 = 0x51;
+/// Flow count and NAT population.
+const FLOWS: usize = 64;
+/// Private source base (192.168.0.0).
+const PRIVATE_BASE: u32 = 0xc0a8_0000;
+/// Public pool base (101.64.0.0).
+const PUBLIC_BASE: u32 = 0x6540_0000;
+/// Frame length under test: minimum-size (worst-case packet rate).
+const FRAME_LEN: usize = 60;
+
+/// One throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Packets simulated.
+    pub packets: u64,
+    /// Frame length offered (B, without FCS).
+    pub frame_len: u64,
+    /// Distinct flows (= NAT table population).
+    pub flows: u64,
+    /// Wall-clock for the whole streaming run (generation + simulation), s.
+    pub wall_s: f64,
+    /// Simulated packets per wall-clock second, millions.
+    pub mpps: f64,
+    /// Packets forwarded by the module.
+    pub forwarded: u64,
+    /// forwarded / offered.
+    pub delivery: f64,
+    /// Peak resident set (VmHWM), kB — the O(1)-memory proxy. 0 when
+    /// /proc is unavailable.
+    pub peak_rss_kb: u64,
+    /// Frame buffers actually heap-allocated by the arena over the whole
+    /// run; stays at the in-flight window size, independent of `packets`.
+    pub arena_allocations: u64,
+    /// Frame buffers leased (= packets generated).
+    pub arena_leases: u64,
+}
+
+flexsfp_obs::impl_json_struct!(Report {
+    packets,
+    frame_len,
+    flows,
+    wall_s,
+    mpps,
+    forwarded,
+    delivery,
+    peak_rss_kb,
+    arena_allocations,
+    arena_leases
+});
+
+/// The §5.1 NAT module: 64 private→public mappings, translate on the
+/// edge→optical direction.
+fn nat_module() -> FlexSfp {
+    let mut nat = StaticNat::new();
+    for i in 0..FLOWS as u32 {
+        nat.add_mapping(PRIVATE_BASE + i, PUBLIC_BASE + i)
+            .expect("NAT population fits");
+    }
+    FlexSfp::new(ModuleConfig::default(), Box::new(nat))
+}
+
+/// Peak resident set size (VmHWM) in kB, or 0 where /proc is absent.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Run the throughput measurement over `packets` minimum-size frames.
+pub fn run(packets: usize) -> Report {
+    let mut module = nat_module();
+    let arena = PacketArena::new();
+    let stream = TraceBuilder::new(SEED)
+        .flows(FLOWS)
+        .src_base(PRIVATE_BASE)
+        .sizes(SizeModel::Fixed(FRAME_LEN))
+        .arrivals(ArrivalModel::Paced { utilization: 1.0 })
+        .stream_pooled(packets, arena.clone());
+
+    let t0 = Instant::now();
+    let report = module.run_stream_with(
+        stream.map(|p| SimPacket {
+            arrival_ns: p.arrival_ns,
+            direction: Direction::EdgeToOptical,
+            frame: p.frame,
+        }),
+        |out| arena.recycle(out.frame),
+    );
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let forwarded = report.forwarded.0 + report.forwarded.1;
+    Report {
+        packets: packets as u64,
+        frame_len: FRAME_LEN as u64,
+        flows: FLOWS as u64,
+        wall_s,
+        mpps: packets as f64 / wall_s / 1e6,
+        forwarded,
+        delivery: forwarded as f64 / report.offered.max(1) as f64,
+        peak_rss_kb: peak_rss_kb(),
+        arena_allocations: arena.allocations(),
+        arena_leases: arena.leases(),
+    }
+}
+
+/// Human-readable report.
+pub fn render(r: &Report) -> String {
+    let rows = vec![vec![
+        render::grouped(r.packets),
+        r.frame_len.to_string(),
+        r.flows.to_string(),
+        render::f(r.wall_s, 3),
+        render::f(r.mpps, 3),
+        render::f(r.delivery * 100.0, 2),
+        render::grouped(r.peak_rss_kb),
+        r.arena_allocations.to_string(),
+    ]];
+    format!(
+        "perf: streaming NAT workload (simulator throughput)\n{}",
+        render::table(
+            &[
+                "packets",
+                "frame B",
+                "flows",
+                "wall s",
+                "Mpps",
+                "delivery %",
+                "peak RSS kB",
+                "arena allocs",
+            ],
+            &rows,
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfp_obs::json::{FromJson, ToJson, Value};
+
+    #[test]
+    fn measures_throughput_and_stays_allocation_free() {
+        let r = run(20_000);
+        assert_eq!(r.packets, 20_000);
+        assert_eq!(r.forwarded, 20_000, "NAT at line rate forwards all");
+        assert!((r.delivery - 1.0).abs() < 1e-9);
+        assert!(r.mpps > 0.0);
+        assert_eq!(r.arena_leases, 20_000);
+        // O(1) memory: the arena never holds more than the in-flight
+        // window of frames, no matter how long the trace is.
+        assert!(
+            r.arena_allocations <= 16,
+            "arena allocated {} buffers",
+            r.arena_allocations
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = run(5_000);
+        let text = r.to_json().to_string_pretty();
+        let back = Report::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn render_mentions_the_workload() {
+        let r = run(2_000);
+        let s = render(&r);
+        assert!(s.contains("Mpps"));
+        assert!(s.contains("NAT"));
+    }
+}

@@ -75,36 +75,38 @@ fn estimate_power(width: BusWidth, clock: ClockDomain) -> f64 {
     model.power(&design, clock, 2, 1.0, 1.0).total_w()
 }
 
-/// Run the sweep.
+/// Run the sweep. The (width × clock) points are independent, so they
+/// go through the scoped-thread sweep runner.
 pub fn run() -> Report {
     let clocks = [ClockDomain::XGMII_10G, ClockDomain::XGMII_10G_X2];
-    let mut points = Vec::new();
-    for width in BusWidth::all() {
-        for clock in clocks {
-            let cfg = DatapathConfig { width, clock };
-            // Line rate must hold across the whole frame-size range:
-            // small frames stress packet rate, large frames stress raw
-            // bus bandwidth (the padded final beat).
-            let max_rate = LINE_RATES
-                .iter()
-                .rev()
-                .find(|&&g| {
-                    let bps = u64::from(g) * 1_000_000_000;
-                    cfg.sustains_line_rate(bps, 64) && cfg.sustains_line_rate(bps, 1518)
-                })
-                .copied()
-                .unwrap_or(0);
-            let power_w = estimate_power(width, clock);
-            points.push(Point {
-                width_bits: width.bits(),
-                clock_mhz: clock.mhz(),
-                bus_gbps: cfg.bandwidth_bps() as f64 / 1e9,
-                max_line_rate_gbps: max_rate,
-                power_w,
-                power_class: PowerClass::classify(power_w).map(|c| format!("{c:?}")),
-            });
+    let pairs: Vec<(BusWidth, ClockDomain)> = BusWidth::all()
+        .into_iter()
+        .flat_map(|width| clocks.into_iter().map(move |clock| (width, clock)))
+        .collect();
+    let points = crate::par::par_map(pairs, |(width, clock)| {
+        let cfg = DatapathConfig { width, clock };
+        // Line rate must hold across the whole frame-size range:
+        // small frames stress packet rate, large frames stress raw
+        // bus bandwidth (the padded final beat).
+        let max_rate = LINE_RATES
+            .iter()
+            .rev()
+            .find(|&&g| {
+                let bps = u64::from(g) * 1_000_000_000;
+                cfg.sustains_line_rate(bps, 64) && cfg.sustains_line_rate(bps, 1518)
+            })
+            .copied()
+            .unwrap_or(0);
+        let power_w = estimate_power(width, clock);
+        Point {
+            width_bits: width.bits(),
+            clock_mhz: clock.mhz(),
+            bus_gbps: cfg.bandwidth_bps() as f64 / 1e9,
+            max_line_rate_gbps: max_rate,
+            power_w,
+            power_class: PowerClass::classify(power_w).map(|c| format!("{c:?}")),
         }
-    }
+    });
     Report { points }
 }
 

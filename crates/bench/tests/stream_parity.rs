@@ -1,0 +1,111 @@
+//! The streaming dataplane path must be indistinguishable from the
+//! materialized one: `FlexSfp::run` is a thin wrapper over
+//! `run_stream_with`, and `TraceBuilder::stream` draws the same RNG
+//! stream as `TraceBuilder::build`. This test pins the end-to-end
+//! consequence on the §5.1 golden NAT workload: identical `SimReport`
+//! aggregates AND identical output packets, byte for byte.
+
+use flexsfp_apps::StaticNat;
+use flexsfp_core::module::{FlexSfp, ModuleConfig, OutputPacket, SimPacket};
+use flexsfp_ppe::Direction;
+use flexsfp_traffic::gen::ArrivalModel;
+use flexsfp_traffic::{SizeModel, TraceBuilder};
+
+const PRIVATE_BASE: u32 = 0xc0a8_0000;
+const PUBLIC_BASE: u32 = 0x6540_0000;
+const FLOWS: usize = 64;
+const PACKETS: usize = 20_000;
+
+fn nat_module() -> FlexSfp {
+    let mut nat = StaticNat::new();
+    for i in 0..FLOWS as u32 {
+        nat.add_mapping(PRIVATE_BASE + i, PUBLIC_BASE + i)
+            .expect("mapping install");
+    }
+    FlexSfp::new(ModuleConfig::default(), Box::new(nat))
+}
+
+fn golden_trace_builder() -> TraceBuilder {
+    TraceBuilder::new(0x51)
+        .flows(FLOWS)
+        .src_base(PRIVATE_BASE)
+        .sizes(SizeModel::Fixed(60))
+        .arrivals(ArrivalModel::Paced { utilization: 1.0 })
+}
+
+fn as_sim(arrival_ns: u64, frame: Vec<u8>) -> SimPacket {
+    SimPacket {
+        arrival_ns,
+        direction: Direction::EdgeToOptical,
+        frame,
+    }
+}
+
+#[test]
+fn run_stream_matches_run_on_the_golden_nat_trace() {
+    // Materialized path: build the whole trace, then run it.
+    let trace: Vec<SimPacket> = golden_trace_builder()
+        .build(PACKETS)
+        .into_iter()
+        .map(|p| as_sim(p.arrival_ns, p.frame))
+        .collect();
+    let batch = nat_module().run(trace);
+
+    // Streaming path: generate packets on the fly, collect outputs from
+    // the sink and apply run()'s departure-order sort.
+    let mut streamed_outputs: Vec<OutputPacket> = Vec::new();
+    let streamed = nat_module().run_stream_with(
+        golden_trace_builder()
+            .stream(PACKETS)
+            .map(|p| as_sim(p.arrival_ns, p.frame)),
+        |o| streamed_outputs.push(o),
+    );
+    streamed_outputs.sort_by_key(|o| o.departure_ns);
+
+    // Aggregates agree exactly.
+    assert_eq!(streamed.offered, batch.offered);
+    assert_eq!(streamed.offered_bytes, batch.offered_bytes);
+    assert_eq!(streamed.forwarded, batch.forwarded);
+    assert_eq!(streamed.forwarded_bytes, batch.forwarded_bytes);
+    assert_eq!(streamed.drops, batch.drops);
+    assert_eq!(streamed.to_control, batch.to_control);
+    assert_eq!(streamed.control_handled, batch.control_handled);
+    assert_eq!(streamed.cp_originated, batch.cp_originated);
+    assert_eq!(streamed.duration_ns, batch.duration_ns);
+    assert_eq!(streamed.latency.count(), batch.latency.count());
+    assert_eq!(streamed.latency.mean_ns(), batch.latency.mean_ns());
+    assert_eq!(streamed.latency.p99_ns(), batch.latency.p99_ns());
+    assert_eq!(streamed.latency.max_ns(), batch.latency.max_ns());
+
+    // Outputs agree packet for packet, byte for byte.
+    assert_eq!(streamed_outputs.len(), batch.outputs.len());
+    for (s, b) in streamed_outputs.iter().zip(&batch.outputs) {
+        assert_eq!(s.departure_ns, b.departure_ns);
+        assert_eq!(s.egress, b.egress);
+        assert_eq!(s.latency_ns, b.latency_ns);
+        assert_eq!(s.frame, b.frame);
+    }
+
+    // And the workload did what §5.1 says: every packet forwarded.
+    assert_eq!(batch.forwarded.0 + batch.forwarded.1, PACKETS as u64);
+}
+
+#[test]
+fn run_stream_drop_sink_matches_run_aggregates() {
+    let trace: Vec<SimPacket> = golden_trace_builder()
+        .build(5_000)
+        .into_iter()
+        .map(|p| as_sim(p.arrival_ns, p.frame))
+        .collect();
+    let batch = nat_module().run(trace);
+
+    let streamed = nat_module().run_stream(
+        golden_trace_builder()
+            .stream(5_000)
+            .map(|p| as_sim(p.arrival_ns, p.frame)),
+    );
+    assert_eq!(streamed.forwarded, batch.forwarded);
+    assert_eq!(streamed.forwarded_bytes, batch.forwarded_bytes);
+    assert_eq!(streamed.latency.mean_ns(), batch.latency.mean_ns());
+    assert!(streamed.outputs.is_empty(), "drop sink keeps no outputs");
+}

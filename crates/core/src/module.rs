@@ -149,12 +149,15 @@ pub struct DropStats {
     pub app: u64,
     /// Optical link down (laser failed / disabled lane).
     pub link: u64,
+    /// Out-of-order arrival in the offered trace (host-composed traces
+    /// must be sorted; stragglers are dropped, not fatal).
+    pub unsorted: u64,
 }
 
 impl DropStats {
     /// Total drops.
     pub fn total(&self) -> u64 {
-        self.fifo_overflow + self.app + self.link
+        self.fifo_overflow + self.app + self.link + self.unsorted
     }
 }
 
@@ -588,10 +591,50 @@ impl FlexSfp {
         true
     }
 
-    /// Run a packet sequence through the module. Packets must be sorted
-    /// by arrival time (panics otherwise — generators produce sorted
-    /// traces by construction).
+    /// Run a packet sequence through the module, materializing every
+    /// output packet sorted by departure time. Packets must be sorted by
+    /// arrival time; out-of-order packets are dropped and counted (see
+    /// [`run_stream_with`](Self::run_stream_with)).
     pub fn run(&mut self, packets: Vec<SimPacket>) -> SimReport {
+        let mut outputs = Vec::with_capacity(packets.len());
+        let mut report = self.run_stream_with(packets, |o| outputs.push(o));
+        outputs.sort_by_key(|o| o.departure_ns);
+        report.outputs = outputs;
+        report
+    }
+
+    /// Run a packet stream through the module without retaining outputs:
+    /// aggregate statistics only, memory O(1) in trace length. This is
+    /// the throughput-measurement entry point — 10M+-packet runs are
+    /// feasible because neither the trace nor the outputs are ever
+    /// materialized.
+    pub fn run_stream<I>(&mut self, packets: I) -> SimReport
+    where
+        I: IntoIterator<Item = SimPacket>,
+    {
+        self.run_stream_with(packets, |_| {})
+    }
+
+    /// The streaming simulation core behind [`run`](Self::run) and
+    /// [`run_stream`](Self::run_stream): consume `packets` lazily and
+    /// emit each output packet to `sink` as it is produced.
+    ///
+    /// Outputs reach the sink in processing order, which is not globally
+    /// departure order (control-plane replies depart 10 µs after their
+    /// request); [`run`](Self::run) re-sorts. The sink owns each frame —
+    /// recycling them into the [`flexsfp_wire::PacketArena`] the trace
+    /// was leased from keeps a whole run allocation-free.
+    ///
+    /// Packets must be offered sorted by arrival time. A packet that
+    /// arrives before its predecessor is dropped and counted
+    /// (`drops.unsorted`, plus an `UnsortedArrival` dataplane event)
+    /// rather than aborting the run, so host-composed traces (e.g.
+    /// merged fleet traffic) can never crash the process.
+    pub fn run_stream_with<I, F>(&mut self, packets: I, mut sink: F) -> SimReport
+    where
+        I: IntoIterator<Item = SimPacket>,
+        F: FnMut(OutputPacket),
+    {
         let mut report = SimReport::default();
         let mut shared_server = PpeServer::new(self.config.fifo_bytes);
         // One-Way-Filter uses a dedicated server for its single PPE
@@ -603,13 +646,22 @@ impl FlexSfp {
         let mut prev_arrival = 0u64;
 
         for pkt in packets {
-            assert!(
-                pkt.arrival_ns >= prev_arrival,
-                "packet trace must be sorted by arrival time"
-            );
-            prev_arrival = pkt.arrival_ns;
             report.offered += 1;
             report.offered_bytes += pkt.frame.len() as u64;
+            if pkt.arrival_ns < prev_arrival {
+                // Straggler in a host-composed trace: drop and count
+                // before it reaches ingress accounting.
+                report.drops.unsorted += 1;
+                self.lifetime_drops.unsorted += 1;
+                self.events.record(
+                    pkt.arrival_ns,
+                    EventKind::Drop {
+                        reason: DropReason::UnsortedArrival,
+                    },
+                );
+                continue;
+            }
+            prev_arrival = pkt.arrival_ns;
             last_time_ns = last_time_ns.max(pkt.arrival_ns);
 
             // Ingress accounting.
@@ -652,7 +704,7 @@ impl FlexSfp {
                         Interface::Edge => self.edge.record_tx(reply.len()),
                         Interface::Optical => self.optical.record_tx(reply.len()),
                     };
-                    report.outputs.push(OutputPacket {
+                    sink(OutputPacket {
                         departure_ns: departure,
                         egress: back,
                         frame: reply,
@@ -680,7 +732,7 @@ impl FlexSfp {
                     // control path is slow (softcore), model 10 µs.
                     let departure = pkt.arrival_ns + 10_000;
                     self.edge.record_tx(resp.len());
-                    report.outputs.push(OutputPacket {
+                    sink(OutputPacket {
                         departure_ns: departure,
                         egress: Interface::Edge,
                         frame: resp,
@@ -699,7 +751,7 @@ impl FlexSfp {
             let arrival_fs = u128::from(pkt.arrival_ns) * 1_000_000;
             let uses_ppe = self.config.shell.ppe_applies(pkt.direction);
 
-            let (mut frame, verdict, departure_fs) = if uses_ppe {
+            let (frame, verdict, departure_fs) = if uses_ppe {
                 let beats = u128::from(self.config.datapath.beats_for(pkt.frame.len()));
                 let service_fs = beats * ppe_period_fs;
                 let Some(start_fs) = shared_server.admit(arrival_fs, pkt.frame.len(), service_fs)
@@ -787,8 +839,7 @@ impl FlexSfp {
             }
             report.forwarded_bytes += frame.len() as u64;
             last_time_ns = last_time_ns.max(departure_ns);
-            frame.shrink_to_fit();
-            report.outputs.push(OutputPacket {
+            sink(OutputPacket {
                 departure_ns,
                 egress,
                 frame,
@@ -796,7 +847,6 @@ impl FlexSfp {
             });
         }
         report.duration_ns = last_time_ns;
-        report.outputs.sort_by_key(|o| o.departure_ns);
         // Fold this run into the module's lifetime telemetry.
         self.lifetime_latency.merge(report.latency.histogram());
         self.clock_ns = self.clock_ns.max(last_time_ns);
@@ -1320,10 +1370,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sorted")]
-    fn unsorted_trace_panics() {
+    fn unsorted_trace_drops_and_counts() {
+        // A host-composed trace with a straggler must not abort the run:
+        // the out-of-order packet is dropped, counted, and traced, and
+        // everything else forwards normally.
         let mut m = FlexSfp::passthrough();
-        m.run(vec![
+        let report = m.run(vec![
             SimPacket {
                 arrival_ns: 100,
                 direction: Direction::EdgeToOptical,
@@ -1334,6 +1386,53 @@ mod tests {
                 direction: Direction::EdgeToOptical,
                 frame: data_frame(64),
             },
+            SimPacket {
+                arrival_ns: 200,
+                direction: Direction::EdgeToOptical,
+                frame: data_frame(64),
+            },
         ]);
+        assert_eq!(report.offered, 3);
+        assert_eq!(report.drops.unsorted, 1);
+        assert_eq!(report.drops.total(), 1);
+        assert_eq!(report.forwarded.0 + report.forwarded.1, 2);
+        assert_eq!(report.outputs.len(), 2);
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.drops.unsorted, 1);
+        assert!(snap.events.iter().any(|e| e.kind
+            == EventKind::Drop {
+                reason: DropReason::UnsortedArrival
+            }));
+    }
+
+    #[test]
+    fn run_stream_matches_run_aggregates() {
+        // The streaming entry point must agree with the materializing one
+        // on every aggregate statistic; only `outputs` differs (empty).
+        let packets = || -> Vec<SimPacket> {
+            (0..200)
+                .map(|i| SimPacket {
+                    arrival_ns: i * 700,
+                    direction: Direction::EdgeToOptical,
+                    frame: data_frame(64 + (i as usize % 128)),
+                })
+                .collect()
+        };
+        let mut a = FlexSfp::passthrough();
+        let full = a.run(packets());
+        let mut b = FlexSfp::passthrough();
+        let streamed = b.run_stream(packets());
+        assert_eq!(streamed.offered, full.offered);
+        assert_eq!(streamed.offered_bytes, full.offered_bytes);
+        assert_eq!(streamed.forwarded, full.forwarded);
+        assert_eq!(streamed.forwarded_bytes, full.forwarded_bytes);
+        assert_eq!(streamed.drops, full.drops);
+        assert_eq!(streamed.duration_ns, full.duration_ns);
+        assert_eq!(streamed.latency.count(), full.latency.count());
+        assert!(streamed.outputs.is_empty());
+        assert_eq!(
+            full.outputs.len(),
+            full.forwarded.0 as usize + full.forwarded.1 as usize
+        );
     }
 }

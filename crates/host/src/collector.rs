@@ -178,6 +178,7 @@ impl FleetCollector {
                 ("fifo_overflow", d.fifo_overflow),
                 ("app", d.app),
                 ("link", d.link),
+                ("unsorted", d.unsorted),
             ] {
                 p.sample(
                     "flexsfp_drops_total",

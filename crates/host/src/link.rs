@@ -35,15 +35,27 @@ impl FiberLink {
     }
 
     /// Convert one module's optical egress into the peer's optical
-    /// ingress trace (arrival-sorted, delay applied).
+    /// ingress trace (arrival-sorted, delay applied). Frames are cloned;
+    /// use [`carry_owned`](Self::carry_owned) when the outputs are no
+    /// longer needed.
     pub fn carry(&self, outputs: &[OutputPacket]) -> Vec<SimPacket> {
+        self.carry_owned(outputs.iter().cloned())
+    }
+
+    /// Like [`carry`](Self::carry), but consume the outputs and move each
+    /// frame into the peer's ingress trace without copying — the
+    /// zero-clone path for chained fleet runs.
+    pub fn carry_owned<I>(&self, outputs: I) -> Vec<SimPacket>
+    where
+        I: IntoIterator<Item = OutputPacket>,
+    {
         let mut pkts: Vec<SimPacket> = outputs
-            .iter()
+            .into_iter()
             .filter(|o| o.egress == Interface::Optical)
             .map(|o| SimPacket {
                 arrival_ns: o.departure_ns + self.delay_ns() as u64,
                 direction: Direction::OpticalToEdge,
-                frame: o.frame.clone(),
+                frame: o.frame,
             })
             .collect();
         pkts.sort_by_key(|p| p.arrival_ns);
@@ -95,6 +107,21 @@ mod tests {
         let report_b = b.run(over_fiber);
         assert_eq!(report_b.forwarded.0, 1);
         assert_eq!(report_b.outputs[0].frame, frame());
+    }
+
+    #[test]
+    fn carry_owned_moves_frames() {
+        let mut a = FlexSfp::passthrough();
+        let report = a.run(vec![SimPacket {
+            arrival_ns: 0,
+            direction: Direction::EdgeToOptical,
+            frame: frame(),
+        }]);
+        let by_ref = FiberLink::new(300.0).carry(&report.outputs);
+        let owned = FiberLink::new(300.0).carry_owned(report.outputs);
+        assert_eq!(by_ref.len(), owned.len());
+        assert_eq!(by_ref[0].arrival_ns, owned[0].arrival_ns);
+        assert_eq!(by_ref[0].frame, owned[0].frame);
     }
 
     #[test]

@@ -152,12 +152,20 @@ impl LegacySwitch {
                 (0..self.cages.len()).filter(|&p| p != port).collect()
             }
         };
-        // Egress: ASIC → module (edge side faces the ASIC) → wire.
+        // Egress: ASIC → module (edge side faces the ASIC) → wire. The
+        // last port takes the frame by move, so unicast never clones.
         let mut out = Vec::new();
-        for p in egress_ports {
+        let last = egress_ports.len();
+        let mut frame = frame;
+        for (i, p) in egress_ports.into_iter().enumerate() {
+            let egress_frame = if i + 1 == last {
+                std::mem::take(&mut frame)
+            } else {
+                frame.clone()
+            };
             match Self::through_module(
                 &mut self.cages[p],
-                frame.clone(),
+                egress_frame,
                 Direction::EdgeToOptical,
                 t_ns,
             ) {

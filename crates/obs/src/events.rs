@@ -26,6 +26,10 @@ pub enum DropReason {
     LinkDown,
     /// The in-pipeline parser rejected the packet.
     ParseError,
+    /// The packet arrived out of order in an offered trace (host-composed
+    /// traces must be sorted by arrival time; stragglers are dropped and
+    /// counted instead of aborting the run).
+    UnsortedArrival,
 }
 
 impl DropReason {
@@ -36,6 +40,7 @@ impl DropReason {
             DropReason::App => "app",
             DropReason::LinkDown => "link_down",
             DropReason::ParseError => "parse_error",
+            DropReason::UnsortedArrival => "unsorted_arrival",
         }
     }
 }
@@ -98,6 +103,7 @@ impl ToJson for DropReason {
                 DropReason::App => "App",
                 DropReason::LinkDown => "LinkDown",
                 DropReason::ParseError => "ParseError",
+                DropReason::UnsortedArrival => "UnsortedArrival",
             }
             .to_string(),
         )
@@ -111,6 +117,7 @@ impl FromJson for DropReason {
             "App" => Some(DropReason::App),
             "LinkDown" => Some(DropReason::LinkDown),
             "ParseError" => Some(DropReason::ParseError),
+            "UnsortedArrival" => Some(DropReason::UnsortedArrival),
             _ => None,
         }
     }

@@ -81,12 +81,14 @@ pub struct DropCounters {
     pub app: u64,
     /// Dropped because the egress link was down.
     pub link: u64,
+    /// Dropped because the packet arrived out of order in the offered trace.
+    pub unsorted: u64,
 }
 
 impl DropCounters {
     /// Total drops across all reasons.
     pub fn total(&self) -> u64 {
-        self.fifo_overflow + self.app + self.link
+        self.fifo_overflow + self.app + self.link + self.unsorted
     }
 }
 
@@ -145,7 +147,8 @@ crate::impl_json_struct!(PortCounters {
 crate::impl_json_struct!(DropCounters {
     fifo_overflow,
     app,
-    link
+    link,
+    unsorted
 });
 crate::impl_json_struct!(TelemetrySnapshot {
     module_id,
@@ -221,6 +224,7 @@ mod tests {
                 fifo_overflow: 1,
                 app: 2,
                 link: 0,
+                unsorted: 3,
             },
             latency,
             dom: DomSnapshot::from_milliwatts(1.0, 0.8, 6.0, 40.0),
@@ -237,7 +241,7 @@ mod tests {
         let json = snap.to_json().to_string();
         let back = TelemetrySnapshot::from_json(&Value::parse(&json).unwrap()).unwrap();
         assert_eq!(back, snap);
-        assert_eq!(back.drops.total(), 3);
+        assert_eq!(back.drops.total(), 6);
         assert_eq!(back.latency.count(), 2);
     }
 }

@@ -194,8 +194,11 @@ impl Stage {
         }
     }
 
-    fn lookup(&mut self, parsed: &ParsedPacket) -> Option<u32> {
-        match &mut self.matcher {
+    /// Probe the stage's match structure. Shared access suffices: hardware
+    /// lookups never mutate the table, and table-level hit/miss counters
+    /// are interior ([`Cell`](std::cell::Cell)-based).
+    fn lookup(&self, parsed: &ParsedPacket) -> Option<u32> {
+        match &self.matcher {
             Matcher::Always => Some(0),
             Matcher::Exact { selector, table } => {
                 let key = selector.extract(parsed)?;
@@ -265,58 +268,61 @@ impl Pipeline {
     pub fn stats(&self) -> PipelineStats {
         self.stats
     }
+}
 
-    fn run_actions(
-        &mut self,
-        stage_idx: usize,
-        hit_value: Option<u32>,
-        ctx: &ProcessContext,
-        packet: &mut Vec<u8>,
-        parsed: &mut ParsedPacket,
-    ) -> Option<Verdict> {
-        // Param action first.
-        let mut reparse = false;
-        if let Some(v) = hit_value {
-            let pa = self.stages[stage_idx].param_action;
-            let action = match pa {
-                ParamAction::None => None,
-                ParamAction::SetIpv4Src => Some(Action::SetIpv4Src(v)),
-                ParamAction::SetIpv4Dst => Some(Action::SetIpv4Dst(v)),
-                ParamAction::SetVlanVid => Some(Action::SetVlanVid((v & 0xfff) as u16)),
-                ParamAction::Count => Some(Action::Count(v as usize)),
-                ParamAction::SetDscp => Some(Action::SetDscp((v & 0x3f) as u8)),
-            };
-            if let Some(a) = action {
-                match self.engine.apply(a, ctx, packet, parsed) {
-                    ActionOutcome::Continue { modified } => reparse |= modified,
-                    ActionOutcome::Final(v) => return Some(v),
-                }
-            }
-        }
-        let actions = if hit_value.is_some() {
-            self.stages[stage_idx].on_hit.clone()
-        } else {
-            self.stages[stage_idx].on_miss.clone()
+/// Run one stage's param action plus its hit/miss action list. A free
+/// function over disjoint pipeline fields so the per-packet path borrows
+/// the action lists in place instead of cloning them.
+fn run_stage_actions(
+    engine: &mut ActionEngine,
+    parser: &Parser,
+    stage: &Stage,
+    hit_value: Option<u32>,
+    ctx: &ProcessContext,
+    packet: &mut Vec<u8>,
+    parsed: &mut ParsedPacket,
+) -> Option<Verdict> {
+    // Param action first.
+    let mut reparse = false;
+    if let Some(v) = hit_value {
+        let action = match stage.param_action {
+            ParamAction::None => None,
+            ParamAction::SetIpv4Src => Some(Action::SetIpv4Src(v)),
+            ParamAction::SetIpv4Dst => Some(Action::SetIpv4Dst(v)),
+            ParamAction::SetVlanVid => Some(Action::SetVlanVid((v & 0xfff) as u16)),
+            ParamAction::Count => Some(Action::Count(v as usize)),
+            ParamAction::SetDscp => Some(Action::SetDscp((v & 0x3f) as u8)),
         };
-        for a in actions {
-            if reparse {
-                if let Some(p) = self.parser.parse(packet) {
-                    *parsed = p;
-                }
-                reparse = false;
-            }
-            match self.engine.apply(a, ctx, packet, parsed) {
+        if let Some(a) = action {
+            match engine.apply(a, ctx, packet, parsed) {
                 ActionOutcome::Continue { modified } => reparse |= modified,
                 ActionOutcome::Final(v) => return Some(v),
             }
         }
+    }
+    let actions = if hit_value.is_some() {
+        &stage.on_hit
+    } else {
+        &stage.on_miss
+    };
+    for &a in actions {
         if reparse {
-            if let Some(p) = self.parser.parse(packet) {
+            if let Some(p) = parser.parse(packet) {
                 *parsed = p;
             }
+            reparse = false;
         }
-        None
+        match engine.apply(a, ctx, packet, parsed) {
+            ActionOutcome::Continue { modified } => reparse |= modified,
+            ActionOutcome::Final(v) => return Some(v),
+        }
     }
+    if reparse {
+        if let Some(p) = parser.parse(packet) {
+            *parsed = p;
+        }
+    }
+    None
 }
 
 impl PacketProcessor for Pipeline {
@@ -350,7 +356,15 @@ impl PacketProcessor for Pipeline {
                     },
                 );
             }
-            if let Some(v) = self.run_actions(idx, hit, ctx, packet, &mut parsed) {
+            if let Some(v) = run_stage_actions(
+                &mut self.engine,
+                &self.parser,
+                &self.stages[idx],
+                hit,
+                ctx,
+                packet,
+                &mut parsed,
+            ) {
                 match v {
                     Verdict::Drop => {
                         self.stats.drops += 1;

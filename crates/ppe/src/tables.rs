@@ -9,6 +9,7 @@
 
 use flexsfp_fabric::hash::crc32;
 use flexsfp_fabric::sram::TableShape;
+use std::cell::Cell;
 
 /// Fixed-width key material for hardware tables (13 bytes fits an IPv4
 /// 5-tuple; shorter keys zero-pad).
@@ -94,12 +95,19 @@ pub struct TableStats {
 }
 
 /// A bucketized, CRC-indexed hash table of fixed capacity.
+///
+/// Hit/miss counters live in [`Cell`]s so [`lookup`](HashTable::lookup)
+/// takes `&self` — the dataplane probes tables through shared references
+/// (hardware lookups don't mutate the table), and sweep workers can hold a
+/// module without exclusive access just to count hits.
 #[derive(Debug, Clone)]
 pub struct HashTable<K: TableKey, V: Copy> {
     buckets: Vec<Vec<Entry<K, V>>>,
     ways: usize,
     occupied: usize,
-    stats: TableStats,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    insert_failures: u64,
 }
 
 impl<K: TableKey, V: Copy> HashTable<K, V> {
@@ -112,7 +120,9 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
             buckets: vec![Vec::new(); buckets],
             ways,
             occupied: 0,
-            stats: TableStats::default(),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            insert_failures: 0,
         }
     }
 
@@ -143,15 +153,15 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
     }
 
     /// Look up `key`, updating hit/miss statistics.
-    pub fn lookup(&mut self, key: &K) -> Option<V> {
+    pub fn lookup(&self, key: &K) -> Option<V> {
         let idx = self.bucket_index(key);
         match self.buckets[idx].iter().find(|e| e.key == *key) {
             Some(e) => {
-                self.stats.hits += 1;
+                self.hits.set(self.hits.get() + 1);
                 Some(e.value)
             }
             None => {
-                self.stats.misses += 1;
+                self.misses.set(self.misses.get() + 1);
                 None
             }
         }
@@ -177,7 +187,7 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
             return Ok(());
         }
         if bucket.len() >= self.ways {
-            self.stats.insert_failures += 1;
+            self.insert_failures += 1;
             return Err(TableError::BucketFull);
         }
         bucket.push(Entry { key, value });
@@ -204,7 +214,11 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> TableStats {
-        self.stats
+        TableStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insert_failures: self.insert_failures,
+        }
     }
 
     /// Iterate over `(key, value)` pairs (control-plane table dump).
@@ -340,6 +354,20 @@ mod tests {
         let p = MemoryPlanner::place(shape);
         assert_eq!(p.kind, MemoryKind::Lsram);
         assert_eq!(p.blocks, 160);
+    }
+
+    #[test]
+    fn lookup_counts_through_shared_reference() {
+        let mut t: HashTable<u32, u32> = HashTable::with_capacity(16);
+        t.insert(1, 10).unwrap();
+        let shared: &HashTable<u32, u32> = &t;
+        assert_eq!(shared.lookup(&1), Some(10));
+        assert_eq!(shared.lookup(&2), None);
+        assert_eq!(shared.stats().hits, 1);
+        assert_eq!(shared.stats().misses, 1);
+        // peek still bypasses the counters.
+        assert_eq!(shared.peek(&1), Some(10));
+        assert_eq!(shared.stats().hits, 1);
     }
 
     #[test]

@@ -9,7 +9,13 @@ use crate::rate::LineRateCalc;
 use crate::rng::Xoshiro256;
 use flexsfp_wire::builder::PacketBuilder;
 use flexsfp_wire::tcp::TcpFlags;
-use flexsfp_wire::MacAddr;
+use flexsfp_wire::{MacAddr, PacketArena};
+use std::collections::VecDeque;
+
+/// Constant payload filler (the generator's payload byte is 0x5a). Sized
+/// for the largest standard frame so the per-packet path never allocates
+/// a scratch payload buffer.
+const PAYLOAD_FILL: [u8; 1514] = [0x5a; 1514];
 
 /// One generated packet.
 #[derive(Debug, Clone)]
@@ -188,13 +194,26 @@ impl TraceBuilder {
             .collect()
     }
 
-    fn build_frame(flow: &FlowSpec, len: usize, seq: u32) -> Vec<u8> {
+    /// Build one flow frame in place into `buf` (leased from an arena or
+    /// any reusable vector); at most one allocation, and none once `buf`
+    /// has full-frame capacity.
+    fn build_frame_into(flow: &FlowSpec, len: usize, seq: u32, buf: &mut Vec<u8>) {
         let dst_mac = MacAddr::from(0x02_00_00_00_00_01u64);
         let src_mac = MacAddr::from(0x02_00_00_00_00_02u64);
         let headers = if flow.tcp { 14 + 20 + 20 } else { 14 + 20 + 8 };
-        let payload = vec![0x5au8; len.saturating_sub(headers)];
-        let mut frame = if flow.tcp {
-            PacketBuilder::eth_ipv4_tcp(
+        let payload_len = len.saturating_sub(headers);
+        // Oversized (jumbo) requests fall back to a scratch payload; every
+        // standard size borrows the constant filler.
+        let scratch;
+        let payload: &[u8] = if payload_len <= PAYLOAD_FILL.len() {
+            &PAYLOAD_FILL[..payload_len]
+        } else {
+            scratch = vec![0x5au8; payload_len];
+            &scratch
+        };
+        if flow.tcp {
+            PacketBuilder::eth_ipv4_tcp_into(
+                buf,
                 dst_mac,
                 src_mac,
                 flow.src,
@@ -206,58 +225,146 @@ impl TraceBuilder {
                     ack: true,
                     ..Default::default()
                 },
-                &payload,
-            )
+                payload,
+            );
         } else {
-            PacketBuilder::eth_ipv4_udp(
-                dst_mac, src_mac, flow.src, flow.dst, flow.sport, flow.dport, &payload,
-            )
-        };
-        // Ethernet minimum padding may round up; keep the target length
-        // whenever it is legal.
-        frame.truncate(frame.len().max(len.min(1514)).min(frame.len()));
+            PacketBuilder::eth_ipv4_udp_into(
+                buf, dst_mac, src_mac, flow.src, flow.dst, flow.sport, flow.dport, payload,
+            );
+        }
+    }
+
+    fn build_frame(flow: &FlowSpec, len: usize, seq: u32) -> Vec<u8> {
+        let mut frame = Vec::new();
+        Self::build_frame_into(flow, len, seq, &mut frame);
         frame
     }
 
     /// Generate `count` packets (plus any injected microbursts), sorted
     /// by arrival time.
+    ///
+    /// Equivalent to `self.stream(count).collect()` — the materialized and
+    /// streaming paths share one generator, so they can never diverge.
     pub fn build(&self, count: usize) -> Vec<TracePacket> {
-        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let mut out: Vec<TracePacket> = Vec::with_capacity(count);
+        out.extend(self.stream(count));
+        out
+    }
+
+    /// Stream the same trace [`build`](Self::build) materializes — same
+    /// RNG stream, same frames, same arrival order — holding only O(1)
+    /// state (plus any injected microbursts, which are pre-materialized).
+    /// Memory no longer scales with trace length, so 10M+-packet runs
+    /// are feasible.
+    pub fn stream(&self, count: usize) -> TraceStream {
+        self.stream_pooled(count, PacketArena::new())
+    }
+
+    /// Like [`stream`](Self::stream), but lease frame buffers from the
+    /// caller's [`PacketArena`]. A consumer that recycles frames back into
+    /// the same arena (e.g. after [`FlexSfp::run_stream_with`] emits them)
+    /// keeps the whole run allocation-free in steady state.
+    ///
+    /// [`FlexSfp::run_stream_with`]: https://docs.rs/flexsfp-core
+    pub fn stream_pooled(&self, count: usize, arena: PacketArena) -> TraceStream {
         let flows = self.flow_specs();
-        let mut out = Vec::with_capacity(count);
-        let mut t_fs: u128 = 0; // femtoseconds for exact pacing
-        for i in 0..count {
-            let flow = &flows[rng.range_usize(0, flows.len())];
-            let len = self.size.sample(&mut rng);
-            let frame = Self::build_frame(flow, len, i as u32);
-            let flen = frame.len();
-            out.push(TracePacket {
-                arrival_ns: (t_fs / 1_000_000) as u64,
-                frame,
-            });
-            let mean_gap_ns = match self.arrival {
-                ArrivalModel::Paced { utilization } => self.rate.gap_ns(flen, utilization),
-                ArrivalModel::Poisson { utilization } => {
-                    rng.exp(self.rate.gap_ns(flen, utilization))
-                }
-            };
-            t_fs += (mean_gap_ns * 1e6) as u128;
-        }
-        // Microbursts: back-to-back 1514 B frames at line rate.
+        // Microbursts: back-to-back 1514 B frames at line rate. They are
+        // few and bounded by configuration, so they are materialized up
+        // front and stably merged with the paced stream. Stable sort here
+        // + "main wins ties" in the merge reproduces build()'s historical
+        // stable sort of [paced..., bursts...] exactly.
+        let mut bursts: Vec<TracePacket> = Vec::new();
         for &(at_ns, packets) in &self.microbursts {
             let gap_ns = self.rate.gap_ns(1514, 1.0);
             for k in 0..packets {
                 let flow = &flows[k % flows.len()];
-                out.push(TracePacket {
+                bursts.push(TracePacket {
                     arrival_ns: at_ns + (k as f64 * gap_ns) as u64,
                     frame: Self::build_frame(flow, 1514, k as u32),
                 });
             }
         }
-        out.sort_by_key(|p| p.arrival_ns);
-        out
+        bursts.sort_by_key(|p| p.arrival_ns);
+        TraceStream {
+            rng: Xoshiro256::seed_from_u64(self.seed),
+            flows,
+            size: self.size,
+            arrival: self.arrival,
+            rate: self.rate,
+            arena,
+            t_fs: 0,
+            next_seq: 0,
+            count,
+            bursts: bursts.into(),
+        }
     }
 }
+
+/// Streaming counterpart of [`TraceBuilder::build`]; see
+/// [`TraceBuilder::stream`]. Yields packets sorted by arrival time.
+#[derive(Debug)]
+pub struct TraceStream {
+    rng: Xoshiro256,
+    flows: Vec<FlowSpec>,
+    size: SizeModel,
+    arrival: ArrivalModel,
+    rate: LineRateCalc,
+    arena: PacketArena,
+    t_fs: u128, // femtoseconds for exact pacing
+    next_seq: usize,
+    count: usize,
+    bursts: VecDeque<TracePacket>,
+}
+
+impl TraceStream {
+    /// The arena frames are leased from (clone of the handle passed to
+    /// [`TraceBuilder::stream_pooled`]).
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = TracePacket;
+
+    fn next(&mut self) -> Option<TracePacket> {
+        // Merge the paced stream with pre-materialized bursts; on an
+        // arrival-time tie the paced packet goes first (it preceded the
+        // burst in the historical stable sort).
+        let main_arrival = if self.next_seq < self.count {
+            Some((self.t_fs / 1_000_000) as u64)
+        } else {
+            None
+        };
+        match (main_arrival, self.bursts.front()) {
+            (None, None) => return None,
+            (None, Some(_)) => return self.bursts.pop_front(),
+            (Some(m), Some(b)) if b.arrival_ns < m => return self.bursts.pop_front(),
+            _ => {}
+        }
+        let arrival_ns = main_arrival.expect("paced packet pending");
+        let flow = &self.flows[self.rng.range_usize(0, self.flows.len())];
+        let len = self.size.sample(&mut self.rng);
+        let mut frame = self.arena.lease();
+        TraceBuilder::build_frame_into(flow, len, self.next_seq as u32, &mut frame);
+        let mean_gap_ns = match self.arrival {
+            ArrivalModel::Paced { utilization } => self.rate.gap_ns(frame.len(), utilization),
+            ArrivalModel::Poisson { utilization } => {
+                self.rng.exp(self.rate.gap_ns(frame.len(), utilization))
+            }
+        };
+        self.t_fs += (mean_gap_ns * 1e6) as u128;
+        self.next_seq += 1;
+        Some(TracePacket { arrival_ns, frame })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.count - self.next_seq + self.bursts.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceStream {}
 
 #[cfg(test)]
 mod tests {

@@ -22,6 +22,6 @@ pub mod profiles;
 pub mod rate;
 pub mod rng;
 
-pub use gen::{ArrivalModel, SizeModel, TraceBuilder, TracePacket};
+pub use gen::{ArrivalModel, SizeModel, TraceBuilder, TracePacket, TraceStream};
 pub use rate::LineRateCalc;
 pub use rng::{SplitMix64, Xoshiro256};

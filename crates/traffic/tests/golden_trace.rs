@@ -81,6 +81,66 @@ fn poisson_trace_first_64_packets_are_golden() {
 }
 
 #[test]
+fn streaming_reproduces_the_golden_digests() {
+    // The streaming source must match the materialized path byte for
+    // byte — same RNG stream, same frames, same arrival order — or the
+    // fast path has silently diverged from the reference path. Digesting
+    // the stream against the same pinned constants proves it.
+    let streamed: Vec<TracePacket> = TraceBuilder::new(0x5eed_f00d)
+        .tcp_share(0.25)
+        .stream(64)
+        .collect();
+    assert_eq!(trace_digest(&streamed), 0x73d7_765a_9dcd_1ece);
+
+    let poisson: Vec<TracePacket> = TraceBuilder::new(7)
+        .sizes(SizeModel::Fixed(256))
+        .arrivals(ArrivalModel::Poisson { utilization: 0.4 })
+        .flows(16)
+        .stream(64)
+        .collect();
+    assert_eq!(trace_digest(&poisson), 0x9cc4_797e_d22a_631e);
+}
+
+#[test]
+fn streaming_matches_build_with_microbursts() {
+    // Bursts interleave with the paced stream through a stable merge;
+    // the streamed order must equal build()'s stable sort, ties included.
+    let b = TraceBuilder::new(2)
+        .sizes(SizeModel::Fixed(60))
+        .arrivals(ArrivalModel::Paced { utilization: 0.01 })
+        .microburst(1_000_000, 50)
+        .microburst(500_000, 10);
+    let built = b.build(100);
+    let streamed: Vec<TracePacket> = b.stream(100).collect();
+    assert_eq!(built.len(), streamed.len());
+    assert_eq!(trace_digest(&built), trace_digest(&streamed));
+    for (x, y) in built.iter().zip(&streamed) {
+        assert_eq!(x.arrival_ns, y.arrival_ns);
+        assert_eq!(x.frame, y.frame);
+    }
+}
+
+#[test]
+fn pooled_stream_is_allocation_bounded_and_identical() {
+    use flexsfp_wire::PacketArena;
+    let b = TraceBuilder::new(0x5eed_f00d).tcp_share(0.25);
+    let reference = b.build(64);
+    let arena = PacketArena::new();
+    let mut digest = FNV_OFFSET;
+    for (p, want) in b.stream_pooled(64, arena.clone()).zip(&reference) {
+        assert_eq!(p.arrival_ns, want.arrival_ns);
+        assert_eq!(p.frame, want.frame);
+        digest = fnv1a(digest, &p.arrival_ns.to_le_bytes());
+        digest = fnv1a(digest, &p.frame);
+        arena.recycle(p.frame);
+    }
+    assert_eq!(digest, 0x73d7_765a_9dcd_1ece);
+    // One frame in flight at a time => one buffer ever allocated.
+    assert_eq!(arena.allocations(), 1);
+    assert_eq!(arena.leases(), 64);
+}
+
+#[test]
 fn rebuilding_reproduces_the_golden_digest() {
     // Replay stability: two independently constructed builders agree
     // with each other and with the pinned digest.

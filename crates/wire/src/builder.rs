@@ -110,8 +110,11 @@ impl PacketBuilder {
         dst_port: u16,
         payload: &[u8],
     ) -> Vec<u8> {
-        let ip = Self::ipv4_udp(src, dst, src_port, dst_port, payload);
-        Self::ethernet(dst_mac, src_mac, EtherType::Ipv4, &ip)
+        let mut buf = Vec::new();
+        Self::eth_ipv4_udp_into(
+            &mut buf, dst_mac, src_mac, src, dst, src_port, dst_port, payload,
+        );
+        buf
     }
 
     /// A full Ethernet/IPv4/TCP frame.
@@ -127,8 +130,113 @@ impl PacketBuilder {
         flags: TcpFlags,
         payload: &[u8],
     ) -> Vec<u8> {
-        let ip = Self::ipv4_tcp(src, dst, src_port, dst_port, seq, flags, payload);
-        Self::ethernet(dst_mac, src_mac, EtherType::Ipv4, &ip)
+        let mut buf = Vec::new();
+        Self::eth_ipv4_tcp_into(
+            &mut buf, dst_mac, src_mac, src, dst, src_port, dst_port, seq, flags, payload,
+        );
+        buf
+    }
+
+    /// Write a complete Ethernet/IPv4/UDP frame into `buf` in place,
+    /// reusing its existing capacity (at most one allocation, and none when
+    /// `buf` comes from a [`crate::PacketArena`]). Byte-for-byte identical
+    /// to [`PacketBuilder::eth_ipv4_udp`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn eth_ipv4_udp_into(
+        buf: &mut Vec<u8>,
+        dst_mac: MacAddr,
+        src_mac: MacAddr,
+        src: u32,
+        dst: u32,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) {
+        let udp_len = crate::udp::HEADER_LEN + payload.len();
+        let body =
+            Self::eth_ipv4_skeleton_into(buf, dst_mac, src_mac, src, dst, IpProtocol::Udp, udp_len);
+        let l4_at = ethernet::HEADER_LEN + 20;
+        let udp = &mut buf[l4_at..body];
+        udp[crate::udp::HEADER_LEN..].copy_from_slice(payload);
+        {
+            let mut d = UdpDatagram::new_unchecked(&mut *udp);
+            d.set_src_port(src_port);
+            d.set_dst_port(dst_port);
+            d.set_len(udp_len as u16);
+        }
+        UdpDatagram::new_unchecked(udp).fill_checksum_v4(src, dst);
+    }
+
+    /// Write a complete Ethernet/IPv4/TCP frame into `buf` in place,
+    /// reusing its existing capacity. Byte-for-byte identical to
+    /// [`PacketBuilder::eth_ipv4_tcp`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn eth_ipv4_tcp_into(
+        buf: &mut Vec<u8>,
+        dst_mac: MacAddr,
+        src_mac: MacAddr,
+        src: u32,
+        dst: u32,
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) {
+        let tcp_len = crate::tcp::MIN_HEADER_LEN + payload.len();
+        let body =
+            Self::eth_ipv4_skeleton_into(buf, dst_mac, src_mac, src, dst, IpProtocol::Tcp, tcp_len);
+        let l4_at = ethernet::HEADER_LEN + 20;
+        let tcp = &mut buf[l4_at..body];
+        tcp[crate::tcp::MIN_HEADER_LEN..].copy_from_slice(payload);
+        {
+            let mut s = TcpSegment::new_unchecked(&mut *tcp);
+            s.set_src_port(src_port);
+            s.set_dst_port(dst_port);
+            s.set_seq(seq);
+            s.set_header_len(crate::tcp::MIN_HEADER_LEN);
+            s.set_flags(flags);
+            s.set_window(0xffff);
+        }
+        TcpSegment::new_unchecked(tcp).fill_checksum_v4(src, dst);
+    }
+
+    /// Zero `buf`, size it for an Ethernet + IPv4 frame with an
+    /// `l4_len`-byte L4 section (padding to the Ethernet minimum), and fill
+    /// in both headers with the same defaults as [`PacketBuilder::ipv4`].
+    /// Returns the body length (headers + L4, before padding).
+    fn eth_ipv4_skeleton_into(
+        buf: &mut Vec<u8>,
+        dst_mac: MacAddr,
+        src_mac: MacAddr,
+        src: u32,
+        dst: u32,
+        protocol: IpProtocol,
+        l4_len: usize,
+    ) -> usize {
+        let ip_total = 20 + l4_len;
+        let body = ethernet::HEADER_LEN + ip_total;
+        buf.clear();
+        buf.resize(body.max(ethernet::MIN_FRAME_NO_FCS), 0);
+        {
+            let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+            f.set_dst(dst_mac);
+            f.set_src(src_mac);
+            f.set_ethertype(EtherType::Ipv4);
+        }
+        {
+            let mut p = Ipv4Packet::new_unchecked(&mut buf[ethernet::HEADER_LEN..body]);
+            p.set_version(4);
+            p.set_header_len(20);
+            p.set_total_len(ip_total as u16);
+            p.set_ttl(64);
+            p.set_fragment(true, false, 0);
+            p.set_protocol(protocol);
+            p.set_src(src);
+            p.set_dst(dst);
+            p.fill_checksum();
+        }
+        body
     }
 
     /// Add an 802.1Q tag to an existing frame.
@@ -260,6 +368,55 @@ mod tests {
     }
 
     struct VxlanView<'a>(&'a [u8]);
+
+    #[test]
+    fn in_place_builders_match_allocating_path() {
+        let arena = crate::PacketArena::new();
+        for payload_len in [0usize, 1, 18, 100, 1472] {
+            let payload = vec![0x5au8; payload_len];
+            let nested_udp = {
+                // The historical nested construction: UDP inside IPv4
+                // inside Ethernet, one allocation per layer.
+                let ip = PacketBuilder::ipv4_udp(SRC, DST, 1111, 2222, &payload);
+                PacketBuilder::ethernet(MacAddr([1; 6]), MacAddr([2; 6]), EtherType::Ipv4, &ip)
+            };
+            let mut buf = arena.lease();
+            PacketBuilder::eth_ipv4_udp_into(
+                &mut buf,
+                MacAddr([1; 6]),
+                MacAddr([2; 6]),
+                SRC,
+                DST,
+                1111,
+                2222,
+                &payload,
+            );
+            assert_eq!(buf, nested_udp, "UDP payload_len={payload_len}");
+            arena.recycle(buf);
+
+            let nested_tcp = {
+                let ip =
+                    PacketBuilder::ipv4_tcp(SRC, DST, 80, 5000, 7, TcpFlags::syn_only(), &payload);
+                PacketBuilder::ethernet(MacAddr([1; 6]), MacAddr([2; 6]), EtherType::Ipv4, &ip)
+            };
+            let mut buf = arena.lease();
+            PacketBuilder::eth_ipv4_tcp_into(
+                &mut buf,
+                MacAddr([1; 6]),
+                MacAddr([2; 6]),
+                SRC,
+                DST,
+                80,
+                5000,
+                7,
+                TcpFlags::syn_only(),
+                &payload,
+            );
+            assert_eq!(buf, nested_tcp, "TCP payload_len={payload_len}");
+            arena.recycle(buf);
+        }
+        assert_eq!(arena.allocations(), 1, "all frames reuse one buffer");
+    }
 
     #[test]
     fn fmt_helpers_agree_with_builder() {

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod arena;
 pub mod arp;
 pub mod builder;
 pub mod checksum;
@@ -34,6 +35,7 @@ pub mod vlan;
 pub mod vxlan;
 
 pub use addr::{EtherType, IpProtocol, MacAddr};
+pub use arena::PacketArena;
 pub use arp::{ArpOperation, ArpPacket};
 pub use builder::PacketBuilder;
 pub use dns::{DnsHeader, DnsQuestion};
