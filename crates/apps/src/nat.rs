@@ -9,7 +9,9 @@
 //! keys and values are 4-byte big-endian IPv4 addresses).
 
 use flexsfp_fabric::resources::{table1, ResourceManifest};
+use flexsfp_obs::CacheStats;
 use flexsfp_ppe::action::{Action, ActionEngine, ActionOutcome};
+use flexsfp_ppe::cache::{self, FlowCache, FlowKey, PlanOp, PlanRecorder};
 use flexsfp_ppe::parser::Parser;
 use flexsfp_ppe::tables::{HashTable, TableError};
 use flexsfp_ppe::{Direction, PacketProcessor, ProcessContext, TableOp, TableOpResult, Verdict};
@@ -35,6 +37,11 @@ pub struct StaticNat {
     /// Which direction gets translated (the paper's "outgoing traffic":
     /// edge→optical).
     pub translate_direction: Direction,
+    /// Microflow action cache: the resolved rewrite + counter plan per
+    /// 5-tuple, skipping the full parse and table lookup on hits. Every
+    /// mapping mutation bumps its epoch, so stale plans never replay.
+    cache: FlowCache,
+    cache_enabled: bool,
 }
 
 impl Default for StaticNat {
@@ -56,16 +63,20 @@ impl StaticNat {
             engine: ActionEngine::new(4, Vec::new()),
             parser: Parser::default(),
             translate_direction: Direction::EdgeToOptical,
+            cache: FlowCache::default(),
+            cache_enabled: false,
         }
     }
 
     /// Install a translation `private → public`.
     pub fn add_mapping(&mut self, private: u32, public: u32) -> Result<(), TableError> {
+        self.cache.bump_epoch();
         self.table.insert(private, public)
     }
 
     /// Remove a translation.
     pub fn remove_mapping(&mut self, private: u32) -> Option<u32> {
+        self.cache.bump_epoch();
         self.table.remove(&private)
     }
 
@@ -78,26 +89,38 @@ impl StaticNat {
     pub fn counter(&self, idx: usize) -> flexsfp_ppe::counters::Counter {
         self.engine.counters.get(idx)
     }
-}
 
-impl PacketProcessor for StaticNat {
-    fn name(&self) -> &str {
-        "nat"
-    }
-
-    fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
-        if ctx.direction != self.translate_direction {
-            return Verdict::Forward;
-        }
+    /// The full parse → lookup → rewrite path, optionally recording a
+    /// replay plan for the flow cache.
+    fn process_slow(
+        &mut self,
+        ctx: &ProcessContext,
+        packet: &mut Vec<u8>,
+        mut rec: Option<&mut PlanRecorder>,
+    ) -> Verdict {
         let Some(parsed) = self.parser.parse(packet) else {
+            if let Some(r) = rec {
+                r.invalidate();
+            }
             return Verdict::Drop;
         };
         let Some(ip) = parsed.ipv4 else {
+            if let Some(r) = rec.as_deref_mut() {
+                r.push(PlanOp::Count {
+                    index: counters::NON_IP as u32,
+                });
+            }
             self.engine.counters.count(counters::NON_IP, packet.len());
             return Verdict::Forward;
         };
         match self.table.lookup(&ip.src) {
             Some(public) => {
+                if let Some(r) = rec.as_deref_mut() {
+                    cache::compile_action(&Action::SetIpv4Src(public), packet, &parsed, r);
+                    r.push(PlanOp::Count {
+                        index: counters::TRANSLATED as u32,
+                    });
+                }
                 match self
                     .engine
                     .apply(Action::SetIpv4Src(public), ctx, packet, &parsed)
@@ -110,10 +133,52 @@ impl PacketProcessor for StaticNat {
                     .count(counters::TRANSLATED, packet.len());
             }
             None => {
+                if let Some(r) = rec {
+                    r.push(PlanOp::Count {
+                        index: counters::MISSED as u32,
+                    });
+                }
                 self.engine.counters.count(counters::MISSED, packet.len());
             }
         }
         Verdict::Forward
+    }
+}
+
+impl PacketProcessor for StaticNat {
+    fn name(&self) -> &str {
+        "nat"
+    }
+
+    fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
+        if ctx.direction != self.translate_direction {
+            return Verdict::Forward;
+        }
+        if self.cache_enabled {
+            if let Some(key) = FlowKey::extract(packet, ctx.direction) {
+                if let Some(plan) = self.cache.lookup(&key) {
+                    // Fast path: shallow key parse only — no parser
+                    // walk, no table lookup, no checksum recompute.
+                    return cache::replay(plan, packet, &mut self.engine.counters);
+                }
+                let mut rec = PlanRecorder::new();
+                let verdict = self.process_slow(ctx, packet, Some(&mut rec));
+                if let Some(plan) = rec.finish(verdict) {
+                    self.cache.insert(key, plan);
+                }
+                return verdict;
+            }
+        }
+        self.process_slow(ctx, packet, None)
+    }
+
+    fn set_flow_cache(&mut self, enabled: bool) -> bool {
+        self.cache_enabled = enabled;
+        true
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
     }
 
     fn resource_manifest(&self) -> ResourceManifest {
@@ -148,7 +213,7 @@ impl PacketProcessor for StaticNat {
                 let (Some(k), Some(v)) = (ip_key(key), ip_key(value)) else {
                     return TableOpResult::BadEncoding;
                 };
-                match self.table.insert(k, v) {
+                match self.add_mapping(k, v) {
                     Ok(()) => TableOpResult::Ok,
                     Err(TableError::BucketFull) => TableOpResult::TableFull,
                 }
@@ -157,7 +222,7 @@ impl PacketProcessor for StaticNat {
                 let Some(k) = ip_key(key) else {
                     return TableOpResult::BadEncoding;
                 };
-                match self.table.remove(&k) {
+                match self.remove_mapping(k) {
                     Some(_) => TableOpResult::Ok,
                     None => TableOpResult::NotFound,
                 }
@@ -172,6 +237,7 @@ impl PacketProcessor for StaticNat {
                 }
             }
             TableOp::Clear { table: 0 } => {
+                self.cache.bump_epoch();
                 self.table.clear();
                 TableOpResult::Ok
             }
@@ -374,6 +440,89 @@ mod tests {
             }),
             TableOpResult::Unsupported
         );
+    }
+
+    #[test]
+    fn flow_cache_parity_udp_and_tcp() {
+        let mut cached = nat_with_mapping();
+        let mut uncached = nat_with_mapping();
+        assert!(cached.set_flow_cache(true));
+        for _round in 0..3 {
+            for src in [PRIVATE, 0x0a0b_0c0d] {
+                let mut a = udp_frame(src);
+                let mut b = a.clone();
+                assert_eq!(
+                    cached.process(&ProcessContext::egress(), &mut a),
+                    uncached.process(&ProcessContext::egress(), &mut b),
+                );
+                assert_eq!(a, b, "cache-on bytes must equal cache-off bytes");
+                let mut a = PacketBuilder::eth_ipv4_tcp(
+                    MacAddr([1; 6]),
+                    MacAddr([2; 6]),
+                    src,
+                    DST,
+                    4000,
+                    443,
+                    7,
+                    TcpFlags::syn_only(),
+                    b"hello",
+                );
+                let mut b = a.clone();
+                cached.process(&ProcessContext::egress(), &mut a);
+                uncached.process(&ProcessContext::egress(), &mut b);
+                assert_eq!(a, b);
+            }
+        }
+        for idx in [counters::TRANSLATED, counters::MISSED, counters::NON_IP] {
+            assert_eq!(cached.counter(idx), uncached.counter(idx));
+        }
+        // 4 flows × 3 rounds: 4 misses then 8 hits.
+        let s = cached.cache_stats().unwrap();
+        assert_eq!((s.hits, s.misses), (8, 4));
+        assert_eq!(uncached.cache_stats().unwrap().lookups(), 0);
+    }
+
+    #[test]
+    fn mapping_mutations_invalidate_cached_plans() {
+        let mut n = nat_with_mapping();
+        n.set_flow_cache(true);
+        let mut pkt = udp_frame(PRIVATE);
+        n.process(&ProcessContext::egress(), &mut pkt);
+        let mut pkt = udp_frame(PRIVATE);
+        n.process(&ProcessContext::egress(), &mut pkt);
+        assert_eq!(n.cache_stats().unwrap().hits, 1);
+        // Remap through the control plane: the cached plan is stale.
+        let new_public = 0x650a_00ffu32;
+        assert_eq!(
+            n.control_op(&TableOp::Insert {
+                table: 0,
+                key: PRIVATE.to_be_bytes().to_vec(),
+                value: new_public.to_be_bytes().to_vec(),
+            }),
+            TableOpResult::Ok
+        );
+        let mut pkt = udp_frame(PRIVATE);
+        n.process(&ProcessContext::egress(), &mut pkt);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.src(), new_public, "stale plan must not replay");
+        assert!(ip.verify_checksum());
+        assert_eq!(n.cache_stats().unwrap().invalidations, 1);
+        // Removal invalidates too: traffic falls back to MISSED.
+        n.remove_mapping(PRIVATE);
+        let mut pkt = udp_frame(PRIVATE);
+        let before = pkt.clone();
+        n.process(&ProcessContext::egress(), &mut pkt);
+        assert_eq!(pkt, before);
+        assert_eq!(n.counter(counters::MISSED).packets, 1);
+    }
+
+    #[test]
+    fn reverse_direction_bypasses_cache() {
+        let mut n = nat_with_mapping();
+        n.set_flow_cache(true);
+        let mut pkt = udp_frame(PRIVATE);
+        n.process(&ProcessContext::ingress(), &mut pkt);
+        assert_eq!(n.cache_stats().unwrap().lookups(), 0);
     }
 
     #[test]

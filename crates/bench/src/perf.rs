@@ -10,13 +10,26 @@
 //! neither the trace nor the outputs are ever materialized and memory
 //! stays constant in trace length.
 //!
+//! The workload runs with the PPE flow cache disabled (every packet
+//! takes the full parse/match/apply slow path) and enabled (per-flow
+//! memoized action plans). Each setting first runs an untimed
+//! verification pass that folds every output packet — departure time,
+//! egress interface, and frame bytes — into an FNV-1a digest, and the
+//! run aborts if the two digests differ: the cache must be a pure
+//! speedup, never a behavior change. Timing then comes from separate
+//! measurement passes with a recycle-only sink, repeated
+//! [`MEASURE_REPS`] times taking the minimum wall-clock — interference
+//! on a shared host only ever inflates time, so the minimum is the
+//! cleanest estimate of what the simulator costs.
+//!
 //! `BENCH_throughput.json` (written by the `perf` subcommand, committed
 //! at the repo root) is the perf trajectory every optimization PR is
 //! measured against.
 
 use crate::render;
 use flexsfp_apps::StaticNat;
-use flexsfp_core::module::{FlexSfp, ModuleConfig, SimPacket};
+use flexsfp_core::module::{FlexSfp, Interface, ModuleConfig, SimPacket};
+use flexsfp_obs::CacheStats;
 use flexsfp_ppe::Direction;
 use flexsfp_traffic::gen::ArrivalModel;
 use flexsfp_traffic::{SizeModel, TraceBuilder};
@@ -42,16 +55,26 @@ const FRAME_LEN: usize = 60;
 /// One throughput measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
-    /// Packets simulated.
+    /// Packets simulated (per pass).
     pub packets: u64,
     /// Frame length offered (B, without FCS).
     pub frame_len: u64,
     /// Distinct flows (= NAT table population).
     pub flows: u64,
-    /// Wall-clock for the whole streaming run (generation + simulation), s.
+    /// Wall-clock for the cache-on streaming run (generation +
+    /// simulation), s.
     pub wall_s: f64,
-    /// Simulated packets per wall-clock second, millions.
+    /// Simulated packets per wall-clock second with the flow cache
+    /// enabled, millions.
     pub mpps: f64,
+    /// Same measurement with the flow cache disabled (full slow path).
+    pub mpps_cache_off: f64,
+    /// Flow-cache hit rate over the cache-on pass, 0..=1.
+    pub cache_hit_rate: f64,
+    /// FNV-1a digest (hex) over every output packet's departure time,
+    /// egress interface, and frame bytes. Identical for both passes by
+    /// construction — the run aborts otherwise.
+    pub digest: String,
     /// Packets forwarded by the module.
     pub forwarded: u64,
     /// forwarded / offered.
@@ -72,6 +95,9 @@ flexsfp_obs::impl_json_struct!(Report {
     flows,
     wall_s,
     mpps,
+    mpps_cache_off,
+    cache_hit_rate,
+    digest,
     forwarded,
     delivery,
     peak_rss_kb,
@@ -103,40 +129,122 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-/// Run the throughput measurement over `packets` minimum-size frames.
-pub fn run(packets: usize) -> Report {
-    let mut module = nat_module();
-    let arena = PacketArena::new();
-    let stream = TraceBuilder::new(SEED)
+/// 64-bit FNV-1a fold of `bytes` into `state`.
+fn fnv1a(state: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *state ^= b as u64;
+        *state = state.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Timed measurement passes per cache setting; the minimum wall-clock
+/// wins (host interference only ever slows a pass down).
+const MEASURE_REPS: usize = 3;
+
+/// The workload stream over a fresh module.
+fn workload(packets: usize, arena: &PacketArena) -> impl Iterator<Item = SimPacket> {
+    TraceBuilder::new(SEED)
         .flows(FLOWS)
         .src_base(PRIVATE_BASE)
         .sizes(SizeModel::Fixed(FRAME_LEN))
         .arrivals(ArrivalModel::Paced { utilization: 1.0 })
-        .stream_pooled(packets, arena.clone());
-
-    let t0 = Instant::now();
-    let report = module.run_stream_with(
-        stream.map(|p| SimPacket {
+        .stream_pooled(packets, arena.clone())
+        .map(|p| SimPacket {
             arrival_ns: p.arrival_ns,
             direction: Direction::EdgeToOptical,
             frame: p.frame,
-        }),
-        |out| arena.recycle(out.frame),
-    );
-    let wall_s = t0.elapsed().as_secs_f64();
+        })
+}
 
-    let forwarded = report.forwarded.0 + report.forwarded.1;
+/// One verified (untimed, digesting) pass over the workload.
+struct Verified {
+    forwarded: u64,
+    offered: u64,
+    digest: u64,
+    cache: CacheStats,
+    arena_allocations: u64,
+    arena_leases: u64,
+}
+
+/// Stream the workload with the flow cache on or off, folding every
+/// output packet into an FNV-1a digest.
+fn verify_pass(packets: usize, cache_on: bool) -> Verified {
+    let mut module = nat_module();
+    module.app_mut().set_flow_cache(cache_on);
+    let arena = PacketArena::new();
+    let mut digest = FNV_OFFSET;
+    let report = module.run_stream_with(workload(packets, &arena), |out| {
+        fnv1a(&mut digest, &out.departure_ns.to_le_bytes());
+        fnv1a(
+            &mut digest,
+            &[matches!(out.egress, Interface::Optical) as u8],
+        );
+        fnv1a(&mut digest, &(out.frame.len() as u32).to_le_bytes());
+        fnv1a(&mut digest, &out.frame);
+        arena.recycle(out.frame);
+    });
+    Verified {
+        forwarded: report.forwarded.0 + report.forwarded.1,
+        offered: report.offered,
+        digest,
+        cache: module.app_mut().cache_stats().unwrap_or_default(),
+        arena_allocations: arena.allocations(),
+        arena_leases: arena.leases(),
+    }
+}
+
+/// Best-of-[`MEASURE_REPS`] wall-clock for the workload with a
+/// recycle-only sink.
+fn measure_pass(packets: usize, cache_on: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..MEASURE_REPS {
+        let mut module = nat_module();
+        module.app_mut().set_flow_cache(cache_on);
+        let arena = PacketArena::new();
+        let t0 = Instant::now();
+        module.run_stream_with(workload(packets, &arena), |out| arena.recycle(out.frame));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Run the throughput measurement over `packets` minimum-size frames:
+/// digest-verified passes first, then timed passes, cache-off and
+/// cache-on.
+///
+/// # Panics
+///
+/// Panics if the two verification passes produce different output
+/// digests — a correctness failure in the flow cache, not a measurement
+/// artifact.
+pub fn run(packets: usize) -> Report {
+    let off = verify_pass(packets, false);
+    let on = verify_pass(packets, true);
+    assert_eq!(
+        on.digest, off.digest,
+        "flow cache changed observable output (cache-on {:016x} vs cache-off {:016x})",
+        on.digest, off.digest
+    );
+    let off_wall_s = measure_pass(packets, false);
+    let wall_s = measure_pass(packets, true);
+
     Report {
         packets: packets as u64,
         frame_len: FRAME_LEN as u64,
         flows: FLOWS as u64,
         wall_s,
         mpps: packets as f64 / wall_s / 1e6,
-        forwarded,
-        delivery: forwarded as f64 / report.offered.max(1) as f64,
+        mpps_cache_off: packets as f64 / off_wall_s / 1e6,
+        cache_hit_rate: on.cache.hit_rate(),
+        digest: format!("{:016x}", on.digest),
+        forwarded: on.forwarded,
+        delivery: on.forwarded as f64 / on.offered.max(1) as f64,
         peak_rss_kb: peak_rss_kb(),
-        arena_allocations: arena.allocations(),
-        arena_leases: arena.leases(),
+        arena_allocations: on.arena_allocations,
+        arena_leases: on.arena_leases,
     }
 }
 
@@ -148,12 +256,15 @@ pub fn render(r: &Report) -> String {
         r.flows.to_string(),
         render::f(r.wall_s, 3),
         render::f(r.mpps, 3),
+        render::f(r.mpps_cache_off, 3),
+        render::f(r.cache_hit_rate * 100.0, 2),
         render::f(r.delivery * 100.0, 2),
         render::grouped(r.peak_rss_kb),
         r.arena_allocations.to_string(),
     ]];
     format!(
-        "perf: streaming NAT workload (simulator throughput)\n{}",
+        "perf: streaming NAT workload (simulator throughput; output digest {} identical cache-on/off)\n{}",
+        r.digest,
         render::table(
             &[
                 "packets",
@@ -161,6 +272,8 @@ pub fn render(r: &Report) -> String {
                 "flows",
                 "wall s",
                 "Mpps",
+                "Mpps (no cache)",
+                "cache hit %",
                 "delivery %",
                 "peak RSS kB",
                 "arena allocs",
@@ -182,14 +295,30 @@ mod tests {
         assert_eq!(r.forwarded, 20_000, "NAT at line rate forwards all");
         assert!((r.delivery - 1.0).abs() < 1e-9);
         assert!(r.mpps > 0.0);
+        assert!(r.mpps_cache_off > 0.0);
         assert_eq!(r.arena_leases, 20_000);
         // O(1) memory: the arena never holds more than the in-flight
-        // window of frames, no matter how long the trace is.
+        // window of frames — one PPE batch plus generator slack — no
+        // matter how long the trace is.
         assert!(
-            r.arena_allocations <= 16,
+            r.arena_allocations <= 48,
             "arena allocated {} buffers",
             r.arena_allocations
         );
+    }
+
+    #[test]
+    fn cache_pass_hits_after_first_packet_per_flow() {
+        // 20 k packets over 64 flows: everything after the first packet
+        // of each flow replays a memoized plan. run() itself asserts
+        // digest equality between the passes.
+        let r = run(20_000);
+        assert!(
+            r.cache_hit_rate > 0.99,
+            "hit rate {} too low for a 64-flow workload",
+            r.cache_hit_rate
+        );
+        assert_eq!(r.digest.len(), 16, "digest is a 64-bit hex string");
     }
 
     #[test]
@@ -206,5 +335,6 @@ mod tests {
         let s = render(&r);
         assert!(s.contains("Mpps"));
         assert!(s.contains("NAT"));
+        assert!(s.contains("cache"));
     }
 }

@@ -1,0 +1,276 @@
+//! Flow-cache transparency: with the microflow action cache enabled,
+//! every application must produce byte-identical output to the
+//! cache-off slow path — same frames, same departure times, same
+//! egress — including across mid-stream table mutations, which must
+//! invalidate memoized plans rather than replay stale ones.
+//!
+//! Every §3 application is covered. Apps that decline the cache
+//! (`set_flow_cache` returns false) still run both passes: the digest
+//! equality then pins determinism and guards the day they adopt it.
+
+use flexsfp_apps::firewall::{AclAction, AclFirewall, AclRule};
+use flexsfp_apps::sanitizer::SanitizerPolicy;
+use flexsfp_apps::tunnel::TunnelKind;
+use flexsfp_apps::{
+    DnsFilter, Ipv6SubscriberFilter, L4LoadBalancer, PerSourceRateLimiter, Sanitizer, StaticNat,
+    SynFloodGuard, TelemetryProbe, TunnelGateway, VlanTagger,
+};
+use flexsfp_core::control::{ControlPlane, ControlRequest, CtlTableOp, CONTROL_PORT};
+use flexsfp_core::module::{FlexSfp, Interface, ModuleConfig, SimPacket};
+use flexsfp_ppe::{Direction, PacketProcessor};
+use flexsfp_traffic::gen::ArrivalModel;
+use flexsfp_traffic::{SizeModel, TraceBuilder};
+use flexsfp_wire::builder::PacketBuilder;
+use flexsfp_wire::MacAddr;
+
+const PRIVATE_BASE: u32 = 0xc0a8_0000;
+const PUBLIC_BASE: u32 = 0x6540_0000;
+const FLOWS: usize = 32;
+const PACKETS: usize = 6_000;
+
+fn fnv1a(state: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *state ^= b as u64;
+        *state = state.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Run `packets` through a module built around `app` and digest every
+/// output packet (departure, egress, frame bytes). Returns the digest
+/// and the forwarded count.
+fn digest_run(
+    mut app: Box<dyn PacketProcessor>,
+    cache_on: bool,
+    packets: Vec<SimPacket>,
+) -> (u64, u64) {
+    app.set_flow_cache(cache_on);
+    let mut module = FlexSfp::new(ModuleConfig::default(), app);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let report = module.run_stream_with(packets, |out| {
+        fnv1a(&mut digest, &out.departure_ns.to_le_bytes());
+        fnv1a(
+            &mut digest,
+            &[matches!(out.egress, Interface::Optical) as u8],
+        );
+        fnv1a(&mut digest, &(out.frame.len() as u32).to_le_bytes());
+        fnv1a(&mut digest, &out.frame);
+    });
+    (digest, report.forwarded.0 + report.forwarded.1)
+}
+
+/// A mixed UDP/TCP workload with IMIX-ish sizes over the NAT source
+/// range (the ports and addresses also exercise the other apps).
+fn workload(seed: u64) -> Vec<SimPacket> {
+    TraceBuilder::new(seed)
+        .flows(FLOWS)
+        .src_base(PRIVATE_BASE)
+        .sizes(SizeModel::Imix)
+        .arrivals(ArrivalModel::Paced { utilization: 0.8 })
+        .tcp_share(0.5)
+        .build(PACKETS)
+        .into_iter()
+        .map(|p| SimPacket {
+            arrival_ns: p.arrival_ns,
+            direction: Direction::EdgeToOptical,
+            frame: p.frame,
+        })
+        .collect()
+}
+
+fn nat_app() -> Box<dyn PacketProcessor> {
+    let mut nat = StaticNat::new();
+    for i in 0..FLOWS as u32 {
+        nat.add_mapping(PRIVATE_BASE + i, PUBLIC_BASE + i)
+            .expect("mapping install");
+    }
+    Box::new(nat)
+}
+
+/// Every §3 application under test, by name.
+fn all_apps() -> Vec<(&'static str, Box<dyn PacketProcessor>)> {
+    let mut fw = AclFirewall::new(64);
+    fw.add_rule(AclRule {
+        src: Some((PRIVATE_BASE, 28)),
+        dst: None,
+        protocol: Some(17),
+        src_port: None,
+        dst_port: None,
+        priority: 1,
+        action: AclAction::Permit,
+    });
+    vec![
+        ("nat", nat_app()),
+        ("firewall", Box::new(fw)),
+        ("dnsfilter", Box::new(DnsFilter::new())),
+        ("ipv6filter", Box::new(Ipv6SubscriberFilter::new())),
+        (
+            "lb",
+            Box::new(L4LoadBalancer::new(
+                0x0a00_0005,
+                80,
+                vec![0x0a00_0101, 0x0a00_0102],
+            )),
+        ),
+        ("ratelimit", Box::new(PerSourceRateLimiter::new())),
+        (
+            "sanitizer",
+            Box::new(Sanitizer::new(SanitizerPolicy::default())),
+        ),
+        (
+            "synflood",
+            Box::new(SynFloodGuard::new(1024, 100, 1_000_000)),
+        ),
+        (
+            "telemetry",
+            Box::new(TelemetryProbe::new(256, 1_000_000, 50_000)),
+        ),
+        (
+            "tunnel",
+            Box::new(TunnelGateway::new(
+                TunnelKind::Gre { key: 7 },
+                0x0a00_0001,
+                0x0a00_0002,
+            )),
+        ),
+        ("vlan", Box::new(VlanTagger::new(100))),
+    ]
+}
+
+#[test]
+fn every_app_is_cache_transparent() {
+    let mut checked = 0;
+    for seed in [0x51u64, 0xbeef] {
+        for (name, _) in all_apps() {
+            // Rebuild the app per pass: state (rate limiter buckets,
+            // flow tables) must start identical.
+            let app_off = all_apps().into_iter().find(|(n, _)| *n == name).unwrap().1;
+            let app_on = all_apps().into_iter().find(|(n, _)| *n == name).unwrap().1;
+            let (d_off, fwd_off) = digest_run(app_off, false, workload(seed));
+            let (d_on, fwd_on) = digest_run(app_on, true, workload(seed));
+            assert_eq!(
+                d_on, d_off,
+                "app `{name}` output diverged with flow cache on (seed {seed:#x})"
+            );
+            assert_eq!(fwd_on, fwd_off, "app `{name}` forwarded count diverged");
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 22, "11 apps x 2 seeds");
+}
+
+/// Build an authenticated in-band control frame carrying a NAT table op.
+fn control_frame(module: &FlexSfp, op: CtlTableOp) -> Vec<u8> {
+    let payload = ControlPlane::encode_request(&module.config.auth_key, &ControlRequest::Table(op));
+    PacketBuilder::eth_ipv4_udp(
+        module.config.mgmt_mac,
+        MacAddr([0xee; 6]),
+        0x0a00_0101,
+        module.config.mgmt_ip,
+        40_000,
+        CONTROL_PORT,
+        &payload,
+    )
+}
+
+/// Interleave table-mutating control frames into the data stream:
+/// every mapping is remapped to a new public address mid-run, then one
+/// mapping is deleted. Cached plans recorded before each mutation are
+/// stale afterwards; the cache-on run must still match cache-off byte
+/// for byte.
+fn mutating_stream(module: &FlexSfp) -> Vec<SimPacket> {
+    let mut packets = workload(0x51);
+    let n = packets.len();
+    for i in 0..4 {
+        let at = n * (i + 1) / 5;
+        let arrival_ns = packets[at].arrival_ns;
+        let flow = (i as u32) % FLOWS as u32;
+        let op = if i == 3 {
+            CtlTableOp::Delete {
+                table: 0,
+                key: (PRIVATE_BASE + flow).to_be_bytes().to_vec(),
+            }
+        } else {
+            CtlTableOp::Insert {
+                table: 0,
+                key: (PRIVATE_BASE + flow).to_be_bytes().to_vec(),
+                value: (PUBLIC_BASE + 0x100 + flow).to_be_bytes().to_vec(),
+            }
+        };
+        packets.insert(
+            at,
+            SimPacket {
+                arrival_ns,
+                direction: Direction::EdgeToOptical,
+                frame: control_frame(module, op),
+            },
+        );
+    }
+    packets
+}
+
+#[test]
+fn mid_stream_table_mutations_invalidate_cached_plans() {
+    let run = |cache_on: bool| {
+        let mut app = nat_app();
+        app.set_flow_cache(cache_on);
+        let mut module = FlexSfp::new(ModuleConfig::default(), app);
+        let stream = mutating_stream(&module);
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut saw_new_public = false;
+        let report = module.run_stream_with(stream, |out| {
+            fnv1a(&mut digest, &out.departure_ns.to_le_bytes());
+            fnv1a(
+                &mut digest,
+                &[matches!(out.egress, Interface::Optical) as u8],
+            );
+            fnv1a(&mut digest, &out.frame);
+            // Post-mutation frames must carry the remapped public
+            // address — a stale replayed plan would keep the old one.
+            if out.frame.len() >= 30 {
+                let src = u32::from_be_bytes(out.frame[26..30].try_into().unwrap());
+                if (PUBLIC_BASE + 0x100..PUBLIC_BASE + 0x100 + FLOWS as u32).contains(&src) {
+                    saw_new_public = true;
+                }
+            }
+        });
+        assert_eq!(report.control_handled, 4, "all mutations handled");
+        assert!(saw_new_public, "remapped address visible in output");
+        digest
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "mid-stream mutations: cache-on output diverged from slow path"
+    );
+}
+
+#[test]
+fn clearing_the_table_mid_stream_stays_transparent() {
+    // Reprogram-style staleness: wipe the whole table mid-stream. All
+    // cached plans are stale at once; cache-on must degrade exactly
+    // like cache-off (packets fall through as table misses).
+    let run = |cache_on: bool| {
+        let mut app = nat_app();
+        app.set_flow_cache(cache_on);
+        let mut module = FlexSfp::new(ModuleConfig::default(), app);
+        let mut packets = workload(0x7a);
+        let mid = packets.len() / 2;
+        let arrival_ns = packets[mid].arrival_ns;
+        packets.insert(
+            mid,
+            SimPacket {
+                arrival_ns,
+                direction: Direction::EdgeToOptical,
+                frame: control_frame(&module, CtlTableOp::Clear { table: 0 }),
+            },
+        );
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let report = module.run_stream_with(packets, |out| {
+            fnv1a(&mut digest, &out.departure_ns.to_le_bytes());
+            fnv1a(&mut digest, &out.frame);
+        });
+        assert_eq!(report.control_handled, 1);
+        digest
+    };
+    assert_eq!(run(true), run(false), "table clear: cache-on diverged");
+}

@@ -28,9 +28,18 @@ use flexsfp_obs::{
     TelemetrySnapshot,
 };
 use flexsfp_ppe::engine::PassThrough;
-use flexsfp_ppe::{Direction, PacketProcessor, ProcessContext, Verdict};
+use flexsfp_ppe::{BatchPacket, Direction, PacketProcessor, ProcessContext, Verdict};
 use flexsfp_wire::MacAddr;
 use std::collections::VecDeque;
+
+/// PPE batch size: packets admitted to the PPE are queued and handed to
+/// [`PacketProcessor::process_batch`] in fixed-size vectors, VPP-style,
+/// amortizing dispatch and per-packet bookkeeping. Any event that could
+/// observe or mutate dataplane state out of order (control frames,
+/// microservice replies, bypass-path outputs, end of trace) flushes the
+/// pending batch first, so results are bit-identical to per-packet
+/// processing.
+const PPE_BATCH: usize = 32;
 
 /// Physical interfaces of the module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -270,6 +279,153 @@ impl SimReport {
 /// Constructs an application from bitstream metadata at boot.
 pub type AppFactory = Box<dyn Fn(&BitstreamMeta) -> Option<Box<dyn PacketProcessor>> + Send>;
 
+/// Timing metadata for a packet waiting in the PPE batch. The queueing
+/// model runs at admit time (admission order is arrival order), so the
+/// departure time is already known when the packet joins the batch.
+#[derive(Debug, Clone, Copy)]
+struct PendingPpe {
+    arrival_ns: u64,
+    arrival_fs: u128,
+    departure_fs: u128,
+}
+
+/// Verdict dispatch for one processed packet: drop/divert accounting,
+/// egress lane accounting, latency recording and output emission. A
+/// free function over the module's disjoint fields so the batched and
+/// bypass paths share one exact implementation.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_output<F: FnMut(OutputPacket)>(
+    frame: Vec<u8>,
+    verdict: Verdict,
+    direction: Direction,
+    arrival_ns: u64,
+    arrival_fs: u128,
+    departure_fs: u128,
+    report: &mut SimReport,
+    edge: &mut Transceiver,
+    optical: &mut Transceiver,
+    events: &mut EventRing,
+    lifetime_drops: &mut DropCounters,
+    last_time_ns: &mut u64,
+    sink: &mut F,
+) {
+    match verdict {
+        Verdict::Drop => {
+            report.drops.app += 1;
+            lifetime_drops.app += 1;
+            events.record(
+                arrival_ns,
+                EventKind::Drop {
+                    reason: DropReason::App,
+                },
+            );
+            return;
+        }
+        Verdict::ToControlPlane => {
+            report.to_control += 1;
+            return;
+        }
+        Verdict::Forward | Verdict::Reflect => {}
+    }
+
+    let natural = Interface::egress_for(direction);
+    let egress = if verdict == Verdict::Reflect {
+        natural.other()
+    } else {
+        natural
+    };
+
+    // Egress accounting; the optical lane drops when the link budget
+    // no longer closes (degraded laser).
+    let tx_ok = match egress {
+        Interface::Edge => edge.record_tx(frame.len()),
+        Interface::Optical => {
+            if optical.link_up(3.0) {
+                optical.record_tx(frame.len())
+            } else {
+                false
+            }
+        }
+    };
+    if !tx_ok {
+        report.drops.link += 1;
+        lifetime_drops.link += 1;
+        events.record(
+            arrival_ns,
+            EventKind::Drop {
+                reason: DropReason::LinkDown,
+            },
+        );
+        return;
+    }
+
+    // u128 division compiles to a libcall; simulated times fit u64
+    // femtoseconds (~5 h) in practice, so divide in u64 (a
+    // multiply-shift) and keep the wide division as the fallback.
+    let departure_ns = if departure_fs <= u128::from(u64::MAX) {
+        (departure_fs as u64) / 1_000_000
+    } else {
+        (departure_fs / 1_000_000) as u64
+    };
+    let transit_fs = departure_fs - arrival_fs;
+    let latency_ns = if transit_fs <= u128::from(u64::MAX) {
+        transit_fs as u64 as f64 / 1e6
+    } else {
+        transit_fs as f64 / 1e6
+    };
+    report.latency.record(latency_ns);
+    match egress {
+        Interface::Edge => report.forwarded.0 += 1,
+        Interface::Optical => report.forwarded.1 += 1,
+    }
+    report.forwarded_bytes += frame.len() as u64;
+    *last_time_ns = (*last_time_ns).max(departure_ns);
+    sink(OutputPacket {
+        departure_ns,
+        egress,
+        frame,
+        latency_ns,
+    });
+}
+
+/// Run the pending PPE batch through the application and dispatch every
+/// slot's verdict in admission order.
+#[allow(clippy::too_many_arguments)]
+fn flush_ppe_batch<F: FnMut(OutputPacket)>(
+    app: &mut dyn PacketProcessor,
+    batch: &mut Vec<BatchPacket>,
+    pending: &mut Vec<PendingPpe>,
+    report: &mut SimReport,
+    edge: &mut Transceiver,
+    optical: &mut Transceiver,
+    events: &mut EventRing,
+    lifetime_drops: &mut DropCounters,
+    last_time_ns: &mut u64,
+    sink: &mut F,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    app.process_batch(batch);
+    for (slot, meta) in batch.drain(..).zip(pending.drain(..)) {
+        dispatch_output(
+            slot.frame,
+            slot.verdict,
+            slot.ctx.direction,
+            meta.arrival_ns,
+            meta.arrival_fs,
+            meta.departure_fs,
+            report,
+            edge,
+            optical,
+            events,
+            lifetime_drops,
+            last_time_ns,
+            sink,
+        );
+    }
+}
+
 /// One queued-entry record of the PPE server model.
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
@@ -283,6 +439,9 @@ struct PpeServer {
     free_fs: u128,
     fifo_bytes: usize,
     in_flight: VecDeque<InFlight>,
+    /// Running sum of `in_flight` bytes, so admission is O(1) instead
+    /// of re-summing the queue per packet.
+    backlog: usize,
 }
 
 impl PpeServer {
@@ -291,6 +450,7 @@ impl PpeServer {
             free_fs: 0,
             fifo_bytes,
             in_flight: VecDeque::new(),
+            backlog: 0,
         }
     }
 
@@ -301,18 +461,19 @@ impl PpeServer {
         // Entries that completed service have left the FIFO.
         while let Some(front) = self.in_flight.front() {
             if front.finish_fs <= arrival_fs {
+                self.backlog -= front.bytes;
                 self.in_flight.pop_front();
             } else {
                 break;
             }
         }
-        let backlog: usize = self.in_flight.iter().map(|e| e.bytes).sum();
-        if backlog + len > self.fifo_bytes {
+        if self.backlog + len > self.fifo_bytes {
             return None;
         }
         let start = self.free_fs.max(arrival_fs);
         let finish = start + service_fs;
         self.free_fs = finish;
+        self.backlog += len;
         self.in_flight.push_back(InFlight {
             finish_fs: finish,
             bytes: len,
@@ -644,6 +805,27 @@ impl FlexSfp {
         let pipeline_cycles = 4 + 3 * u128::from(self.app.pipeline_depth());
         let mut last_time_ns = 0u64;
         let mut prev_arrival = 0u64;
+        // One-entry memo of beats_for(len): the ceiling division has a
+        // runtime divisor, and fixed-size workloads repeat one length.
+        let mut last_beats: (usize, u128) = (usize::MAX, 0);
+        let mut batch: Vec<BatchPacket> = Vec::with_capacity(PPE_BATCH);
+        let mut pending: Vec<PendingPpe> = Vec::with_capacity(PPE_BATCH);
+        macro_rules! flush {
+            () => {
+                flush_ppe_batch(
+                    self.app.as_mut(),
+                    &mut batch,
+                    &mut pending,
+                    &mut report,
+                    &mut self.edge,
+                    &mut self.optical,
+                    &mut self.events,
+                    &mut self.lifetime_drops,
+                    &mut last_time_ns,
+                    &mut sink,
+                )
+            };
+        }
 
         for pkt in packets {
             report.offered += 1;
@@ -692,6 +874,8 @@ impl FlexSfp {
                     self.config.mgmt_mac,
                     self.config.mgmt_ip,
                 ) {
+                    // Keep sink emission in arrival order.
+                    flush!();
                     report.cp_originated += 1;
                     // Replies exit the interface the request arrived on;
                     // the softcore path costs ~10 µs.
@@ -715,8 +899,11 @@ impl FlexSfp {
                 }
             }
 
-            // Arbiter: control-plane frames divert before the PPE.
+            // Arbiter: control-plane frames divert before the PPE. The
+            // pending batch must run first: control ops mutate tables,
+            // and earlier packets belong to the pre-mutation state.
             if pkt.direction == Direction::EdgeToOptical && self.control.classify(&pkt.frame) {
+                flush!();
                 let dom = self.mgmt.read_dom();
                 let mut ctx = ControlContext {
                     app: self.app.as_mut(),
@@ -751,8 +938,14 @@ impl FlexSfp {
             let arrival_fs = u128::from(pkt.arrival_ns) * 1_000_000;
             let uses_ppe = self.config.shell.ppe_applies(pkt.direction);
 
-            let (frame, verdict, departure_fs) = if uses_ppe {
-                let beats = u128::from(self.config.datapath.beats_for(pkt.frame.len()));
+            if uses_ppe {
+                let beats = if last_beats.0 == pkt.frame.len() {
+                    last_beats.1
+                } else {
+                    let b = u128::from(self.config.datapath.beats_for(pkt.frame.len()));
+                    last_beats = (pkt.frame.len(), b);
+                    b
+                };
                 let service_fs = beats * ppe_period_fs;
                 let Some(start_fs) = shared_server.admit(arrival_fs, pkt.frame.len(), service_fs)
                 else {
@@ -766,86 +959,44 @@ impl FlexSfp {
                     );
                     continue;
                 };
-                let mut frame = pkt.frame;
                 let ctx = ProcessContext {
                     timestamp_ns: pkt.arrival_ns,
                     direction: pkt.direction,
                 };
-                let verdict = self.app.process(&ctx, &mut frame);
-                let departure_fs =
-                    start_fs + service_fs + pipeline_cycles * ppe_period_fs + 2 * serdes_fs;
-                (frame, verdict, departure_fs)
+                batch.push(BatchPacket::new(ctx, pkt.frame));
+                pending.push(PendingPpe {
+                    arrival_ns: pkt.arrival_ns,
+                    arrival_fs,
+                    departure_fs: start_fs
+                        + service_fs
+                        + pipeline_cycles * ppe_period_fs
+                        + 2 * serdes_fs,
+                });
+                if batch.len() == PPE_BATCH {
+                    flush!();
+                }
             } else {
-                // Bypass path: SerDes in, merge, SerDes out.
-                (pkt.frame, Verdict::Forward, arrival_fs + 2 * serdes_fs)
-            };
-
-            match verdict {
-                Verdict::Drop => {
-                    report.drops.app += 1;
-                    self.lifetime_drops.app += 1;
-                    self.events.record(
-                        pkt.arrival_ns,
-                        EventKind::Drop {
-                            reason: DropReason::App,
-                        },
-                    );
-                    continue;
-                }
-                Verdict::ToControlPlane => {
-                    report.to_control += 1;
-                    continue;
-                }
-                Verdict::Forward | Verdict::Reflect => {}
-            }
-
-            let natural = Interface::egress_for(pkt.direction);
-            let egress = if verdict == Verdict::Reflect {
-                natural.other()
-            } else {
-                natural
-            };
-
-            // Egress accounting; the optical lane drops when the link
-            // budget no longer closes (degraded laser).
-            let tx_ok = match egress {
-                Interface::Edge => self.edge.record_tx(frame.len()),
-                Interface::Optical => {
-                    if self.optical.link_up(3.0) {
-                        self.optical.record_tx(frame.len())
-                    } else {
-                        false
-                    }
-                }
-            };
-            if !tx_ok {
-                report.drops.link += 1;
-                self.lifetime_drops.link += 1;
-                self.events.record(
+                // Bypass path: SerDes in, merge, SerDes out. Flush so
+                // outputs still reach the sink in arrival order.
+                flush!();
+                dispatch_output(
+                    pkt.frame,
+                    Verdict::Forward,
+                    pkt.direction,
                     pkt.arrival_ns,
-                    EventKind::Drop {
-                        reason: DropReason::LinkDown,
-                    },
+                    arrival_fs,
+                    arrival_fs + 2 * serdes_fs,
+                    &mut report,
+                    &mut self.edge,
+                    &mut self.optical,
+                    &mut self.events,
+                    &mut self.lifetime_drops,
+                    &mut last_time_ns,
+                    &mut sink,
                 );
-                continue;
             }
-
-            let departure_ns = (departure_fs / 1_000_000) as u64;
-            let latency_ns = (departure_fs - arrival_fs) as f64 / 1e6;
-            report.latency.record(latency_ns);
-            match egress {
-                Interface::Edge => report.forwarded.0 += 1,
-                Interface::Optical => report.forwarded.1 += 1,
-            }
-            report.forwarded_bytes += frame.len() as u64;
-            last_time_ns = last_time_ns.max(departure_ns);
-            sink(OutputPacket {
-                departure_ns,
-                egress,
-                frame,
-                latency_ns,
-            });
         }
+        flush!();
         report.duration_ns = last_time_ns;
         // Fold this run into the module's lifetime telemetry.
         self.lifetime_latency.merge(report.latency.histogram());
@@ -889,6 +1040,7 @@ impl FlexSfp {
             events,
             events_overwritten: self.events.overwritten() + self.app.events_lost(),
             events_drained: self.events_exported,
+            cache: self.app.cache_stats().unwrap_or_default(),
         }
     }
 }

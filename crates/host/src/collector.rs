@@ -189,6 +189,39 @@ impl FleetCollector {
         }
 
         p.header(
+            "flexsfp_flow_cache_total",
+            "Microflow action cache lookups, by module and outcome.",
+            "counter",
+        );
+        for (id, rec) in &self.modules {
+            let c = &rec.snapshot.cache;
+            for (outcome, n) in [
+                ("hit", c.hits),
+                ("miss", c.misses),
+                ("eviction", c.evictions),
+                ("invalidation", c.invalidations),
+            ] {
+                p.sample(
+                    "flexsfp_flow_cache_total",
+                    &[("module", id), ("outcome", outcome)],
+                    n as f64,
+                );
+            }
+        }
+        p.header(
+            "flexsfp_flow_cache_hit_ratio",
+            "Microflow cache hit ratio over the module lifetime (0 when the cache is unused).",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_flow_cache_hit_ratio",
+                &[("module", id)],
+                rec.snapshot.cache.hit_rate(),
+            );
+        }
+
+        p.header(
             "flexsfp_latency_ns",
             "Per-module lifetime forwarding latency, nanoseconds.",
             "summary",
@@ -489,6 +522,34 @@ mod tests {
         assert_eq!(c.recent_events("FSFP-0000").unwrap().len(), 60);
         assert_eq!(c.module("FSFP-0000").unwrap().events.len(), 20);
         assert_eq!(c.module("FSFP-0000").unwrap().drops.app, 60);
+    }
+
+    #[test]
+    fn flow_cache_metrics_rendered() {
+        use flexsfp_apps::nat::StaticNat;
+        use flexsfp_ppe::PacketProcessor;
+        let cfg = ModuleConfig {
+            id: "FSFP-0000".into(),
+            ..ModuleConfig::default()
+        };
+        let mut nat = StaticNat::new();
+        nat.add_mapping(0xc0a80001, 0x65400001).unwrap();
+        nat.set_flow_cache(true);
+        let f = FleetManager::new(vec![FlexSfp::new(cfg, Box::new(nat))], AuthKey::DEFAULT);
+        f.with_module(0, |m| {
+            m.run(packets(4));
+        });
+        let mut c = FleetCollector::new();
+        c.ingest_all(f.telemetry_snapshots().unwrap());
+        let snap = c.module("FSFP-0000").unwrap();
+        // 4 packets of distinct flows (varying sport): all misses.
+        assert_eq!(snap.cache.misses, 4);
+        let text = c.render_prometheus();
+        assert!(
+            text.contains("flexsfp_flow_cache_total{module=\"FSFP-0000\",outcome=\"miss\"} 4\n"),
+            "missing cache counter in:\n{text}"
+        );
+        assert!(text.contains("flexsfp_flow_cache_hit_ratio{module=\"FSFP-0000\"} 0\n"));
     }
 
     #[test]

@@ -56,10 +56,13 @@ pub enum EventKind {
     },
     /// The pipeline parser could not parse a packet.
     ParseError,
-    /// A table lookup missed in the named pipeline stage.
+    /// A table lookup missed in a pipeline stage. The event carries the
+    /// stage *index* — a fixed-width field a line-rate producer can
+    /// emit without copying the stage's name; the name table lives with
+    /// whoever renders the trace (drain/export time).
     TableMiss {
-        /// Name of the stage whose table missed.
-        stage: String,
+        /// Index of the stage whose table missed.
+        stage: u8,
     },
     /// A new app image was staged into a flash slot.
     Reprogram {
@@ -133,7 +136,7 @@ impl ToJson for EventKind {
                 crate::json!({"Drop": {"reason": reason.to_json()}})
             }
             EventKind::TableMiss { stage } => {
-                crate::json!({"TableMiss": {"stage": stage.as_str()}})
+                crate::json!({"TableMiss": {"stage": *stage}})
             }
             EventKind::Reprogram { slot } => {
                 crate::json!({"Reprogram": {"slot": *slot}})
@@ -165,7 +168,7 @@ impl FromJson for EventKind {
                 reason: DropReason::from_json(&body["reason"])?,
             }),
             "TableMiss" => Some(EventKind::TableMiss {
-                stage: body["stage"].as_str()?.to_string(),
+                stage: u8::from_json(&body["stage"])?,
             }),
             "Reprogram" => Some(EventKind::Reprogram {
                 slot: u8::from_json(&body["slot"])?,
@@ -348,13 +351,7 @@ mod tests {
             .label(),
             "drop"
         );
-        assert_eq!(
-            EventKind::TableMiss {
-                stage: "acl".into()
-            }
-            .label(),
-            "table_miss"
-        );
+        assert_eq!(EventKind::TableMiss { stage: 3 }.label(), "table_miss");
         assert_eq!(EventKind::Reboot { slot: 1, ok: true }.label(), "reboot");
     }
 }

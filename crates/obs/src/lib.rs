@@ -39,4 +39,4 @@ pub use events::{DataplaneEvent, DropReason, EventKind, EventRing};
 pub use histogram::LatencyHistogram;
 pub use json::{FromJson, ToJson, Value};
 pub use prometheus::PromText;
-pub use snapshot::{DomSnapshot, DropCounters, PortCounters, TelemetrySnapshot};
+pub use snapshot::{CacheStats, DomSnapshot, DropCounters, PortCounters, TelemetrySnapshot};

@@ -92,6 +92,43 @@ impl DropCounters {
     }
 }
 
+/// Lifetime microflow action-cache counters (the PPE fast path).
+///
+/// All four are monotonic. A packet that finds a live plan counts one
+/// `hit`; a packet that has to take the slow path counts one `miss`;
+/// displacing a live entry on insert counts one `eviction`; and a
+/// plan discarded because its epoch is stale (the control plane
+/// touched a table since it was recorded) counts one `invalidation`
+/// (invalidated lookups also count as misses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheStats {
+    /// Lookups that replayed a memoized plan.
+    pub hits: u64,
+    /// Lookups that fell through to the slow path.
+    pub misses: u64,
+    /// Live entries displaced by an insert into a full set.
+    pub evictions: u64,
+    /// Stale-epoch plans discarded at lookup time.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
 /// One module's full telemetry export for one scrape.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -131,6 +168,9 @@ pub struct TelemetrySnapshot {
     pub events_overwritten: u64,
     /// Lifetime count of events drained over all snapshots.
     pub events_drained: u64,
+    /// Microflow action-cache counters (all zero when the running app
+    /// has no cache or it is disabled).
+    pub cache: CacheStats,
 }
 
 crate::impl_json_struct!(DomSnapshot {
@@ -150,6 +190,12 @@ crate::impl_json_struct!(DropCounters {
     link,
     unsorted
 });
+crate::impl_json_struct!(CacheStats {
+    hits,
+    misses,
+    evictions,
+    invalidations
+});
 crate::impl_json_struct!(TelemetrySnapshot {
     module_id,
     seq,
@@ -168,6 +214,7 @@ crate::impl_json_struct!(TelemetrySnapshot {
     events,
     events_overwritten,
     events_drained,
+    cache,
 });
 
 #[cfg(test)]
@@ -236,6 +283,12 @@ mod tests {
             }],
             events_overwritten: 0,
             events_drained: 1,
+            cache: CacheStats {
+                hits: 900,
+                misses: 100,
+                evictions: 4,
+                invalidations: 2,
+            },
         };
         use crate::json::{FromJson, ToJson, Value};
         let json = snap.to_json().to_string();
@@ -243,5 +296,20 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.drops.total(), 6);
         assert_eq!(back.latency.count(), 2);
+        assert_eq!(back.cache.lookups(), 1000);
+        assert!((back.cache.hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_stats_rates() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+            invalidations: 0,
+        };
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

@@ -1,0 +1,828 @@
+//! The microflow action cache — the PPE's per-flow fast path.
+//!
+//! Real dataplanes (OVS's microflow cache, VPP's flow tables, and the
+//! paper's fixed-function fast path fronting a control-plane slow path)
+//! win their throughput by memoizing the *resolved outcome* of the
+//! first packet of a flow and replaying it for every subsequent packet
+//! of the same flow. This module provides that machinery:
+//!
+//! * [`FlowKey`] — a 24-byte key extracted with a *shallow* parse (a
+//!   handful of direct byte reads, no [`Parser`](crate::parser::Parser)
+//!   walk, no allocation) over direction, VLAN stack, the IPv4 5-tuple
+//!   and the structural bits that determine how the full parser would
+//!   classify the frame;
+//! * [`ActionPlan`] — the memoized outcome: an ordered list of
+//!   [`PlanOp`] byte edits (absolute rewrites whose values are
+//!   flow-constant, RFC 1624 incremental checksum patches, VLAN tag
+//!   push/pop, counter increments) plus the final [`Verdict`];
+//! * [`FlowCache`] — a fixed-capacity, set-associative (4-way) cache
+//!   from key to plan with hit/miss/evict/invalidate counters and an
+//!   **epoch**: every control-plane table mutation bumps the epoch, and
+//!   a plan recorded under an older epoch is discarded at lookup time,
+//!   so a stale plan is never replayed;
+//! * [`PlanRecorder`] + [`compile_action`] — used by the slow path to
+//!   record a plan *while* executing the reference action
+//!   implementations, so the replay semantics (including the UDP
+//!   zero-checksum special cases) mirror [`crate::action`] exactly.
+//!
+//! # Keying contract
+//!
+//! A plan may be replayed for any frame with an equal [`FlowKey`], so a
+//! processor must only record plans whose edits and verdict are a pure
+//! function of the key fields (and of table state, which the epoch
+//! guards). The key deliberately covers everything the cacheable
+//! action/selector vocabulary reads: direction, VLAN count + both raw
+//! TCIs, the IPv4 5-tuple, the DSCP/ECN byte, and the fragment/L4
+//! structure bits. It does *not* cover MACs, TTL, IP options, payload
+//! bytes or packet length — processors keying on those (or running
+//! data-dependent actions like metering, TTL decrement or
+//! entropy-hashed encapsulation) must not record plans; the pipeline's
+//! static cacheability analysis enforces this for table pipelines.
+
+use crate::action::Action;
+use crate::counters::CounterBank;
+use crate::engine::{Direction, Verdict};
+use crate::parser::{ParsedPacket, L4};
+use flexsfp_obs::CacheStats;
+use flexsfp_wire::{checksum, EtherType};
+
+/// Associativity of the cache (entries per set).
+pub const WAYS: usize = 4;
+
+/// Default flow capacity (sets × ways) of a processor's cache.
+pub const DEFAULT_FLOWS: usize = 4096;
+
+/// L4 classification bits of a [`FlowKey`] (mirrors what the full
+/// parser would produce for the same frame).
+const L4_NONE: u8 = 0; // no TCP/UDP header (other proto, fragment, truncated)
+const L4_TCP: u8 = 1;
+const L4_UDP: u8 = 2;
+
+/// The microflow key: 24 bytes covering every field the cacheable
+/// action/selector vocabulary can read. Compared and hashed as three
+/// 64-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowKey([u64; 3]);
+
+impl FlowKey {
+    /// Shallow-extract a key from a raw frame. Returns `None` whenever
+    /// the frame is not a canonical IPv4-over-Ethernet frame the key
+    /// can fully describe (non-IPv4 ethertype, IP options, bad
+    /// version/length fields, >2 VLAN tags) — those frames always take
+    /// the slow path, which is correct for any traffic mix and free
+    /// for the line-rate workloads this cache exists for.
+    pub fn extract(frame: &[u8], direction: Direction) -> Option<FlowKey> {
+        // Ethernet + VLAN stack (mirrors Parser::parse's walk).
+        if frame.len() < 14 {
+            return None;
+        }
+        let mut off = 12usize;
+        let mut et = u16::from_be_bytes([frame[off], frame[off + 1]]);
+        let mut vlans = 0u8;
+        let mut outer_tci = 0u16;
+        let mut inner_tci = 0u16;
+        off = 14;
+        while EtherType::from_u16(et).is_vlan() && vlans < 2 {
+            if frame.len() < off + 4 {
+                return None; // truncated tag: parser stops early — slow path
+            }
+            let tci = u16::from_be_bytes([frame[off], frame[off + 1]]);
+            if vlans == 0 {
+                outer_tci = tci;
+            } else {
+                inner_tci = tci;
+            }
+            et = u16::from_be_bytes([frame[off + 2], frame[off + 3]]);
+            off += 4;
+            vlans += 1;
+        }
+        if et != 0x0800 {
+            return None; // non-IPv4 (incl. >2 tags): slow path
+        }
+
+        // IPv4 header: require the canonical option-less shape so all
+        // field offsets are key-determined.
+        if frame.len() < off + 20 || frame[off] != 0x45 {
+            return None;
+        }
+        let total = u16::from_be_bytes([frame[off + 2], frame[off + 3]]) as usize;
+        if !(20..=frame.len() - off).contains(&total) {
+            return None; // Ipv4Packet::new_checked would reject: slow path
+        }
+        let dscp_ecn = frame[off + 1];
+        let frag = u16::from_be_bytes([frame[off + 6], frame[off + 7]]);
+        let more_frags = frag & 0x2000 != 0;
+        let frag_offset = frag & 0x1fff;
+        let proto = frame[off + 9];
+        let src = &frame[off + 12..off + 16];
+        let dst = &frame[off + 16..off + 20];
+
+        // L4 classification, replicating the validity checks of
+        // TcpSegment/UdpDatagram::new_checked over ip.payload() so the
+        // key always agrees with what the full parser would see.
+        let mut l4 = L4_NONE;
+        let mut sport = [0u8; 2];
+        let mut dport = [0u8; 2];
+        if frag_offset == 0 {
+            let l4_off = off + 20;
+            let payload_len = total - 20;
+            match proto {
+                6 if payload_len >= 20 => {
+                    let doff = usize::from(frame[l4_off + 12] >> 4) * 4;
+                    if (20..=60).contains(&doff) && doff <= payload_len {
+                        l4 = L4_TCP;
+                        sport = [frame[l4_off], frame[l4_off + 1]];
+                        dport = [frame[l4_off + 2], frame[l4_off + 3]];
+                    }
+                }
+                17 if payload_len >= 8 => {
+                    let ulen = u16::from_be_bytes([frame[l4_off + 4], frame[l4_off + 5]]) as usize;
+                    if (8..=payload_len).contains(&ulen) {
+                        l4 = L4_UDP;
+                        sport = [frame[l4_off], frame[l4_off + 1]];
+                        dport = [frame[l4_off + 2], frame[l4_off + 3]];
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut k = [0u8; 24];
+        k[0] = u8::from(direction == Direction::OpticalToEdge)
+            | (vlans << 1)
+            | (l4 << 3)
+            | (u8::from(more_frags) << 5)
+            | (u8::from(frag_offset != 0) << 6);
+        k[1] = dscp_ecn;
+        k[2..4].copy_from_slice(&outer_tci.to_be_bytes());
+        k[4..6].copy_from_slice(&inner_tci.to_be_bytes());
+        k[6] = proto;
+        k[8..12].copy_from_slice(src);
+        k[12..16].copy_from_slice(dst);
+        k[16..18].copy_from_slice(&sport);
+        k[18..20].copy_from_slice(&dport);
+        Some(FlowKey([
+            u64::from_le_bytes(k[0..8].try_into().unwrap()),
+            u64::from_le_bytes(k[8..16].try_into().unwrap()),
+            u64::from_le_bytes(k[16..24].try_into().unwrap()),
+        ]))
+    }
+
+    /// Cheap multiply-mix hash over the three key words.
+    fn hash(&self) -> u64 {
+        let [a, b, c] = self.0;
+        let h = (a.rotate_left(17) ^ b).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ c.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        h ^ (h >> 31)
+    }
+}
+
+/// One replayable edit unit of an [`ActionPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Write `data[..len]` at `offset` (values are flow-constant).
+    Write {
+        /// Byte offset within the frame.
+        offset: u16,
+        /// Number of bytes written (≤ 4).
+        len: u8,
+        /// The bytes to write.
+        data: [u8; 4],
+    },
+    /// RFC 1624 incremental patch of the 16-bit checksum at `offset`
+    /// for a 32-bit field change `old → new` — replayed through
+    /// [`checksum::update32`] so it is bit-exact with the slow path.
+    /// With `udp`, the UDP special cases apply: a stored checksum of
+    /// zero ("no checksum") is left untouched, and a patched result of
+    /// zero is folded to `0xffff`.
+    IncrCheck32 {
+        /// Byte offset of the checksum field.
+        offset: u16,
+        /// Old 32-bit field value.
+        old: u32,
+        /// New 32-bit field value.
+        new: u32,
+        /// Apply UDP zero-checksum semantics.
+        udp: bool,
+    },
+    /// RFC 1624 incremental patch for a 16-bit field change.
+    IncrCheck16 {
+        /// Byte offset of the checksum field.
+        offset: u16,
+        /// Old 16-bit field value.
+        old: u16,
+        /// New 16-bit field value.
+        new: u16,
+    },
+    /// Insert a 4-byte VLAN tag (TPID + TCI) after the MAC addresses.
+    PushTag {
+        /// TPID and TCI, in wire order.
+        bytes: [u8; 4],
+    },
+    /// Remove the outermost 4-byte VLAN tag.
+    PopTag,
+    /// Increment counter `index` by one packet and the packet's
+    /// *current* length (lengths are per-packet; the increment is the
+    /// only side effect, which is what makes counting cacheable).
+    Count {
+        /// Counter index.
+        index: u32,
+    },
+}
+
+/// A memoized, replayable per-flow outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionPlan {
+    /// Ordered edits to apply.
+    pub ops: Vec<PlanOp>,
+    /// Final verdict (never [`Verdict::ToControlPlane`] — those flows
+    /// are uncacheable by construction).
+    pub verdict: Verdict,
+    /// Per-stage (index, hit) attribution for pipeline replay, so
+    /// stage hit/miss counters and miss events stay exact.
+    pub stage_stats: Vec<(u8, bool)>,
+    /// PPE cycles the slow path charged (4 + 3 × stages run).
+    pub cycles: u64,
+}
+
+/// Replay a plan against a packet. Counter increments land in
+/// `counters`; byte edits mirror the reference action implementations
+/// bit for bit (parity-tested against cache-off runs).
+pub fn replay(plan: &ActionPlan, packet: &mut Vec<u8>, counters: &mut CounterBank) -> Verdict {
+    for op in &plan.ops {
+        match *op {
+            PlanOp::Write { offset, len, data } => {
+                let o = offset as usize;
+                packet[o..o + len as usize].copy_from_slice(&data[..len as usize]);
+            }
+            PlanOp::IncrCheck32 {
+                offset,
+                old,
+                new,
+                udp,
+            } => {
+                let o = offset as usize;
+                let oldc = u16::from_be_bytes([packet[o], packet[o + 1]]);
+                if udp && oldc == 0 {
+                    continue;
+                }
+                let mut newc = checksum::update32(oldc, old, new);
+                if udp && newc == 0 {
+                    newc = 0xffff;
+                }
+                packet[o..o + 2].copy_from_slice(&newc.to_be_bytes());
+            }
+            PlanOp::IncrCheck16 { offset, old, new } => {
+                let o = offset as usize;
+                let oldc = u16::from_be_bytes([packet[o], packet[o + 1]]);
+                let newc = checksum::update16(oldc, old, new);
+                packet[o..o + 2].copy_from_slice(&newc.to_be_bytes());
+            }
+            PlanOp::PushTag { bytes } => {
+                packet.splice(12..12, bytes);
+            }
+            PlanOp::PopTag => {
+                packet.drain(12..16);
+            }
+            PlanOp::Count { index } => {
+                counters.count(index as usize, packet.len());
+            }
+        }
+    }
+    plan.verdict
+}
+
+/// Records a plan alongside slow-path execution. Starts valid; any
+/// uncacheable action or verdict invalidates it, in which case
+/// [`PlanRecorder::finish`] returns `None` and nothing is cached.
+#[derive(Debug, Default)]
+pub struct PlanRecorder {
+    ops: Vec<PlanOp>,
+    stage_stats: Vec<(u8, bool)>,
+    cycles: u64,
+    invalid: bool,
+}
+
+impl PlanRecorder {
+    /// A fresh, valid recorder.
+    pub fn new() -> PlanRecorder {
+        PlanRecorder::default()
+    }
+
+    /// Append an op.
+    pub fn push(&mut self, op: PlanOp) {
+        self.ops.push(op);
+    }
+
+    /// Record one pipeline stage's hit/miss attribution.
+    pub fn stage_stat(&mut self, stage: u8, hit: bool) {
+        self.stage_stats.push((stage, hit));
+    }
+
+    /// Record the PPE cycle charge.
+    pub fn set_cycles(&mut self, cycles: u64) {
+        self.cycles = cycles;
+    }
+
+    /// Mark the flow uncacheable (an impure action ran).
+    pub fn invalidate(&mut self) {
+        self.invalid = true;
+    }
+
+    /// Finish recording. Returns `None` when the flow is uncacheable.
+    pub fn finish(self, verdict: Verdict) -> Option<ActionPlan> {
+        if self.invalid || verdict == Verdict::ToControlPlane {
+            return None;
+        }
+        Some(ActionPlan {
+            ops: self.ops,
+            verdict,
+            stage_stats: self.stage_stats,
+            cycles: self.cycles,
+        })
+    }
+}
+
+/// Compile one action into plan ops, mirroring the dynamic no-op and
+/// bounds conditions of [`crate::action`] exactly. Must be called with
+/// the pre-action `packet`/`parsed` state (i.e. immediately *before*
+/// `ActionEngine::apply` runs the same action). Invalidates the
+/// recorder for actions outside the cacheable vocabulary.
+pub fn compile_action(
+    action: &Action,
+    packet: &[u8],
+    parsed: &ParsedPacket,
+    rec: &mut PlanRecorder,
+) {
+    match *action {
+        Action::SetIpv4Src(new) => compile_rewrite_addr(packet, parsed, new, true, rec),
+        Action::SetIpv4Dst(new) => compile_rewrite_addr(packet, parsed, new, false, rec),
+        Action::SetDscp(dscp) => {
+            let Some(ip) = parsed.ipv4 else { return };
+            let old_word = u16::from_be_bytes([packet[ip.offset], packet[ip.offset + 1]]);
+            let new_word = (old_word & 0xff03) | (u16::from(dscp) << 2 & 0x00fc);
+            if old_word != new_word {
+                rec.push(PlanOp::Write {
+                    offset: (ip.offset + 1) as u16,
+                    len: 1,
+                    data: [(new_word & 0xff) as u8, 0, 0, 0],
+                });
+                rec.push(PlanOp::IncrCheck16 {
+                    offset: (ip.offset + 10) as u16,
+                    old: old_word,
+                    new: new_word,
+                });
+            }
+        }
+        Action::SetVlanVid(vid) => {
+            if parsed.vlans.is_empty() {
+                return;
+            }
+            let old_tci = u16::from_be_bytes([packet[14], packet[15]]);
+            let new_tci = (old_tci & 0xf000) | (vid & 0x0fff);
+            rec.push(PlanOp::Write {
+                offset: 14,
+                len: 2,
+                data: [(new_tci >> 8) as u8, (new_tci & 0xff) as u8, 0, 0],
+            });
+        }
+        Action::PushVlan { vid, pcp } => {
+            let tci = (u16::from(pcp & 0x7) << 13) | (vid & 0x0fff);
+            let mut bytes = [0u8; 4];
+            bytes[..2].copy_from_slice(&0x8100u16.to_be_bytes());
+            bytes[2..].copy_from_slice(&tci.to_be_bytes());
+            rec.push(PlanOp::PushTag { bytes });
+        }
+        Action::PushSTag { vid } => {
+            let mut bytes = [0u8; 4];
+            bytes[..2].copy_from_slice(&0x88a8u16.to_be_bytes());
+            bytes[2..].copy_from_slice(&(vid & 0x0fff).to_be_bytes());
+            rec.push(PlanOp::PushTag { bytes });
+        }
+        Action::PopVlan => {
+            // pop_tag is a no-op unless the outer ethertype is a tag.
+            if packet.len() >= 18
+                && EtherType::from_u16(u16::from_be_bytes([packet[12], packet[13]])).is_vlan()
+            {
+                rec.push(PlanOp::PopTag);
+            }
+        }
+        Action::Count(idx) => rec.push(PlanOp::Count { index: idx as u32 }),
+        Action::Emit(_) => {} // the verdict is recorded by finish()
+        // Data- or time-dependent actions: never cacheable.
+        Action::DecTtl
+        | Action::EncapGre { .. }
+        | Action::EncapIpIp { .. }
+        | Action::EncapVxlan { .. }
+        | Action::DecapTunnel
+        | Action::Meter(_) => rec.invalidate(),
+    }
+}
+
+/// Shared compile path for src/dst rewrites, mirroring
+/// `action::rewrite_addr` (including its L4 patch conditions).
+fn compile_rewrite_addr(
+    packet: &[u8],
+    parsed: &ParsedPacket,
+    new: u32,
+    is_src: bool,
+    rec: &mut PlanRecorder,
+) {
+    let Some(ip) = parsed.ipv4 else { return };
+    let old = if is_src { ip.src } else { ip.dst };
+    if old == new {
+        return;
+    }
+    let addr_off = ip.offset + if is_src { 12 } else { 16 };
+    rec.push(PlanOp::Write {
+        offset: addr_off as u16,
+        len: 4,
+        data: new.to_be_bytes(),
+    });
+    rec.push(PlanOp::IncrCheck32 {
+        offset: (ip.offset + 10) as u16,
+        old,
+        new,
+        udp: false,
+    });
+    if let Some(l4_off) = parsed.l4_offset {
+        match parsed.l4 {
+            L4::Tcp { .. } if packet.len() >= l4_off + 18 => {
+                rec.push(PlanOp::IncrCheck32 {
+                    offset: (l4_off + 16) as u16,
+                    old,
+                    new,
+                    udp: false,
+                });
+            }
+            L4::Udp { .. } if packet.len() >= l4_off + 8 => {
+                rec.push(PlanOp::IncrCheck32 {
+                    offset: (l4_off + 6) as u16,
+                    old,
+                    new,
+                    udp: true,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One way's key/epoch metadata, kept separate from the plan storage so
+/// the lookup scan stays within a couple of cache lines per set.
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
+    key: FlowKey,
+    epoch: u64,
+    valid: bool,
+}
+
+const EMPTY_META: SlotMeta = SlotMeta {
+    key: FlowKey([0; 3]),
+    epoch: 0,
+    valid: false,
+};
+
+/// Fixed-capacity, 4-way set-associative microflow cache.
+///
+/// Keys/epochs live in a dense metadata array scanned on lookup; the
+/// heavier [`ActionPlan`]s sit in a parallel array touched only on a
+/// hit.
+#[derive(Debug)]
+pub struct FlowCache {
+    meta: Vec<SlotMeta>,
+    plans: Vec<Option<ActionPlan>>,
+    set_mask: usize,
+    victim: Vec<u8>,
+    epoch: u64,
+    stats: CacheStats,
+}
+
+impl Default for FlowCache {
+    fn default() -> FlowCache {
+        FlowCache::new(DEFAULT_FLOWS)
+    }
+}
+
+impl FlowCache {
+    /// A cache holding about `flows` plans (rounded up to a power-of-two
+    /// number of 4-way sets).
+    pub fn new(flows: usize) -> FlowCache {
+        let sets = (flows.max(WAYS) / WAYS).next_power_of_two();
+        FlowCache {
+            meta: vec![EMPTY_META; sets * WAYS],
+            plans: vec![None; sets * WAYS],
+            set_mask: sets - 1,
+            victim: vec![0; sets],
+            epoch: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Invalidate every cached plan in O(1): entries recorded under
+    /// older epochs are discarded lazily at lookup time. Call on every
+    /// table insert/remove/modify.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Lifetime hit/miss/evict/invalidate counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Live (current-epoch) entries — O(capacity), for tests/telemetry.
+    pub fn live_len(&self) -> usize {
+        self.meta
+            .iter()
+            .filter(|m| m.valid && m.epoch == self.epoch)
+            .count()
+    }
+
+    /// Look up a plan. Counts a hit or a miss; a stale-epoch entry is
+    /// discarded (counted as an invalidation *and* a miss).
+    pub fn lookup(&mut self, key: &FlowKey) -> Option<&ActionPlan> {
+        let base = (key.hash() as usize & self.set_mask) * WAYS;
+        let set = &mut self.meta[base..base + WAYS];
+        for (w, m) in set.iter_mut().enumerate() {
+            if m.valid && m.key == *key {
+                if m.epoch == self.epoch {
+                    self.stats.hits += 1;
+                    return self.plans[base + w].as_ref();
+                }
+                m.valid = false;
+                self.plans[base + w] = None;
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                return None;
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Insert a plan recorded under the current epoch. Prefers the
+    /// entry's own slot (re-record) or an empty/stale way; otherwise
+    /// evicts round-robin within the set.
+    pub fn insert(&mut self, key: FlowKey, plan: ActionPlan) {
+        let set = key.hash() as usize & self.set_mask;
+        let base = set * WAYS;
+        let meta = SlotMeta {
+            key,
+            epoch: self.epoch,
+            valid: true,
+        };
+        // Same key or a free/stale way first.
+        for w in 0..WAYS {
+            let m = &self.meta[base + w];
+            if !m.valid || m.key == key || m.epoch != self.epoch {
+                self.meta[base + w] = meta;
+                self.plans[base + w] = Some(plan);
+                return;
+            }
+        }
+        let w = usize::from(self.victim[set]) % WAYS;
+        self.victim[set] = self.victim[set].wrapping_add(1);
+        self.meta[base + w] = meta;
+        self.plans[base + w] = Some(plan);
+        self.stats.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Parser;
+    use flexsfp_wire::builder::PacketBuilder;
+    use flexsfp_wire::MacAddr;
+
+    const SRC: u32 = 0xc0a8_0001;
+    const DST: u32 = 0x0a00_0002;
+
+    fn udp_frame() -> Vec<u8> {
+        PacketBuilder::eth_ipv4_udp(
+            MacAddr([1; 6]),
+            MacAddr([2; 6]),
+            SRC,
+            DST,
+            1000,
+            2000,
+            b"pp",
+        )
+    }
+
+    fn plan(ops: Vec<PlanOp>) -> ActionPlan {
+        ActionPlan {
+            ops,
+            verdict: Verdict::Forward,
+            stage_stats: Vec::new(),
+            cycles: 7,
+        }
+    }
+
+    #[test]
+    fn key_extracts_for_canonical_udp() {
+        let f = udp_frame();
+        let k = FlowKey::extract(&f, Direction::EdgeToOptical).unwrap();
+        // Same frame, other direction: different key.
+        let k2 = FlowKey::extract(&f, Direction::OpticalToEdge).unwrap();
+        assert_ne!(k, k2);
+        // Different source port: different key.
+        let f2 = PacketBuilder::eth_ipv4_udp(
+            MacAddr([1; 6]),
+            MacAddr([2; 6]),
+            SRC,
+            DST,
+            1001,
+            2000,
+            b"pp",
+        );
+        assert_ne!(FlowKey::extract(&f2, Direction::EdgeToOptical).unwrap(), k);
+        // Same 5-tuple, different payload: same key.
+        let f3 = PacketBuilder::eth_ipv4_udp(
+            MacAddr([1; 6]),
+            MacAddr([2; 6]),
+            SRC,
+            DST,
+            1000,
+            2000,
+            b"qq",
+        );
+        assert_eq!(FlowKey::extract(&f3, Direction::EdgeToOptical).unwrap(), k);
+    }
+
+    #[test]
+    fn key_rejects_non_canonical_frames() {
+        // Non-IP.
+        let arp = PacketBuilder::ethernet(
+            MacAddr::BROADCAST,
+            MacAddr([2; 6]),
+            EtherType::Arp,
+            &[0u8; 28],
+        );
+        assert!(FlowKey::extract(&arp, Direction::EdgeToOptical).is_none());
+        // Runt.
+        assert!(FlowKey::extract(&[0u8; 10], Direction::EdgeToOptical).is_none());
+        // Bad IP version nibble.
+        let mut bad = udp_frame();
+        bad[14] = 0x65;
+        assert!(FlowKey::extract(&bad, Direction::EdgeToOptical).is_none());
+        // Total-length larger than the frame.
+        let mut bad = udp_frame();
+        bad[16] = 0xff;
+        assert!(FlowKey::extract(&bad, Direction::EdgeToOptical).is_none());
+    }
+
+    #[test]
+    fn key_sees_vlan_stack() {
+        let f = udp_frame();
+        let tagged = PacketBuilder::with_vlan(&f, 100, 3);
+        let k0 = FlowKey::extract(&f, Direction::EdgeToOptical).unwrap();
+        let k1 = FlowKey::extract(&tagged, Direction::EdgeToOptical).unwrap();
+        assert_ne!(k0, k1);
+        // Different VID: different key.
+        let tagged2 = PacketBuilder::with_vlan(&f, 101, 3);
+        assert_ne!(
+            FlowKey::extract(&tagged2, Direction::EdgeToOptical).unwrap(),
+            k1
+        );
+    }
+
+    #[test]
+    fn key_l4_bits_track_parser() {
+        // A fragment (offset != 0) has no L4 in the parser; the key
+        // must differ from the first-fragment key.
+        let mut frag = udp_frame();
+        {
+            let mut ip = flexsfp_wire::ipv4::Ipv4Packet::new_unchecked(&mut frag[14..]);
+            ip.set_fragment(false, true, 100);
+            ip.fill_checksum();
+        }
+        let whole = udp_frame();
+        let kw = FlowKey::extract(&whole, Direction::EdgeToOptical).unwrap();
+        let kf = FlowKey::extract(&frag, Direction::EdgeToOptical).unwrap();
+        assert_ne!(kw, kf);
+        let parsed = Parser::default().parse(&frag).unwrap();
+        assert_eq!(parsed.l4, L4::Other);
+    }
+
+    #[test]
+    fn replay_matches_slow_path_rewrite() {
+        use crate::action::{ActionEngine, ActionOutcome};
+        let new_src = 0x6540_0001;
+        // Slow path.
+        let mut slow = udp_frame();
+        let parsed = Parser::default().parse(&slow).unwrap();
+        let mut engine = ActionEngine::new(4, Vec::new());
+        let mut rec = PlanRecorder::new();
+        compile_action(&Action::SetIpv4Src(new_src), &slow, &parsed, &mut rec);
+        compile_action(&Action::Count(0), &slow, &parsed, &mut rec);
+        let out = engine.apply(
+            Action::SetIpv4Src(new_src),
+            &crate::engine::ProcessContext::egress(),
+            &mut slow,
+            &parsed,
+        );
+        assert_eq!(out, ActionOutcome::Continue { modified: true });
+        engine.counters.count(0, slow.len());
+        // Replay on a fresh copy of the same flow.
+        let plan = rec.finish(Verdict::Forward).unwrap();
+        let mut fast = udp_frame();
+        let mut bank = CounterBank::new(4);
+        assert_eq!(replay(&plan, &mut fast, &mut bank), Verdict::Forward);
+        assert_eq!(fast, slow, "replayed bytes must equal slow-path bytes");
+        assert_eq!(bank.get(0).packets, 1);
+        assert_eq!(bank.get(0).bytes, engine.counters.get(0).bytes);
+    }
+
+    #[test]
+    fn replay_udp_zero_checksum_skipped() {
+        let mut zeroed = udp_frame();
+        // Zero the UDP checksum (legal: "no checksum computed").
+        zeroed[40] = 0;
+        zeroed[41] = 0;
+        let plan = plan(vec![PlanOp::IncrCheck32 {
+            offset: 40,
+            old: SRC,
+            new: 0x6540_0001,
+            udp: true,
+        }]);
+        let before = zeroed.clone();
+        let mut bank = CounterBank::new(1);
+        replay(&plan, &mut zeroed, &mut bank);
+        assert_eq!(zeroed, before, "zero UDP checksum must stay zero");
+    }
+
+    #[test]
+    fn push_pop_tag_round_trip() {
+        let orig = udp_frame();
+        let mut pkt = orig.clone();
+        let mut bank = CounterBank::new(1);
+        let push = plan(vec![PlanOp::PushTag {
+            bytes: [0x81, 0x00, 0x00, 0x64],
+        }]);
+        replay(&push, &mut pkt, &mut bank);
+        assert_eq!(Parser::default().parse(&pkt).unwrap().vlans, vec![100u16]);
+        let pop = plan(vec![PlanOp::PopTag]);
+        replay(&pop, &mut pkt, &mut bank);
+        assert_eq!(pkt, orig);
+    }
+
+    #[test]
+    fn cache_hit_miss_and_eviction_counters() {
+        let mut c = FlowCache::new(8); // 2 sets × 4 ways
+        let f = udp_frame();
+        let k = FlowKey::extract(&f, Direction::EdgeToOptical).unwrap();
+        assert!(c.lookup(&k).is_none());
+        c.insert(k, plan(vec![]));
+        assert!(c.lookup(&k).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // Overfill one set far beyond its ways: evictions must occur.
+        for sport in 0..64u16 {
+            let f = PacketBuilder::eth_ipv4_udp(
+                MacAddr([1; 6]),
+                MacAddr([2; 6]),
+                SRC,
+                DST,
+                sport,
+                2000,
+                b"x",
+            );
+            let k = FlowKey::extract(&f, Direction::EdgeToOptical).unwrap();
+            c.insert(k, plan(vec![]));
+        }
+        assert!(c.stats().evictions > 0);
+        assert!(c.live_len() <= 8);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_stale_plans() {
+        let mut c = FlowCache::new(8);
+        let k = FlowKey::extract(&udp_frame(), Direction::EdgeToOptical).unwrap();
+        c.insert(k, plan(vec![]));
+        assert!(c.lookup(&k).is_some());
+        c.bump_epoch();
+        assert!(c.lookup(&k).is_none(), "stale plan must not replay");
+        assert_eq!(c.stats().invalidations, 1);
+        // Re-recorded under the new epoch: live again.
+        c.insert(k, plan(vec![]));
+        assert!(c.lookup(&k).is_some());
+    }
+
+    #[test]
+    fn recorder_invalidation_blocks_caching() {
+        let f = udp_frame();
+        let parsed = Parser::default().parse(&f).unwrap();
+        let mut rec = PlanRecorder::new();
+        compile_action(&Action::Meter(0), &f, &parsed, &mut rec);
+        assert!(rec.finish(Verdict::Forward).is_none());
+        let rec = PlanRecorder::new();
+        assert!(rec.finish(Verdict::ToControlPlane).is_none());
+    }
+}

@@ -141,6 +141,29 @@ pub enum TableOpResult {
     Unsupported,
 }
 
+/// One slot of a processing batch: the packet, its per-packet context,
+/// and the verdict the processor writes back.
+#[derive(Debug)]
+pub struct BatchPacket {
+    /// Processing context for this packet.
+    pub ctx: ProcessContext,
+    /// The frame, edited in place.
+    pub frame: Vec<u8>,
+    /// The processor's verdict (written by `process_batch`).
+    pub verdict: Verdict,
+}
+
+impl BatchPacket {
+    /// A batch slot awaiting processing (verdict defaults to Forward).
+    pub fn new(ctx: ProcessContext, frame: Vec<u8>) -> BatchPacket {
+        BatchPacket {
+            ctx,
+            frame,
+            verdict: Verdict::Forward,
+        }
+    }
+}
+
 /// A packet-processing application embeddable in the PPE.
 ///
 /// Implementations must be deterministic: hardware pipelines have no
@@ -153,6 +176,32 @@ pub trait PacketProcessor: Send {
     /// Process one packet. `packet` contains a complete Ethernet frame
     /// (without FCS); in-place edits, growth and shrinkage are allowed.
     fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict;
+
+    /// Process a batch of packets in arrival order, writing each slot's
+    /// verdict back. Semantically identical to calling [`process`]
+    /// per packet (the default does exactly that); batching exists so
+    /// the simulation loop can amortize per-packet dispatch and
+    /// bookkeeping, VPP-style.
+    ///
+    /// [`process`]: PacketProcessor::process
+    fn process_batch(&mut self, batch: &mut [BatchPacket]) {
+        for slot in batch {
+            slot.verdict = self.process(&slot.ctx, &mut slot.frame);
+        }
+    }
+
+    /// Enable or disable the processor's microflow action cache.
+    /// Returns `true` if the processor supports plan caching (the
+    /// default has none and returns `false`).
+    fn set_flow_cache(&mut self, _enabled: bool) -> bool {
+        false
+    }
+
+    /// Lifetime microflow-cache counters, `None` for processors without
+    /// a cache.
+    fn cache_stats(&self) -> Option<flexsfp_obs::CacheStats> {
+        None
+    }
 
     /// Fabric resources this application's synthesized core occupies
     /// (the "NAT app" row of Table 1 for the NAT). Defaults to zero for
@@ -255,6 +304,21 @@ mod tests {
             p.resource_manifest(),
             flexsfp_fabric::ResourceManifest::ZERO
         );
+    }
+
+    #[test]
+    fn default_batch_falls_back_to_per_packet() {
+        let mut p = DropAll;
+        let mut batch = vec![
+            BatchPacket::new(ProcessContext::egress(), vec![0; 64]),
+            BatchPacket::new(ProcessContext::ingress().at(5), vec![0; 64]),
+        ];
+        assert_eq!(batch[0].verdict, Verdict::Forward);
+        p.process_batch(&mut batch);
+        assert!(batch.iter().all(|s| s.verdict == Verdict::Drop));
+        // Processors without a cache report so.
+        assert!(!p.set_flow_cache(true));
+        assert!(p.cache_stats().is_none());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`match_kinds`] — exact / longest-prefix / ternary match tables;
 //! * [`action`] — the action primitives (rewrite, push/pop, encap,
 //!   hash-steer, count, meter, timestamp, drop);
+//! * [`cache`] — the microflow action cache: set-associative per-flow
+//!   memoization of fully-resolved action plans with epoch-based
+//!   invalidation (the fast path in front of every pipeline);
 //! * [`state`] — FlowBlaze-style per-flow EFSM state tables;
 //! * [`meter`] — token-bucket meters for rate limiting;
 //! * [`counters`] — counters with atomic snapshot semantics;
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod cache;
 pub mod codelet;
 pub mod counters;
 pub mod engine;
@@ -37,7 +41,10 @@ pub mod pipeline;
 pub mod state;
 pub mod tables;
 
-pub use engine::{Direction, PacketProcessor, ProcessContext, TableOp, TableOpResult, Verdict};
+pub use cache::{ActionPlan, FlowCache, FlowKey, PlanOp, PlanRecorder};
+pub use engine::{
+    BatchPacket, Direction, PacketProcessor, ProcessContext, TableOp, TableOpResult, Verdict,
+};
 pub use parser::{ParsedPacket, Parser};
 pub use pipeline::{Pipeline, PipelineBuilder, PipelineObs, Stage};
 pub use tables::HashTable;

@@ -6,13 +6,14 @@
 //! action parameter — that is how a single exact-match stage expresses
 //! the NAT's "translate source A to B" without one rule per action.
 
-use crate::action::{Action, ActionEngine, ActionOutcome};
+use crate::action::{Action, ActionEngine, ActionOutcome, VerdictAction};
+use crate::cache::{self, FlowCache, FlowKey, PlanRecorder};
 use crate::engine::{PacketProcessor, ProcessContext, Verdict};
 use crate::match_kinds::{LpmTable, TernaryTable};
 use crate::meter::TokenBucket;
 use crate::parser::{ParsedPacket, Parser, L4};
 use crate::tables::{HashTable, TableKey};
-use flexsfp_obs::{DataplaneEvent, DropReason, EventKind, EventRing, LatencyHistogram};
+use flexsfp_obs::{CacheStats, DataplaneEvent, DropReason, EventKind, EventRing, LatencyHistogram};
 
 /// Maximum pipeline depth the fabric comfortably supports (§5.3).
 pub const MAX_STAGES: usize = 6;
@@ -251,6 +252,14 @@ pub struct Pipeline {
     stats: PipelineStats,
     /// Event trace ring and stage-timing histogram.
     pub obs: PipelineObs,
+    /// The microflow action cache fronting the stages.
+    cache: FlowCache,
+    cache_enabled: bool,
+    /// Static analysis result: every stage's selector is covered by the
+    /// flow key and every action is pure (bit-exact replayable).
+    cacheable: bool,
+    /// Set by [`Pipeline::stage_mut`]; re-runs the analysis lazily.
+    cache_dirty: bool,
 }
 
 impl Pipeline {
@@ -259,8 +268,13 @@ impl Pipeline {
         &self.stages
     }
 
-    /// Mutable stage access (control-plane table updates).
+    /// Mutable stage access (control-plane table updates). Bumps the
+    /// cache epoch unconditionally — any table or action-list edit may
+    /// invalidate memoized plans — and schedules a re-run of the
+    /// cacheability analysis.
     pub fn stage_mut(&mut self, idx: usize) -> Option<&mut Stage> {
+        self.cache.bump_epoch();
+        self.cache_dirty = true;
         self.stages.get_mut(idx)
     }
 
@@ -268,11 +282,187 @@ impl Pipeline {
     pub fn stats(&self) -> PipelineStats {
         self.stats
     }
+
+    /// Whether the static analysis currently deems this program
+    /// cacheable (selectors covered by the flow key, all actions pure).
+    pub fn is_cacheable(&mut self) -> bool {
+        if self.cache_dirty {
+            self.cacheable = pipeline_cacheable(&self.stages);
+            self.cache_dirty = false;
+        }
+        self.cacheable
+    }
+
+    /// The full parse → match → action path, optionally recording a
+    /// replay plan for the flow cache.
+    fn process_slow(
+        &mut self,
+        ctx: &ProcessContext,
+        packet: &mut Vec<u8>,
+        mut rec: Option<&mut PlanRecorder>,
+    ) -> Verdict {
+        self.stats.packets += 1;
+        let Some(mut parsed) = self.parser.parse(packet) else {
+            // Unparseable runt: hardware drops it.
+            self.stats.drops += 1;
+            self.obs
+                .events
+                .record(ctx.timestamp_ns, EventKind::ParseError);
+            self.obs.stage_cycles.record(4);
+            if let Some(r) = rec {
+                r.invalidate();
+            }
+            return Verdict::Drop;
+        };
+        let mut stages_run = 0u64;
+        for idx in 0..self.stages.len() {
+            stages_run += 1;
+            let hit = self.stages[idx].lookup(&parsed);
+            if let Some(r) = rec.as_deref_mut() {
+                r.stage_stat(idx as u8, hit.is_some());
+            }
+            if hit.is_some() {
+                self.stages[idx].hits += 1;
+            } else {
+                self.stages[idx].misses += 1;
+                self.obs
+                    .events
+                    .record(ctx.timestamp_ns, EventKind::TableMiss { stage: idx as u8 });
+            }
+            if let Some(v) = run_stage_actions(
+                &mut self.engine,
+                &self.parser,
+                &self.stages[idx],
+                hit,
+                ctx,
+                packet,
+                &mut parsed,
+                rec.as_deref_mut(),
+            ) {
+                match v {
+                    Verdict::Drop => {
+                        self.stats.drops += 1;
+                        self.obs.events.record(
+                            ctx.timestamp_ns,
+                            EventKind::Drop {
+                                reason: DropReason::App,
+                            },
+                        );
+                    }
+                    Verdict::ToControlPlane => self.stats.to_control += 1,
+                    _ => {}
+                }
+                if let Some(r) = rec {
+                    r.set_cycles(4 + 3 * stages_run);
+                }
+                self.obs.stage_cycles.record(4 + 3 * stages_run);
+                return v;
+            }
+        }
+        if let Some(r) = rec {
+            r.set_cycles(4 + 3 * stages_run);
+        }
+        self.obs.stage_cycles.record(4 + 3 * stages_run);
+        Verdict::Forward
+    }
+}
+
+/// True when the flow key covers everything this selector reads.
+fn selector_cacheable(selector: &KeySelector) -> bool {
+    // MACs and IPv6 prefixes are not part of the flow key (the key
+    // requires canonical IPv4 frames); everything else it covers.
+    !matches!(selector, KeySelector::SrcMac | KeySelector::SrcPrefix64)
+}
+
+/// True when replaying this action is bit-exact for every packet of a
+/// flow: field rewrites with flow-constant values, tag push/pop,
+/// counting (a pure increment), and forward/drop verdicts. Meters and
+/// TTL are time/data-dependent; encap/decap embeds per-packet bytes
+/// (lengths, entropy hashes); `ToControlPlane` must always take the
+/// slow path so the control plane sees every such packet.
+fn action_cacheable(action: &Action) -> bool {
+    matches!(
+        action,
+        Action::SetIpv4Src(_)
+            | Action::SetIpv4Dst(_)
+            | Action::SetDscp(_)
+            | Action::SetVlanVid(_)
+            | Action::PushVlan { .. }
+            | Action::PushSTag { .. }
+            | Action::PopVlan
+            | Action::Count(_)
+            | Action::Emit(VerdictAction::Forward | VerdictAction::Drop)
+    )
+}
+
+/// Whole-program cacheability: every stage's selector and both action
+/// lists must qualify (all [`ParamAction`] kinds are pure by
+/// construction).
+fn pipeline_cacheable(stages: &[Stage]) -> bool {
+    stages.iter().all(|s| {
+        let selector_ok = match &s.matcher {
+            Matcher::Always => true,
+            Matcher::Exact { selector, .. }
+            | Matcher::Lpm { selector, .. }
+            | Matcher::Ternary { selector, .. } => selector_cacheable(selector),
+        };
+        selector_ok && s.on_hit.iter().chain(&s.on_miss).all(action_cacheable)
+    })
+}
+
+/// True when the action can change the parse *structure* (layer
+/// offsets), requiring a full re-parse; pure field rewrites instead
+/// patch the existing [`ParsedPacket`] in place.
+fn is_structural(action: &Action) -> bool {
+    matches!(
+        action,
+        Action::PushVlan { .. }
+            | Action::PushSTag { .. }
+            | Action::PopVlan
+            | Action::EncapGre { .. }
+            | Action::EncapIpIp { .. }
+            | Action::EncapVxlan { .. }
+            | Action::DecapTunnel
+    )
+}
+
+/// Patch the parsed bundle to reflect a non-structural edit the engine
+/// just applied — what a re-parse would see, without the walk.
+fn patch_parsed(action: &Action, parsed: &mut ParsedPacket) {
+    match *action {
+        Action::SetIpv4Src(v) => {
+            if let Some(ip) = parsed.ipv4.as_mut() {
+                ip.src = v;
+            }
+        }
+        Action::SetIpv4Dst(v) => {
+            if let Some(ip) = parsed.ipv4.as_mut() {
+                ip.dst = v;
+            }
+        }
+        Action::SetDscp(d) => {
+            if let Some(ip) = parsed.ipv4.as_mut() {
+                ip.dscp = d & 0x3f;
+            }
+        }
+        Action::DecTtl => {
+            if let Some(ip) = parsed.ipv4.as_mut() {
+                ip.ttl = ip.ttl.saturating_sub(1);
+            }
+        }
+        Action::SetVlanVid(v) => {
+            if let Some(outer) = parsed.vlans.first_mut() {
+                *outer = v & 0x0fff;
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Run one stage's param action plus its hit/miss action list. A free
 /// function over disjoint pipeline fields so the per-packet path borrows
 /// the action lists in place instead of cloning them.
+#[allow(clippy::too_many_arguments)]
 fn run_stage_actions(
     engine: &mut ActionEngine,
     parser: &Parser,
@@ -281,6 +471,7 @@ fn run_stage_actions(
     ctx: &ProcessContext,
     packet: &mut Vec<u8>,
     parsed: &mut ParsedPacket,
+    mut rec: Option<&mut PlanRecorder>,
 ) -> Option<Verdict> {
     // Param action first.
     let mut reparse = false;
@@ -294,8 +485,19 @@ fn run_stage_actions(
             ParamAction::SetDscp => Some(Action::SetDscp((v & 0x3f) as u8)),
         };
         if let Some(a) = action {
+            if let Some(r) = rec.as_deref_mut() {
+                cache::compile_action(&a, packet, parsed, r);
+            }
             match engine.apply(a, ctx, packet, parsed) {
-                ActionOutcome::Continue { modified } => reparse |= modified,
+                ActionOutcome::Continue { modified } => {
+                    if modified {
+                        if is_structural(&a) {
+                            reparse = true;
+                        } else {
+                            patch_parsed(&a, parsed);
+                        }
+                    }
+                }
                 ActionOutcome::Final(v) => return Some(v),
             }
         }
@@ -312,8 +514,19 @@ fn run_stage_actions(
             }
             reparse = false;
         }
+        if let Some(r) = rec.as_deref_mut() {
+            cache::compile_action(&a, packet, parsed, r);
+        }
         match engine.apply(a, ctx, packet, parsed) {
-            ActionOutcome::Continue { modified } => reparse |= modified,
+            ActionOutcome::Continue { modified } => {
+                if modified {
+                    if is_structural(&a) {
+                        reparse = true;
+                    } else {
+                        patch_parsed(&a, parsed);
+                    }
+                }
+            }
             ActionOutcome::Final(v) => return Some(v),
         }
     }
@@ -331,42 +544,29 @@ impl PacketProcessor for Pipeline {
     }
 
     fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
-        self.stats.packets += 1;
-        let Some(mut parsed) = self.parser.parse(packet) else {
-            // Unparseable runt: hardware drops it.
-            self.stats.drops += 1;
-            self.obs
-                .events
-                .record(ctx.timestamp_ns, EventKind::ParseError);
-            self.obs.stage_cycles.record(4);
-            return Verdict::Drop;
-        };
-        let mut stages_run = 0u64;
-        for idx in 0..self.stages.len() {
-            stages_run += 1;
-            let hit = self.stages[idx].lookup(&parsed);
-            if hit.is_some() {
-                self.stages[idx].hits += 1;
-            } else {
-                self.stages[idx].misses += 1;
-                self.obs.events.record(
-                    ctx.timestamp_ns,
-                    EventKind::TableMiss {
-                        stage: self.stages[idx].name.clone(),
-                    },
-                );
-            }
-            if let Some(v) = run_stage_actions(
-                &mut self.engine,
-                &self.parser,
-                &self.stages[idx],
-                hit,
-                ctx,
-                packet,
-                &mut parsed,
-            ) {
-                match v {
-                    Verdict::Drop => {
+        if self.cache_enabled && self.is_cacheable() {
+            if let Some(key) = FlowKey::extract(packet, ctx.direction) {
+                if let Some(plan) = self.cache.lookup(&key) {
+                    // Fast path: replay the memoized plan — no parse, no
+                    // table lookups. Stage hit/miss counters and miss
+                    // events replay from the recorded footprint so
+                    // telemetry is identical either way.
+                    self.stats.packets += 1;
+                    for &(si, stage_hit) in &plan.stage_stats {
+                        let stage = &mut self.stages[si as usize];
+                        if stage_hit {
+                            stage.hits += 1;
+                        } else {
+                            stage.misses += 1;
+                            self.obs
+                                .events
+                                .record(ctx.timestamp_ns, EventKind::TableMiss { stage: si });
+                        }
+                    }
+                    let cycles = plan.cycles;
+                    let verdict = cache::replay(plan, packet, &mut self.engine.counters);
+                    self.obs.stage_cycles.record(cycles);
+                    if verdict == Verdict::Drop {
                         self.stats.drops += 1;
                         self.obs.events.record(
                             ctx.timestamp_ns,
@@ -375,19 +575,32 @@ impl PacketProcessor for Pipeline {
                             },
                         );
                     }
-                    Verdict::ToControlPlane => self.stats.to_control += 1,
-                    _ => {}
+                    return verdict;
                 }
-                self.obs.stage_cycles.record(4 + 3 * stages_run);
-                return v;
+                // Miss: run the full pipeline and record a plan for the
+                // next packet of this flow.
+                let mut rec = PlanRecorder::new();
+                let verdict = self.process_slow(ctx, packet, Some(&mut rec));
+                if let Some(plan) = rec.finish(verdict) {
+                    self.cache.insert(key, plan);
+                }
+                return verdict;
             }
         }
-        self.obs.stage_cycles.record(4 + 3 * stages_run);
-        Verdict::Forward
+        self.process_slow(ctx, packet, None)
     }
 
     fn pipeline_depth(&self) -> u32 {
         self.stages.len() as u32
+    }
+
+    fn set_flow_cache(&mut self, enabled: bool) -> bool {
+        self.cache_enabled = enabled;
+        true
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
     }
 
     fn resource_manifest(&self) -> flexsfp_fabric::ResourceManifest {
@@ -454,8 +667,11 @@ impl PipelineBuilder {
         self
     }
 
-    /// Finish the pipeline.
+    /// Finish the pipeline. The flow cache starts disabled; the shell
+    /// (or bench harness) opts in via
+    /// [`PacketProcessor::set_flow_cache`].
     pub fn build(self) -> Pipeline {
+        let cacheable = pipeline_cacheable(&self.stages);
         Pipeline {
             name: self.name,
             parser: self.parser,
@@ -463,6 +679,10 @@ impl PipelineBuilder {
             engine: ActionEngine::new(self.counters, self.meters),
             stats: PipelineStats::default(),
             obs: PipelineObs::default(),
+            cache: FlowCache::default(),
+            cache_enabled: false,
+            cacheable,
+            cache_dirty: false,
         }
     }
 }
@@ -659,12 +879,9 @@ mod tests {
         p.process(&ProcessContext::egress().at(43), &mut runt);
         let events = p.drain_events();
         assert_eq!(events.len(), 2);
-        assert_eq!(
-            events[0].kind,
-            EventKind::TableMiss {
-                stage: "snat".into()
-            }
-        );
+        // The miss event carries the stage *index*; `p.stages()[0].name`
+        // resolves it for display.
+        assert_eq!(events[0].kind, EventKind::TableMiss { stage: 0 });
         assert_eq!(events[0].timestamp_ns, 42);
         assert_eq!(events[1].kind, EventKind::ParseError);
         assert_eq!(p.events_lost(), 0);
@@ -689,5 +906,99 @@ mod tests {
         for i in 0..=MAX_STAGES {
             b = b.stage(Stage::always(&format!("s{i}"), vec![]));
         }
+    }
+
+    #[test]
+    fn flow_cache_parity_with_slow_path() {
+        // Two pipelines with identical programs; one caches.
+        let mut cached = nat_pipeline();
+        let mut uncached = nat_pipeline();
+        assert!(cached.set_flow_cache(true));
+        assert!(cached.is_cacheable());
+        for round in 0..3 {
+            for (src, dport) in [(SRC, 53), (SRC, 80), (0x0a0a_0a0au32, 99)] {
+                let mut a = frame(src, dport);
+                let mut b = a.clone();
+                let va = cached.process(&ProcessContext::egress().at(round), &mut a);
+                let vb = uncached.process(&ProcessContext::egress().at(round), &mut b);
+                assert_eq!(va, vb);
+                assert_eq!(a, b, "cache-on bytes must equal cache-off bytes");
+            }
+        }
+        // Same packets, stats, counters, events and stage attribution.
+        assert_eq!(cached.stats(), uncached.stats());
+        assert_eq!(
+            cached.engine.counters.get(0),
+            uncached.engine.counters.get(0)
+        );
+        assert_eq!(
+            cached.engine.counters.get(1),
+            uncached.engine.counters.get(1)
+        );
+        assert_eq!(cached.stages()[0].hits, uncached.stages()[0].hits);
+        assert_eq!(cached.stages()[0].misses, uncached.stages()[0].misses);
+        assert_eq!(cached.drain_events().len(), uncached.drain_events().len());
+        // And the cache actually worked: 3 flows × 3 rounds = 3 misses,
+        // 6 hits.
+        let s = cached.cache_stats().unwrap();
+        assert_eq!((s.hits, s.misses), (6, 3));
+        assert!(uncached.cache_stats().unwrap().lookups() == 0);
+    }
+
+    #[test]
+    fn stage_mut_invalidates_cached_plans() {
+        let mut p = nat_pipeline();
+        p.set_flow_cache(true);
+        let mut pkt = frame(SRC, 53);
+        p.process(&ProcessContext::egress(), &mut pkt);
+        let mut pkt = frame(SRC, 53);
+        p.process(&ProcessContext::egress(), &mut pkt);
+        assert_eq!(p.cache_stats().unwrap().hits, 1);
+        // Control plane remaps SRC to a new public address.
+        let new_public = 0x6440_0099u32;
+        let mut key = [0u8; 13];
+        key[..4].copy_from_slice(&SRC.to_be_bytes());
+        if let Some(stage) = p.stage_mut(0) {
+            if let Matcher::Exact { table, .. } = &mut stage.matcher {
+                table.insert(key, new_public).unwrap();
+            }
+        }
+        // The stale plan must not replay the old mapping.
+        let mut pkt = frame(SRC, 53);
+        p.process(&ProcessContext::egress(), &mut pkt);
+        let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+        assert_eq!(ip.src(), new_public);
+        assert!(ip.verify_checksum());
+        assert_eq!(p.cache_stats().unwrap().invalidations, 1);
+    }
+
+    #[test]
+    fn uncacheable_program_always_slow_paths() {
+        let mut p = PipelineBuilder::new("ttl")
+            .stage(Stage::always("dec", vec![Action::DecTtl]))
+            .build();
+        p.set_flow_cache(true);
+        assert!(!p.is_cacheable(), "DecTtl is data-dependent");
+        for ttl_round in 0..2 {
+            let mut pkt = frame(SRC, 53);
+            p.process(&ProcessContext::egress().at(ttl_round), &mut pkt);
+            let ip = Ipv4Packet::new_checked(&pkt[14..]).unwrap();
+            assert_eq!(ip.ttl(), 63);
+            assert!(ip.verify_checksum());
+        }
+        assert_eq!(p.cache_stats().unwrap().lookups(), 0);
+    }
+
+    #[test]
+    fn structural_actions_still_reparse() {
+        // The in-place ParsedPacket patching must not break the
+        // push-then-match chain (which needs a real re-parse).
+        let mut p = nat_pipeline();
+        p.set_flow_cache(true);
+        let mut pkt = frame(SRC, 53);
+        p.process(&ProcessContext::egress(), &mut pkt);
+        let mut again = frame(SRC, 53);
+        p.process(&ProcessContext::egress(), &mut again);
+        assert_eq!(pkt, again, "hit path must produce identical bytes");
     }
 }

@@ -285,6 +285,7 @@ impl TraceBuilder {
             }
         }
         bursts.sort_by_key(|p| p.arrival_ns);
+        let templates = vec![Vec::new(); flows.len()];
         TraceStream {
             rng: Xoshiro256::seed_from_u64(self.seed),
             flows,
@@ -296,9 +297,16 @@ impl TraceBuilder {
             next_seq: 0,
             count,
             bursts: bursts.into(),
+            templates,
+            last_gap: (usize::MAX, 0.0),
         }
     }
 }
+
+/// Frame templates kept per flow. Fixed and IMIX size models are fully
+/// covered (≤3 distinct lengths); wide Uniform models fall back to
+/// building frames past the cap.
+const TEMPLATES_PER_FLOW: usize = 4;
 
 /// Streaming counterpart of [`TraceBuilder::build`]; see
 /// [`TraceBuilder::stream`]. Yields packets sorted by arrival time.
@@ -314,6 +322,17 @@ pub struct TraceStream {
     next_seq: usize,
     count: usize,
     bursts: VecDeque<TracePacket>,
+    /// Per-flow `(len, frame)` template cache for UDP flows. The UDP
+    /// frame builder does not consume the sequence number, so a UDP
+    /// frame is a pure function of (flow, length): after the first
+    /// build, subsequent packets of the flow/length are a straight
+    /// memcpy. TCP flows embed the per-packet sequence number and are
+    /// always built in full. Byte-for-byte output equality with the
+    /// uncached path is pinned by golden-digest tests.
+    templates: Vec<Vec<(u32, Vec<u8>)>>,
+    /// One-entry memo of `rate.gap_ns(len, utilization)` keyed on frame
+    /// length — the gap is a pure function of length for a fixed stream.
+    last_gap: (usize, f64),
 }
 
 impl TraceStream {
@@ -331,8 +350,15 @@ impl Iterator for TraceStream {
         // Merge the paced stream with pre-materialized bursts; on an
         // arrival-time tie the paced packet goes first (it preceded the
         // burst in the historical stable sort).
+        // u128 division is a libcall; paced clocks fit u64 femtoseconds
+        // (~5 h) in practice, so divide in u64 (a multiply-shift) and
+        // keep the wide division as the fallback.
         let main_arrival = if self.next_seq < self.count {
-            Some((self.t_fs / 1_000_000) as u64)
+            Some(if self.t_fs <= u128::from(u64::MAX) {
+                (self.t_fs as u64) / 1_000_000
+            } else {
+                (self.t_fs / 1_000_000) as u64
+            })
         } else {
             None
         };
@@ -343,17 +369,46 @@ impl Iterator for TraceStream {
             _ => {}
         }
         let arrival_ns = main_arrival.expect("paced packet pending");
-        let flow = &self.flows[self.rng.range_usize(0, self.flows.len())];
+        let flow_idx = self.rng.range_usize(0, self.flows.len());
+        let flow = &self.flows[flow_idx];
         let len = self.size.sample(&mut self.rng);
         let mut frame = self.arena.lease();
-        TraceBuilder::build_frame_into(flow, len, self.next_seq as u32, &mut frame);
-        let mean_gap_ns = match self.arrival {
-            ArrivalModel::Paced { utilization } => self.rate.gap_ns(frame.len(), utilization),
-            ArrivalModel::Poisson { utilization } => {
-                self.rng.exp(self.rate.gap_ns(frame.len(), utilization))
+        let slot = &mut self.templates[flow_idx];
+        if flow.tcp {
+            TraceBuilder::build_frame_into(flow, len, self.next_seq as u32, &mut frame);
+        } else if let Some((_, t)) = slot.iter().find(|(l, _)| *l == len as u32) {
+            frame.clear();
+            frame.extend_from_slice(t);
+        } else {
+            TraceBuilder::build_frame_into(flow, len, self.next_seq as u32, &mut frame);
+            if slot.len() < TEMPLATES_PER_FLOW {
+                slot.push((len as u32, frame.clone()));
             }
+        }
+        let mean_gap = if self.last_gap.0 == frame.len() {
+            self.last_gap.1
+        } else {
+            let utilization = match self.arrival {
+                ArrivalModel::Paced { utilization } | ArrivalModel::Poisson { utilization } => {
+                    utilization
+                }
+            };
+            let g = self.rate.gap_ns(frame.len(), utilization);
+            self.last_gap = (frame.len(), g);
+            g
         };
-        self.t_fs += (mean_gap_ns * 1e6) as u128;
+        let mean_gap_ns = match self.arrival {
+            ArrivalModel::Paced { .. } => mean_gap,
+            ArrivalModel::Poisson { .. } => self.rng.exp(mean_gap),
+        };
+        // f64→u128 is a libcall too; go through u64 when the gap fits
+        // (it always does for sub-5-hour gaps).
+        let gap_fs = mean_gap_ns * 1e6;
+        self.t_fs += if gap_fs < u64::MAX as f64 {
+            u128::from(gap_fs as u64)
+        } else {
+            gap_fs as u128
+        };
         self.next_seq += 1;
         Some(TracePacket { arrival_ns, frame })
     }
