@@ -162,6 +162,10 @@ pub enum ControlRequest {
     },
     /// Abort an in-progress update.
     AbortUpdate,
+    /// Query update FSM progress (lossy-channel resynchronisation: a
+    /// host whose ack was lost asks where to resume instead of
+    /// restarting the transfer).
+    QueryUpdate,
 }
 
 /// A control response.
@@ -203,6 +207,23 @@ pub enum ControlResponse {
     },
     /// Full telemetry snapshot (boxed: it dwarfs the other variants).
     Telemetry(Box<flexsfp_obs::TelemetrySnapshot>),
+    /// Update FSM progress report (answer to `QueryUpdate`). For
+    /// `"idle"` and `"staged"` the transfer fields are zero (`slot` is
+    /// meaningful for `"staged"`).
+    UpdateStatus {
+        /// FSM state: `"idle"`, `"receiving"` or `"staged"`.
+        state: String,
+        /// Target flash slot of the in-progress/staged update.
+        slot: usize,
+        /// Declared total image length.
+        total_len: usize,
+        /// Declared image CRC-32.
+        crc32: u32,
+        /// Next chunk sequence number the FSM expects.
+        next_seq: u32,
+        /// Bytes received so far.
+        received: usize,
+    },
     /// Generic success.
     Ack,
     /// Failure with reason.
@@ -310,6 +331,7 @@ impl ToJson for ControlRequest {
             ControlRequest::ReadTelemetry => Value::Str("ReadTelemetry".into()),
             ControlRequest::CommitUpdate => Value::Str("CommitUpdate".into()),
             ControlRequest::AbortUpdate => Value::Str("AbortUpdate".into()),
+            ControlRequest::QueryUpdate => Value::Str("QueryUpdate".into()),
             ControlRequest::Ping { nonce } => flexsfp_obs::json!({"Ping": {"nonce": *nonce}}),
             ControlRequest::Table(op) => flexsfp_obs::json!({"Table": op.to_json()}),
             ControlRequest::BeginUpdate {
@@ -338,6 +360,7 @@ impl FromJson for ControlRequest {
                 "ReadTelemetry" => Some(ControlRequest::ReadTelemetry),
                 "CommitUpdate" => Some(ControlRequest::CommitUpdate),
                 "AbortUpdate" => Some(ControlRequest::AbortUpdate),
+                "QueryUpdate" => Some(ControlRequest::QueryUpdate),
                 _ => None,
             };
         }
@@ -403,6 +426,23 @@ impl ToJson for ControlResponse {
             ControlResponse::Telemetry(snap) => {
                 flexsfp_obs::json!({"Telemetry": snap.to_json()})
             }
+            ControlResponse::UpdateStatus {
+                state,
+                slot,
+                total_len,
+                crc32,
+                next_seq,
+                received,
+            } => flexsfp_obs::json!({
+                "UpdateStatus": {
+                    "state": state.as_str(),
+                    "slot": *slot as u64,
+                    "total_len": *total_len as u64,
+                    "crc32": *crc32,
+                    "next_seq": *next_seq,
+                    "received": *received as u64,
+                }
+            }),
             ControlResponse::Error(msg) => flexsfp_obs::json!({"Error": msg.as_str()}),
         }
     }
@@ -439,6 +479,14 @@ impl FromJson for ControlResponse {
             "Telemetry" => Some(ControlResponse::Telemetry(Box::new(
                 flexsfp_obs::TelemetrySnapshot::from_json(body)?,
             ))),
+            "UpdateStatus" => Some(ControlResponse::UpdateStatus {
+                state: String::from_json(&body["state"])?,
+                slot: usize::from_json(&body["slot"])?,
+                total_len: usize::from_json(&body["total_len"])?,
+                crc32: u32::from_json(&body["crc32"])?,
+                next_seq: u32::from_json(&body["next_seq"])?,
+                received: usize::from_json(&body["received"])?,
+            }),
             "Error" => Some(ControlResponse::Error(String::from_json(body)?)),
             _ => None,
         }
@@ -494,6 +542,9 @@ pub struct ControlPlane {
     /// Set when an `Activate` was accepted; the module consumes it and
     /// reboots from the slot.
     pub pending_activation: Option<usize>,
+    update_aborts: u64,
+    update_errors: u64,
+    status_queries: u64,
 }
 
 impl ControlPlane {
@@ -506,6 +557,9 @@ impl ControlPlane {
             fsm: UpdateFsm::new(),
             stats: ControlStats::default(),
             pending_activation: None,
+            update_aborts: 0,
+            update_errors: 0,
+            status_queries: 0,
         }
     }
 
@@ -517,6 +571,23 @@ impl ControlPlane {
     /// Update FSM state (for Info reports and tests).
     pub fn update_state(&self) -> &UpdateState {
         self.fsm.state()
+    }
+
+    /// Lifetime control-plane resilience counters for telemetry export.
+    pub fn ctrl_counters(&self) -> flexsfp_obs::CtrlCounters {
+        flexsfp_obs::CtrlCounters {
+            dup_chunk_acks: self.fsm.dup_acks(),
+            update_aborts: self.update_aborts,
+            update_errors: self.update_errors,
+            status_queries: self.status_queries,
+        }
+    }
+
+    /// Tear down any in-progress update without counting it as a
+    /// host-requested abort — called when the module reboots (the soft
+    /// FSM does not survive a restart of the softcore).
+    pub fn reset_update(&mut self) {
+        self.fsm.abort();
     }
 
     /// True if `frame` is a control frame addressed to this module:
@@ -668,8 +739,46 @@ impl ControlPlane {
                 ControlResponse::Ack
             }
             ControlRequest::AbortUpdate => {
+                if !matches!(self.fsm.state(), UpdateState::Idle) {
+                    self.update_aborts += 1;
+                }
                 self.fsm.abort();
                 ControlResponse::Ack
+            }
+            ControlRequest::QueryUpdate => {
+                self.status_queries += 1;
+                match *self.fsm.state() {
+                    UpdateState::Idle => ControlResponse::UpdateStatus {
+                        state: "idle".into(),
+                        slot: 0,
+                        total_len: 0,
+                        crc32: 0,
+                        next_seq: 0,
+                        received: 0,
+                    },
+                    UpdateState::Receiving {
+                        slot,
+                        total_len,
+                        expected_crc,
+                        next_seq,
+                        received,
+                    } => ControlResponse::UpdateStatus {
+                        state: "receiving".into(),
+                        slot,
+                        total_len,
+                        crc32: expected_crc,
+                        next_seq,
+                        received,
+                    },
+                    UpdateState::Staged { slot } => ControlResponse::UpdateStatus {
+                        state: "staged".into(),
+                        slot,
+                        total_len: 0,
+                        crc32: 0,
+                        next_seq: 0,
+                        received: 0,
+                    },
+                }
             }
         }
     }
@@ -678,10 +787,13 @@ impl ControlPlane {
         self.fsm.begin(slot, total_len, crc)
     }
 
-    fn fsm_result(&self, r: Result<(), UpdateError>) -> ControlResponse {
+    fn fsm_result(&mut self, r: Result<(), UpdateError>) -> ControlResponse {
         match r {
             Ok(()) => ControlResponse::Ack,
-            Err(e) => ControlResponse::Error(e.to_string()),
+            Err(e) => {
+                self.update_errors += 1;
+                ControlResponse::Error(e.to_string())
+            }
         }
     }
 }
@@ -889,6 +1001,113 @@ mod tests {
         }
         assert_eq!(cp.pending_activation, Some(2));
         assert_eq!(flash.read_slot(2, image.len()).unwrap(), &image[..]);
+    }
+
+    #[test]
+    fn query_update_reports_progress_and_counters_accumulate() {
+        let mut cp = cp();
+        let (mut app, mut flash) = ctx_parts();
+        let mut ctx = make_ctx(&mut app, &mut flash);
+        // Idle before anything starts.
+        match cp.handle(ControlRequest::QueryUpdate, &mut ctx) {
+            ControlResponse::UpdateStatus { state, .. } => assert_eq!(state, "idle"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let image: Vec<u8> = (0..2500u32).map(|i| (i % 253) as u8).collect();
+        let crc = crc32(&image);
+        cp.handle(
+            ControlRequest::BeginUpdate {
+                slot: 2,
+                total_len: image.len(),
+                crc32: crc,
+            },
+            &mut ctx,
+        );
+        cp.handle(
+            ControlRequest::UpdateChunk {
+                seq: 0,
+                data: image[..1024].to_vec(),
+            },
+            &mut ctx,
+        );
+        // Mid-transfer the status carries enough to resume: same slot,
+        // length and CRC, plus the next expected sequence number.
+        match cp.handle(ControlRequest::QueryUpdate, &mut ctx) {
+            ControlResponse::UpdateStatus {
+                state,
+                slot,
+                total_len,
+                crc32,
+                next_seq,
+                received,
+            } => {
+                assert_eq!(state, "receiving");
+                assert_eq!(slot, 2);
+                assert_eq!(total_len, image.len());
+                assert_eq!(crc32, crc);
+                assert_eq!(next_seq, 1);
+                assert_eq!(received, 1024);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A duplicate of the last chunk is an idempotent Ack…
+        assert_eq!(
+            cp.handle(
+                ControlRequest::UpdateChunk {
+                    seq: 0,
+                    data: image[..1024].to_vec(),
+                },
+                &mut ctx,
+            ),
+            ControlResponse::Ack
+        );
+        // …and a bad one is a counted error.
+        match cp.handle(
+            ControlRequest::UpdateChunk {
+                seq: 7,
+                data: image[..1024].to_vec(),
+            },
+            &mut ctx,
+        ) {
+            ControlResponse::Error(e) => assert!(e.contains("BadSequence")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Abort tears down and counts.
+        assert_eq!(
+            cp.handle(ControlRequest::AbortUpdate, &mut ctx),
+            ControlResponse::Ack
+        );
+        match cp.handle(ControlRequest::QueryUpdate, &mut ctx) {
+            ControlResponse::UpdateStatus { state, .. } => assert_eq!(state, "idle"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let ctrl = cp.ctrl_counters();
+        assert_eq!(ctrl.dup_chunk_acks, 1);
+        assert_eq!(ctrl.update_aborts, 1);
+        assert_eq!(ctrl.update_errors, 1);
+        assert_eq!(ctrl.status_queries, 3);
+        // An abort with nothing in progress is not counted.
+        cp.handle(ControlRequest::AbortUpdate, &mut ctx);
+        assert_eq!(cp.ctrl_counters().update_aborts, 1);
+    }
+
+    #[test]
+    fn new_control_messages_round_trip_through_codec() {
+        let key = AuthKey::from_passphrase("test");
+        let req = ControlRequest::QueryUpdate;
+        let payload = ControlPlane::encode_request(&key, &req);
+        let cp = cp();
+        assert_eq!(cp.decode(&payload), Some(req));
+        let resp = ControlResponse::UpdateStatus {
+            state: "receiving".into(),
+            slot: 3,
+            total_len: 99_000,
+            crc32: 0xdead_beef,
+            next_seq: 17,
+            received: 17_408,
+        };
+        let encoded = cp.encode(&resp);
+        assert_eq!(ControlPlane::decode_response(&key, &encoded), Some(resp));
     }
 
     #[test]

@@ -45,14 +45,39 @@ impl VcselModel {
         self.median_ttf_hours * (self.sigma * z).exp()
     }
 
+    /// Cap on the consumed-life fraction used by [`VcselModel::health_at`].
+    /// At 4× TTF the power drop is 48 dB — far past any failure
+    /// threshold — so capping there keeps every output finite without
+    /// changing values anywhere in the physically meaningful range.
+    pub const LIFE_CAP: f64 = 4.0;
+
     /// Optical state at `age_hours` for a device with the given `ttf`.
     ///
     /// Degradation is gradual: power declines slowly through life,
     /// crossing −3 dB of its initial value at TTF (the conventional
     /// failure criterion), while bias current rises as the drive loop
-    /// compensates.
+    /// compensates. Degenerate inputs (`ttf_hours <= 0`, NaN, 0/0) are
+    /// clamped so the DOM readout is always finite: a non-positive TTF
+    /// means the device is past end of life the moment it has any age.
     pub fn health_at(&self, age_hours: f64, ttf_hours: f64) -> OpticalHealth {
-        let life = (age_hours / ttf_hours).max(0.0);
+        let life = if !ttf_hours.is_finite() || ttf_hours <= 0.0 {
+            if ttf_hours.is_sign_positive() && ttf_hours.is_infinite() {
+                0.0 // infinite TTF: never wears out
+            } else if age_hours > 0.0 {
+                Self::LIFE_CAP
+            } else {
+                0.0
+            }
+        } else {
+            let ratio = age_hours / ttf_hours;
+            if ratio.is_finite() {
+                ratio.clamp(0.0, Self::LIFE_CAP)
+            } else if ratio > 0.0 {
+                Self::LIFE_CAP // infinite age on a finite TTF
+            } else {
+                0.0 // NaN age: treat as beginning of life
+            }
+        };
         // Power drop in dB: ~quadratic-in-life wear, 3 dB at end of life,
         // accelerating beyond.
         let drop_db = 3.0 * life * life;
@@ -183,6 +208,50 @@ mod tests {
         assert!(!m.is_failed(&mid));
         // Bias rises with age.
         assert!(old.bias_ma > young.bias_ma);
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_finite() {
+        let m = VcselModel::default();
+        // ttf == 0 with positive age used to divide to +inf life and
+        // emit -inf power; now it reads as "past end of life".
+        let h = m.health_at(1_000.0, 0.0);
+        assert!(h.tx_power_dbm.is_finite() && h.bias_ma.is_finite());
+        assert!(m.is_failed(&h));
+        // 0/0 used to be NaN; a zero-age device on a zero TTF reads as
+        // beginning of life.
+        let h = m.health_at(0.0, 0.0);
+        assert!(h.tx_power_dbm.is_finite() && h.bias_ma.is_finite());
+        assert_eq!(h.tx_power_dbm, m.initial_power_dbm);
+        assert_eq!(h.bias_ma, m.initial_bias_ma);
+        // Negative TTF is nonsense input, not a license for -inf.
+        let h = m.health_at(5_000.0, -1.0);
+        assert!(h.tx_power_dbm.is_finite() && h.bias_ma.is_finite());
+        assert!(m.is_failed(&h));
+        // NaN age reads as beginning of life, not NaN power.
+        let h = m.health_at(f64::NAN, 100_000.0);
+        assert!(h.tx_power_dbm.is_finite() && h.bias_ma.is_finite());
+        // Infinite TTF never wears out; infinite age on a finite TTF is
+        // worn out, both finite.
+        let h = m.health_at(1.0e12, f64::INFINITY);
+        assert_eq!(h.tx_power_dbm, m.initial_power_dbm);
+        let h = m.health_at(f64::INFINITY, 100_000.0);
+        assert!(h.tx_power_dbm.is_finite());
+        assert!(m.is_failed(&h));
+        // Deep into wear-out the drop is capped, never -inf.
+        let h = m.health_at(1.0e9, 1.0);
+        assert!(h.tx_power_dbm >= m.initial_power_dbm - 3.0 * VcselModel::LIFE_CAP.powi(2));
+    }
+
+    #[test]
+    fn clamp_does_not_change_normal_range() {
+        let m = VcselModel::default();
+        let ttf = 100_000.0;
+        for age in [0.0, 10_000.0, 50_000.0, 100_000.0, 200_000.0] {
+            let h = m.health_at(age, ttf);
+            let life = age / ttf;
+            assert!((h.tx_power_dbm - (m.initial_power_dbm - 3.0 * life * life)).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -676,6 +676,16 @@ impl FlexSfp {
             }
             _ => None,
         };
+        // An abort that lands while an update is active tears it down;
+        // trace that as its own event so a host resynchronising after
+        // channel loss is visible in the ring.
+        let aborting_update = matches!(
+            (&req, self.control.update_state()),
+            (
+                ControlRequest::AbortUpdate,
+                UpdateState::Receiving { .. } | UpdateState::Staged { .. }
+            )
+        );
         let dom = self.mgmt.read_dom();
         let mut ctx = ControlContext {
             app: self.app.as_mut(),
@@ -691,6 +701,10 @@ impl FlexSfp {
             self.events
                 .record(self.clock_ns, EventKind::Reprogram { slot });
         }
+        if aborting_update && matches!(resp, ControlResponse::Ack) {
+            self.clock_ns += 1;
+            self.events.record(self.clock_ns, EventKind::UpdateAbort);
+        }
         let encoded = self.control.encode(&resp);
         self.maybe_reboot();
         Some(encoded)
@@ -704,6 +718,10 @@ impl FlexSfp {
             return false;
         };
         self.boots += 1;
+        // The softcore restarts on reboot, so the in-memory update FSM
+        // does not survive: tear down any in-progress transfer. This is
+        // what keeps a rollback from wedging the next deploy.
+        self.control.reset_update();
         let ok = self.try_boot_slot(slot);
         self.clock_ns += 1;
         self.events.record(
@@ -1041,6 +1059,7 @@ impl FlexSfp {
             events_overwritten: self.events.overwritten() + self.app.events_lost(),
             events_drained: self.events_exported,
             cache: self.app.cache_stats().unwrap_or_default(),
+            ctrl: self.control.ctrl_counters(),
         }
     }
 }

@@ -76,6 +76,7 @@ impl std::error::Error for UpdateError {}
 pub struct UpdateFsm {
     state: UpdateState,
     buffer: Vec<u8>,
+    dup_acks: u64,
 }
 
 impl Default for UpdateFsm {
@@ -90,12 +91,19 @@ impl UpdateFsm {
         UpdateFsm {
             state: UpdateState::Idle,
             buffer: Vec::new(),
+            dup_acks: 0,
         }
     }
 
     /// Current state.
     pub fn state(&self) -> &UpdateState {
         &self.state
+    }
+
+    /// Lifetime count of duplicate last-chunk retransmits acknowledged
+    /// idempotently (each one is a lost ack the sender had to resend).
+    pub fn dup_acks(&self) -> u64 {
+        self.dup_acks
     }
 
     /// Begin an update targeting `slot` (1..SLOTS; 0 is golden).
@@ -137,6 +145,13 @@ impl UpdateFsm {
         else {
             return Err(UpdateError::WrongState);
         };
+        if *next_seq > 0 && seq == *next_seq - 1 {
+            // Retransmit of the last accepted chunk: its ack was lost in
+            // flight. The bytes are already in the buffer, so acknowledge
+            // idempotently instead of wedging the sender with an error.
+            self.dup_acks += 1;
+            return Ok(());
+        }
         if seq != *next_seq {
             return Err(UpdateError::BadSequence {
                 expected: *next_seq,
@@ -172,9 +187,13 @@ impl UpdateFsm {
             self.abort();
             return Err(UpdateError::BadCrc);
         }
-        flash
-            .write_slot(slot, &self.buffer)
-            .map_err(UpdateError::Flash)?;
+        if let Err(e) = flash.write_slot(slot, &self.buffer) {
+            // A flash failure is as terminal as a CRC mismatch: keeping
+            // the stale buffer in `Receiving` would wedge every later
+            // `begin` with `WrongState`. Drop back to `Idle`.
+            self.abort();
+            return Err(UpdateError::Flash(e));
+        }
         self.buffer.clear();
         self.state = UpdateState::Staged { slot };
         Ok(slot)
@@ -234,6 +253,80 @@ mod tests {
         );
         // Retransmit of the correct seq still works.
         fsm.chunk(1, &[0u8; 1024]).unwrap();
+    }
+
+    #[test]
+    fn duplicate_of_last_chunk_is_idempotent_ack() {
+        let mut fsm = UpdateFsm::new();
+        let mut flash = SpiFlash::new();
+        let img = image(3000);
+        let crc = crc32(&img);
+        fsm.begin(1, img.len(), crc).unwrap();
+        let chunks: Vec<&[u8]> = img.chunks(MAX_CHUNK).collect();
+        fsm.chunk(0, chunks[0]).unwrap();
+        // The ack for chunk 0 was lost; the sender retransmits it.
+        fsm.chunk(0, chunks[0]).unwrap();
+        fsm.chunk(0, chunks[0]).unwrap();
+        assert_eq!(fsm.dup_acks(), 2);
+        // The buffer took the bytes exactly once: the rest of the image
+        // still fits and the commit CRC still matches.
+        fsm.chunk(1, chunks[1]).unwrap();
+        fsm.chunk(1, chunks[1]).unwrap();
+        fsm.chunk(2, chunks[2]).unwrap();
+        assert_eq!(fsm.commit(&mut flash).unwrap(), 1);
+        assert_eq!(flash.read_slot(1, img.len()).unwrap(), &img[..]);
+        assert_eq!(fsm.dup_acks(), 3);
+    }
+
+    #[test]
+    fn genuinely_out_of_order_chunk_still_rejected() {
+        let mut fsm = UpdateFsm::new();
+        fsm.begin(1, 4096, 0).unwrap();
+        fsm.chunk(0, &[0u8; 1024]).unwrap();
+        fsm.chunk(1, &[0u8; 1024]).unwrap();
+        // Ahead of the window: rejected.
+        assert_eq!(
+            fsm.chunk(3, &[0u8; 1024]),
+            Err(UpdateError::BadSequence {
+                expected: 2,
+                got: 3
+            })
+        );
+        // More than one behind (not the last accepted): rejected.
+        assert_eq!(
+            fsm.chunk(0, &[0u8; 1024]),
+            Err(UpdateError::BadSequence {
+                expected: 2,
+                got: 0
+            })
+        );
+        // A duplicate before any chunk was accepted cannot exist; seq 0
+        // at next_seq 0 is simply the first chunk.
+        assert_eq!(fsm.dup_acks(), 0);
+    }
+
+    #[test]
+    fn flash_failure_on_commit_returns_to_idle() {
+        let mut fsm = UpdateFsm::new();
+        let mut flash = SpiFlash::new();
+        flash.protect_golden();
+        let img = image(100);
+        let crc = crc32(&img);
+        fsm.begin(2, img.len(), crc).unwrap();
+        fsm.chunk(0, &img).unwrap();
+        flash.inject_fault(FlashError::NotErased);
+        assert_eq!(
+            fsm.commit(&mut flash),
+            Err(UpdateError::Flash(FlashError::NotErased))
+        );
+        // The FSM must not stay wedged in `Receiving` with a stale
+        // buffer: like `BadCrc`, a flash failure aborts to `Idle` …
+        assert_eq!(fsm.state(), &UpdateState::Idle);
+        // … so a fresh update can begin and succeed.
+        fsm.begin(2, img.len(), crc).unwrap();
+        fsm.chunk(0, &img).unwrap();
+        assert_eq!(fsm.commit(&mut flash).unwrap(), 2);
+        assert_eq!(flash.read_slot(2, img.len()).unwrap(), &img[..]);
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct SpiFlash {
     /// Cumulative bytes programmed.
     pub programmed_bytes: u64,
     golden_protected: bool,
+    /// One-shot fault injected with [`SpiFlash::inject_fault`]; the next
+    /// erase or program consumes it and fails. Excluded from `serde`
+    /// snapshots: a pending fault is test scaffolding, not device state.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    injected_fault: Option<FlashError>,
 }
 
 impl std::fmt::Debug for SpiFlash {
@@ -83,12 +88,28 @@ impl SpiFlash {
             erase_count: 0,
             programmed_bytes: 0,
             golden_protected: false,
+            injected_fault: None,
         }
     }
 
     /// Enable write protection of slot 0.
     pub fn protect_golden(&mut self) {
         self.golden_protected = true;
+    }
+
+    /// Arm a one-shot fault: the next erase or program operation fails
+    /// with `err` instead of touching the array. Deterministic
+    /// fault-injection hook for exercising flash-failure paths (a real
+    /// part fails this way on a worn sector or a brown-out mid-write).
+    pub fn inject_fault(&mut self, err: FlashError) {
+        self.injected_fault = Some(err);
+    }
+
+    fn take_injected_fault(&mut self) -> Result<(), FlashError> {
+        match self.injected_fault.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Erase the sector containing `addr` (sets it to 0xFF).
@@ -100,6 +121,7 @@ impl SpiFlash {
         if self.golden_protected && start < SLOT_BYTES {
             return Err(FlashError::WriteProtected);
         }
+        self.take_injected_fault()?;
         self.data[start..start + SECTOR_BYTES].fill(0xff);
         self.erase_count += 1;
         Ok(())
@@ -117,6 +139,7 @@ impl SpiFlash {
         if self.golden_protected && addr < SLOT_BYTES {
             return Err(FlashError::WriteProtected);
         }
+        self.take_injected_fault()?;
         // Check erase state: every programmed bit must currently be 1
         // wherever the new value wants a 1... more precisely new & !old
         // must be 0 (cannot set bits).
@@ -242,6 +265,20 @@ mod tests {
             f.write_slot(1, &vec![0u8; SLOT_BYTES + 1]),
             Err(FlashError::ImageTooLarge)
         );
+    }
+
+    #[test]
+    fn injected_fault_fires_once() {
+        let mut f = SpiFlash::new();
+        f.inject_fault(FlashError::NotErased);
+        assert_eq!(
+            f.write_slot(1, b"payload"),
+            Err(FlashError::NotErased),
+            "armed fault must fail the next write"
+        );
+        // The fault is one-shot: the retry succeeds.
+        f.write_slot(1, b"payload").unwrap();
+        assert_eq!(f.read_slot(1, 7).unwrap(), b"payload");
     }
 
     #[test]

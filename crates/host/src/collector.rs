@@ -12,6 +12,8 @@
 //! snapshots of the same module would double-count. Only the
 //! cross-module fleet histogram is produced by merging.
 
+use crate::chaos::ImpairStats;
+use crate::mgmt::{MgmtError, TransportStats};
 use flexsfp_obs::{DataplaneEvent, LatencyHistogram, PromText, TelemetrySnapshot, ToJson, Value};
 use std::collections::BTreeMap;
 
@@ -33,6 +35,12 @@ struct ModuleRecord {
 #[derive(Debug, Clone, Default)]
 pub struct FleetCollector {
     modules: BTreeMap<String, ModuleRecord>,
+    /// Sweep entries that failed to scrape (unreachable modules).
+    scrape_failures: u64,
+    /// Host-side control-transport counters, when provided.
+    transport: Option<TransportStats>,
+    /// Per-module channel impairment accounting, when provided.
+    channels: BTreeMap<String, ImpairStats>,
 }
 
 impl FleetCollector {
@@ -81,6 +89,45 @@ impl FleetCollector {
         for s in snapshots {
             self.ingest(s);
         }
+    }
+
+    /// Ingest a per-module sweep where unreachable modules reported an
+    /// error. `Ok` snapshots are ingested; `Err` entries increment the
+    /// exported scrape-failure counter. Returns the number ingested.
+    pub fn ingest_sweep(
+        &mut self,
+        sweep: impl IntoIterator<Item = Result<TelemetrySnapshot, MgmtError>>,
+    ) -> usize {
+        let mut ok = 0;
+        for entry in sweep {
+            match entry {
+                Ok(s) => {
+                    self.ingest(s);
+                    ok += 1;
+                }
+                Err(_) => self.scrape_failures += 1,
+            }
+        }
+        ok
+    }
+
+    /// Lifetime count of failed scrape entries seen by
+    /// [`ingest_sweep`](Self::ingest_sweep).
+    pub fn scrape_failures(&self) -> u64 {
+        self.scrape_failures
+    }
+
+    /// Record the management client's transport-layer counters (from
+    /// [`ManagementClient::transport_stats`](crate::ManagementClient::transport_stats))
+    /// for export.
+    pub fn set_transport_stats(&mut self, stats: TransportStats) {
+        self.transport = Some(stats);
+    }
+
+    /// Record one module's channel impairment accounting (from
+    /// [`ImpairedPort::stats`](crate::chaos::ImpairedPort::stats)) for export.
+    pub fn set_channel_stats(&mut self, module_id: &str, stats: ImpairStats) {
+        self.channels.insert(module_id.to_string(), stats);
     }
 
     /// Latest snapshot for one module, if it has reported.
@@ -323,6 +370,105 @@ impl FleetCollector {
             );
         }
 
+        // Control-channel resilience counters (§5.3): the module-side
+        // update FSM view…
+        for (name, help, get) in [
+            (
+                "flexsfp_ctrl_dup_chunk_acks_total",
+                "Retransmitted update chunks acknowledged idempotently.",
+                (|s: &TelemetrySnapshot| s.ctrl.dup_chunk_acks) as fn(&TelemetrySnapshot) -> u64,
+            ),
+            (
+                "flexsfp_ctrl_update_aborts_total",
+                "In-progress updates torn down by AbortUpdate.",
+                |s| s.ctrl.update_aborts,
+            ),
+            (
+                "flexsfp_ctrl_update_errors_total",
+                "Update protocol requests rejected by the FSM.",
+                |s| s.ctrl.update_errors,
+            ),
+            (
+                "flexsfp_ctrl_status_queries_total",
+                "QueryUpdate progress probes answered.",
+                |s| s.ctrl.status_queries,
+            ),
+        ] {
+            p.header(name, help, "counter");
+            for (id, rec) in &self.modules {
+                p.sample(name, &[("module", id)], get(&rec.snapshot) as f64);
+            }
+        }
+
+        // …the host-side transport view…
+        if let Some(t) = self.transport {
+            for (name, help, v) in [
+                (
+                    "flexsfp_ctrl_retries_total",
+                    "Control requests retransmitted after a timeout.",
+                    t.retries,
+                ),
+                (
+                    "flexsfp_ctrl_timeouts_total",
+                    "Control exchanges that got no response.",
+                    t.timeouts,
+                ),
+                (
+                    "flexsfp_ctrl_aborts_sent_total",
+                    "AbortUpdate teardowns sent by the client.",
+                    t.aborts_sent,
+                ),
+                (
+                    "flexsfp_ctrl_resyncs_total",
+                    "Deploy resynchronisations via QueryUpdate.",
+                    t.resyncs,
+                ),
+                (
+                    "flexsfp_ctrl_backoff_ns_total",
+                    "Cumulative virtual retry backoff, nanoseconds.",
+                    t.backoff_ns,
+                ),
+            ] {
+                p.header(name, help, "counter");
+                p.sample(name, &[], v as f64);
+            }
+        }
+
+        // …and the cable's own fault accounting, when fault injection
+        // (or an equivalently instrumented channel) is in the path.
+        if !self.channels.is_empty() {
+            p.header(
+                "flexsfp_ctrl_link_faults_total",
+                "Control-channel faults by module and kind.",
+                "counter",
+            );
+            for (id, s) in &self.channels {
+                for (kind, n) in [
+                    ("drop", s.request_drops + s.response_drops),
+                    ("duplicate", s.duplicates),
+                    ("corruption", s.corruptions),
+                    ("flap", s.flaps),
+                ] {
+                    p.sample(
+                        "flexsfp_ctrl_link_faults_total",
+                        &[("module", id), ("kind", kind)],
+                        n as f64,
+                    );
+                }
+            }
+        }
+
+        p.header(
+            "flexsfp_scrape_failures_total",
+            "Sweep entries that failed to scrape (module unreachable).",
+            "counter",
+        );
+        p.sample(
+            "flexsfp_scrape_failures_total",
+            &[],
+            self.scrape_failures as f64,
+        );
+
         p.into_string()
     }
 
@@ -443,7 +589,7 @@ mod tests {
             });
         }
         let mut c = FleetCollector::new();
-        c.ingest_all(f.telemetry_snapshots().unwrap());
+        c.ingest_sweep(f.telemetry_snapshots());
         assert_eq!(c.len(), 4);
 
         let text = c.render_prometheus();
@@ -486,7 +632,7 @@ mod tests {
             m.run(packets(10));
         });
         let mut c = FleetCollector::new();
-        c.ingest_all(f.telemetry_snapshots().unwrap());
+        c.ingest_sweep(f.telemetry_snapshots());
         assert_eq!(c.module("FSFP-0000").unwrap().latency.count(), 10);
 
         // More traffic, second scrape: lifetime count grows to 25 — it
@@ -494,7 +640,7 @@ mod tests {
         f.with_module(0, |m| {
             m.run(packets(15));
         });
-        c.ingest_all(f.telemetry_snapshots().unwrap());
+        c.ingest_sweep(f.telemetry_snapshots());
         assert_eq!(c.len(), 1);
         assert_eq!(c.module("FSFP-0000").unwrap().latency.count(), 25);
         assert_eq!(c.fleet_latency().count(), 25);
@@ -515,7 +661,7 @@ mod tests {
             f.with_module(0, |m| {
                 m.run(packets(20));
             });
-            c.ingest_all(f.telemetry_snapshots().unwrap());
+            c.ingest_sweep(f.telemetry_snapshots());
         }
         // 60 events accumulated on the host even though each scrape
         // only carried that round's 20.
@@ -540,7 +686,7 @@ mod tests {
             m.run(packets(4));
         });
         let mut c = FleetCollector::new();
-        c.ingest_all(f.telemetry_snapshots().unwrap());
+        c.ingest_sweep(f.telemetry_snapshots());
         let snap = c.module("FSFP-0000").unwrap();
         // 4 packets of distinct flows (varying sport): all misses.
         assert_eq!(snap.cache.misses, 4);
@@ -561,7 +707,7 @@ mod tests {
             });
         }
         let mut c = FleetCollector::new();
-        c.ingest_all(f.telemetry_snapshots().unwrap());
+        c.ingest_sweep(f.telemetry_snapshots());
         let doc = Value::parse(&c.to_json()).unwrap();
         let obj = doc.as_object().unwrap();
         assert_eq!(obj.len(), 2);
@@ -581,6 +727,60 @@ mod tests {
         let text = c.render_prometheus();
         assert!(text.contains("flexsfp_modules 0\n"));
         assert!(text.contains("flexsfp_fleet_latency_ns_count 0\n"));
+        assert!(text.contains("flexsfp_scrape_failures_total 0\n"));
         assert_eq!(c.to_json(), "{}");
+    }
+
+    #[test]
+    fn ctrl_counters_surface_in_prometheus() {
+        use crate::chaos::{FaultPlan, ImpairedPort};
+        use crate::mgmt::ManagementClient;
+
+        // One healthy module, one whose channel is dead: the sweep
+        // yields 1 snapshot + 1 scrape failure.
+        let ports: Vec<ImpairedPort<FlexSfp>> = vec![
+            ImpairedPort::new(
+                {
+                    let cfg = ModuleConfig {
+                        id: "FSFP-0000".into(),
+                        ..ModuleConfig::default()
+                    };
+                    FlexSfp::new(cfg, Box::new(flexsfp_ppe::engine::PassThrough))
+                },
+                FaultPlan::ideal(1),
+            ),
+            ImpairedPort::new(
+                {
+                    let cfg = ModuleConfig {
+                        id: "FSFP-0001".into(),
+                        ..ModuleConfig::default()
+                    };
+                    FlexSfp::new(cfg, Box::new(flexsfp_ppe::engine::PassThrough))
+                },
+                FaultPlan::ideal(1).with_drop(1.0),
+            ),
+        ];
+        let f = FleetManager::with_client(ports, ManagementClient::new(AuthKey::DEFAULT));
+        let mut c = FleetCollector::new();
+        assert_eq!(c.ingest_sweep(f.telemetry_snapshots()), 1);
+        assert_eq!(c.scrape_failures(), 1);
+        c.set_transport_stats(f.client().transport_stats());
+        f.with_module(0, |p| {
+            c.set_channel_stats("FSFP-0000", p.stats());
+        });
+
+        let text = c.render_prometheus();
+        // Module-side FSM counters.
+        assert!(text.contains("flexsfp_ctrl_dup_chunk_acks_total{module=\"FSFP-0000\"} 0\n"));
+        assert!(text.contains("flexsfp_ctrl_update_aborts_total{module=\"FSFP-0000\"} 0\n"));
+        // Host transport counters: the dead module burned retries.
+        assert!(text.contains("flexsfp_ctrl_retries_total"));
+        assert!(text.contains("flexsfp_ctrl_timeouts_total"));
+        assert!(text.contains("flexsfp_ctrl_backoff_ns_total"));
+        // Channel fault accounting.
+        assert!(
+            text.contains("flexsfp_ctrl_link_faults_total{module=\"FSFP-0000\",kind=\"drop\"} 0\n")
+        );
+        assert!(text.contains("flexsfp_scrape_failures_total 1\n"));
     }
 }

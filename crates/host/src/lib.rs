@@ -5,6 +5,9 @@
 //! * [`mgmt`] — a typed management client speaking the authenticated
 //!   control protocol (table ops, DOM reads, OTA deployment);
 //! * [`link`] — the fiber link connecting two modules' optical sides;
+//! * [`chaos`] — deterministic fault injection for the control channel
+//!   and the fiber span: seeded drop/duplicate/corrupt/flap/jitter
+//!   plans used by the resilience test suite;
 //! * [`switch`] — the §2.1 retrofit scenario: a fixed-function legacy
 //!   L2 switch whose SFP cages accept FlexSFPs, turning every port into
 //!   a programmable enforcement point;
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod chaos;
 pub mod collector;
 pub mod fleet;
 pub mod link;
@@ -29,6 +33,7 @@ pub mod switch;
 pub mod testbed;
 
 pub use baselines::ProcessingPath;
+pub use chaos::{FaultPlan, ImpairStats, ImpairedPort, LinkChaosStats, LossyLink};
 pub use collector::FleetCollector;
 pub use fleet::FleetManager;
 pub use link::FiberLink;

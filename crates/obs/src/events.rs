@@ -80,6 +80,9 @@ pub enum EventKind {
     AuthReject,
     /// An optical link dropped below its power budget.
     LinkDown,
+    /// An in-progress firmware update was torn down before activation
+    /// (host-requested abort or error teardown).
+    UpdateAbort,
 }
 
 impl EventKind {
@@ -93,6 +96,7 @@ impl EventKind {
             EventKind::Reboot { .. } => "reboot",
             EventKind::AuthReject => "auth_reject",
             EventKind::LinkDown => "link_down",
+            EventKind::UpdateAbort => "update_abort",
         }
     }
 }
@@ -132,6 +136,7 @@ impl ToJson for EventKind {
             EventKind::ParseError => Value::Str("ParseError".into()),
             EventKind::AuthReject => Value::Str("AuthReject".into()),
             EventKind::LinkDown => Value::Str("LinkDown".into()),
+            EventKind::UpdateAbort => Value::Str("UpdateAbort".into()),
             EventKind::Drop { reason } => {
                 crate::json!({"Drop": {"reason": reason.to_json()}})
             }
@@ -155,6 +160,7 @@ impl FromJson for EventKind {
                 "ParseError" => Some(EventKind::ParseError),
                 "AuthReject" => Some(EventKind::AuthReject),
                 "LinkDown" => Some(EventKind::LinkDown),
+                "UpdateAbort" => Some(EventKind::UpdateAbort),
                 _ => None,
             };
         }

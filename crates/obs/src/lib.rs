@@ -39,4 +39,6 @@ pub use events::{DataplaneEvent, DropReason, EventKind, EventRing};
 pub use histogram::LatencyHistogram;
 pub use json::{FromJson, ToJson, Value};
 pub use prometheus::PromText;
-pub use snapshot::{CacheStats, DomSnapshot, DropCounters, PortCounters, TelemetrySnapshot};
+pub use snapshot::{
+    CacheStats, CtrlCounters, DomSnapshot, DropCounters, PortCounters, TelemetrySnapshot,
+};

@@ -129,6 +129,26 @@ impl CacheStats {
     }
 }
 
+/// Lifetime control-plane/OTA resilience counters.
+///
+/// All monotonic. These are the module-side half of the chaos story:
+/// how many duplicate chunks it absorbed, how many updates it tore
+/// down, how many requests it had to reject. The host-side half
+/// (retries, backoff, resyncs) lives in the management client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CtrlCounters {
+    /// Duplicate last-chunk retransmits acknowledged idempotently.
+    pub dup_chunk_acks: u64,
+    /// Updates aborted (explicit `AbortUpdate` or error teardown).
+    pub update_aborts: u64,
+    /// Update FSM operations rejected with an error.
+    pub update_errors: u64,
+    /// `QueryUpdate` progress probes served (each one is a host
+    /// resynchronising after a lost exchange).
+    pub status_queries: u64,
+}
+
 /// One module's full telemetry export for one scrape.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -171,6 +191,8 @@ pub struct TelemetrySnapshot {
     /// Microflow action-cache counters (all zero when the running app
     /// has no cache or it is disabled).
     pub cache: CacheStats,
+    /// Control-plane/OTA resilience counters.
+    pub ctrl: CtrlCounters,
 }
 
 crate::impl_json_struct!(DomSnapshot {
@@ -196,6 +218,12 @@ crate::impl_json_struct!(CacheStats {
     evictions,
     invalidations
 });
+crate::impl_json_struct!(CtrlCounters {
+    dup_chunk_acks,
+    update_aborts,
+    update_errors,
+    status_queries
+});
 crate::impl_json_struct!(TelemetrySnapshot {
     module_id,
     seq,
@@ -215,6 +243,7 @@ crate::impl_json_struct!(TelemetrySnapshot {
     events_overwritten,
     events_drained,
     cache,
+    ctrl,
 });
 
 #[cfg(test)]
@@ -288,6 +317,12 @@ mod tests {
                 misses: 100,
                 evictions: 4,
                 invalidations: 2,
+            },
+            ctrl: CtrlCounters {
+                dup_chunk_acks: 3,
+                update_aborts: 1,
+                update_errors: 2,
+                status_queries: 5,
             },
         };
         use crate::json::{FromJson, ToJson, Value};

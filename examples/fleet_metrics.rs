@@ -52,9 +52,13 @@ fn main() {
     });
 
     // Scrape: one authenticated snapshot per module, drained event
-    // rings included, ingested into the collector.
+    // rings included, ingested into the collector. A module that failed
+    // to answer would count as a scrape failure instead of aborting the
+    // sweep.
     let mut collector = FleetCollector::new();
-    collector.ingest_all(fleet.telemetry_snapshots().expect("fleet scrape"));
+    let scraped = collector.ingest_sweep(fleet.telemetry_snapshots());
+    assert_eq!(scraped, fleet.len());
+    collector.set_transport_stats(fleet.client().transport_stats());
 
     println!("=== Prometheus text exposition ===");
     let text = collector.render_prometheus();

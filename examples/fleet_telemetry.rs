@@ -79,19 +79,22 @@ fn main() {
         m.set_laser_ttf_hours(120_000.0);
         m.age_laser(115_000.0);
     });
-    let health = fleet.health_report().unwrap();
+    let health = fleet.health_report();
     println!("\nfleet health:");
-    for h in &health {
-        println!(
-            "  {}: app {} v{}, {:.1} degC, diagnosis {:?}",
-            h.module_id, h.app, h.app_version, h.temperature_c, h.diagnosis
-        );
+    for entry in &health {
+        match entry {
+            Ok(h) => println!(
+                "  {}: app {} v{}, {:.1} degC, diagnosis {:?}",
+                h.module_id, h.app, h.app_version, h.temperature_c, h.diagnosis
+            ),
+            Err(e) => println!("  <unreachable: {e}>"),
+        }
     }
-    let service = fleet.modules_needing_service().unwrap();
+    let service = fleet.modules_needing_service();
     println!("modules needing a TOSA swap: {service:?}");
     assert_eq!(service, vec![5]);
     assert!(matches!(
-        health[5].diagnosis,
+        health[5].as_ref().unwrap().diagnosis,
         FaultDiagnosis::LaserDegradation | FaultDiagnosis::LaserFailed
     ));
 
@@ -110,9 +113,11 @@ fn main() {
     );
     let report = fleet.deploy_all(1, &image, 4);
     println!(
-        "rollout complete: {} updated, {} failed",
+        "rollout complete: {} updated, {} rolled back to golden, {} failed, {} quarantined",
         report.updated.len(),
-        report.failed.len()
+        report.rolled_back.len(),
+        report.failed.len(),
+        report.quarantined.len()
     );
     assert_eq!(report.updated.len(), 8);
     for i in 0..fleet.len() {
