@@ -9,7 +9,7 @@
 //! keys and values are 4-byte big-endian IPv4 addresses).
 
 use flexsfp_fabric::resources::{table1, ResourceManifest};
-use flexsfp_obs::CacheStats;
+use flexsfp_obs::{CacheStats, FlightStamp, StageStamp};
 use flexsfp_ppe::action::{Action, ActionEngine, ActionOutcome};
 use flexsfp_ppe::cache::{self, FlowCache, FlowKey, PlanOp, PlanRecorder};
 use flexsfp_ppe::parser::Parser;
@@ -42,6 +42,28 @@ pub struct StaticNat {
     /// mapping mutation bumps its epoch, so stale plans never replay.
     cache: FlowCache,
     cache_enabled: bool,
+    /// Flight-recorder stamping switch (off by default).
+    flight_enabled: bool,
+    /// Stamp of the most recently processed packet while stamping is on.
+    last_flight: Option<FlightStamp>,
+}
+
+/// Build the NAT's two-stage stamp (match, then rewrite) under the
+/// 4 + 3·stages cycle model. On a table miss only the match stage runs.
+fn nat_stamp(cache_hit: bool, stage_stats: &[(u8, bool)]) -> FlightStamp {
+    FlightStamp {
+        cache_hit,
+        stages: stage_stats
+            .iter()
+            .enumerate()
+            .map(|(i, &(stage, hit))| StageStamp {
+                stage,
+                hit,
+                start_cycle: 4 + 3 * i as u32,
+                end_cycle: 4 + 3 * (i as u32 + 1),
+            })
+            .collect(),
+    }
 }
 
 impl Default for StaticNat {
@@ -65,6 +87,8 @@ impl StaticNat {
             translate_direction: Direction::EdgeToOptical,
             cache: FlowCache::default(),
             cache_enabled: false,
+            flight_enabled: false,
+            last_flight: None,
         }
     }
 
@@ -102,24 +126,38 @@ impl StaticNat {
             if let Some(r) = rec {
                 r.invalidate();
             }
+            if self.flight_enabled {
+                // Parser rejected it before the match stage: empty stamp.
+                self.last_flight = Some(nat_stamp(false, &[]));
+            }
             return Verdict::Drop;
         };
         let Some(ip) = parsed.ipv4 else {
             if let Some(r) = rec.as_deref_mut() {
+                r.stage_stat(0, false);
                 r.push(PlanOp::Count {
                     index: counters::NON_IP as u32,
                 });
             }
             self.engine.counters.count(counters::NON_IP, packet.len());
+            if self.flight_enabled {
+                // No IPv4 source to match on: the match stage missed.
+                self.last_flight = Some(nat_stamp(false, &[(0, false)]));
+            }
             return Verdict::Forward;
         };
         match self.table.lookup(&ip.src) {
             Some(public) => {
                 if let Some(r) = rec.as_deref_mut() {
+                    r.stage_stat(0, true);
+                    r.stage_stat(1, true);
                     cache::compile_action(&Action::SetIpv4Src(public), packet, &parsed, r);
                     r.push(PlanOp::Count {
                         index: counters::TRANSLATED as u32,
                     });
+                }
+                if self.flight_enabled {
+                    self.last_flight = Some(nat_stamp(false, &[(0, true), (1, true)]));
                 }
                 match self
                     .engine
@@ -134,11 +172,16 @@ impl StaticNat {
             }
             None => {
                 if let Some(r) = rec {
+                    r.stage_stat(0, false);
                     r.push(PlanOp::Count {
                         index: counters::MISSED as u32,
                     });
                 }
                 self.engine.counters.count(counters::MISSED, packet.len());
+                if self.flight_enabled {
+                    // Only the match stage ran; the rewrite was skipped.
+                    self.last_flight = Some(nat_stamp(false, &[(0, false)]));
+                }
             }
         }
         Verdict::Forward
@@ -152,6 +195,10 @@ impl PacketProcessor for StaticNat {
 
     fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
         if ctx.direction != self.translate_direction {
+            if self.flight_enabled {
+                // Bypassed the pipeline entirely: empty stage list.
+                self.last_flight = Some(nat_stamp(false, &[]));
+            }
             return Verdict::Forward;
         }
         if self.cache_enabled {
@@ -159,6 +206,12 @@ impl PacketProcessor for StaticNat {
                 if let Some(plan) = self.cache.lookup(&key) {
                     // Fast path: shallow key parse only — no parser
                     // walk, no table lookup, no checksum recompute.
+                    if self.flight_enabled {
+                        // Replay the recorded stage footprint so the
+                        // postcard matches the slow path bit-for-bit
+                        // (only `cache_hit` tells the paths apart).
+                        self.last_flight = Some(nat_stamp(true, &plan.stage_stats));
+                    }
                     return cache::replay(plan, packet, &mut self.engine.counters);
                 }
                 let mut rec = PlanRecorder::new();
@@ -175,6 +228,18 @@ impl PacketProcessor for StaticNat {
     fn set_flow_cache(&mut self, enabled: bool) -> bool {
         self.cache_enabled = enabled;
         true
+    }
+
+    fn set_flight_recording(&mut self, enabled: bool) -> bool {
+        self.flight_enabled = enabled;
+        if !enabled {
+            self.last_flight = None;
+        }
+        true
+    }
+
+    fn flight_stamp(&self) -> Option<FlightStamp> {
+        self.last_flight.clone()
     }
 
     fn cache_stats(&self) -> Option<CacheStats> {

@@ -15,28 +15,64 @@
 //!   ablations  extras   — design-choice ablations
 //!   latency    §6       — latency vs placement
 //!   perf       baseline — simulator throughput (writes BENCH_throughput.json)
+//!   slo        gate     — windowed SLO check on the §5.1 NAT workload
 //!   all        everything above in order
 //! ```
 //!
 //! `--json` additionally emits the machine-readable report on stdout.
 //! `--quick` shrinks the `perf` run to its CI size (200 k packets instead
-//! of 2 M); the JSON baseline is written either way, to the current
-//! directory. Run `perf` in `--release` — a debug-build measurement is
-//! not comparable to the committed baseline.
+//! of 2 M) and the `slo` run to 20 k packets; the JSON baseline is
+//! written either way, to the current directory. Run `perf` in
+//! `--release` — a debug-build measurement is not comparable to the
+//! committed baseline.
+//!
+//! `perf --trace <file>` additionally runs a flight-recorder-armed pass
+//! (1-in-64 sampling) and writes the sampled postcards as
+//! chrome://tracing trace-event JSON, loadable directly in Perfetto.
+//!
+//! `slo` evaluates [`flexsfp_obs::SloSpec::generous`] over the windowed
+//! telemetry and exits nonzero when any window breaches; `slo --breach`
+//! swaps in an unmeetable 1 ns p99.9 bound to prove the gate fires.
 
 use flexsfp_bench::{
-    ablations, fig1, fig2, latency, linerate, perf, power, scaling, table1, table2, table3,
+    ablations, fig1, fig2, latency, linerate, perf, power, scaling, slo, table1, table2, table3,
 };
+use flexsfp_obs::SloSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let breach = args.iter().any(|a| a == "--breach");
+
+    // `--trace` consumes the next argument as its file path, so the
+    // subcommand scan has to step over that value.
+    let mut trace_path: Option<String> = None;
+    let mut cmd: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                match args.get(i + 1) {
+                    Some(path) if !path.starts_with("--") => trace_path = Some(path.clone()),
+                    _ => {
+                        eprintln!("--trace requires a file path argument");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+                continue;
+            }
+            a if a.starts_with("--") => {}
+            a => {
+                if cmd.is_none() {
+                    cmd = Some(a);
+                }
+            }
+        }
+        i += 1;
+    }
+    let cmd = cmd.unwrap_or("all");
 
     let known = [
         "table1",
@@ -50,6 +86,7 @@ fn main() {
         "ablations",
         "latency",
         "perf",
+        "slo",
         "all",
     ];
     if !known.contains(&cmd) {
@@ -57,7 +94,8 @@ fn main() {
         std::process::exit(2);
     }
 
-    let run_one = |name: &str| match name {
+    let mut exit_code = 0;
+    let mut run_one = |name: &str| match name {
         "table1" => {
             let r = table1::run();
             println!("{}", table1::render(&r));
@@ -140,8 +178,34 @@ fn main() {
             std::fs::write("BENCH_throughput.json", format!("{text}\n"))
                 .expect("write BENCH_throughput.json");
             println!("wrote BENCH_throughput.json");
+            if let Some(path) = &trace_path {
+                let trace = perf::chrome_trace(perf::TRACE_PACKETS, perf::TRACE_EVERY);
+                std::fs::write(path, format!("{}\n", trace.to_string_pretty()))
+                    .unwrap_or_else(|e| panic!("write {path}: {e}"));
+                println!("wrote {path} (chrome://tracing JSON — open in Perfetto)");
+            }
             if json {
                 println!("{text}");
+            }
+        }
+        "slo" => {
+            let packets = if quick {
+                slo::QUICK_PACKETS
+            } else {
+                slo::FULL_PACKETS
+            };
+            let spec = if breach {
+                slo::breach_spec()
+            } else {
+                SloSpec::generous()
+            };
+            let r = slo::run(packets, spec);
+            println!("{}", slo::render(&r));
+            if json {
+                println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
+            }
+            if !r.report.healthy {
+                exit_code = 1;
             }
         }
         _ => unreachable!(),
@@ -155,4 +219,5 @@ fn main() {
     } else {
         run_one(cmd);
     }
+    std::process::exit(exit_code);
 }

@@ -40,6 +40,11 @@ use std::time::Instant;
 pub const FULL_PACKETS: usize = 2_000_000;
 /// Packets in the `--quick` (CI) run.
 pub const QUICK_PACKETS: usize = 200_000;
+/// Packets in the `--trace` export pass: small enough that the
+/// resulting chrome://tracing JSON stays readable in Perfetto.
+pub const TRACE_PACKETS: usize = 50_000;
+/// Sampling rate of the `--trace` export pass (1-in-N).
+pub const TRACE_EVERY: u64 = 64;
 
 /// Trace seed — same workload as the line-rate experiment.
 const SEED: u64 = 0x51;
@@ -69,6 +74,14 @@ pub struct Report {
     pub mpps: f64,
     /// Same measurement with the flow cache disabled (full slow path).
     pub mpps_cache_off: f64,
+    /// Independent re-measurement of the default configuration — flow
+    /// cache on, flight recorder disarmed. The observability hooks
+    /// (always-on windowed counters, the sampler branch) must leave
+    /// this within measurement noise of `mpps`; CI enforces the ratio.
+    pub mpps_tracing_off: f64,
+    /// Same measurement with the flight recorder armed at 1-in-64
+    /// sampling — what continuous postcard collection costs.
+    pub mpps_tracing_on: f64,
     /// Flow-cache hit rate over the cache-on pass, 0..=1.
     pub cache_hit_rate: f64,
     /// FNV-1a digest (hex) over every output packet's departure time,
@@ -96,6 +109,8 @@ flexsfp_obs::impl_json_struct!(Report {
     wall_s,
     mpps,
     mpps_cache_off,
+    mpps_tracing_off,
+    mpps_tracing_on,
     cache_hit_rate,
     digest,
     forwarded,
@@ -107,7 +122,7 @@ flexsfp_obs::impl_json_struct!(Report {
 
 /// The §5.1 NAT module: 64 private→public mappings, translate on the
 /// edge→optical direction.
-fn nat_module() -> FlexSfp {
+pub(crate) fn nat_module() -> FlexSfp {
     let mut nat = StaticNat::new();
     for i in 0..FLOWS as u32 {
         nat.add_mapping(PRIVATE_BASE + i, PUBLIC_BASE + i)
@@ -145,7 +160,7 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const MEASURE_REPS: usize = 3;
 
 /// The workload stream over a fresh module.
-fn workload(packets: usize, arena: &PacketArena) -> impl Iterator<Item = SimPacket> {
+pub(crate) fn workload(packets: usize, arena: &PacketArena) -> impl Iterator<Item = SimPacket> {
     TraceBuilder::new(SEED)
         .flows(FLOWS)
         .src_base(PRIVATE_BASE)
@@ -169,11 +184,15 @@ struct Verified {
     arena_leases: u64,
 }
 
-/// Stream the workload with the flow cache on or off, folding every
-/// output packet into an FNV-1a digest.
-fn verify_pass(packets: usize, cache_on: bool) -> Verified {
+/// Stream the workload with the flow cache on or off — and optionally
+/// the flight recorder armed — folding every output packet into an
+/// FNV-1a digest.
+fn verify_pass(packets: usize, cache_on: bool, recorder: bool) -> Verified {
     let mut module = nat_module();
     module.app_mut().set_flow_cache(cache_on);
+    if recorder {
+        module.enable_flight_recorder(TRACE_EVERY, SEED, 256);
+    }
     let arena = PacketArena::new();
     let mut digest = FNV_OFFSET;
     let report = module.run_stream_with(workload(packets, &arena), |out| {
@@ -198,11 +217,14 @@ fn verify_pass(packets: usize, cache_on: bool) -> Verified {
 
 /// Best-of-[`MEASURE_REPS`] wall-clock for the workload with a
 /// recycle-only sink.
-fn measure_pass(packets: usize, cache_on: bool) -> f64 {
+fn measure_pass(packets: usize, cache_on: bool, recorder: bool) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..MEASURE_REPS {
         let mut module = nat_module();
         module.app_mut().set_flow_cache(cache_on);
+        if recorder {
+            module.enable_flight_recorder(TRACE_EVERY, SEED, 256);
+        }
         let arena = PacketArena::new();
         let t0 = Instant::now();
         module.run_stream_with(workload(packets, &arena), |out| arena.recycle(out.frame));
@@ -217,19 +239,32 @@ fn measure_pass(packets: usize, cache_on: bool) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if the two verification passes produce different output
-/// digests — a correctness failure in the flow cache, not a measurement
-/// artifact.
+/// Panics if any pair of verification passes produces different output
+/// digests — a correctness failure in the flow cache or the flight
+/// recorder, not a measurement artifact. The recorder samples 1-in-64
+/// packets during its verified pass and must be a pure observer: same
+/// departure times, same egress, same bytes.
 pub fn run(packets: usize) -> Report {
-    let off = verify_pass(packets, false);
-    let on = verify_pass(packets, true);
+    let off = verify_pass(packets, false, false);
+    let on = verify_pass(packets, true, false);
     assert_eq!(
         on.digest, off.digest,
         "flow cache changed observable output (cache-on {:016x} vs cache-off {:016x})",
         on.digest, off.digest
     );
-    let off_wall_s = measure_pass(packets, false);
-    let wall_s = measure_pass(packets, true);
+    let traced = verify_pass(packets, true, true);
+    assert_eq!(
+        traced.digest, on.digest,
+        "flight recorder changed observable output (recorder-on {:016x} vs recorder-off {:016x})",
+        traced.digest, on.digest
+    );
+    let off_wall_s = measure_pass(packets, false, false);
+    let wall_s = measure_pass(packets, true, false);
+    // Independent re-measurement of the identical recorder-disarmed
+    // configuration: its delta from `mpps` is pure run-to-run noise,
+    // which is exactly the budget CI holds the sampler branch to.
+    let tracing_off_wall_s = measure_pass(packets, true, false);
+    let tracing_on_wall_s = measure_pass(packets, true, true);
 
     Report {
         packets: packets as u64,
@@ -238,6 +273,8 @@ pub fn run(packets: usize) -> Report {
         wall_s,
         mpps: packets as f64 / wall_s / 1e6,
         mpps_cache_off: packets as f64 / off_wall_s / 1e6,
+        mpps_tracing_off: packets as f64 / tracing_off_wall_s / 1e6,
+        mpps_tracing_on: packets as f64 / tracing_on_wall_s / 1e6,
         cache_hit_rate: on.cache.hit_rate(),
         digest: format!("{:016x}", on.digest),
         forwarded: on.forwarded,
@@ -246,6 +283,23 @@ pub fn run(packets: usize) -> Report {
         arena_allocations: on.arena_allocations,
         arena_leases: on.arena_leases,
     }
+}
+
+/// Run a flight-recorder-armed pass over the workload and render the
+/// sampled postcards as chrome://tracing trace-event JSON, loadable
+/// directly in Perfetto (`experiments perf --trace <file>`).
+pub fn chrome_trace(packets: usize, every: u64) -> flexsfp_obs::json::Value {
+    let mut module = nat_module();
+    // Size the ring for the expected sample count so no postcard is
+    // overwritten before the drain.
+    let capacity = packets / every.max(1) as usize + 64;
+    module.enable_flight_recorder(every, SEED, capacity);
+    let arena = PacketArena::new();
+    module.run_stream_with(workload(packets, &arena), |out| arena.recycle(out.frame));
+    let records = module.drain_flight_records();
+    let config = ModuleConfig::default();
+    let cycle_ns = config.ppe_clock.period_fs() as f64 / 1e6;
+    flexsfp_obs::trace::chrome_trace(&config.id, &records, cycle_ns)
 }
 
 /// Human-readable report.
@@ -257,13 +311,15 @@ pub fn render(r: &Report) -> String {
         render::f(r.wall_s, 3),
         render::f(r.mpps, 3),
         render::f(r.mpps_cache_off, 3),
+        render::f(r.mpps_tracing_off, 3),
+        render::f(r.mpps_tracing_on, 3),
         render::f(r.cache_hit_rate * 100.0, 2),
         render::f(r.delivery * 100.0, 2),
         render::grouped(r.peak_rss_kb),
         r.arena_allocations.to_string(),
     ]];
     format!(
-        "perf: streaming NAT workload (simulator throughput; output digest {} identical cache-on/off)\n{}",
+        "perf: streaming NAT workload (simulator throughput; output digest {} identical cache-on/off and recorder-on/off)\n{}",
         r.digest,
         render::table(
             &[
@@ -273,6 +329,8 @@ pub fn render(r: &Report) -> String {
                 "wall s",
                 "Mpps",
                 "Mpps (no cache)",
+                "Mpps (rec off)",
+                "Mpps (rec 1/64)",
                 "cache hit %",
                 "delivery %",
                 "peak RSS kB",
@@ -296,6 +354,8 @@ mod tests {
         assert!((r.delivery - 1.0).abs() < 1e-9);
         assert!(r.mpps > 0.0);
         assert!(r.mpps_cache_off > 0.0);
+        assert!(r.mpps_tracing_off > 0.0);
+        assert!(r.mpps_tracing_on > 0.0);
         assert_eq!(r.arena_leases, 20_000);
         // O(1) memory: the arena never holds more than the in-flight
         // window of frames — one PPE batch plus generator slack — no
@@ -327,6 +387,23 @@ mod tests {
         let text = r.to_json().to_string_pretty();
         let back = Report::from_json(&Value::parse(&text).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn chrome_trace_export_is_valid_trace_event_json() {
+        let trace = chrome_trace(5_000, 8);
+        let object = trace.as_object().unwrap();
+        let events = object["traceEvents"].as_array().unwrap();
+        // Metadata event plus at least one packet slice; 1-in-8 over
+        // 5 000 packets samples far more than that.
+        assert!(events.len() > 100, "only {} trace events", events.len());
+        for ev in events {
+            let ph = ev.as_object().unwrap()["ph"].as_str().unwrap();
+            assert!(ph == "X" || ph == "M");
+        }
+        // Valid JSON end to end.
+        let text = trace.to_string_pretty();
+        assert_eq!(Value::parse(&text).unwrap(), trace);
     }
 
     #[test]

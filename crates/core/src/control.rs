@@ -137,6 +137,10 @@ pub enum ControlRequest {
     /// out-of-band management port — the module answers it before the
     /// generic handler, which lacks module-level access.
     ReadTelemetry,
+    /// Drain the flight recorder's sampled-packet postcards. Like
+    /// `ReadTelemetry`, only honoured out-of-band: the ring lives in
+    /// the architecture shell, not the control plane.
+    ReadFlightRecords,
     /// Begin an OTA update.
     BeginUpdate {
         /// Target flash slot (1..).
@@ -207,6 +211,8 @@ pub enum ControlResponse {
     },
     /// Full telemetry snapshot (boxed: it dwarfs the other variants).
     Telemetry(Box<flexsfp_obs::TelemetrySnapshot>),
+    /// Drained flight-recorder postcards, oldest first.
+    FlightRecords(Vec<flexsfp_obs::FlightRecord>),
     /// Update FSM progress report (answer to `QueryUpdate`). For
     /// `"idle"` and `"staged"` the transfer fields are zero (`slot` is
     /// meaningful for `"staged"`).
@@ -329,6 +335,7 @@ impl ToJson for ControlRequest {
             ControlRequest::GetInfo => Value::Str("GetInfo".into()),
             ControlRequest::ReadDom => Value::Str("ReadDom".into()),
             ControlRequest::ReadTelemetry => Value::Str("ReadTelemetry".into()),
+            ControlRequest::ReadFlightRecords => Value::Str("ReadFlightRecords".into()),
             ControlRequest::CommitUpdate => Value::Str("CommitUpdate".into()),
             ControlRequest::AbortUpdate => Value::Str("AbortUpdate".into()),
             ControlRequest::QueryUpdate => Value::Str("QueryUpdate".into()),
@@ -358,6 +365,7 @@ impl FromJson for ControlRequest {
                 "GetInfo" => Some(ControlRequest::GetInfo),
                 "ReadDom" => Some(ControlRequest::ReadDom),
                 "ReadTelemetry" => Some(ControlRequest::ReadTelemetry),
+                "ReadFlightRecords" => Some(ControlRequest::ReadFlightRecords),
                 "CommitUpdate" => Some(ControlRequest::CommitUpdate),
                 "AbortUpdate" => Some(ControlRequest::AbortUpdate),
                 "QueryUpdate" => Some(ControlRequest::QueryUpdate),
@@ -426,6 +434,9 @@ impl ToJson for ControlResponse {
             ControlResponse::Telemetry(snap) => {
                 flexsfp_obs::json!({"Telemetry": snap.to_json()})
             }
+            ControlResponse::FlightRecords(records) => {
+                flexsfp_obs::json!({"FlightRecords": records.to_json()})
+            }
             ControlResponse::UpdateStatus {
                 state,
                 slot,
@@ -479,6 +490,11 @@ impl FromJson for ControlResponse {
             "Telemetry" => Some(ControlResponse::Telemetry(Box::new(
                 flexsfp_obs::TelemetrySnapshot::from_json(body)?,
             ))),
+            "FlightRecords" => Some(ControlResponse::FlightRecords(Vec::<
+                flexsfp_obs::FlightRecord,
+            >::from_json(
+                body
+            )?)),
             "UpdateStatus" => Some(ControlResponse::UpdateStatus {
                 state: String::from_json(&body["state"])?,
                 slot: usize::from_json(&body["slot"])?,
@@ -704,6 +720,11 @@ impl ControlPlane {
                 // event ring, laser model); FlexSfp::handle_oob
                 // intercepts this request before delegating here.
                 ControlResponse::Error("telemetry is only available out-of-band".into())
+            }
+            ControlRequest::ReadFlightRecords => {
+                // Same module-level interception as telemetry: the
+                // flight ring belongs to the shell.
+                ControlResponse::Error("flight records are only available out-of-band".into())
             }
             ControlRequest::ReadDom => ControlResponse::Dom {
                 temperature_c: ctx.dom.temperature_c,

@@ -24,11 +24,13 @@ use flexsfp_fabric::serdes::{LineRate, Transceiver};
 use flexsfp_fabric::stream::DatapathConfig;
 use flexsfp_fabric::SpiFlash;
 use flexsfp_obs::{
-    DomSnapshot, DropCounters, DropReason, EventKind, EventRing, LatencyHistogram, PortCounters,
-    TelemetrySnapshot,
+    CacheStats, DomSnapshot, DropCounters, DropReason, EventKind, EventRing, FlightRecord,
+    FlightRing, FlightStamp, FlightVerdict, LatencyHistogram, PortCounters, TelemetrySnapshot,
+    WindowedSeries,
 };
 use flexsfp_ppe::engine::PassThrough;
 use flexsfp_ppe::{BatchPacket, Direction, PacketProcessor, ProcessContext, Verdict};
+use flexsfp_traffic::rng::Xoshiro256;
 use flexsfp_wire::MacAddr;
 use std::collections::VecDeque;
 
@@ -289,10 +291,108 @@ struct PendingPpe {
     departure_fs: u128,
 }
 
+/// Deterministic 1-in-N Bernoulli sampler driving the flight recorder.
+/// One PRNG draw per dataplane packet, so the decision for the k-th
+/// packet depends only on `(seed, k)` and two runs over the same trace
+/// produce byte-identical record sets.
+#[derive(Debug)]
+struct FlightSampler {
+    rng: Xoshiro256,
+    /// Sample when the draw is `<=` this threshold (`u64::MAX / every`,
+    /// so `every = 1` samples everything).
+    threshold: u64,
+}
+
+impl FlightSampler {
+    fn new(every: u64, seed: u64) -> FlightSampler {
+        FlightSampler {
+            rng: Xoshiro256::seed_from_u64(seed),
+            threshold: u64::MAX / every.max(1),
+        }
+    }
+
+    fn sample(&mut self) -> bool {
+        self.rng.next_u64() <= self.threshold
+    }
+}
+
+/// Armed flight-recorder state: the sampler, the bounded postcard ring
+/// and the monotone record sequence number.
+#[derive(Debug)]
+struct FlightState {
+    sampler: FlightSampler,
+    ring: FlightRing,
+    seq: u64,
+}
+
+impl FlightState {
+    /// Stamp and ring-buffer one sampled packet's postcard.
+    fn push(
+        &mut self,
+        arrival_ns: u64,
+        cap: FlightCapture,
+        stamp: FlightStamp,
+        verdict: FlightVerdict,
+    ) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.ring.push(FlightRecord {
+            seq,
+            arrival_ns,
+            queue_bytes: cap.queue_bytes,
+            queue_pkts: cap.queue_pkts,
+            cache_hit: stamp.cache_hit,
+            stages: stamp.stages,
+            verdict,
+        });
+    }
+}
+
+/// Queue observation taken at admit time for a sampled packet.
+#[derive(Debug, Clone, Copy)]
+struct FlightCapture {
+    queue_bytes: u64,
+    queue_pkts: u64,
+}
+
+/// What became of a dispatched packet — feeds the flight recorder's
+/// verdict and the windowed time-series.
+#[derive(Debug, Clone, Copy)]
+enum DispatchOutcome {
+    /// Emitted to an egress lane at the given simulated time.
+    Forwarded {
+        /// Departure time, ns.
+        departure_ns: u64,
+    },
+    /// The application's verdict was `Drop` (an explained, policy drop).
+    AppDrop,
+    /// The egress lane refused the frame (link down / budget).
+    LinkDrop,
+    /// Diverted to the embedded control plane.
+    ToControl,
+}
+
+impl DispatchOutcome {
+    fn verdict(self) -> FlightVerdict {
+        match self {
+            DispatchOutcome::Forwarded { departure_ns } => {
+                FlightVerdict::Forwarded { departure_ns }
+            }
+            DispatchOutcome::AppDrop => FlightVerdict::Dropped {
+                reason: DropReason::App,
+            },
+            DispatchOutcome::LinkDrop => FlightVerdict::Dropped {
+                reason: DropReason::LinkDown,
+            },
+            DispatchOutcome::ToControl => FlightVerdict::ToControl,
+        }
+    }
+}
+
 /// Verdict dispatch for one processed packet: drop/divert accounting,
-/// egress lane accounting, latency recording and output emission. A
-/// free function over the module's disjoint fields so the batched and
-/// bypass paths share one exact implementation.
+/// egress lane accounting, latency recording, time-series feeding and
+/// output emission. A free function over the module's disjoint fields
+/// so the batched and bypass paths share one exact implementation.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_output<F: FnMut(OutputPacket)>(
     frame: Vec<u8>,
@@ -306,9 +406,10 @@ fn dispatch_output<F: FnMut(OutputPacket)>(
     optical: &mut Transceiver,
     events: &mut EventRing,
     lifetime_drops: &mut DropCounters,
+    windows: &mut WindowedSeries,
     last_time_ns: &mut u64,
     sink: &mut F,
-) {
+) -> DispatchOutcome {
     match verdict {
         Verdict::Drop => {
             report.drops.app += 1;
@@ -319,11 +420,12 @@ fn dispatch_output<F: FnMut(OutputPacket)>(
                     reason: DropReason::App,
                 },
             );
-            return;
+            windows.record_drop(arrival_ns, false);
+            return DispatchOutcome::AppDrop;
         }
         Verdict::ToControlPlane => {
             report.to_control += 1;
-            return;
+            return DispatchOutcome::ToControl;
         }
         Verdict::Forward | Verdict::Reflect => {}
     }
@@ -356,7 +458,8 @@ fn dispatch_output<F: FnMut(OutputPacket)>(
                 reason: DropReason::LinkDown,
             },
         );
-        return;
+        windows.record_drop(arrival_ns, true);
+        return DispatchOutcome::LinkDrop;
     }
 
     // u128 division compiles to a libcall; simulated times fit u64
@@ -374,6 +477,7 @@ fn dispatch_output<F: FnMut(OutputPacket)>(
         transit_fs as f64 / 1e6
     };
     report.latency.record(latency_ns);
+    windows.record_forwarded(departure_ns, latency_ns);
     match egress {
         Interface::Edge => report.forwarded.0 += 1,
         Interface::Optical => report.forwarded.1 += 1,
@@ -386,10 +490,14 @@ fn dispatch_output<F: FnMut(OutputPacket)>(
         frame,
         latency_ns,
     });
+    DispatchOutcome::Forwarded { departure_ns }
 }
 
 /// Run the pending PPE batch through the application and dispatch every
-/// slot's verdict in admission order.
+/// slot's verdict in admission order. When `capture` is set, the
+/// newest slot is a sampled packet (the sampler forces an immediate
+/// flush) and its postcard is completed here: the application's stage
+/// stamp joins the queue observation and the dispatch verdict.
 #[allow(clippy::too_many_arguments)]
 fn flush_ppe_batch<F: FnMut(OutputPacket)>(
     app: &mut dyn PacketProcessor,
@@ -400,6 +508,9 @@ fn flush_ppe_batch<F: FnMut(OutputPacket)>(
     optical: &mut Transceiver,
     events: &mut EventRing,
     lifetime_drops: &mut DropCounters,
+    windows: &mut WindowedSeries,
+    last_cache: &mut CacheStats,
+    capture: Option<(FlightCapture, &mut FlightState)>,
     last_time_ns: &mut u64,
     sink: &mut F,
 ) {
@@ -407,8 +518,27 @@ fn flush_ppe_batch<F: FnMut(OutputPacket)>(
         return;
     }
     app.process_batch(batch);
-    for (slot, meta) in batch.drain(..).zip(pending.drain(..)) {
-        dispatch_output(
+    // Fold this batch's cache-counter delta into the window its newest
+    // packet lands in. Saturating: a reboot swaps the application and
+    // resets its counters mid-run.
+    let cache_ts = pending.last().map_or(0, |p| p.arrival_ns);
+    if let Some(stats) = app.cache_stats() {
+        windows.record_cache(
+            cache_ts,
+            stats.hits.saturating_sub(last_cache.hits),
+            stats.misses.saturating_sub(last_cache.misses),
+        );
+        *last_cache = stats;
+    }
+    // The sampled packet is the newest slot, so the processor's most
+    // recent stamp is its stage trace.
+    let stamp = capture
+        .as_ref()
+        .map(|_| app.flight_stamp().unwrap_or_default());
+    let mut capture = capture;
+    let newest = batch.len() - 1;
+    for (i, (slot, meta)) in batch.drain(..).zip(pending.drain(..)).enumerate() {
+        let outcome = dispatch_output(
             slot.frame,
             slot.verdict,
             slot.ctx.direction,
@@ -420,9 +550,16 @@ fn flush_ppe_batch<F: FnMut(OutputPacket)>(
             optical,
             events,
             lifetime_drops,
+            windows,
             last_time_ns,
             sink,
         );
+        if i == newest {
+            if let Some((cap, state)) = capture.take() {
+                let stamp = stamp.clone().unwrap_or_default();
+                state.push(meta.arrival_ns, cap, stamp, outcome.verdict());
+            }
+        }
     }
 }
 
@@ -480,6 +617,22 @@ impl PpeServer {
         });
         Some(start)
     }
+
+    /// The queue a packet arriving at `arrival_fs` would see: entries
+    /// that completed service leave first, then the remaining backlog
+    /// is the depth. The eviction is the same one `admit` performs (and
+    /// is idempotent), so observing first does not perturb the model.
+    fn depth_at(&mut self, arrival_fs: u128) -> (u64, u64) {
+        while let Some(front) = self.in_flight.front() {
+            if front.finish_fs <= arrival_fs {
+                self.backlog -= front.bytes;
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        (self.backlog as u64, self.in_flight.len() as u64)
+    }
 }
 
 /// The FlexSFP module.
@@ -516,6 +669,15 @@ pub struct FlexSfp {
     clock_ns: u64,
     snapshot_seq: u64,
     events_exported: u64,
+    /// Flight recorder (sampled INT-style postcards); `None` until
+    /// armed with [`enable_flight_recorder`](Self::enable_flight_recorder).
+    flight: Option<FlightState>,
+    /// Always-on windowed time-series over dataplane outcomes — what
+    /// the SLO engine evaluates and the collector scrapes.
+    windows: WindowedSeries,
+    /// Application cache counters at the last batch flush, for
+    /// per-window hit/miss deltas.
+    last_cache: CacheStats,
 }
 
 impl std::fmt::Debug for FlexSfp {
@@ -561,6 +723,9 @@ impl FlexSfp {
             clock_ns: 0,
             snapshot_seq: 0,
             events_exported: 0,
+            flight: None,
+            windows: WindowedSeries::default(),
+            last_cache: CacheStats::default(),
         };
         module.refresh_dom();
         module
@@ -596,6 +761,47 @@ impl FlexSfp {
     /// OOB management path.
     pub fn app_mut(&mut self) -> &mut dyn PacketProcessor {
         self.app.as_mut()
+    }
+
+    /// Arm the flight recorder: sample one in `every` dataplane packets
+    /// (deterministically from `seed`), keeping up to `capacity`
+    /// postcards in a bounded ring. Also turns on the running
+    /// application's stage stamping; the setting survives reboots.
+    pub fn enable_flight_recorder(&mut self, every: u64, seed: u64, capacity: usize) {
+        self.flight = Some(FlightState {
+            sampler: FlightSampler::new(every, seed),
+            ring: FlightRing::new(capacity),
+            seq: 0,
+        });
+        self.app.set_flight_recording(true);
+    }
+
+    /// Disarm the flight recorder, discarding any unread postcards and
+    /// turning the application's stage stamping back off.
+    pub fn disable_flight_recorder(&mut self) {
+        self.app.set_flight_recording(false);
+        self.flight = None;
+    }
+
+    /// Drain the recorded postcards, oldest first — what a
+    /// `ReadFlightRecords` request on the OOB port returns. Empty when
+    /// the recorder is disarmed.
+    pub fn drain_flight_records(&mut self) -> Vec<FlightRecord> {
+        self.flight
+            .as_mut()
+            .map(|f| f.ring.drain())
+            .unwrap_or_default()
+    }
+
+    /// Postcards lost to ring overwrite since the recorder was armed.
+    pub fn flight_overwritten(&self) -> u64 {
+        self.flight.as_ref().map_or(0, |f| f.ring.overwritten())
+    }
+
+    /// The rolling windowed time-series (1 ms buckets by default) —
+    /// also exported with every telemetry snapshot.
+    pub fn windows(&self) -> &WindowedSeries {
+        &self.windows
     }
 
     /// Total design manifest: application + interfaces + control
@@ -666,6 +872,15 @@ impl FlexSfp {
             return Some(
                 self.control
                     .encode(&ControlResponse::Telemetry(Box::new(snap))),
+            );
+        }
+        // The flight ring likewise lives in the shell, not the control
+        // plane: drain and answer before the generic handler.
+        if matches!(req, ControlRequest::ReadFlightRecords) {
+            let records = self.drain_flight_records();
+            return Some(
+                self.control
+                    .encode(&ControlResponse::FlightRecords(records)),
             );
         }
         // A commit flashes the image staged at `slot`; remember it so
@@ -767,6 +982,11 @@ impl FlexSfp {
         };
         self.app = app;
         self.app_version = bs.meta.version;
+        // Recorder settings survive the reboot: re-arm stage stamping
+        // on the freshly booted application.
+        if self.flight.is_some() {
+            self.app.set_flight_recording(true);
+        }
         true
     }
 
@@ -830,6 +1050,12 @@ impl FlexSfp {
         let mut pending: Vec<PendingPpe> = Vec::with_capacity(PPE_BATCH);
         macro_rules! flush {
             () => {
+                flush!(@capture None)
+            };
+            ($state:expr, $cap:expr) => {
+                flush!(@capture Some(($cap, $state)))
+            };
+            (@capture $capture:expr) => {
                 flush_ppe_batch(
                     self.app.as_mut(),
                     &mut batch,
@@ -839,6 +1065,9 @@ impl FlexSfp {
                     &mut self.optical,
                     &mut self.events,
                     &mut self.lifetime_drops,
+                    &mut self.windows,
+                    &mut self.last_cache,
+                    $capture,
                     &mut last_time_ns,
                     &mut sink,
                 )
@@ -859,6 +1088,7 @@ impl FlexSfp {
                         reason: DropReason::UnsortedArrival,
                     },
                 );
+                self.windows.record_drop(pkt.arrival_ns, true);
                 continue;
             }
             prev_arrival = pkt.arrival_ns;
@@ -880,6 +1110,7 @@ impl FlexSfp {
                         reason: DropReason::LinkDown,
                     },
                 );
+                self.windows.record_drop(pkt.arrival_ns, true);
                 continue;
             }
 
@@ -955,6 +1186,14 @@ impl FlexSfp {
 
             let arrival_fs = u128::from(pkt.arrival_ns) * 1_000_000;
             let uses_ppe = self.config.shell.ppe_applies(pkt.direction);
+            // One sampler draw per dataplane packet (PPE and bypass
+            // alike), taken before the FIFO decision so overflow drops
+            // are observable in the flight record too. Control and
+            // microservice frames diverted above never draw.
+            let sampled = match self.flight.as_mut() {
+                Some(f) => f.sampler.sample(),
+                None => false,
+            };
 
             if uses_ppe {
                 let beats = if last_beats.0 == pkt.frame.len() {
@@ -965,6 +1204,13 @@ impl FlexSfp {
                     b
                 };
                 let service_fs = beats * ppe_period_fs;
+                // Observe the queue a sampled packet meets before it is
+                // admitted (admission changes the backlog).
+                let depth = if sampled {
+                    Some(shared_server.depth_at(arrival_fs))
+                } else {
+                    None
+                };
                 let Some(start_fs) = shared_server.admit(arrival_fs, pkt.frame.len(), service_fs)
                 else {
                     report.drops.fifo_overflow += 1;
@@ -975,6 +1221,23 @@ impl FlexSfp {
                             reason: DropReason::FifoOverflow,
                         },
                     );
+                    self.windows.record_drop(pkt.arrival_ns, true);
+                    if sampled {
+                        if let Some(state) = self.flight.as_mut() {
+                            let (queue_bytes, queue_pkts) = depth.unwrap_or((0, 0));
+                            state.push(
+                                pkt.arrival_ns,
+                                FlightCapture {
+                                    queue_bytes,
+                                    queue_pkts,
+                                },
+                                FlightStamp::default(),
+                                FlightVerdict::Dropped {
+                                    reason: DropReason::FifoOverflow,
+                                },
+                            );
+                        }
+                    }
                     continue;
                 };
                 let ctx = ProcessContext {
@@ -990,14 +1253,29 @@ impl FlexSfp {
                         + pipeline_cycles * ppe_period_fs
                         + 2 * serdes_fs,
                 });
-                if batch.len() == PPE_BATCH {
+                if sampled {
+                    // A sampled packet flushes immediately: batching is
+                    // semantically per-packet, so results are unchanged,
+                    // and the postcard completes while the packet is the
+                    // processor's most recent.
+                    let (queue_bytes, queue_pkts) = depth.unwrap_or((0, 0));
+                    let cap = FlightCapture {
+                        queue_bytes,
+                        queue_pkts,
+                    };
+                    if let Some(state) = self.flight.as_mut() {
+                        flush!(state, cap);
+                    } else {
+                        flush!();
+                    }
+                } else if batch.len() == PPE_BATCH {
                     flush!();
                 }
             } else {
                 // Bypass path: SerDes in, merge, SerDes out. Flush so
                 // outputs still reach the sink in arrival order.
                 flush!();
-                dispatch_output(
+                let outcome = dispatch_output(
                     pkt.frame,
                     Verdict::Forward,
                     pkt.direction,
@@ -1009,9 +1287,25 @@ impl FlexSfp {
                     &mut self.optical,
                     &mut self.events,
                     &mut self.lifetime_drops,
+                    &mut self.windows,
                     &mut last_time_ns,
                     &mut sink,
                 );
+                if sampled {
+                    if let Some(state) = self.flight.as_mut() {
+                        // No PPE queue and no stages on the bypass path:
+                        // an honest all-zero postcard bar the verdict.
+                        state.push(
+                            pkt.arrival_ns,
+                            FlightCapture {
+                                queue_bytes: 0,
+                                queue_pkts: 0,
+                            },
+                            FlightStamp::default(),
+                            outcome.verdict(),
+                        );
+                    }
+                }
             }
         }
         flush!();
@@ -1060,6 +1354,7 @@ impl FlexSfp {
             events_drained: self.events_exported,
             cache: self.app.cache_stats().unwrap_or_default(),
             ctrl: self.control.ctrl_counters(),
+            windows: self.windows.clone(),
         }
     }
 }
@@ -1605,5 +1900,149 @@ mod tests {
             full.outputs.len(),
             full.forwarded.0 as usize + full.forwarded.1 as usize
         );
+    }
+
+    #[test]
+    fn flight_recorder_samples_deterministically() {
+        use flexsfp_obs::ToJson;
+        // Two modules, same seed, same trace: the drained record sets
+        // must be byte-identical through the JSON wire format.
+        let run = || {
+            let mut m = FlexSfp::passthrough();
+            m.enable_flight_recorder(64, 0xf00d, 4096);
+            m.run_stream(line_rate_trace(Direction::EdgeToOptical, 10_000, 64));
+            m.drain_flight_records()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty(), "1-in-64 over 10k packets must sample");
+        // ~156 expected; the Bernoulli draw has some variance.
+        assert!(a.len() > 50 && a.len() < 400, "sampled {}", a.len());
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        // Sequence numbers are monotone and arrival times sorted.
+        for w in a.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+            assert!(w[0].arrival_ns <= w[1].arrival_ns);
+        }
+        // Every postcard carries a concrete departure (passthrough
+        // forwards everything).
+        for r in &a {
+            match r.verdict {
+                FlightVerdict::Forwarded { departure_ns } => {
+                    assert!(departure_ns >= r.arrival_ns)
+                }
+                ref other => panic!("unexpected verdict {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flight_records_drain_via_oob() {
+        let mut m = FlexSfp::passthrough();
+        // Sample everything so the count is exact.
+        m.enable_flight_recorder(1, 7, 512);
+        m.run_stream(line_rate_trace(Direction::EdgeToOptical, 100, 64));
+        let payload =
+            ControlPlane::encode_request(&AuthKey::DEFAULT, &ControlRequest::ReadFlightRecords);
+        let resp_payload = m.handle_oob(&payload).expect("response due");
+        let resp = ControlPlane::decode_response(&AuthKey::DEFAULT, &resp_payload).unwrap();
+        let ControlResponse::FlightRecords(records) = resp else {
+            panic!("unexpected response {resp:?}");
+        };
+        assert_eq!(records.len(), 100);
+        // Drained means drained: a second read returns nothing.
+        let again = m.handle_oob(&payload).unwrap();
+        match ControlPlane::decode_response(&AuthKey::DEFAULT, &again).unwrap() {
+            ControlResponse::FlightRecords(r) => assert!(r.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Disarmed modules answer with an empty drain, not an error.
+        m.disable_flight_recorder();
+        let disarmed = m.handle_oob(&payload).unwrap();
+        match ControlPlane::decode_response(&AuthKey::DEFAULT, &disarmed).unwrap() {
+            ControlResponse::FlightRecords(r) => assert!(r.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampled_overflow_records_queue_depth() {
+        // The overloaded 1× Two-Way-Core: sampled postcards must show
+        // both growing queues and FIFO-overflow verdicts.
+        let mut trace = Vec::new();
+        let gap_ns = ((64 + 20) as f64 * 0.8).ceil() as u64;
+        for i in 0..5_000u64 {
+            let t = i * gap_ns;
+            for direction in [Direction::EdgeToOptical, Direction::OpticalToEdge] {
+                trace.push(SimPacket {
+                    arrival_ns: t,
+                    direction,
+                    frame: data_frame(64),
+                });
+            }
+        }
+        let mut m = FlexSfp::new(
+            ModuleConfig {
+                shell: ShellKind::TwoWayCore,
+                ppe_clock: ClockDomain::XGMII_10G,
+                ..Default::default()
+            },
+            Box::new(PassThrough),
+        );
+        m.enable_flight_recorder(1, 1, 16_384);
+        let report = m.run_stream(trace);
+        assert!(report.drops.fifo_overflow > 0);
+        let records = m.drain_flight_records();
+        assert_eq!(records.len() as u64 + m.flight_overwritten(), 10_000);
+        assert!(records.iter().any(|r| r.queue_pkts > 0));
+        let overflows = records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.verdict,
+                    FlightVerdict::Dropped {
+                        reason: DropReason::FifoOverflow
+                    }
+                )
+            })
+            .count();
+        assert!(overflows > 0, "overflow drops must be sampled too");
+        // An overflowed packet saw a full FIFO.
+        let full = records
+            .iter()
+            .find(|r| {
+                matches!(
+                    r.verdict,
+                    FlightVerdict::Dropped {
+                        reason: DropReason::FifoOverflow
+                    }
+                )
+            })
+            .unwrap();
+        assert!(full.queue_bytes > 0);
+    }
+
+    #[test]
+    fn windows_feed_snapshot_and_slo() {
+        let mut m = FlexSfp::passthrough();
+        let report = m.run(line_rate_trace(Direction::EdgeToOptical, 2_000, 64));
+        assert_eq!(report.forwarded.1, 2_000);
+        let life = m.windows().lifetime();
+        assert_eq!(life.forwarded, 2_000);
+        assert_eq!(life.latency.count(), 2_000);
+        // The snapshot carries the same series.
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.windows.lifetime().forwarded, 2_000);
+        // A generous SLO holds on the healthy run.
+        let spec = flexsfp_obs::SloSpec::generous();
+        let report = flexsfp_obs::slo::evaluate(&spec, m.windows());
+        assert!(report.healthy, "breaches: {:?}", report.breaches);
+        // App drops are explained: they never breach the
+        // unexplained-drop bound, and the verdict stays healthy on a
+        // latency-only spec.
+        let mut d = FlexSfp::new(ModuleConfig::default(), Box::new(DropAll));
+        d.run(line_rate_trace(Direction::EdgeToOptical, 500, 64));
+        assert_eq!(d.windows().lifetime().drops_app, 500);
+        assert_eq!(d.windows().lifetime().drops_unexplained, 0);
     }
 }

@@ -1,0 +1,20 @@
+//! Bakes the git revision into the collector's `flexsfp_build_info`
+//! metric. Builds outside a checkout (vendored tarballs, CI caches
+//! without `.git`) fall back to `unknown` — the build stays hermetic.
+
+use std::process::Command;
+
+fn main() {
+    let describe = Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=FLEXSFP_GIT_DESCRIBE={describe}");
+    // Re-stamp when HEAD moves; harmless if the path does not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -14,8 +14,15 @@
 
 use crate::chaos::ImpairStats;
 use crate::mgmt::{MgmtError, TransportStats};
-use flexsfp_obs::{DataplaneEvent, LatencyHistogram, PromText, TelemetrySnapshot, ToJson, Value};
+use flexsfp_obs::{
+    DataplaneEvent, LatencyHistogram, PromText, SloReport, SloSpec, TelemetrySnapshot, ToJson,
+    Value, WindowBucket, WindowedSeries,
+};
 use std::collections::BTreeMap;
+
+/// Git revision baked in at build time (`git describe`, or `unknown`
+/// outside a checkout) — exported through `flexsfp_build_info`.
+pub const GIT_DESCRIBE: &str = env!("FLEXSFP_GIT_DESCRIBE");
 
 /// Traced events retained per module on the host (ring rings drain into
 /// this bounded log; oldest entries are discarded first).
@@ -41,6 +48,9 @@ pub struct FleetCollector {
     transport: Option<TransportStats>,
     /// Per-module channel impairment accounting, when provided.
     channels: BTreeMap<String, ImpairStats>,
+    /// Fleet SLO spec; when set, `flexsfp_slo_*` families are rendered
+    /// from each module's windowed series.
+    slo: Option<SloSpec>,
 }
 
 impl FleetCollector {
@@ -130,6 +140,44 @@ impl FleetCollector {
         self.channels.insert(module_id.to_string(), stats);
     }
 
+    /// Set (or replace) the fleet SLO spec. Subsequent renders include
+    /// per-module `flexsfp_slo_*` families evaluated against each
+    /// module's windowed time-series.
+    pub fn set_slo_spec(&mut self, spec: SloSpec) {
+        self.slo = Some(spec);
+    }
+
+    /// Evaluate the configured SLO spec against every module's latest
+    /// windowed series. Empty when no spec is set.
+    pub fn slo_reports(&self) -> BTreeMap<String, SloReport> {
+        let Some(spec) = self.slo else {
+            return BTreeMap::new();
+        };
+        self.modules
+            .iter()
+            .map(|(id, rec)| {
+                (
+                    id.clone(),
+                    flexsfp_obs::slo::evaluate(&spec, &rec.snapshot.windows),
+                )
+            })
+            .collect()
+    }
+
+    /// Fleet-wide windowed series: every module's series merged bucket
+    /// by bucket (mergeability is the point of the rotating design).
+    pub fn fleet_windows(&self) -> WindowedSeries {
+        let mut iter = self.modules.values();
+        let Some(first) = iter.next() else {
+            return WindowedSeries::default();
+        };
+        let mut merged = first.snapshot.windows.clone();
+        for rec in iter {
+            merged.merge(&rec.snapshot.windows);
+        }
+        merged
+    }
+
     /// Latest snapshot for one module, if it has reported.
     pub fn module(&self, module_id: &str) -> Option<&TelemetrySnapshot> {
         self.modules.get(module_id).map(|r| &r.snapshot)
@@ -163,6 +211,20 @@ impl FleetCollector {
     /// Render the fleet as Prometheus text exposition.
     pub fn render_prometheus(&self) -> String {
         let mut p = PromText::new();
+
+        p.header(
+            "flexsfp_build_info",
+            "Collector build identity (value is always 1).",
+            "gauge",
+        );
+        p.sample(
+            "flexsfp_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("git", GIT_DESCRIBE),
+            ],
+            1.0,
+        );
 
         p.header("flexsfp_modules", "Modules reporting telemetry.", "gauge");
         p.sample("flexsfp_modules", &[], self.modules.len() as f64);
@@ -369,6 +431,146 @@ impl FleetCollector {
                 rec.snapshot.events_drained as f64,
             );
         }
+        // The same counters under the shorter canonical names; the
+        // `flexsfp_trace_events_*` spellings above stay for existing
+        // dashboards.
+        p.header(
+            "flexsfp_events_overwritten_total",
+            "Dataplane events lost to ring overwrite before draining.",
+            "counter",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_events_overwritten_total",
+                &[("module", id)],
+                rec.snapshot.events_overwritten as f64,
+            );
+        }
+        p.header(
+            "flexsfp_events_drained_total",
+            "Dataplane events drained over all scrapes.",
+            "counter",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_events_drained_total",
+                &[("module", id)],
+                rec.snapshot.events_drained as f64,
+            );
+        }
+
+        // Windowed (recent) views, computed over the live ring only —
+        // the lifetime histogram above cannot show a regression that
+        // started a minute ago; these can.
+        p.header(
+            "flexsfp_window_latency_p999_ns",
+            "p99.9 forwarding latency over the retained windows, nanoseconds.",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            let recent = Self::recent(&rec.snapshot.windows);
+            p.sample(
+                "flexsfp_window_latency_p999_ns",
+                &[("module", id)],
+                recent.latency.p999() as f64,
+            );
+        }
+        p.header(
+            "flexsfp_window_forwarded_pps",
+            "Forwarding rate over the retained windows, packets per second.",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_window_forwarded_pps",
+                &[("module", id)],
+                Self::window_rate(&rec.snapshot.windows),
+            );
+        }
+        p.header(
+            "flexsfp_window_unexplained_drop_ratio",
+            "Unexplained drops / packets over the retained windows.",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            let recent = Self::recent(&rec.snapshot.windows);
+            p.sample(
+                "flexsfp_window_unexplained_drop_ratio",
+                &[("module", id)],
+                recent.unexplained_drop_rate(),
+            );
+        }
+        p.header(
+            "flexsfp_fleet_window_latency_p999_ns",
+            "Fleet-wide p99.9 over the retained windows (bucket-merged).",
+            "gauge",
+        );
+        p.sample(
+            "flexsfp_fleet_window_latency_p999_ns",
+            &[],
+            Self::recent(&self.fleet_windows()).latency.p999() as f64,
+        );
+
+        // SLO verdicts, when a spec is configured.
+        if let Some(spec) = self.slo {
+            p.header(
+                "flexsfp_slo_healthy",
+                "1 when the module meets the fleet SLO spec over its windows.",
+                "gauge",
+            );
+            let reports = self.slo_reports();
+            for (id, report) in &reports {
+                p.sample(
+                    "flexsfp_slo_healthy",
+                    &[("module", id)],
+                    if report.healthy { 1.0 } else { 0.0 },
+                );
+            }
+            p.header(
+                "flexsfp_slo_breached_windows",
+                "Windows breaching the SLO spec in the latest evaluation.",
+                "gauge",
+            );
+            for (id, report) in &reports {
+                p.sample(
+                    "flexsfp_slo_breached_windows",
+                    &[("module", id)],
+                    report.breaches.len() as f64,
+                );
+            }
+            p.header(
+                "flexsfp_slo_windows_evaluated",
+                "Non-empty windows evaluated against the SLO spec.",
+                "gauge",
+            );
+            for (id, report) in &reports {
+                p.sample(
+                    "flexsfp_slo_windows_evaluated",
+                    &[("module", id)],
+                    report.windows_evaluated as f64,
+                );
+            }
+            for (name, help, v) in [
+                (
+                    "flexsfp_slo_p999_latency_bound_ns",
+                    "Configured p99.9 latency bound, nanoseconds.",
+                    spec.p999_latency_ns as f64,
+                ),
+                (
+                    "flexsfp_slo_max_unexplained_drop_rate",
+                    "Configured unexplained-drop ceiling (fraction of packets).",
+                    spec.max_unexplained_drop_rate,
+                ),
+                (
+                    "flexsfp_slo_min_cache_hit_rate",
+                    "Configured flow-cache hit-rate floor.",
+                    spec.min_cache_hit_rate,
+                ),
+            ] {
+                p.header(name, help, "gauge");
+                p.sample(name, &[], v);
+            }
+        }
 
         // Control-channel resilience counters (§5.3): the module-side
         // update FSM view…
@@ -489,6 +691,27 @@ impl FleetCollector {
             })
             .collect();
         Value::Object(doc).to_string_pretty()
+    }
+
+    /// Merge of the live (in-ring) windows only — the "recent" view the
+    /// window gauges are computed from (the evicted catch-all belongs
+    /// to the lifetime figures).
+    fn recent(series: &WindowedSeries) -> WindowBucket {
+        let mut acc = WindowBucket::default();
+        for w in series.windows() {
+            acc.merge(w);
+        }
+        acc
+    }
+
+    /// Forwarding rate over the retained windows, packets per second.
+    fn window_rate(series: &WindowedSeries) -> f64 {
+        let live = series.windows();
+        if live.is_empty() {
+            return 0.0;
+        }
+        let span_ns = live.len() as f64 * series.width_ns() as f64;
+        Self::recent(series).forwarded as f64 * 1e9 / span_ns
     }
 
     fn port_samples(
@@ -696,6 +919,47 @@ mod tests {
             "missing cache counter in:\n{text}"
         );
         assert!(text.contains("flexsfp_flow_cache_hit_ratio{module=\"FSFP-0000\"} 0\n"));
+    }
+
+    #[test]
+    fn window_slo_and_build_info_metrics_rendered() {
+        let f = fleet(2);
+        for i in 0..2 {
+            f.with_module(i, |m| {
+                m.run(packets(50));
+            });
+        }
+        let mut c = FleetCollector::new();
+        c.ingest_sweep(f.telemetry_snapshots());
+        c.set_slo_spec(SloSpec::generous());
+        let text = c.render_prometheus();
+        assert!(text.contains("flexsfp_build_info{version=\""), "{text}");
+        assert!(text.contains("flexsfp_events_overwritten_total{module=\"FSFP-0000\"}"));
+        assert!(text.contains("flexsfp_events_drained_total{module=\"FSFP-0001\"}"));
+        assert!(text.contains("flexsfp_window_latency_p999_ns{module=\"FSFP-0000\"}"));
+        assert!(text.contains("flexsfp_window_forwarded_pps{module=\"FSFP-0000\"}"));
+        assert!(text.contains("flexsfp_fleet_window_latency_p999_ns "));
+        assert!(text.contains("flexsfp_slo_healthy{module=\"FSFP-0000\"} 1\n"));
+        assert!(text.contains("flexsfp_slo_p999_latency_bound_ns 100000\n"));
+        assert!(c.slo_reports().values().all(|r| r.healthy));
+        // Both modules' windows merge into the fleet series.
+        assert_eq!(c.fleet_windows().lifetime().forwarded, 100);
+
+        // A hostile spec breaches everywhere and flips the gauges.
+        c.set_slo_spec(SloSpec {
+            p999_latency_ns: 1,
+            max_unexplained_drop_rate: 0.0,
+            min_cache_hit_rate: 0.0,
+        });
+        let reports = c.slo_reports();
+        assert!(reports.values().all(|r| !r.healthy));
+        assert!(reports.values().all(|r| !r.breaches.is_empty()));
+        let text = c.render_prometheus();
+        assert!(text.contains("flexsfp_slo_healthy{module=\"FSFP-0000\"} 0\n"));
+        // Without a spec no SLO families render at all.
+        let plain = FleetCollector::new().render_prometheus();
+        assert!(!plain.contains("flexsfp_slo_"));
+        assert!(plain.contains("flexsfp_build_info{"));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use flexsfp_core::control::{
 use flexsfp_core::module::FlexSfp;
 use flexsfp_core::reprogram::MAX_CHUNK;
 use flexsfp_fabric::hash::crc32;
-use flexsfp_obs::{DomSnapshot, TelemetrySnapshot};
+use flexsfp_obs::{DomSnapshot, FlightRecord, TelemetrySnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -298,6 +298,20 @@ impl ManagementClient {
     ) -> Result<TelemetrySnapshot, MgmtError> {
         match self.call_retry(port, &ControlRequest::ReadTelemetry)? {
             ControlResponse::Telemetry(snap) => Ok(*snap),
+            ControlResponse::Error(e) => Err(MgmtError::Module(e)),
+            _ => Err(MgmtError::Unexpected),
+        }
+    }
+
+    /// Drain the module's flight recorder: the sampled-packet
+    /// postcards accumulated since the previous drain, oldest first.
+    /// Empty when the recorder is disarmed.
+    pub fn read_flight_records<P: ModulePort>(
+        &self,
+        port: &mut P,
+    ) -> Result<Vec<FlightRecord>, MgmtError> {
+        match self.call_retry(port, &ControlRequest::ReadFlightRecords)? {
+            ControlResponse::FlightRecords(records) => Ok(records),
             ControlResponse::Error(e) => Err(MgmtError::Module(e)),
             _ => Err(MgmtError::Unexpected),
         }
@@ -634,6 +648,27 @@ mod tests {
         // Telemetry is only served out-of-band; the wrong key gets nothing.
         let bad = ManagementClient::new(AuthKey::from_passphrase("wrong"));
         assert_eq!(bad.read_telemetry(&mut m), Err(MgmtError::NoResponse));
+    }
+
+    #[test]
+    fn flight_records_read_via_client() {
+        use flexsfp_core::module::SimPacket;
+        use flexsfp_ppe::Direction;
+        let mut m = module();
+        let c = client();
+        // Disarmed recorder: an empty drain, not an error.
+        assert!(c.read_flight_records(&mut m).unwrap().is_empty());
+        m.enable_flight_recorder(1, 3, 64);
+        m.run_stream((0..10u64).map(|i| SimPacket {
+            arrival_ns: i * 1_000,
+            direction: Direction::EdgeToOptical,
+            frame: vec![0u8; 64],
+        }));
+        let records = c.read_flight_records(&mut m).unwrap();
+        assert_eq!(records.len(), 10);
+        assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+        // The drain emptied the ring.
+        assert!(c.read_flight_records(&mut m).unwrap().is_empty());
     }
 
     #[test]

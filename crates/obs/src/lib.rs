@@ -15,6 +15,16 @@
 //! * [`snapshot`] — the [`TelemetrySnapshot`] wire format a module
 //!   serializes over its OOB/management channel, plus the named
 //!   [`DomSnapshot`] DOM readout;
+//! * [`trace`] — the flight recorder's INT-style per-packet postcards
+//!   ([`FlightRecord`]) in a bounded [`FlightRing`], plus a
+//!   chrome://tracing exporter ([`trace::chrome_trace`]) so sampled
+//!   packets open directly in Perfetto;
+//! * [`timeseries`] — a rotating ring of time buckets
+//!   ([`WindowedSeries`]) with mergeable per-window histograms and rate
+//!   counters, so collectors can compute `rate()` and p99.9-over-window
+//!   instead of lifetime-only aggregates;
+//! * [`slo`] — [`SloSpec`] evaluation over a windowed series into an
+//!   [`SloReport`] naming each breach window;
 //! * [`prometheus`] — Prometheus text-exposition rendering helpers used
 //!   by the host-side fleet collector;
 //! * [`json`] — a dependency-free JSON value/parser/emitter (with the
@@ -33,12 +43,18 @@ pub mod events;
 pub mod histogram;
 pub mod json;
 pub mod prometheus;
+pub mod slo;
 pub mod snapshot;
+pub mod timeseries;
+pub mod trace;
 
 pub use events::{DataplaneEvent, DropReason, EventKind, EventRing};
 pub use histogram::LatencyHistogram;
 pub use json::{FromJson, ToJson, Value};
 pub use prometheus::PromText;
+pub use slo::{SloBreach, SloReport, SloSpec};
 pub use snapshot::{
     CacheStats, CtrlCounters, DomSnapshot, DropCounters, PortCounters, TelemetrySnapshot,
 };
+pub use timeseries::{WindowBucket, WindowedSeries};
+pub use trace::{FlightRecord, FlightRing, FlightStamp, FlightVerdict, StageStamp};

@@ -193,6 +193,10 @@ pub struct TelemetrySnapshot {
     pub cache: CacheStats,
     /// Control-plane/OTA resilience counters.
     pub ctrl: CtrlCounters,
+    /// Windowed time-series of recent activity (latency, drops, cache
+    /// lookups per window), so the collector can compute rates and
+    /// per-window quantiles instead of lifetime-only aggregates.
+    pub windows: crate::timeseries::WindowedSeries,
 }
 
 crate::impl_json_struct!(DomSnapshot {
@@ -244,6 +248,7 @@ crate::impl_json_struct!(TelemetrySnapshot {
     events_drained,
     cache,
     ctrl,
+    windows,
 });
 
 #[cfg(test)]
@@ -323,6 +328,13 @@ mod tests {
                 update_aborts: 1,
                 update_errors: 2,
                 status_queries: 5,
+            },
+            windows: {
+                let mut w = crate::timeseries::WindowedSeries::new(1_000_000, 8);
+                w.record_forwarded(500, 300.0);
+                w.record_forwarded(1_200_000, 1_200.0);
+                w.record_drop(1_300_000, true);
+                w
             },
         };
         use crate::json::{FromJson, ToJson, Value};

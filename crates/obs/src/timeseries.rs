@@ -1,0 +1,420 @@
+//! Windowed time-series telemetry.
+//!
+//! Lifetime aggregates answer "how fast overall" but not "what happened
+//! at 12:03 when p99.9 spiked". This module keeps a rotating ring of
+//! fixed-width time buckets, each holding a mergeable latency histogram
+//! plus rate counters, so a collector can compute `rate()` and
+//! p99.9-over-window per module and fleet-wide.
+//!
+//! Rotation never loses data: when a bucket ages out of the ring it is
+//! merged into a single `evicted` catch-all bucket, so the union of the
+//! evicted bucket and the live windows always equals the lifetime
+//! aggregate (a property the proptest suite checks bit-for-bit).
+
+use crate::histogram::LatencyHistogram;
+
+/// Default window width: 1 ms of simulated time.
+pub const DEFAULT_WINDOW_WIDTH_NS: u64 = 1_000_000;
+
+/// Default number of live windows retained before eviction.
+pub const DEFAULT_WINDOW_CAPACITY: usize = 32;
+
+/// One fixed-width time bucket of dataplane activity.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WindowBucket {
+    /// Bucket start, nanoseconds since module boot (aligned to the
+    /// series width; 0 for the evicted catch-all).
+    pub start_ns: u64,
+    /// Forwarding latency of packets that departed in this window.
+    pub latency: LatencyHistogram,
+    /// Packets forwarded in this window.
+    pub forwarded: u64,
+    /// Packets dropped by the app's verdict (explained drops).
+    pub drops_app: u64,
+    /// Packets dropped by the infrastructure — FIFO overflow, link
+    /// down, unsorted arrival (unexplained drops, SLO-relevant).
+    pub drops_unexplained: u64,
+    /// Microflow-cache hits attributed to this window.
+    pub cache_hits: u64,
+    /// Microflow-cache misses attributed to this window.
+    pub cache_misses: u64,
+}
+
+impl WindowBucket {
+    /// A bucket starting at `start_ns` with nothing recorded.
+    pub fn at(start_ns: u64) -> WindowBucket {
+        WindowBucket {
+            start_ns,
+            ..WindowBucket::default()
+        }
+    }
+
+    /// True when nothing has been recorded into this bucket.
+    pub fn is_empty(&self) -> bool {
+        self.forwarded == 0
+            && self.drops_app == 0
+            && self.drops_unexplained == 0
+            && self.cache_hits == 0
+            && self.cache_misses == 0
+            && self.latency.is_empty()
+    }
+
+    /// Packets observed in this window (forwarded plus all drops).
+    pub fn packets(&self) -> u64 {
+        self.forwarded + self.drops_app + self.drops_unexplained
+    }
+
+    /// Fraction of observed packets dropped unexplained (0.0 when the
+    /// window saw no packets).
+    pub fn unexplained_drop_rate(&self) -> f64 {
+        if self.packets() == 0 {
+            0.0
+        } else {
+            self.drops_unexplained as f64 / self.packets() as f64
+        }
+    }
+
+    /// Cache hit rate over this window, `None` when it saw no lookups.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / lookups as f64)
+        }
+    }
+
+    /// Fold another bucket into this one (histograms merge losslessly;
+    /// counters add). Keeps the earlier `start_ns` of the two unless
+    /// this bucket is still empty, in which case it adopts `other`'s.
+    pub fn merge(&mut self, other: &WindowBucket) {
+        if self.is_empty() {
+            self.start_ns = other.start_ns;
+        } else {
+            self.start_ns = self.start_ns.min(other.start_ns);
+        }
+        self.latency.merge(&other.latency);
+        self.forwarded += other.forwarded;
+        self.drops_app += other.drops_app;
+        self.drops_unexplained += other.drops_unexplained;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+/// A rotating ring of [`WindowBucket`]s over simulated time.
+///
+/// Buckets are created on demand (quiet windows occupy no memory) and
+/// kept sorted by `start_ns`. When more than `capacity` live windows
+/// exist, the oldest is merged into the `evicted` catch-all — samples
+/// are conserved across rotation, never double-counted or lost.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WindowedSeries {
+    width_ns: u64,
+    capacity: u64,
+    windows: Vec<WindowBucket>,
+    evicted: WindowBucket,
+}
+
+impl Default for WindowedSeries {
+    fn default() -> WindowedSeries {
+        WindowedSeries::new(DEFAULT_WINDOW_WIDTH_NS, DEFAULT_WINDOW_CAPACITY)
+    }
+}
+
+impl WindowedSeries {
+    /// A series of `capacity` live windows, each `width_ns` wide.
+    /// Width and capacity are clamped to at least 1.
+    pub fn new(width_ns: u64, capacity: usize) -> WindowedSeries {
+        WindowedSeries {
+            width_ns: width_ns.max(1),
+            capacity: capacity.max(1) as u64,
+            windows: Vec::new(),
+            evicted: WindowBucket::default(),
+        }
+    }
+
+    /// Window width in nanoseconds.
+    pub fn width_ns(&self) -> u64 {
+        self.width_ns
+    }
+
+    /// Maximum number of live windows before eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Live windows, oldest first.
+    pub fn windows(&self) -> &[WindowBucket] {
+        &self.windows
+    }
+
+    /// The catch-all bucket holding everything rotated out of the ring.
+    pub fn evicted(&self) -> &WindowBucket {
+        &self.evicted
+    }
+
+    fn aligned(&self, timestamp_ns: u64) -> u64 {
+        timestamp_ns - timestamp_ns % self.width_ns
+    }
+
+    /// The bucket covering `timestamp_ns`, creating (and rotating) as
+    /// needed. Timestamps older than the oldest live window land in the
+    /// evicted catch-all so a late sample is counted, not lost.
+    fn bucket_mut(&mut self, timestamp_ns: u64) -> &mut WindowBucket {
+        let start = self.aligned(timestamp_ns);
+        // Fast path: the newest window (packets arrive nearly in order).
+        match self.windows.last().map(|w| w.start_ns) {
+            Some(last) if last == start => {}
+            Some(last) if start > last => {
+                self.windows.push(WindowBucket::at(start));
+                if self.windows.len() as u64 > self.capacity {
+                    let old = self.windows.remove(0);
+                    self.evicted.merge(&old);
+                }
+            }
+            Some(_) => {
+                // Slightly out of order: reverse scan the short ring.
+                if let Some(idx) = self.windows.iter().rposition(|w| w.start_ns == start) {
+                    return &mut self.windows[idx];
+                }
+                if self.windows.first().map(|w| w.start_ns > start) == Some(true) {
+                    return &mut self.evicted;
+                }
+                // A gap between live windows: insert in order.
+                let at = self
+                    .windows
+                    .iter()
+                    .position(|w| w.start_ns > start)
+                    .unwrap_or(self.windows.len());
+                self.windows.insert(at, WindowBucket::at(start));
+                return &mut self.windows[at];
+            }
+            None => self.windows.push(WindowBucket::at(start)),
+        }
+        self.windows.last_mut().expect("just pushed")
+    }
+
+    /// Record a forwarded packet and its latency at `timestamp_ns`.
+    pub fn record_forwarded(&mut self, timestamp_ns: u64, latency_ns: f64) {
+        let b = self.bucket_mut(timestamp_ns);
+        b.forwarded += 1;
+        b.latency.record_f64(latency_ns);
+    }
+
+    /// Record a dropped packet; `unexplained` is true for drops the app
+    /// did not ask for (FIFO overflow, link down, unsorted arrival).
+    pub fn record_drop(&mut self, timestamp_ns: u64, unexplained: bool) {
+        let b = self.bucket_mut(timestamp_ns);
+        if unexplained {
+            b.drops_unexplained += 1;
+        } else {
+            b.drops_app += 1;
+        }
+    }
+
+    /// Attribute a delta of microflow-cache lookups to `timestamp_ns`.
+    pub fn record_cache(&mut self, timestamp_ns: u64, hits: u64, misses: u64) {
+        if hits == 0 && misses == 0 {
+            return;
+        }
+        let b = self.bucket_mut(timestamp_ns);
+        b.cache_hits += hits;
+        b.cache_misses += misses;
+    }
+
+    /// Everything the series has ever absorbed, folded into one bucket
+    /// (evicted catch-all plus all live windows). By construction this
+    /// equals the lifetime aggregate bit-for-bit.
+    pub fn lifetime(&self) -> WindowBucket {
+        let mut total = self.evicted.clone();
+        for w in &self.windows {
+            total.merge(w);
+        }
+        total
+    }
+
+    /// Merge another series' buckets into this one window-by-window
+    /// (fleet-wide aggregation). Buckets with matching starts merge;
+    /// the other's evicted catch-all folds into ours.
+    pub fn merge(&mut self, other: &WindowedSeries) {
+        self.evicted.merge(&other.evicted);
+        for w in &other.windows {
+            let start = self.aligned(w.start_ns);
+            if let Some(mine) = self.windows.iter_mut().find(|m| m.start_ns == start) {
+                mine.merge(w);
+            } else {
+                let at = self
+                    .windows
+                    .iter()
+                    .position(|m| m.start_ns > w.start_ns)
+                    .unwrap_or(self.windows.len());
+                self.windows.insert(at, w.clone());
+            }
+        }
+        while self.windows.len() as u64 > self.capacity {
+            let old = self.windows.remove(0);
+            self.evicted.merge(&old);
+        }
+    }
+}
+
+crate::impl_json_struct!(WindowBucket {
+    start_ns,
+    latency,
+    forwarded,
+    drops_app,
+    drops_unexplained,
+    cache_hits,
+    cache_misses
+});
+crate::impl_json_struct!(WindowedSeries {
+    width_ns,
+    capacity,
+    windows,
+    evicted
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{FromJson, ToJson, Value};
+
+    #[test]
+    fn buckets_align_to_width() {
+        let mut s = WindowedSeries::new(1_000, 4);
+        s.record_forwarded(0, 10.0);
+        s.record_forwarded(999, 20.0);
+        s.record_forwarded(1_000, 30.0);
+        assert_eq!(s.windows().len(), 2);
+        assert_eq!(s.windows()[0].start_ns, 0);
+        assert_eq!(s.windows()[0].forwarded, 2);
+        assert_eq!(s.windows()[1].start_ns, 1_000);
+        assert_eq!(s.windows()[1].forwarded, 1);
+    }
+
+    #[test]
+    fn quiet_windows_are_skipped() {
+        let mut s = WindowedSeries::new(1_000, 8);
+        s.record_forwarded(500, 1.0);
+        s.record_forwarded(10_500, 1.0);
+        assert_eq!(s.windows().len(), 2);
+        assert_eq!(s.windows()[1].start_ns, 10_000);
+    }
+
+    #[test]
+    fn eviction_merges_into_catch_all() {
+        let mut s = WindowedSeries::new(100, 2);
+        for t in [0u64, 150, 250, 350] {
+            s.record_forwarded(t, t as f64);
+        }
+        assert_eq!(s.windows().len(), 2);
+        // Windows 0 and 100 rotated out; their packets survive.
+        assert_eq!(s.evicted().forwarded, 2);
+        assert_eq!(s.lifetime().forwarded, 4);
+        assert_eq!(s.lifetime().latency.count(), 4);
+    }
+
+    #[test]
+    fn late_samples_land_in_evicted_not_lost() {
+        let mut s = WindowedSeries::new(100, 2);
+        for t in [0u64, 150, 250, 350] {
+            s.record_forwarded(t, 1.0);
+        }
+        // Oldest live window now starts at 200; t=20 is ancient.
+        s.record_drop(20, true);
+        assert_eq!(s.evicted().drops_unexplained, 1);
+        assert_eq!(s.lifetime().drops_unexplained, 1);
+    }
+
+    #[test]
+    fn out_of_order_within_ring_finds_its_bucket() {
+        let mut s = WindowedSeries::new(100, 8);
+        s.record_forwarded(50, 1.0);
+        s.record_forwarded(250, 1.0);
+        s.record_forwarded(80, 1.0); // back into the first window
+        s.record_drop(150, false); // gap window between the two
+        assert_eq!(s.windows().len(), 3);
+        assert_eq!(
+            s.windows().iter().map(|w| w.start_ns).collect::<Vec<_>>(),
+            vec![0, 100, 200]
+        );
+        assert_eq!(s.windows()[0].forwarded, 2);
+        assert_eq!(s.windows()[1].drops_app, 1);
+    }
+
+    #[test]
+    fn lifetime_matches_reference_histogram() {
+        let mut s = WindowedSeries::new(1_000, 3);
+        let mut reference = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let lat = (i * 37 % 9_000 + 100) as f64;
+            s.record_forwarded(i * 61, lat);
+            reference.record_f64(lat);
+        }
+        assert_eq!(s.lifetime().latency, reference);
+        assert_eq!(s.lifetime().forwarded, 500);
+    }
+
+    #[test]
+    fn rates_and_emptiness() {
+        let mut b = WindowBucket::default();
+        assert!(b.is_empty());
+        assert_eq!(b.unexplained_drop_rate(), 0.0);
+        assert_eq!(b.cache_hit_rate(), None);
+        b.forwarded = 3;
+        b.drops_unexplained = 1;
+        b.cache_hits = 9;
+        b.cache_misses = 1;
+        assert!(!b.is_empty());
+        assert!((b.unexplained_drop_rate() - 0.25).abs() < 1e-12);
+        assert!((b.cache_hit_rate().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_deltas_attributed_to_window() {
+        let mut s = WindowedSeries::new(1_000, 4);
+        s.record_cache(100, 5, 2);
+        s.record_cache(100, 0, 0); // no-op: creates no bucket churn
+        assert_eq!(s.windows().len(), 1);
+        assert_eq!(s.windows()[0].cache_hits, 5);
+        assert_eq!(s.windows()[0].cache_misses, 2);
+    }
+
+    #[test]
+    fn fleet_merge_lines_up_buckets() {
+        let mut a = WindowedSeries::new(1_000, 4);
+        let mut b = WindowedSeries::new(1_000, 4);
+        a.record_forwarded(500, 10.0);
+        b.record_forwarded(700, 20.0);
+        b.record_forwarded(1_500, 30.0);
+        a.merge(&b);
+        assert_eq!(a.windows().len(), 2);
+        assert_eq!(a.windows()[0].forwarded, 2);
+        assert_eq!(a.windows()[1].forwarded, 1);
+        assert_eq!(a.lifetime().forwarded, 3);
+    }
+
+    #[test]
+    fn series_round_trips_through_json() {
+        let mut s = WindowedSeries::new(100, 2);
+        for t in [0u64, 150, 250, 350] {
+            s.record_forwarded(t, t as f64 + 1.0);
+        }
+        s.record_drop(300, true);
+        s.record_cache(320, 4, 1);
+        let json = s.to_json().to_string();
+        let back = WindowedSeries::from_json(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.lifetime(), s.lifetime());
+    }
+
+    #[test]
+    fn width_and_capacity_clamp() {
+        let s = WindowedSeries::new(0, 0);
+        assert_eq!(s.width_ns(), 1);
+        assert_eq!(s.capacity(), 1);
+    }
+}

@@ -4,7 +4,7 @@
 //! relative-error bound, merge-equals-concatenation, and event-ring
 //! loss accounting.
 
-use flexsfp_obs::{DataplaneEvent, EventKind, EventRing, LatencyHistogram};
+use flexsfp_obs::{DataplaneEvent, EventKind, EventRing, LatencyHistogram, WindowedSeries};
 use proptest::prelude::*;
 
 /// The exact sample quantile using the same rank rule as the
@@ -127,5 +127,62 @@ proptest! {
             pushed,
             ring.drained() + ring.overwritten() + ring.len() as u64
         );
+    }
+
+    /// Merging every rotated window histogram (the evicted catch-all
+    /// plus the live ring) is bit-identical to a lifetime histogram fed
+    /// the same latency stream — rotation never loses or double-counts
+    /// a sample, whatever the width, capacity and timestamp pattern.
+    #[test]
+    fn window_rotation_conserves_histogram(
+        width in 1u64..5_000,
+        capacity in 1usize..16,
+        samples in prop::collection::vec((0u64..1_000_000, 0u64..1_000_000), 0..400),
+    ) {
+        let mut series = WindowedSeries::new(width, capacity);
+        let mut lifetime = LatencyHistogram::new();
+        for &(ts, lat) in &samples {
+            series.record_forwarded(ts, lat as f64);
+            lifetime.record_f64(lat as f64);
+        }
+        let merged = series.lifetime();
+        prop_assert_eq!(&merged.latency, &lifetime);
+        prop_assert_eq!(merged.forwarded, samples.len() as u64);
+        prop_assert!(series.windows().len() <= capacity);
+    }
+
+    /// Counter conservation across rotation boundaries: forwarded,
+    /// drop and cache counters summed over evicted + live windows equal
+    /// exactly what was recorded, for any interleaving of record kinds
+    /// (including out-of-order and ancient timestamps).
+    #[test]
+    fn window_rotation_conserves_counters(
+        width in 1u64..2_000,
+        capacity in 1usize..8,
+        ops in prop::collection::vec((0u64..200_000, 0u8..4, 0u64..10, 0u64..10), 0..300),
+    ) {
+        let mut series = WindowedSeries::new(width, capacity);
+        let (mut fwd, mut app, mut unexplained, mut hits, mut misses) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for &(ts, kind, h, m) in &ops {
+            match kind {
+                0 => { series.record_forwarded(ts, ts as f64); fwd += 1; }
+                1 => { series.record_drop(ts, false); app += 1; }
+                2 => { series.record_drop(ts, true); unexplained += 1; }
+                _ => { series.record_cache(ts, h, m); hits += h; misses += m; }
+            }
+        }
+        let total = series.lifetime();
+        prop_assert_eq!(total.forwarded, fwd);
+        prop_assert_eq!(total.drops_app, app);
+        prop_assert_eq!(total.drops_unexplained, unexplained);
+        prop_assert_eq!(total.cache_hits, hits);
+        prop_assert_eq!(total.cache_misses, misses);
+        prop_assert_eq!(total.latency.count(), fwd);
+        // The JSON wire format carries the whole series losslessly.
+        use flexsfp_obs::{FromJson, ToJson, Value};
+        let back = WindowedSeries::from_json(
+            &Value::parse(&series.to_json().to_string()).unwrap()
+        ).unwrap();
+        prop_assert_eq!(back, series);
     }
 }

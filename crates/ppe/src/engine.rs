@@ -223,6 +223,24 @@ pub trait PacketProcessor: Send {
         TableOpResult::Unsupported
     }
 
+    /// Enable or disable flight-recorder stage stamping. While enabled
+    /// the processor keeps a [`flexsfp_obs::FlightStamp`] for the most
+    /// recently processed packet, retrievable via
+    /// [`flight_stamp`](PacketProcessor::flight_stamp). Returns `true`
+    /// if the processor can stamp (the default cannot and returns
+    /// `false` — the shell then records postcards with empty stage
+    /// lists, which is honest for a stage-less program).
+    fn set_flight_recording(&mut self, _enabled: bool) -> bool {
+        false
+    }
+
+    /// The stamp of the most recently processed packet, `None` when
+    /// stamping is off or unsupported. The shell's sampler calls this
+    /// immediately after processing a sampled packet.
+    fn flight_stamp(&self) -> Option<flexsfp_obs::FlightStamp> {
+        None
+    }
+
     /// Drain buffered dataplane trace events (parse errors, table
     /// misses, app-level drops). Applications with an internal trace
     /// ring override this; the default traces nothing.

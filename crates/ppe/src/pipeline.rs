@@ -13,7 +13,10 @@ use crate::match_kinds::{LpmTable, TernaryTable};
 use crate::meter::TokenBucket;
 use crate::parser::{ParsedPacket, Parser, L4};
 use crate::tables::{HashTable, TableKey};
-use flexsfp_obs::{CacheStats, DataplaneEvent, DropReason, EventKind, EventRing, LatencyHistogram};
+use flexsfp_obs::{
+    CacheStats, DataplaneEvent, DropReason, EventKind, EventRing, FlightStamp, LatencyHistogram,
+    StageStamp,
+};
 
 /// Maximum pipeline depth the fabric comfortably supports (§5.3).
 pub const MAX_STAGES: usize = 6;
@@ -260,6 +263,16 @@ pub struct Pipeline {
     cacheable: bool,
     /// Set by [`Pipeline::stage_mut`]; re-runs the analysis lazily.
     cache_dirty: bool,
+    /// Flight-recorder stamping switch (off by default: the hot path
+    /// pays exactly one predictable branch per packet for it).
+    flight_enabled: bool,
+    /// Stamp of the most recently processed packet while stamping is on.
+    last_flight: Option<FlightStamp>,
+}
+
+/// Cycle the stage at `idx` begins under the 4 + 3·stages model.
+fn stage_start_cycle(idx: usize) -> u32 {
+    4 + 3 * idx as u32
 }
 
 impl Pipeline {
@@ -302,6 +315,11 @@ impl Pipeline {
         mut rec: Option<&mut PlanRecorder>,
     ) -> Verdict {
         self.stats.packets += 1;
+        let mut flight = if self.flight_enabled {
+            Some(FlightStamp::default())
+        } else {
+            None
+        };
         let Some(mut parsed) = self.parser.parse(packet) else {
             // Unparseable runt: hardware drops it.
             self.stats.drops += 1;
@@ -312,6 +330,10 @@ impl Pipeline {
             if let Some(r) = rec {
                 r.invalidate();
             }
+            if let Some(f) = flight.take() {
+                // Parser rejected it before any stage ran: empty stamp.
+                self.last_flight = Some(f);
+            }
             return Verdict::Drop;
         };
         let mut stages_run = 0u64;
@@ -320,6 +342,14 @@ impl Pipeline {
             let hit = self.stages[idx].lookup(&parsed);
             if let Some(r) = rec.as_deref_mut() {
                 r.stage_stat(idx as u8, hit.is_some());
+            }
+            if let Some(f) = flight.as_mut() {
+                f.stages.push(StageStamp {
+                    stage: idx as u8,
+                    hit: hit.is_some(),
+                    start_cycle: stage_start_cycle(idx),
+                    end_cycle: stage_start_cycle(idx + 1),
+                });
             }
             if hit.is_some() {
                 self.stages[idx].hits += 1;
@@ -356,6 +386,9 @@ impl Pipeline {
                     r.set_cycles(4 + 3 * stages_run);
                 }
                 self.obs.stage_cycles.record(4 + 3 * stages_run);
+                if let Some(f) = flight.take() {
+                    self.last_flight = Some(f);
+                }
                 return v;
             }
         }
@@ -363,6 +396,9 @@ impl Pipeline {
             r.set_cycles(4 + 3 * stages_run);
         }
         self.obs.stage_cycles.record(4 + 3 * stages_run);
+        if let Some(f) = flight.take() {
+            self.last_flight = Some(f);
+        }
         Verdict::Forward
     }
 }
@@ -563,6 +599,27 @@ impl PacketProcessor for Pipeline {
                                 .record(ctx.timestamp_ns, EventKind::TableMiss { stage: si });
                         }
                     }
+                    if self.flight_enabled {
+                        // Rebuild the stamp from the recorded footprint:
+                        // stage order and hit pattern replay exactly, so
+                        // a packet's postcard is identical whether the
+                        // cache intercepted it or not (only `cache_hit`
+                        // tells them apart).
+                        self.last_flight = Some(FlightStamp {
+                            cache_hit: true,
+                            stages: plan
+                                .stage_stats
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &(si, stage_hit))| StageStamp {
+                                    stage: si,
+                                    hit: stage_hit,
+                                    start_cycle: stage_start_cycle(i),
+                                    end_cycle: stage_start_cycle(i + 1),
+                                })
+                                .collect(),
+                        });
+                    }
                     let cycles = plan.cycles;
                     let verdict = cache::replay(plan, packet, &mut self.engine.counters);
                     self.obs.stage_cycles.record(cycles);
@@ -601,6 +658,18 @@ impl PacketProcessor for Pipeline {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn set_flight_recording(&mut self, enabled: bool) -> bool {
+        self.flight_enabled = enabled;
+        if !enabled {
+            self.last_flight = None;
+        }
+        true
+    }
+
+    fn flight_stamp(&self) -> Option<FlightStamp> {
+        self.last_flight.clone()
     }
 
     fn resource_manifest(&self) -> flexsfp_fabric::ResourceManifest {
@@ -683,6 +752,8 @@ impl PipelineBuilder {
             cache_enabled: false,
             cacheable,
             cache_dirty: false,
+            flight_enabled: false,
+            last_flight: None,
         }
     }
 }
@@ -943,6 +1014,50 @@ mod tests {
         let s = cached.cache_stats().unwrap();
         assert_eq!((s.hits, s.misses), (6, 3));
         assert!(uncached.cache_stats().unwrap().lookups() == 0);
+    }
+
+    #[test]
+    fn flight_stamps_replay_identically_from_cache() {
+        let mut cached = nat_pipeline();
+        let mut uncached = nat_pipeline();
+        cached.set_flow_cache(true);
+        assert!(cached.set_flight_recording(true));
+        assert!(uncached.set_flight_recording(true));
+        for round in 0..3u64 {
+            let mut a = frame(SRC, 53);
+            let mut b = a.clone();
+            cached.process(&ProcessContext::egress().at(round), &mut a);
+            uncached.process(&ProcessContext::egress().at(round), &mut b);
+            let fa = cached.flight_stamp().unwrap();
+            let fb = uncached.flight_stamp().unwrap();
+            // Stage stamps replay bit-identically from the cached plan;
+            // only the cache_hit flag distinguishes the two paths.
+            assert_eq!(fa.stages, fb.stages);
+            assert_eq!(fa.cache_hit, round > 0);
+            assert!(!fb.cache_hit);
+            assert_eq!(fa.stages.len(), 1);
+            assert_eq!(fa.stages[0].start_cycle, 4);
+            assert_eq!(fa.stages[0].end_cycle, 7);
+            assert!(fa.stages[0].hit);
+        }
+    }
+
+    #[test]
+    fn flight_stamping_off_by_default_and_clearable() {
+        let mut p = nat_pipeline();
+        let mut pkt = frame(SRC, 53);
+        p.process(&ProcessContext::egress(), &mut pkt);
+        assert_eq!(p.flight_stamp(), None);
+        p.set_flight_recording(true);
+        let mut pkt = frame(SRC, 53);
+        p.process(&ProcessContext::egress(), &mut pkt);
+        assert!(p.flight_stamp().is_some());
+        // A runt stamps an empty stage list (parser rejected it).
+        let mut runt = vec![0u8; 6];
+        p.process(&ProcessContext::egress(), &mut runt);
+        assert!(p.flight_stamp().unwrap().stages.is_empty());
+        p.set_flight_recording(false);
+        assert_eq!(p.flight_stamp(), None);
     }
 
     #[test]
