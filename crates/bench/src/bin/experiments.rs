@@ -30,6 +30,11 @@
 //! (1-in-64 sampling) and writes the sampled postcards as
 //! chrome://tracing trace-event JSON, loadable directly in Perfetto.
 //!
+//! `perf --shards N` sets the shard count for the sharded-dataplane
+//! measurement (`mpps_sharded`); the default is one shard per
+//! available core, capped at 4. The sharded pass is digest-verified
+//! against the serial run before it is timed, whatever N is.
+//!
 //! `slo` evaluates [`flexsfp_obs::SloSpec::generous`] over the windowed
 //! telemetry and exits nonzero when any window breaches; `slo --breach`
 //! swaps in an unmeetable 1 ns p99.9 bound to prove the gate fires.
@@ -45,9 +50,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let breach = args.iter().any(|a| a == "--breach");
 
-    // `--trace` consumes the next argument as its file path, so the
-    // subcommand scan has to step over that value.
+    // `--trace` and `--shards` consume the next argument as their
+    // value, so the subcommand scan has to step over those values.
     let mut trace_path: Option<String> = None;
+    let mut shards: Option<usize> = None;
     let mut cmd: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
@@ -57,6 +63,17 @@ fn main() {
                     Some(path) if !path.starts_with("--") => trace_path = Some(path.clone()),
                     _ => {
                         eprintln!("--trace requires a file path argument");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+                continue;
+            }
+            "--shards" => {
+                match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => shards = Some(n),
+                    _ => {
+                        eprintln!("--shards requires a positive integer argument");
                         std::process::exit(2);
                     }
                 }
@@ -172,7 +189,11 @@ fn main() {
             } else {
                 perf::FULL_PACKETS
             };
-            let r = perf::run(packets);
+            // Default shard count: one shard per available core, capped
+            // at 4 — the scaling point the committed baseline records.
+            let shards =
+                shards.unwrap_or_else(|| flexsfp_bench::par::effective_parallelism().min(4));
+            let r = perf::run(packets, shards);
             println!("{}", perf::render(&r));
             let text = flexsfp_obs::ToJson::to_json(&r).to_string_pretty();
             std::fs::write("BENCH_throughput.json", format!("{text}\n"))

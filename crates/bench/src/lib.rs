@@ -40,6 +40,7 @@ pub mod perf;
 pub mod power;
 pub mod render;
 pub mod scaling;
+pub mod shard;
 pub mod slo;
 pub mod table1;
 pub mod table2;

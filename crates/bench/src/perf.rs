@@ -16,19 +16,23 @@
 //! verification pass that folds every output packet — departure time,
 //! egress interface, and frame bytes — into an FNV-1a digest, and the
 //! run aborts if the two digests differ: the cache must be a pure
-//! speedup, never a behavior change. Timing then comes from separate
-//! measurement passes with a recycle-only sink, repeated
-//! [`MEASURE_REPS`] times taking the minimum wall-clock — interference
-//! on a shared host only ever inflates time, so the minimum is the
-//! cleanest estimate of what the simulator costs.
+//! speedup, never a behavior change. The sharded multicore dataplane
+//! ([`crate::shard`]) is held to the same standard — its reconciled
+//! output stream must reproduce the serial digest exactly — before its
+//! aggregate throughput is measured as `mpps_sharded`. Timing then
+//! comes from separate measurement passes with a recycle-only sink,
+//! repeated [`MEASURE_REPS`] times taking the minimum wall-clock —
+//! interference on a shared host only ever inflates time, so the
+//! minimum is the cleanest estimate of what the simulator costs.
 //!
 //! `BENCH_throughput.json` (written by the `perf` subcommand, committed
 //! at the repo root) is the perf trajectory every optimization PR is
 //! measured against.
 
 use crate::render;
+use crate::shard::{self, run_sharded};
 use flexsfp_apps::StaticNat;
-use flexsfp_core::module::{FlexSfp, Interface, ModuleConfig, SimPacket};
+use flexsfp_core::module::{FlexSfp, Interface, ModuleConfig, SimPacket, PPE_BATCH};
 use flexsfp_obs::CacheStats;
 use flexsfp_ppe::Direction;
 use flexsfp_traffic::gen::ArrivalModel;
@@ -82,6 +86,15 @@ pub struct Report {
     /// Same measurement with the flight recorder armed at 1-in-64
     /// sampling — what continuous postcard collection costs.
     pub mpps_tracing_on: f64,
+    /// Aggregate throughput of the sharded multicore dataplane
+    /// ([`crate::shard::run_sharded`]) at [`Report::shards`] shards,
+    /// digest-verified identical to the serial run first. On a
+    /// single-core host the dispatcher falls back to the inline
+    /// transport, so this degrades to ~`mpps` minus dispatch overhead
+    /// rather than lying about scaling.
+    pub mpps_sharded: f64,
+    /// Shard count the `mpps_sharded` measurement used.
+    pub shards: u64,
     /// Flow-cache hit rate over the cache-on pass, 0..=1.
     pub cache_hit_rate: f64,
     /// FNV-1a digest (hex) over every output packet's departure time,
@@ -111,6 +124,8 @@ flexsfp_obs::impl_json_struct!(Report {
     mpps_cache_off,
     mpps_tracing_off,
     mpps_tracing_on,
+    mpps_sharded,
+    shards,
     cache_hit_rate,
     digest,
     forwarded,
@@ -233,18 +248,99 @@ fn measure_pass(packets: usize, cache_on: bool, recorder: bool) -> f64 {
     best
 }
 
+/// Upper bound on frame buffers a sharded run may hold in flight — the
+/// sharded counterpart of the serial `arena_allocations ≤ 48` O(1)
+/// witness. Constant in trace length by construction: up to one
+/// reconciler barrier interval buffered awaiting watermarks (twice,
+/// for heap plus dispatcher slack), both ring directions full, one
+/// partial dispatch chunk and one PPE batch window per shard, plus
+/// generator slack. Uses the threaded cadence `BARRIER_EVERY`, which
+/// dominates the inline transport's tighter `INLINE_BARRIER_EVERY`,
+/// so the bound holds for either transport.
+pub fn sharded_arena_bound(shards: usize) -> u64 {
+    2 * shard::BARRIER_EVERY
+        + (shards as u64)
+            * (2 * (shard::RING_CHUNKS * shard::CHUNK) as u64 + (shard::CHUNK + PPE_BATCH) as u64)
+        + 64
+}
+
+/// A per-shard module in the measured default configuration: flow
+/// cache on, flight recorder disarmed.
+fn shard_module() -> FlexSfp {
+    let mut module = nat_module();
+    module.app_mut().set_flow_cache(true);
+    module
+}
+
+/// One verified (untimed, digesting) sharded pass: same digest fold as
+/// [`verify_pass`], over the reconciled output stream.
+fn verify_pass_sharded(packets: usize, shards: usize) -> Verified {
+    let arena = PacketArena::new();
+    let mut digest = FNV_OFFSET;
+    let run = run_sharded(
+        shards,
+        &ModuleConfig::default(),
+        |_| shard_module(),
+        workload(packets, &arena),
+        |out| {
+            fnv1a(&mut digest, &out.departure_ns.to_le_bytes());
+            fnv1a(
+                &mut digest,
+                &[matches!(out.egress, Interface::Optical) as u8],
+            );
+            fnv1a(&mut digest, &(out.frame.len() as u32).to_le_bytes());
+            fnv1a(&mut digest, &out.frame);
+            arena.recycle(out.frame);
+        },
+    );
+    Verified {
+        forwarded: run.report.forwarded.0 + run.report.forwarded.1,
+        offered: run.report.offered,
+        digest,
+        cache: run.snapshot.cache,
+        arena_allocations: arena.allocations(),
+        arena_leases: arena.leases(),
+    }
+}
+
+/// Best-of-[`MEASURE_REPS`] wall-clock for the sharded run with a
+/// recycle-only sink.
+fn measure_pass_sharded(packets: usize, shards: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..MEASURE_REPS {
+        let arena = PacketArena::new();
+        let t0 = Instant::now();
+        run_sharded(
+            shards,
+            &ModuleConfig::default(),
+            |_| shard_module(),
+            workload(packets, &arena),
+            |out| arena.recycle(out.frame),
+        );
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Run the throughput measurement over `packets` minimum-size frames:
 /// digest-verified passes first, then timed passes, cache-off and
-/// cache-on.
+/// cache-on, and finally the sharded multicore dataplane at `shards`
+/// shards.
 ///
 /// # Panics
 ///
 /// Panics if any pair of verification passes produces different output
-/// digests — a correctness failure in the flow cache or the flight
-/// recorder, not a measurement artifact. The recorder samples 1-in-64
-/// packets during its verified pass and must be a pure observer: same
-/// departure times, same egress, same bytes.
-pub fn run(packets: usize) -> Report {
+/// digests — a correctness failure in the flow cache, the flight
+/// recorder or the shard reconciler, not a measurement artifact. The
+/// recorder samples 1-in-64 packets during its verified pass and must
+/// be a pure observer: same departure times, same egress, same bytes.
+/// The sharded pass must reproduce the serial output stream — in sink
+/// order — exactly. Also panics if either the serial or the sharded
+/// pass heap-allocates more arena buffers than its O(1) in-flight
+/// bound (48 serial, [`sharded_arena_bound`] sharded) — the memory
+/// regression gate CI runs through this path.
+pub fn run(packets: usize, shards: usize) -> Report {
+    let shards = shards.max(1);
     let off = verify_pass(packets, false, false);
     let on = verify_pass(packets, true, false);
     assert_eq!(
@@ -258,6 +354,27 @@ pub fn run(packets: usize) -> Report {
         "flight recorder changed observable output (recorder-on {:016x} vs recorder-off {:016x})",
         traced.digest, on.digest
     );
+    let sharded = verify_pass_sharded(packets, shards);
+    assert_eq!(
+        sharded.digest, on.digest,
+        "sharded dataplane changed observable output at {} shards ({:016x} vs serial {:016x})",
+        shards, sharded.digest, on.digest
+    );
+    assert_eq!(sharded.forwarded, on.forwarded);
+    assert_eq!(sharded.offered, on.offered);
+    // O(1)-memory gates: in-flight frame windows, not trace length.
+    assert!(
+        on.arena_allocations <= 48,
+        "serial pass allocated {} arena buffers (bound 48)",
+        on.arena_allocations
+    );
+    assert!(
+        sharded.arena_allocations <= sharded_arena_bound(shards),
+        "sharded pass allocated {} arena buffers (bound {} at {} shards)",
+        sharded.arena_allocations,
+        sharded_arena_bound(shards),
+        shards
+    );
     let off_wall_s = measure_pass(packets, false, false);
     let wall_s = measure_pass(packets, true, false);
     // Independent re-measurement of the identical recorder-disarmed
@@ -265,6 +382,7 @@ pub fn run(packets: usize) -> Report {
     // which is exactly the budget CI holds the sampler branch to.
     let tracing_off_wall_s = measure_pass(packets, true, false);
     let tracing_on_wall_s = measure_pass(packets, true, true);
+    let sharded_wall_s = measure_pass_sharded(packets, shards);
 
     Report {
         packets: packets as u64,
@@ -275,6 +393,8 @@ pub fn run(packets: usize) -> Report {
         mpps_cache_off: packets as f64 / off_wall_s / 1e6,
         mpps_tracing_off: packets as f64 / tracing_off_wall_s / 1e6,
         mpps_tracing_on: packets as f64 / tracing_on_wall_s / 1e6,
+        mpps_sharded: packets as f64 / sharded_wall_s / 1e6,
+        shards: shards as u64,
         cache_hit_rate: on.cache.hit_rate(),
         digest: format!("{:016x}", on.digest),
         forwarded: on.forwarded,
@@ -313,13 +433,15 @@ pub fn render(r: &Report) -> String {
         render::f(r.mpps_cache_off, 3),
         render::f(r.mpps_tracing_off, 3),
         render::f(r.mpps_tracing_on, 3),
+        render::f(r.mpps_sharded, 3),
+        r.shards.to_string(),
         render::f(r.cache_hit_rate * 100.0, 2),
         render::f(r.delivery * 100.0, 2),
         render::grouped(r.peak_rss_kb),
         r.arena_allocations.to_string(),
     ]];
     format!(
-        "perf: streaming NAT workload (simulator throughput; output digest {} identical cache-on/off and recorder-on/off)\n{}",
+        "perf: streaming NAT workload (simulator throughput; output digest {} identical cache-on/off, recorder-on/off and serial/sharded)\n{}",
         r.digest,
         render::table(
             &[
@@ -331,6 +453,8 @@ pub fn render(r: &Report) -> String {
                 "Mpps (no cache)",
                 "Mpps (rec off)",
                 "Mpps (rec 1/64)",
+                "Mpps (sharded)",
+                "shards",
                 "cache hit %",
                 "delivery %",
                 "peak RSS kB",
@@ -348,7 +472,7 @@ mod tests {
 
     #[test]
     fn measures_throughput_and_stays_allocation_free() {
-        let r = run(20_000);
+        let r = run(20_000, 2);
         assert_eq!(r.packets, 20_000);
         assert_eq!(r.forwarded, 20_000, "NAT at line rate forwards all");
         assert!((r.delivery - 1.0).abs() < 1e-9);
@@ -356,10 +480,14 @@ mod tests {
         assert!(r.mpps_cache_off > 0.0);
         assert!(r.mpps_tracing_off > 0.0);
         assert!(r.mpps_tracing_on > 0.0);
+        assert!(r.mpps_sharded > 0.0);
+        assert_eq!(r.shards, 2);
         assert_eq!(r.arena_leases, 20_000);
         // O(1) memory: the arena never holds more than the in-flight
         // window of frames — one PPE batch plus generator slack — no
-        // matter how long the trace is.
+        // matter how long the trace is. run() itself asserts this (48
+        // serial, sharded_arena_bound() for the sharded pass); the
+        // committed report re-states the serial bound for CI.
         assert!(
             r.arena_allocations <= 48,
             "arena allocated {} buffers",
@@ -372,7 +500,7 @@ mod tests {
         // 20 k packets over 64 flows: everything after the first packet
         // of each flow replays a memoized plan. run() itself asserts
         // digest equality between the passes.
-        let r = run(20_000);
+        let r = run(20_000, 1);
         assert!(
             r.cache_hit_rate > 0.99,
             "hit rate {} too low for a 64-flow workload",
@@ -383,10 +511,18 @@ mod tests {
 
     #[test]
     fn report_round_trips_through_json() {
-        let r = run(5_000);
+        let r = run(5_000, 1);
         let text = r.to_json().to_string_pretty();
         let back = Report::from_json(&Value::parse(&text).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn sharded_bound_is_constant_in_trace_length() {
+        // The bound depends on shard count and the pipeline's constant
+        // windows only — nothing about it may scale with packets.
+        assert!(sharded_arena_bound(1) < sharded_arena_bound(8));
+        assert!(sharded_arena_bound(8) < 100_000);
     }
 
     #[test]
@@ -408,7 +544,7 @@ mod tests {
 
     #[test]
     fn render_mentions_the_workload() {
-        let r = run(2_000);
+        let r = run(2_000, 1);
         let s = render(&r);
         assert!(s.contains("Mpps"));
         assert!(s.contains("NAT"));

@@ -1,0 +1,834 @@
+//! The sharded multicore dataplane: one simulation spread across every
+//! core, digest-identical to the serial path.
+//!
+//! `run_stream` drives one [`FlexSfp`] on one thread — ~11 Mpps on the
+//! committed baseline, and the ceiling for every rack- and city-scale
+//! experiment built on top of it. This module splits a single workload
+//! across N per-core module instances the way an RSS-capable NIC
+//! splits a line into queues:
+//!
+//! 1. **Dispatch** — the dispatcher thread shallow-parses each frame
+//!    (Ethernet → optional VLAN tag → IPv4/IPv6 → TCP/UDP ports) and
+//!    hashes the 5-tuple with the fabric CRC-32 ([`shard_for`]), so
+//!    every flow lands on exactly one shard. Non-IP frames hash their
+//!    MAC pair. Frames the control plane would claim are *broadcast*
+//!    to all shards instead (see below).
+//! 2. **Per-shard modules** — each worker core owns a full [`FlexSfp`]
+//!    (its own flow cache, PPE server model, flight recorder,
+//!    windowed telemetry), fed over a bounded SPSC ring
+//!    ([`flexsfp_fabric::ring`]) in chunks that amortize the ring
+//!    protocol. Workers drive a [`StreamSession`], tagging every
+//!    output with the global input sequence number of the packet that
+//!    produced it.
+//! 3. **Reconcile** — a min-heap on the global sequence number merges
+//!    the shard output streams back into exactly the serial sink
+//!    order. Watermarks make the merge safe and bounded: at a
+//!    per-transport cadence ([`BARRIER_EVERY`] threaded,
+//!    [`INLINE_BARRIER_EVERY`] inline) the dispatcher broadcasts a
+//!    flush barrier; a shard that has flushed everything up to
+//!    sequence `s` says so, and the heap releases outputs only below
+//!    the minimum watermark across shards.
+//!
+//! # Why the digest cannot change
+//!
+//! Serial `run_stream_with` emits outputs in global input order (the
+//! batched pipeline drains in admission order, and every out-of-band
+//! path — control, microservice, bypass — flushes the batch before
+//! emitting). The reconciler reproduces exactly that order from the
+//! tags. The *contents* of each output match because every §3
+//! application keys its dataplane state by flow or by source, and the
+//! dispatch hash maps each flow to exactly one shard; control-plane
+//! mutations (table writes, reboots) are broadcast to every shard in
+//! stream position, so all shards make the same state transitions the
+//! serial module makes. Departure *times* match because the PPE
+//! queueing model is work-conserving and the offered loads of the
+//! golden workloads never backlog the server (utilization ≤ 1), so a
+//! packet's departure depends only on its own arrival and length —
+//! not on queue-mates that may now live on other shards. The digest
+//! parity suite (`stream_parity`) pins all of this for all 11 apps at
+//! 1/2/4/8 shards.
+//!
+//! Control frames are answered by shard 0 only (the *primary*);
+//! replicas apply the mutation but suppress the duplicate response.
+//! The merged [`SimReport`] therefore takes `control_handled` from the
+//! primary, input accounting from the dispatcher (broadcasts would
+//! double-count), and sums or max-merges everything else; latency
+//! histograms merge exactly.
+
+use crate::par;
+use flexsfp_core::module::OutputPacket;
+use flexsfp_core::{ControlPlane, FlexSfp, ModuleConfig, SimPacket, SimReport, StreamSession};
+use flexsfp_fabric::hash::crc32;
+use flexsfp_fabric::ring::{channel, Consumer, Producer};
+use flexsfp_obs::TelemetrySnapshot;
+use flexsfp_wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, Ipv6Packet, VlanFrame};
+use std::collections::BinaryHeap;
+
+/// Dispatcher-to-shard ring capacity, in message chunks.
+pub const RING_CHUNKS: usize = 64;
+/// Messages per ring chunk: one slot-mutex handoff per `CHUNK`
+/// packets instead of per packet.
+pub const CHUNK: usize = 64;
+/// Global-sequence distance between flush barriers on the threaded
+/// transport. Bounds reconciler heap growth to roughly one barrier
+/// interval plus the in-flight ring contents, and bounds how long a
+/// shard may sit on a partial batch.
+pub const BARRIER_EVERY: u64 = 4096;
+/// Barrier distance on the inline transport. Inline, a barrier is two
+/// function calls — no ring round-trip to amortize — and the interval
+/// directly sets the reconciler's resident window, i.e. how many
+/// output frames stay live before the sink can recycle them. A tight
+/// cadence keeps that working set L1-sized instead of cycling a
+/// 4096-frame window through the arena. Must stay comfortably above
+/// the PPE batch size so batching still amortizes.
+pub const INLINE_BARRIER_EVERY: u64 = 256;
+
+/// Shallow-parse `frame` and pick its shard among `shards` by flow
+/// hash: CRC-32 (the fabric hash primitive) over the packed
+/// src/dst/proto/ports 5-tuple for IPv4, src/dst/next-header/ports for
+/// IPv6 (one VLAN tag is skipped), and over the MAC pair for anything
+/// else. Every packet of a flow — and every non-flow frame between the
+/// same two stations — lands on the same shard.
+pub fn shard_for(frame: &[u8], shards: usize) -> usize {
+    (flow_hash(frame) as usize) % shards.max(1)
+}
+
+fn flow_hash(frame: &[u8]) -> u32 {
+    let mac_hash = |f: &[u8]| crc32(f.get(0..12).unwrap_or(f));
+    let Ok(eth) = EthernetFrame::new_checked(frame) else {
+        return mac_hash(frame);
+    };
+    // Skip one 802.1Q/802.1ad tag so tagged and untagged packets of
+    // the same flow hash together.
+    let (ethertype, l3) = match eth.ethertype() {
+        EtherType::Vlan | EtherType::QinQ => match VlanFrame::new_checked(eth.payload()) {
+            Ok(v) => (v.inner_ethertype(), &eth.payload()[4..]),
+            Err(_) => return mac_hash(frame),
+        },
+        t => (t, eth.payload()),
+    };
+    match ethertype {
+        EtherType::Ipv4 => {
+            let Ok(ip) = Ipv4Packet::new_checked(l3) else {
+                return mac_hash(frame);
+            };
+            let mut tuple = [0u8; 13];
+            tuple[0..4].copy_from_slice(&ip.src().to_be_bytes());
+            tuple[4..8].copy_from_slice(&ip.dst().to_be_bytes());
+            match ip.protocol() {
+                p @ (IpProtocol::Tcp | IpProtocol::Udp) => {
+                    tuple[8] = match p {
+                        IpProtocol::Tcp => 6,
+                        _ => 17,
+                    };
+                    let l4 = &l3[ip.header_len()..];
+                    if l4.len() >= 4 {
+                        tuple[9..13].copy_from_slice(&l4[0..4]);
+                    }
+                    crc32(&tuple)
+                }
+                _ => crc32(&tuple[0..8]),
+            }
+        }
+        EtherType::Ipv6 => {
+            let Ok(ip) = Ipv6Packet::new_checked(l3) else {
+                return mac_hash(frame);
+            };
+            let mut tuple = [0u8; 37];
+            tuple[0..16].copy_from_slice(&ip.src().0);
+            tuple[16..32].copy_from_slice(&ip.dst().0);
+            match ip.next_header() {
+                p @ (IpProtocol::Tcp | IpProtocol::Udp) if l3.len() >= 44 => {
+                    tuple[32] = match p {
+                        IpProtocol::Tcp => 6,
+                        _ => 17,
+                    };
+                    // Fixed 40-byte IPv6 header: ports follow directly.
+                    tuple[33..37].copy_from_slice(&l3[40..44]);
+                    crc32(&tuple)
+                }
+                _ => crc32(&tuple[0..32]),
+            }
+        }
+        _ => mac_hash(frame),
+    }
+}
+
+/// One message on a dispatcher→shard ring.
+enum ShardMsg {
+    /// A dataplane packet routed to this shard by flow hash; `seq` is
+    /// the global input sequence number.
+    Packet { seq: u64, pkt: SimPacket },
+    /// A control-plane frame, broadcast to every shard so table
+    /// mutations and reboots replicate; only the primary answers.
+    Control { seq: u64, pkt: SimPacket },
+    /// Flush barrier: emit everything pending, then acknowledge that
+    /// all outputs with sequence ≤ `upto` have been emitted.
+    Barrier { upto: u64 },
+    /// End of stream: finish the session and report.
+    Eof,
+}
+
+/// One message on a shard→dispatcher ring.
+enum ShardOut {
+    /// An output packet, tagged with the input sequence that produced it.
+    Out(u64, OutputPacket),
+    /// Everything with sequence ≤ `upto` from this shard is out.
+    Watermark(u64),
+    /// The shard is done; its run report and telemetry.
+    Done(Box<ShardDone>),
+}
+
+/// A finished shard's results.
+struct ShardDone {
+    report: SimReport,
+    snapshot: TelemetrySnapshot,
+}
+
+type MsgChunk = Vec<ShardMsg>;
+type OutChunk = Vec<ShardOut>;
+
+/// One shard's execution state: the module, its live stream session,
+/// and whether this shard answers control frames. The same engine runs
+/// on a worker thread (threaded transport) or inline on the dispatcher
+/// (clamped/single-shard transport) — transport choice cannot change
+/// behavior.
+struct ShardEngine {
+    module: FlexSfp,
+    session: Option<StreamSession>,
+    primary: bool,
+}
+
+impl ShardEngine {
+    fn new(mut module: FlexSfp, primary: bool) -> ShardEngine {
+        let session = module.begin_stream();
+        ShardEngine {
+            module,
+            session: Some(session),
+            primary,
+        }
+    }
+
+    /// Process one message; returns true when the shard is done (Eof).
+    fn handle(&mut self, msg: ShardMsg, emit: &mut impl FnMut(ShardOut)) -> bool {
+        let session = self.session.as_mut().expect("message after Eof");
+        match msg {
+            ShardMsg::Packet { seq, pkt } => {
+                session.offer(&mut self.module, seq, pkt, &mut |tag, out| {
+                    emit(ShardOut::Out(tag, out))
+                });
+                false
+            }
+            ShardMsg::Control { seq, pkt } => {
+                if self.primary {
+                    session.offer(&mut self.module, seq, pkt, &mut |tag, out| {
+                        emit(ShardOut::Out(tag, out))
+                    });
+                } else {
+                    // Replica: apply the mutation, suppress the
+                    // duplicate response. Flush first so the
+                    // suppressing sink can only ever see the control
+                    // reply — never batched dataplane outputs.
+                    session.flush(&mut self.module, &mut |tag, out| {
+                        emit(ShardOut::Out(tag, out))
+                    });
+                    session.offer(&mut self.module, seq, pkt, &mut |_, _| {});
+                }
+                false
+            }
+            ShardMsg::Barrier { upto } => {
+                session.flush(&mut self.module, &mut |tag, out| {
+                    emit(ShardOut::Out(tag, out))
+                });
+                emit(ShardOut::Watermark(upto));
+                false
+            }
+            ShardMsg::Eof => {
+                let session = self.session.take().expect("double Eof");
+                let report = session.finish(&mut self.module, &mut |tag, out| {
+                    emit(ShardOut::Out(tag, out))
+                });
+                let snapshot = self.module.telemetry_snapshot();
+                emit(ShardOut::Done(Box::new(ShardDone { report, snapshot })));
+                true
+            }
+        }
+    }
+}
+
+/// A tagged output waiting in the reconciler heap. Ordered by global
+/// sequence, *reversed* so `BinaryHeap` (a max-heap) pops the lowest
+/// sequence first. Sequences are unique — each input emits at most one
+/// output — so comparing tags alone is a total order.
+struct HeapOut {
+    seq: u64,
+    out: OutputPacket,
+}
+
+impl PartialEq for HeapOut {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for HeapOut {}
+impl PartialOrd for HeapOut {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapOut {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.seq.cmp(&self.seq)
+    }
+}
+
+/// The departure-order reconciler: buffers tagged shard outputs and
+/// releases them in global input order, gated by per-shard watermarks.
+///
+/// Invariant: an output with sequence `s` is released only once every
+/// shard's watermark exceeds `s` — i.e. every shard has flushed
+/// everything it will ever emit at or below `s`, and (because each
+/// ring is FIFO and the watermark token follows the outputs it covers)
+/// those outputs are already in the heap. Release order is therefore
+/// strictly ascending in `s`, independent of thread timing: exactly
+/// the serial sink order.
+struct Reconciler {
+    heap: BinaryHeap<HeapOut>,
+    /// Per shard: all outputs with sequence < `watermarks[i]` are final.
+    watermarks: Vec<u64>,
+    results: Vec<Option<ShardDone>>,
+    done: usize,
+}
+
+impl Reconciler {
+    fn new(shards: usize) -> Reconciler {
+        Reconciler {
+            heap: BinaryHeap::new(),
+            watermarks: vec![0; shards],
+            results: (0..shards).map(|_| None).collect(),
+            done: 0,
+        }
+    }
+
+    fn accept(&mut self, shard: usize, msg: ShardOut, sink: &mut impl FnMut(OutputPacket)) {
+        match msg {
+            ShardOut::Out(seq, out) => self.heap.push(HeapOut { seq, out }),
+            ShardOut::Watermark(upto) => {
+                self.watermarks[shard] = self.watermarks[shard].max(upto + 1);
+                self.release(sink);
+            }
+            ShardOut::Done(d) => {
+                self.watermarks[shard] = u64::MAX;
+                self.results[shard] = Some(*d);
+                self.done += 1;
+                self.release(sink);
+            }
+        }
+    }
+
+    fn release(&mut self, sink: &mut impl FnMut(OutputPacket)) {
+        let floor = *self.watermarks.iter().min().expect("at least one shard");
+        while self.heap.peek().is_some_and(|h| h.seq < floor) {
+            sink(self.heap.pop().expect("peeked").out);
+        }
+    }
+}
+
+/// Dispatcher-side accounting, merged into the final report.
+#[derive(Default)]
+struct DispatchStats {
+    offered: u64,
+    offered_bytes: u64,
+    unsorted: u64,
+    last_arrival_ns: u64,
+    backpressure: u64,
+    routed: Vec<u64>,
+}
+
+/// How messages reach shards and outputs come back. Two
+/// implementations: worker threads over SPSC rings, or inline
+/// execution on the dispatcher thread (single shard, or parallelism
+/// clamped by nesting / `FLEXSFP_THREADS=1`). The dispatch loop and
+/// reconciler are shared, so both produce identical output streams.
+trait Transport<F: FnMut(OutputPacket)> {
+    /// Queue `msg` for `shard`. May buffer; order per shard is
+    /// preserved.
+    fn send(
+        &mut self,
+        shard: usize,
+        msg: ShardMsg,
+        recon: &mut Reconciler,
+        sink: &mut F,
+        stats: &mut DispatchStats,
+    );
+    /// Push every buffered chunk out now (barrier/Eof points).
+    fn flush(&mut self, recon: &mut Reconciler, sink: &mut F, stats: &mut DispatchStats);
+    /// Nonblocking drain of shard outputs into the reconciler.
+    fn poll(&mut self, recon: &mut Reconciler, sink: &mut F);
+    /// Block (yielding) until every shard has reported Done.
+    fn wait_done(&mut self, recon: &mut Reconciler, sink: &mut F);
+    /// Global-sequence distance between flush barriers. Barriers are
+    /// digest-neutral (a flush drains pending outputs in admission
+    /// order, it never reorders or retimes them), so each transport
+    /// picks the cadence that suits its cost model.
+    fn barrier_every(&self) -> u64;
+}
+
+/// Inline transport: engines live on the dispatcher thread and handle
+/// every message synchronously. The degenerate one-core case — and the
+/// reference the threaded path is digest-compared against in tests.
+struct InlineTransport {
+    engines: Vec<ShardEngine>,
+}
+
+impl<F: FnMut(OutputPacket)> Transport<F> for InlineTransport {
+    fn send(
+        &mut self,
+        shard: usize,
+        msg: ShardMsg,
+        recon: &mut Reconciler,
+        sink: &mut F,
+        _stats: &mut DispatchStats,
+    ) {
+        self.engines[shard].handle(msg, &mut |out| recon.accept(shard, out, sink));
+    }
+
+    fn flush(&mut self, _recon: &mut Reconciler, _sink: &mut F, _stats: &mut DispatchStats) {}
+    fn poll(&mut self, _recon: &mut Reconciler, _sink: &mut F) {}
+    fn wait_done(&mut self, _recon: &mut Reconciler, _sink: &mut F) {}
+    fn barrier_every(&self) -> u64 {
+        INLINE_BARRIER_EVERY
+    }
+}
+
+/// Threaded transport: one worker thread per shard, chunked SPSC rings
+/// both ways.
+struct ThreadedTransport {
+    to_shard: Vec<Producer<MsgChunk>>,
+    from_shard: Vec<Consumer<OutChunk>>,
+    chunks: Vec<MsgChunk>,
+}
+
+impl ThreadedTransport {
+    fn push_chunk<F: FnMut(OutputPacket)>(
+        &mut self,
+        shard: usize,
+        recon: &mut Reconciler,
+        sink: &mut F,
+        stats: &mut DispatchStats,
+    ) {
+        if self.chunks[shard].is_empty() {
+            return;
+        }
+        let mut chunk = std::mem::replace(&mut self.chunks[shard], Vec::with_capacity(CHUNK));
+        let mut stalled = false;
+        while let Err(back) = self.to_shard[shard].try_push(chunk) {
+            // Backpressure: the shard's ring is full. Drain outputs so
+            // workers (and the reconciler) make progress, then retry.
+            if !stalled {
+                stats.backpressure += 1;
+                stalled = true;
+            }
+            chunk = back;
+            self.drain(recon, sink);
+            std::thread::yield_now();
+        }
+    }
+
+    fn drain<F: FnMut(OutputPacket)>(&mut self, recon: &mut Reconciler, sink: &mut F) {
+        for (shard, rx) in self.from_shard.iter_mut().enumerate() {
+            while let Some(chunk) = rx.try_pop() {
+                for out in chunk {
+                    recon.accept(shard, out, sink);
+                }
+            }
+        }
+    }
+}
+
+impl<F: FnMut(OutputPacket)> Transport<F> for ThreadedTransport {
+    fn send(
+        &mut self,
+        shard: usize,
+        msg: ShardMsg,
+        recon: &mut Reconciler,
+        sink: &mut F,
+        stats: &mut DispatchStats,
+    ) {
+        self.chunks[shard].push(msg);
+        if self.chunks[shard].len() >= CHUNK {
+            self.push_chunk(shard, recon, sink, stats);
+        }
+    }
+
+    fn flush(&mut self, recon: &mut Reconciler, sink: &mut F, stats: &mut DispatchStats) {
+        for shard in 0..self.chunks.len() {
+            self.push_chunk(shard, recon, sink, stats);
+        }
+    }
+
+    fn poll(&mut self, recon: &mut Reconciler, sink: &mut F) {
+        self.drain(recon, sink);
+    }
+
+    fn wait_done(&mut self, recon: &mut Reconciler, sink: &mut F) {
+        while recon.done < recon.results.len() {
+            self.drain(recon, sink);
+            std::thread::yield_now();
+        }
+    }
+
+    fn barrier_every(&self) -> u64 {
+        BARRIER_EVERY
+    }
+}
+
+/// The dispatch loop shared by both transports: account, enforce
+/// global arrival order, classify control frames (broadcast) vs
+/// dataplane (flow-hash), and punctuate with flush barriers.
+fn drive<I, F, T>(
+    packets: I,
+    shards: usize,
+    classifier: &ControlPlane,
+    transport: &mut T,
+    recon: &mut Reconciler,
+    sink: &mut F,
+) -> DispatchStats
+where
+    I: IntoIterator<Item = SimPacket>,
+    F: FnMut(OutputPacket),
+    T: Transport<F>,
+{
+    let mut stats = DispatchStats {
+        routed: vec![0; shards],
+        ..DispatchStats::default()
+    };
+    let mut seq = 0u64;
+    let mut prev_arrival = 0u64;
+    let barrier_every = transport.barrier_every();
+    for pkt in packets {
+        stats.offered += 1;
+        stats.offered_bytes += pkt.frame.len() as u64;
+        if pkt.arrival_ns < prev_arrival {
+            // The serial path drops globally-unsorted stragglers; the
+            // dispatcher must enforce the same *global* order — shard
+            // subsequences of an unsorted trace could each look sorted.
+            stats.unsorted += 1;
+            continue;
+        }
+        prev_arrival = pkt.arrival_ns;
+        stats.last_arrival_ns = stats.last_arrival_ns.max(pkt.arrival_ns);
+
+        let is_control = pkt.direction == flexsfp_ppe::Direction::EdgeToOptical
+            && classifier.classify(&pkt.frame);
+        if is_control {
+            // Broadcast: every shard must replay the mutation in
+            // stream position. Shard 0 answers; replicas suppress.
+            for shard in 0..shards {
+                transport.send(
+                    shard,
+                    ShardMsg::Control {
+                        seq,
+                        pkt: pkt.clone(),
+                    },
+                    recon,
+                    sink,
+                    &mut stats,
+                );
+            }
+        } else {
+            let shard = shard_for(&pkt.frame, shards);
+            stats.routed[shard] += 1;
+            transport.send(
+                shard,
+                ShardMsg::Packet { seq, pkt },
+                recon,
+                sink,
+                &mut stats,
+            );
+        }
+        seq += 1;
+        if seq.is_multiple_of(barrier_every) {
+            for shard in 0..shards {
+                transport.send(
+                    shard,
+                    ShardMsg::Barrier { upto: seq - 1 },
+                    recon,
+                    sink,
+                    &mut stats,
+                );
+            }
+            transport.flush(recon, sink, &mut stats);
+        }
+        transport.poll(recon, sink);
+    }
+    for shard in 0..shards {
+        transport.send(shard, ShardMsg::Eof, recon, sink, &mut stats);
+    }
+    transport.flush(recon, sink, &mut stats);
+    transport.wait_done(recon, sink);
+    stats
+}
+
+/// Result of a sharded run: the merged report and telemetry, plus
+/// dispatch-layer accounting.
+pub struct ShardedRun {
+    /// Aggregate simulation report, field-for-field comparable to the
+    /// serial [`FlexSfp::run_stream`] report (outputs not retained).
+    pub report: SimReport,
+    /// Merged telemetry snapshot across all shard modules.
+    pub snapshot: TelemetrySnapshot,
+    /// Number of shards the run used.
+    pub shards: usize,
+    /// Dispatcher stall episodes on full shard rings (backpressure).
+    pub backpressure: u64,
+    /// Dataplane packets routed per shard (control broadcasts excluded).
+    pub routed: Vec<u64>,
+}
+
+/// Run one packet stream across `shards` module instances and emit
+/// every output, in exactly the serial `run_stream_with` sink order,
+/// to `sink`.
+///
+/// `make_module` is called once per shard (on the worker thread that
+/// owns the shard) and must build modules with the same `config` the
+/// dispatcher classifies control frames with — shards are replicas of
+/// one logical module, not distinct devices.
+///
+/// With one shard, with `FLEXSFP_THREADS=1`, or when invoked from
+/// inside another parallel region (a `par_map` sweep point or another
+/// sharded run), everything runs inline on the calling thread — same
+/// engines, same reconciler, byte-identical output — instead of
+/// oversubscribing the host.
+pub fn run_sharded<I, M, F>(
+    shards: usize,
+    config: &ModuleConfig,
+    make_module: M,
+    packets: I,
+    mut sink: F,
+) -> ShardedRun
+where
+    I: IntoIterator<Item = SimPacket>,
+    M: Fn(usize) -> FlexSfp + Send + Sync,
+    F: FnMut(OutputPacket),
+{
+    let shards = shards.max(1);
+    let classifier = ControlPlane::new(config.mgmt_mac, config.mgmt_ip, config.auth_key);
+    let mut recon = Reconciler::new(shards);
+
+    let stats = if shards == 1 || par::effective_parallelism() == 1 {
+        let mut transport = InlineTransport {
+            engines: (0..shards)
+                .map(|i| ShardEngine::new(make_module(i), i == 0))
+                .collect(),
+        };
+        drive(
+            packets,
+            shards,
+            &classifier,
+            &mut transport,
+            &mut recon,
+            &mut sink,
+        )
+    } else {
+        // Worker threads + rings. Register the region so nested
+        // parallel work (a sweep inside an app, another sharded run)
+        // clamps to one thread instead of multiplying.
+        let _region = par::RegionGuard::enter();
+        std::thread::scope(|scope| {
+            let mut to_shard = Vec::with_capacity(shards);
+            let mut from_shard = Vec::with_capacity(shards);
+            for i in 0..shards {
+                let (msg_tx, msg_rx) = channel::<MsgChunk>(RING_CHUNKS);
+                let (out_tx, out_rx) = channel::<OutChunk>(RING_CHUNKS);
+                to_shard.push(msg_tx);
+                from_shard.push(out_rx);
+                let make_module = &make_module;
+                scope.spawn(move || {
+                    worker_loop(ShardEngine::new(make_module(i), i == 0), msg_rx, out_tx)
+                });
+            }
+            let mut transport = ThreadedTransport {
+                to_shard,
+                from_shard,
+                chunks: (0..shards).map(|_| Vec::with_capacity(CHUNK)).collect(),
+            };
+            drive(
+                packets,
+                shards,
+                &classifier,
+                &mut transport,
+                &mut recon,
+                &mut sink,
+            )
+        })
+    };
+
+    merge(stats, recon, shards)
+}
+
+/// The worker side of the threaded transport: pop message chunks,
+/// handle them, push output chunks. Outputs buffer up to [`CHUNK`]
+/// deep but always flush at barriers and Eof, so watermark latency is
+/// bounded by the barrier cadence.
+fn worker_loop(mut engine: ShardEngine, mut rx: Consumer<MsgChunk>, mut tx: Producer<OutChunk>) {
+    let mut buf: OutChunk = Vec::new();
+    loop {
+        let Some(chunk) = rx.try_pop() else {
+            std::thread::yield_now();
+            continue;
+        };
+        for msg in chunk {
+            let flush_now = matches!(msg, ShardMsg::Barrier { .. } | ShardMsg::Eof);
+            let done = engine.handle(msg, &mut |out| buf.push(out));
+            if buf.len() >= CHUNK || (flush_now && !buf.is_empty()) {
+                let mut out = std::mem::take(&mut buf);
+                while let Err(back) = tx.try_push(out) {
+                    out = back;
+                    std::thread::yield_now();
+                }
+            }
+            if done {
+                return;
+            }
+        }
+    }
+}
+
+/// Merge the dispatcher's accounting and every shard's report and
+/// snapshot into the aggregate view.
+fn merge(stats: DispatchStats, recon: Reconciler, shards: usize) -> ShardedRun {
+    let results: Vec<ShardDone> = recon
+        .results
+        .into_iter()
+        .map(|r| r.expect("every shard reported Done"))
+        .collect();
+    let mut report = SimReport {
+        // Input accounting comes from the dispatcher: control
+        // broadcasts reach every shard and would count `offered` once
+        // per shard. Unsorted stragglers never reach a shard at all.
+        offered: stats.offered,
+        offered_bytes: stats.offered_bytes,
+        duration_ns: stats.last_arrival_ns,
+        ..SimReport::default()
+    };
+    report.drops.unsorted = stats.unsorted;
+    let mut snapshot: Option<TelemetrySnapshot> = None;
+    for (i, shard) in results.iter().enumerate() {
+        let r = &shard.report;
+        report.forwarded.0 += r.forwarded.0;
+        report.forwarded.1 += r.forwarded.1;
+        report.forwarded_bytes += r.forwarded_bytes;
+        report.drops.fifo_overflow += r.drops.fifo_overflow;
+        report.drops.app += r.drops.app;
+        report.drops.link += r.drops.link;
+        report.to_control += r.to_control;
+        report.cp_originated += r.cp_originated;
+        if i == 0 {
+            // The primary alone answers control frames; replicas
+            // handled the same frames but their counts are duplicates.
+            report.control_handled = r.control_handled;
+        }
+        report.latency.merge(&r.latency);
+        report.duration_ns = report.duration_ns.max(r.duration_ns);
+        match snapshot.as_mut() {
+            None => snapshot = Some(shard.snapshot.clone()),
+            Some(s) => s.merge_shard(&shard.snapshot),
+        }
+    }
+    ShardedRun {
+        report,
+        snapshot: snapshot.expect("at least one shard"),
+        shards,
+        backpressure: stats.backpressure,
+        routed: stats.routed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal Ethernet/IPv4/UDP frame with the given 5-tuple, padded
+    /// with `extra` payload bytes.
+    fn udp_frame(src: u32, dst: u32, sport: u16, dport: u16, extra: usize) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]); // dst MAC
+        f.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]); // src MAC
+        f.extend_from_slice(&0x0800u16.to_be_bytes());
+        let ip_len = 20 + 8 + extra;
+        f.push(0x45); // v4, IHL 5
+        f.push(0);
+        f.extend_from_slice(&(ip_len as u16).to_be_bytes());
+        f.extend_from_slice(&[0, 0, 0, 0]); // id, flags/frag
+        f.push(64); // TTL
+        f.push(17); // UDP
+        f.extend_from_slice(&[0, 0]); // checksum (unchecked here)
+        f.extend_from_slice(&src.to_be_bytes());
+        f.extend_from_slice(&dst.to_be_bytes());
+        f.extend_from_slice(&sport.to_be_bytes());
+        f.extend_from_slice(&dport.to_be_bytes());
+        f.extend_from_slice(&((8 + extra) as u16).to_be_bytes());
+        f.extend_from_slice(&[0, 0]); // UDP checksum
+        f.extend(std::iter::repeat_n(0xabu8, extra));
+        f
+    }
+
+    #[test]
+    fn hash_is_flow_stable_and_spreads() {
+        // Same 5-tuple → same shard, regardless of payload length.
+        let mut a = udp_frame(0xc0a8_0001, 0x6540_0001, 1111, 53, 10);
+        let b = udp_frame(0xc0a8_0001, 0x6540_0001, 1111, 53, 700);
+        assert_eq!(shard_for(&a, 8), shard_for(&b, 8));
+        // Different flows spread: 64 flows over 8 shards must touch
+        // more than one shard.
+        let shards: std::collections::HashSet<usize> = (0..64u32)
+            .map(|i| shard_for(&udp_frame(0xc0a8_0000 + i, 0x6540_0001, 1024, 53, 10), 8))
+            .collect();
+        assert!(shards.len() > 1, "all flows landed on one shard");
+        // Truncated runts fall back to the MAC hash instead of
+        // panicking; so does the empty frame.
+        a.truncate(10);
+        let _ = shard_for(&a, 4);
+        let _ = shard_for(&[], 4);
+    }
+
+    #[test]
+    fn vlan_tag_is_transparent_to_the_flow_hash() {
+        let plain = udp_frame(0xc0a8_0001, 0x6540_0001, 4242, 80, 10);
+        let mut tagged = plain[0..12].to_vec();
+        tagged.extend_from_slice(&0x8100u16.to_be_bytes());
+        tagged.extend_from_slice(&[0x20, 0x01]); // PCP/VID
+        tagged.extend_from_slice(&plain[12..]); // inner ethertype onward
+        assert_eq!(flow_hash(&plain), flow_hash(&tagged));
+    }
+
+    #[test]
+    fn reconciler_releases_in_seq_order_behind_watermarks() {
+        let out = |departure_ns: u64| OutputPacket {
+            departure_ns,
+            egress: flexsfp_core::Interface::Optical,
+            frame: vec![],
+            latency_ns: 0.0,
+        };
+        let mut r = Reconciler::new(2);
+        let mut got: Vec<u64> = Vec::new();
+        // Outputs arrive out of order across shards; nothing may be
+        // released before both shards' watermarks pass it.
+        r.accept(0, ShardOut::Out(3, out(3)), &mut |o| {
+            got.push(o.departure_ns)
+        });
+        r.accept(1, ShardOut::Out(1, out(1)), &mut |o| {
+            got.push(o.departure_ns)
+        });
+        r.accept(0, ShardOut::Watermark(5), &mut |o| got.push(o.departure_ns));
+        assert!(got.is_empty(), "released past shard 1's watermark");
+        r.accept(1, ShardOut::Out(0, out(0)), &mut |o| {
+            got.push(o.departure_ns)
+        });
+        r.accept(1, ShardOut::Watermark(2), &mut |o| got.push(o.departure_ns));
+        assert_eq!(got, vec![0, 1], "seq ≤ 2 released in order, 3 held");
+        r.accept(1, ShardOut::Watermark(5), &mut |o| got.push(o.departure_ns));
+        assert_eq!(got, vec![0, 1, 3]);
+    }
+}

@@ -4,12 +4,29 @@
 //! stream as `TraceBuilder::build`. This test pins the end-to-end
 //! consequence on the §5.1 golden NAT workload: identical `SimReport`
 //! aggregates AND identical output packets, byte for byte.
+//!
+//! The second half pins the sharded multicore path to the same
+//! standard: for every §3 application, `shard::run_sharded` at 1, 2, 4
+//! and 8 shards must produce the byte-identical output stream — in the
+//! serial sink order — and the same report aggregates as serial
+//! `run_stream_with`. This is the tentpole invariant of the sharded
+//! dataplane: parallelism is a transport detail, never a behavior.
 
-use flexsfp_apps::StaticNat;
-use flexsfp_core::module::{FlexSfp, ModuleConfig, OutputPacket, SimPacket};
-use flexsfp_ppe::Direction;
+use flexsfp_apps::firewall::{AclAction, AclFirewall, AclRule};
+use flexsfp_apps::sanitizer::SanitizerPolicy;
+use flexsfp_apps::tunnel::TunnelKind;
+use flexsfp_apps::{
+    DnsFilter, Ipv6SubscriberFilter, L4LoadBalancer, PerSourceRateLimiter, Sanitizer, StaticNat,
+    SynFloodGuard, TelemetryProbe, TunnelGateway, VlanTagger,
+};
+use flexsfp_bench::shard::run_sharded;
+use flexsfp_core::control::{ControlPlane, ControlRequest, CtlTableOp, CONTROL_PORT};
+use flexsfp_core::module::{FlexSfp, Interface, ModuleConfig, OutputPacket, SimPacket, SimReport};
+use flexsfp_ppe::{Direction, PacketProcessor};
 use flexsfp_traffic::gen::ArrivalModel;
 use flexsfp_traffic::{SizeModel, TraceBuilder};
+use flexsfp_wire::builder::PacketBuilder;
+use flexsfp_wire::MacAddr;
 
 const PRIVATE_BASE: u32 = 0xc0a8_0000;
 const PUBLIC_BASE: u32 = 0x6540_0000;
@@ -108,4 +125,303 @@ fn run_stream_drop_sink_matches_run_aggregates() {
     assert_eq!(streamed.forwarded_bytes, batch.forwarded_bytes);
     assert_eq!(streamed.latency.mean_ns(), batch.latency.mean_ns());
     assert!(streamed.outputs.is_empty(), "drop sink keeps no outputs");
+}
+
+// ---------------------------------------------------------------------
+// Sharded path: digest-identical to serial for every §3 application.
+// ---------------------------------------------------------------------
+
+/// Packets per sharded-parity workload; crosses multiple reconciler
+/// barrier intervals on both transports (`shard::BARRIER_EVERY` =
+/// 4096 threaded, `shard::INLINE_BARRIER_EVERY` = 256 inline).
+const SHARD_PACKETS: usize = 10_000;
+
+/// 64-bit FNV-1a fold of `bytes` into `state`.
+fn fnv1a(state: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *state ^= b as u64;
+        *state = state.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Fold one output packet into the running stream digest. Order
+/// matters: the digest pins the sink *order*, not just the set.
+fn fold_output(digest: &mut u64, out: &OutputPacket) {
+    fnv1a(digest, &out.departure_ns.to_le_bytes());
+    fnv1a(digest, &[matches!(out.egress, Interface::Optical) as u8]);
+    fnv1a(digest, &(out.frame.len() as u32).to_le_bytes());
+    fnv1a(digest, &out.frame);
+}
+
+/// Build the §3 application under test by name, fresh state each call.
+fn app_by_name(name: &str) -> Box<dyn PacketProcessor> {
+    match name {
+        "nat" => {
+            let mut nat = StaticNat::new();
+            for i in 0..FLOWS as u32 {
+                nat.add_mapping(PRIVATE_BASE + i, PUBLIC_BASE + i)
+                    .expect("mapping install");
+            }
+            Box::new(nat)
+        }
+        "firewall" => {
+            let mut fw = AclFirewall::new(64);
+            fw.add_rule(AclRule {
+                src: Some((PRIVATE_BASE, 28)),
+                dst: None,
+                protocol: Some(17),
+                src_port: None,
+                dst_port: None,
+                priority: 1,
+                action: AclAction::Permit,
+            });
+            Box::new(fw)
+        }
+        "dnsfilter" => Box::new(DnsFilter::new()),
+        "ipv6filter" => Box::new(Ipv6SubscriberFilter::new()),
+        "lb" => Box::new(L4LoadBalancer::new(
+            0x0a00_0005,
+            80,
+            vec![0x0a00_0101, 0x0a00_0102],
+        )),
+        "ratelimit" => Box::new(PerSourceRateLimiter::new()),
+        "sanitizer" => Box::new(Sanitizer::new(SanitizerPolicy::default())),
+        "synflood" => Box::new(SynFloodGuard::new(1024, 100, 1_000_000)),
+        "telemetry" => Box::new(TelemetryProbe::new(256, 1_000_000, 50_000)),
+        "tunnel" => Box::new(TunnelGateway::new(
+            TunnelKind::Gre { key: 7 },
+            0x0a00_0001,
+            0x0a00_0002,
+        )),
+        "vlan" => Box::new(VlanTagger::new(100)),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+const ALL_APPS: [&str; 11] = [
+    "nat",
+    "firewall",
+    "dnsfilter",
+    "ipv6filter",
+    "lb",
+    "ratelimit",
+    "sanitizer",
+    "synflood",
+    "telemetry",
+    "tunnel",
+    "vlan",
+];
+
+/// The mixed UDP/TCP IMIX workload from the cache-parity suite: the
+/// ports and address ranges exercise every app's interesting paths.
+fn shard_workload() -> Vec<SimPacket> {
+    TraceBuilder::new(0x51)
+        .flows(FLOWS)
+        .src_base(PRIVATE_BASE)
+        .sizes(SizeModel::Imix)
+        .arrivals(ArrivalModel::Paced { utilization: 0.8 })
+        .tcp_share(0.5)
+        .build(SHARD_PACKETS)
+        .into_iter()
+        .map(|p| SimPacket {
+            arrival_ns: p.arrival_ns,
+            direction: Direction::EdgeToOptical,
+            frame: p.frame,
+        })
+        .collect()
+}
+
+/// Serial reference: `run_stream_with` sink-order digest + report.
+fn serial_reference(app: &str, packets: Vec<SimPacket>) -> (u64, SimReport) {
+    let mut module = FlexSfp::new(ModuleConfig::default(), app_by_name(app));
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let report = module.run_stream_with(packets, |out| fold_output(&mut digest, &out));
+    (digest, report)
+}
+
+/// Every aggregate the merged sharded report promises to reproduce.
+fn assert_reports_match(app: &str, shards: usize, sharded: &SimReport, serial: &SimReport) {
+    let ctx = |field: &str| format!("app `{app}` at {shards} shards: {field} diverged");
+    assert_eq!(sharded.offered, serial.offered, "{}", ctx("offered"));
+    assert_eq!(
+        sharded.offered_bytes,
+        serial.offered_bytes,
+        "{}",
+        ctx("offered_bytes")
+    );
+    assert_eq!(sharded.forwarded, serial.forwarded, "{}", ctx("forwarded"));
+    assert_eq!(
+        sharded.forwarded_bytes,
+        serial.forwarded_bytes,
+        "{}",
+        ctx("forwarded_bytes")
+    );
+    assert_eq!(sharded.drops, serial.drops, "{}", ctx("drops"));
+    assert_eq!(
+        sharded.to_control,
+        serial.to_control,
+        "{}",
+        ctx("to_control")
+    );
+    assert_eq!(
+        sharded.control_handled,
+        serial.control_handled,
+        "{}",
+        ctx("control_handled")
+    );
+    assert_eq!(
+        sharded.cp_originated,
+        serial.cp_originated,
+        "{}",
+        ctx("cp_originated")
+    );
+    assert_eq!(
+        sharded.duration_ns,
+        serial.duration_ns,
+        "{}",
+        ctx("duration_ns")
+    );
+    assert_eq!(
+        sharded.latency.count(),
+        serial.latency.count(),
+        "{}",
+        ctx("latency.count")
+    );
+    // The latency histogram's bucket counts, min, max and percentiles
+    // merge exactly; the mean rides on an f64 running sum, and summing
+    // per-shard partials reassociates the additions, so the last few
+    // ulps can differ from the serial running sum. Packet-visible
+    // output (the digest) is still bit-identical.
+    let (m_sharded, m_serial) = (sharded.latency.mean_ns(), serial.latency.mean_ns());
+    assert!(
+        (m_sharded - m_serial).abs() <= 1e-9 * m_serial.abs().max(1.0),
+        "{} ({m_sharded} vs {m_serial})",
+        ctx("latency.mean")
+    );
+    assert_eq!(
+        sharded.latency.p99_ns(),
+        serial.latency.p99_ns(),
+        "{}",
+        ctx("latency.p99")
+    );
+    assert_eq!(
+        sharded.latency.max_ns(),
+        serial.latency.max_ns(),
+        "{}",
+        ctx("latency.max")
+    );
+}
+
+/// The tentpole invariant: for all 11 §3 apps and shards ∈ {1,2,4,8},
+/// the sharded run emits the byte-identical output stream in the
+/// serial sink order and merges to the same report aggregates.
+///
+/// `FLEXSFP_THREADS=4` forces the threaded transport (worker threads +
+/// SPSC rings) even on single-core CI runners; the 1-shard point takes
+/// the inline transport. Both must be indistinguishable from serial.
+#[test]
+fn sharded_run_is_digest_identical_to_serial_for_every_app() {
+    std::env::set_var("FLEXSFP_THREADS", "4");
+    for app in ALL_APPS {
+        let (serial_digest, serial_report) = serial_reference(app, shard_workload());
+        for shards in [1usize, 2, 4, 8] {
+            let mut digest = 0xcbf2_9ce4_8422_2325u64;
+            let run = run_sharded(
+                shards,
+                &ModuleConfig::default(),
+                |_| FlexSfp::new(ModuleConfig::default(), app_by_name(app)),
+                shard_workload(),
+                |out| fold_output(&mut digest, &out),
+            );
+            assert_eq!(
+                digest, serial_digest,
+                "app `{app}` at {shards} shards: output stream diverged from serial \
+                 ({digest:016x} vs {serial_digest:016x})"
+            );
+            assert_reports_match(app, shards, &run.report, &serial_report);
+            assert_eq!(run.shards, shards);
+            assert_eq!(
+                run.routed.iter().sum::<u64>(),
+                serial_report.offered,
+                "every dataplane packet routed exactly once"
+            );
+        }
+    }
+}
+
+/// Build an authenticated in-band control frame carrying a NAT table op.
+fn control_frame(config: &ModuleConfig, op: CtlTableOp) -> Vec<u8> {
+    let payload = ControlPlane::encode_request(&config.auth_key, &ControlRequest::Table(op));
+    PacketBuilder::eth_ipv4_udp(
+        config.mgmt_mac,
+        MacAddr([0xee; 6]),
+        0x0a00_0101,
+        config.mgmt_ip,
+        40_000,
+        CONTROL_PORT,
+        &payload,
+    )
+}
+
+/// Control frames must replicate to every shard (lockstep table state)
+/// while only the primary answers: a stream with mid-run NAT table
+/// mutations still matches serial byte for byte, and the control
+/// counters don't multiply by the shard count.
+#[test]
+fn sharded_run_replicates_control_mutations_to_every_shard() {
+    std::env::set_var("FLEXSFP_THREADS", "4");
+    let config = ModuleConfig::default();
+    let mutating_stream = || {
+        let mut packets = shard_workload();
+        let n = packets.len();
+        for i in 0..4 {
+            let at = n * (i + 1) / 5;
+            let arrival_ns = packets[at].arrival_ns;
+            let flow = (i as u32) % FLOWS as u32;
+            let op = if i == 3 {
+                CtlTableOp::Delete {
+                    table: 0,
+                    key: (PRIVATE_BASE + flow).to_be_bytes().to_vec(),
+                }
+            } else {
+                CtlTableOp::Insert {
+                    table: 0,
+                    key: (PRIVATE_BASE + flow).to_be_bytes().to_vec(),
+                    value: (PUBLIC_BASE + 0x100 + flow).to_be_bytes().to_vec(),
+                }
+            };
+            packets.insert(
+                at,
+                SimPacket {
+                    arrival_ns,
+                    direction: Direction::EdgeToOptical,
+                    frame: control_frame(&config, op),
+                },
+            );
+        }
+        packets
+    };
+
+    let mut serial_digest = 0xcbf2_9ce4_8422_2325u64;
+    let serial = FlexSfp::new(config.clone(), app_by_name("nat"))
+        .run_stream_with(mutating_stream(), |out| {
+            fold_output(&mut serial_digest, &out)
+        });
+    assert_eq!(serial.control_handled, 4, "all four table ops handled");
+
+    for shards in [2usize, 4] {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let run = run_sharded(
+            shards,
+            &config,
+            |_| FlexSfp::new(config.clone(), app_by_name("nat")),
+            mutating_stream(),
+            |out| fold_output(&mut digest, &out),
+        );
+        assert_eq!(
+            digest, serial_digest,
+            "control-mutating stream diverged at {shards} shards"
+        );
+        assert_reports_match("nat+control", shards, &run.report, &serial);
+    }
 }

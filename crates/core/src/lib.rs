@@ -35,5 +35,5 @@ pub mod shell;
 
 pub use bitstream::Bitstream;
 pub use control::{ControlPlane, ControlRequest, ControlResponse};
-pub use module::{FlexSfp, Interface, ModuleConfig, SimPacket, SimReport};
+pub use module::{FlexSfp, Interface, ModuleConfig, SimPacket, SimReport, StreamSession};
 pub use shell::ShellKind;

@@ -41,7 +41,12 @@ use std::collections::VecDeque;
 /// microservice replies, bypass-path outputs, end of trace) flushes the
 /// pending batch first, so results are bit-identical to per-packet
 /// processing.
-const PPE_BATCH: usize = 32;
+///
+/// Public because it bounds the number of frames a module holds in
+/// flight: a streaming run's arena allocation count is at most this
+/// window (plus generator slack), which is the O(1)-memory bound the
+/// perf harness enforces per thread.
+pub const PPE_BATCH: usize = 32;
 
 /// Physical interfaces of the module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,6 +171,14 @@ pub struct DropStats {
 }
 
 impl DropStats {
+    /// Fold another run's drops into this one (shard-report merge).
+    pub fn merge(&mut self, other: &DropStats) {
+        self.fifo_overflow += other.fifo_overflow;
+        self.app += other.app;
+        self.link += other.link;
+        self.unsorted += other.unsorted;
+    }
+
     /// Total drops.
     pub fn total(&self) -> u64 {
         self.fifo_overflow + self.app + self.link + self.unsorted
@@ -184,6 +197,13 @@ pub struct LatencyStats {
 impl LatencyStats {
     fn record(&mut self, l: f64) {
         self.hist.record_f64(l);
+    }
+
+    /// Fold another run's latency population into this one — exact,
+    /// because the underlying histogram merge is exact (shard-report
+    /// merge).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.hist.merge(&other.hist);
     }
 
     /// Packets measured.
@@ -286,6 +306,9 @@ pub type AppFactory = Box<dyn Fn(&BitstreamMeta) -> Option<Box<dyn PacketProcess
 /// departure time is already known when the packet joins the batch.
 #[derive(Debug, Clone, Copy)]
 struct PendingPpe {
+    /// Caller-supplied input tag (the global input sequence number in
+    /// sharded runs), threaded through to the sink unchanged.
+    tag: u64,
     arrival_ns: u64,
     arrival_fs: u128,
     departure_fs: u128,
@@ -394,7 +417,8 @@ impl DispatchOutcome {
 /// output emission. A free function over the module's disjoint fields
 /// so the batched and bypass paths share one exact implementation.
 #[allow(clippy::too_many_arguments)]
-fn dispatch_output<F: FnMut(OutputPacket)>(
+fn dispatch_output<F: FnMut(u64, OutputPacket)>(
+    tag: u64,
     frame: Vec<u8>,
     verdict: Verdict,
     direction: Direction,
@@ -484,12 +508,15 @@ fn dispatch_output<F: FnMut(OutputPacket)>(
     }
     report.forwarded_bytes += frame.len() as u64;
     *last_time_ns = (*last_time_ns).max(departure_ns);
-    sink(OutputPacket {
-        departure_ns,
-        egress,
-        frame,
-        latency_ns,
-    });
+    sink(
+        tag,
+        OutputPacket {
+            departure_ns,
+            egress,
+            frame,
+            latency_ns,
+        },
+    );
     DispatchOutcome::Forwarded { departure_ns }
 }
 
@@ -499,7 +526,7 @@ fn dispatch_output<F: FnMut(OutputPacket)>(
 /// flush) and its postcard is completed here: the application's stage
 /// stamp joins the queue observation and the dispatch verdict.
 #[allow(clippy::too_many_arguments)]
-fn flush_ppe_batch<F: FnMut(OutputPacket)>(
+fn flush_ppe_batch<F: FnMut(u64, OutputPacket)>(
     app: &mut dyn PacketProcessor,
     batch: &mut Vec<BatchPacket>,
     pending: &mut Vec<PendingPpe>,
@@ -539,6 +566,7 @@ fn flush_ppe_batch<F: FnMut(OutputPacket)>(
     let newest = batch.len() - 1;
     for (i, (slot, meta)) in batch.drain(..).zip(pending.drain(..)).enumerate() {
         let outcome = dispatch_output(
+            meta.tag,
             slot.frame,
             slot.verdict,
             slot.ctx.direction,
@@ -1034,286 +1062,34 @@ impl FlexSfp {
         I: IntoIterator<Item = SimPacket>,
         F: FnMut(OutputPacket),
     {
-        let mut report = SimReport::default();
-        let mut shared_server = PpeServer::new(self.config.fifo_bytes);
-        // One-Way-Filter uses a dedicated server for its single PPE
-        // direction; the shared server then only sees that direction.
-        let serdes_fs = (self.config.serdes_latency_ns * 1e6) as u128;
-        let ppe_period_fs = self.config.ppe_clock.period_fs() as u128;
-        let pipeline_cycles = 4 + 3 * u128::from(self.app.pipeline_depth());
-        let mut last_time_ns = 0u64;
-        let mut prev_arrival = 0u64;
-        // One-entry memo of beats_for(len): the ceiling division has a
-        // runtime divisor, and fixed-size workloads repeat one length.
-        let mut last_beats: (usize, u128) = (usize::MAX, 0);
-        let mut batch: Vec<BatchPacket> = Vec::with_capacity(PPE_BATCH);
-        let mut pending: Vec<PendingPpe> = Vec::with_capacity(PPE_BATCH);
-        macro_rules! flush {
-            () => {
-                flush!(@capture None)
-            };
-            ($state:expr, $cap:expr) => {
-                flush!(@capture Some(($cap, $state)))
-            };
-            (@capture $capture:expr) => {
-                flush_ppe_batch(
-                    self.app.as_mut(),
-                    &mut batch,
-                    &mut pending,
-                    &mut report,
-                    &mut self.edge,
-                    &mut self.optical,
-                    &mut self.events,
-                    &mut self.lifetime_drops,
-                    &mut self.windows,
-                    &mut self.last_cache,
-                    $capture,
-                    &mut last_time_ns,
-                    &mut sink,
-                )
-            };
+        let mut session = self.begin_stream();
+        let mut tagged = |_tag: u64, out: OutputPacket| sink(out);
+        for (seq, pkt) in packets.into_iter().enumerate() {
+            session.offer(self, seq as u64, pkt, &mut tagged);
         }
+        session.finish(self, &mut tagged)
+    }
 
-        for pkt in packets {
-            report.offered += 1;
-            report.offered_bytes += pkt.frame.len() as u64;
-            if pkt.arrival_ns < prev_arrival {
-                // Straggler in a host-composed trace: drop and count
-                // before it reaches ingress accounting.
-                report.drops.unsorted += 1;
-                self.lifetime_drops.unsorted += 1;
-                self.events.record(
-                    pkt.arrival_ns,
-                    EventKind::Drop {
-                        reason: DropReason::UnsortedArrival,
-                    },
-                );
-                self.windows.record_drop(pkt.arrival_ns, true);
-                continue;
-            }
-            prev_arrival = pkt.arrival_ns;
-            last_time_ns = last_time_ns.max(pkt.arrival_ns);
-
-            // Ingress accounting.
-            let (rx_ok, _ingress) = match pkt.direction {
-                Direction::EdgeToOptical => (self.edge.record_rx(pkt.frame.len()), Interface::Edge),
-                Direction::OpticalToEdge => {
-                    (self.optical.record_rx(pkt.frame.len()), Interface::Optical)
-                }
-            };
-            if !rx_ok {
-                report.drops.link += 1;
-                self.lifetime_drops.link += 1;
-                self.events.record(
-                    pkt.arrival_ns,
-                    EventKind::Drop {
-                        reason: DropReason::LinkDown,
-                    },
-                );
-                self.windows.record_drop(pkt.arrival_ns, true);
-                continue;
-            }
-
-            // Active-Control-Plane shell: the control plane terminates
-            // traffic addressed to the module itself (ARP, ICMP echo)
-            // from either interface — the §4.1 "microservice node".
-            if self.config.shell.control_plane_active() {
-                if let Some((_svc, reply)) = crate::microservice::respond(
-                    &pkt.frame,
-                    self.config.mgmt_mac,
-                    self.config.mgmt_ip,
-                ) {
-                    // Keep sink emission in arrival order.
-                    flush!();
-                    report.cp_originated += 1;
-                    // Replies exit the interface the request arrived on;
-                    // the softcore path costs ~10 µs.
-                    let back = match pkt.direction {
-                        Direction::EdgeToOptical => Interface::Edge,
-                        Direction::OpticalToEdge => Interface::Optical,
-                    };
-                    let departure = pkt.arrival_ns + 10_000;
-                    match back {
-                        Interface::Edge => self.edge.record_tx(reply.len()),
-                        Interface::Optical => self.optical.record_tx(reply.len()),
-                    };
-                    sink(OutputPacket {
-                        departure_ns: departure,
-                        egress: back,
-                        frame: reply,
-                        latency_ns: 10_000.0,
-                    });
-                    last_time_ns = last_time_ns.max(departure);
-                    continue;
-                }
-            }
-
-            // Arbiter: control-plane frames divert before the PPE. The
-            // pending batch must run first: control ops mutate tables,
-            // and earlier packets belong to the pre-mutation state.
-            if pkt.direction == Direction::EdgeToOptical && self.control.classify(&pkt.frame) {
-                flush!();
-                let dom = self.mgmt.read_dom();
-                let mut ctx = ControlContext {
-                    app: self.app.as_mut(),
-                    flash: &mut self.flash,
-                    dom,
-                    module_id: &self.config.id,
-                    app_version: self.app_version,
-                    boots: self.boots,
-                };
-                if let Some(resp) = self.control.handle_frame(&pkt.frame, &mut ctx) {
-                    report.control_handled += 1;
-                    // Response merges into the edge-bound stream; the
-                    // control path is slow (softcore), model 10 µs.
-                    let departure = pkt.arrival_ns + 10_000;
-                    self.edge.record_tx(resp.len());
-                    sink(OutputPacket {
-                        departure_ns: departure,
-                        egress: Interface::Edge,
-                        frame: resp,
-                        latency_ns: 10_000.0,
-                    });
-                    last_time_ns = last_time_ns.max(departure);
-                } else {
-                    // A classified control frame that failed decode or
-                    // authentication: trace the rejection.
-                    self.events.record(pkt.arrival_ns, EventKind::AuthReject);
-                }
-                self.maybe_reboot();
-                continue;
-            }
-
-            let arrival_fs = u128::from(pkt.arrival_ns) * 1_000_000;
-            let uses_ppe = self.config.shell.ppe_applies(pkt.direction);
-            // One sampler draw per dataplane packet (PPE and bypass
-            // alike), taken before the FIFO decision so overflow drops
-            // are observable in the flight record too. Control and
-            // microservice frames diverted above never draw.
-            let sampled = match self.flight.as_mut() {
-                Some(f) => f.sampler.sample(),
-                None => false,
-            };
-
-            if uses_ppe {
-                let beats = if last_beats.0 == pkt.frame.len() {
-                    last_beats.1
-                } else {
-                    let b = u128::from(self.config.datapath.beats_for(pkt.frame.len()));
-                    last_beats = (pkt.frame.len(), b);
-                    b
-                };
-                let service_fs = beats * ppe_period_fs;
-                // Observe the queue a sampled packet meets before it is
-                // admitted (admission changes the backlog).
-                let depth = if sampled {
-                    Some(shared_server.depth_at(arrival_fs))
-                } else {
-                    None
-                };
-                let Some(start_fs) = shared_server.admit(arrival_fs, pkt.frame.len(), service_fs)
-                else {
-                    report.drops.fifo_overflow += 1;
-                    self.lifetime_drops.fifo_overflow += 1;
-                    self.events.record(
-                        pkt.arrival_ns,
-                        EventKind::Drop {
-                            reason: DropReason::FifoOverflow,
-                        },
-                    );
-                    self.windows.record_drop(pkt.arrival_ns, true);
-                    if sampled {
-                        if let Some(state) = self.flight.as_mut() {
-                            let (queue_bytes, queue_pkts) = depth.unwrap_or((0, 0));
-                            state.push(
-                                pkt.arrival_ns,
-                                FlightCapture {
-                                    queue_bytes,
-                                    queue_pkts,
-                                },
-                                FlightStamp::default(),
-                                FlightVerdict::Dropped {
-                                    reason: DropReason::FifoOverflow,
-                                },
-                            );
-                        }
-                    }
-                    continue;
-                };
-                let ctx = ProcessContext {
-                    timestamp_ns: pkt.arrival_ns,
-                    direction: pkt.direction,
-                };
-                batch.push(BatchPacket::new(ctx, pkt.frame));
-                pending.push(PendingPpe {
-                    arrival_ns: pkt.arrival_ns,
-                    arrival_fs,
-                    departure_fs: start_fs
-                        + service_fs
-                        + pipeline_cycles * ppe_period_fs
-                        + 2 * serdes_fs,
-                });
-                if sampled {
-                    // A sampled packet flushes immediately: batching is
-                    // semantically per-packet, so results are unchanged,
-                    // and the postcard completes while the packet is the
-                    // processor's most recent.
-                    let (queue_bytes, queue_pkts) = depth.unwrap_or((0, 0));
-                    let cap = FlightCapture {
-                        queue_bytes,
-                        queue_pkts,
-                    };
-                    if let Some(state) = self.flight.as_mut() {
-                        flush!(state, cap);
-                    } else {
-                        flush!();
-                    }
-                } else if batch.len() == PPE_BATCH {
-                    flush!();
-                }
-            } else {
-                // Bypass path: SerDes in, merge, SerDes out. Flush so
-                // outputs still reach the sink in arrival order.
-                flush!();
-                let outcome = dispatch_output(
-                    pkt.frame,
-                    Verdict::Forward,
-                    pkt.direction,
-                    pkt.arrival_ns,
-                    arrival_fs,
-                    arrival_fs + 2 * serdes_fs,
-                    &mut report,
-                    &mut self.edge,
-                    &mut self.optical,
-                    &mut self.events,
-                    &mut self.lifetime_drops,
-                    &mut self.windows,
-                    &mut last_time_ns,
-                    &mut sink,
-                );
-                if sampled {
-                    if let Some(state) = self.flight.as_mut() {
-                        // No PPE queue and no stages on the bypass path:
-                        // an honest all-zero postcard bar the verdict.
-                        state.push(
-                            pkt.arrival_ns,
-                            FlightCapture {
-                                queue_bytes: 0,
-                                queue_pkts: 0,
-                            },
-                            FlightStamp::default(),
-                            outcome.verdict(),
-                        );
-                    }
-                }
-            }
+    /// Begin an incremental streaming run: the session half of
+    /// [`run_stream_with`](Self::run_stream_with), reified for callers
+    /// that cannot hand over a complete iterator — the sharded
+    /// dataplane dispatcher interleaves packet offers with ring I/O
+    /// and needs every output labelled with the input tag that
+    /// produced it. Drive it with [`StreamSession::offer`] and close
+    /// with [`StreamSession::finish`].
+    pub fn begin_stream(&mut self) -> StreamSession {
+        StreamSession {
+            report: SimReport::default(),
+            server: PpeServer::new(self.config.fifo_bytes),
+            serdes_fs: (self.config.serdes_latency_ns * 1e6) as u128,
+            ppe_period_fs: self.config.ppe_clock.period_fs() as u128,
+            pipeline_cycles: 4 + 3 * u128::from(self.app.pipeline_depth()),
+            last_time_ns: 0,
+            prev_arrival: 0,
+            last_beats: (usize::MAX, 0),
+            batch: Vec::with_capacity(PPE_BATCH),
+            pending: Vec::with_capacity(PPE_BATCH),
         }
-        flush!();
-        report.duration_ns = last_time_ns;
-        // Fold this run into the module's lifetime telemetry.
-        self.lifetime_latency.merge(report.latency.histogram());
-        self.clock_ns = self.clock_ns.max(last_time_ns);
-        report
     }
 
     /// Produce one telemetry export: lifetime counters and latency
@@ -1356,6 +1132,349 @@ impl FlexSfp {
             ctrl: self.control.ctrl_counters(),
             windows: self.windows.clone(),
         }
+    }
+}
+
+/// An in-progress streaming run: the loop state of
+/// [`FlexSfp::run_stream_with`] reified as a value, so callers can
+/// drive packets one at a time instead of surrendering an iterator.
+/// Built by [`FlexSfp::begin_stream`]; the sharded dataplane holds one
+/// session per shard module and interleaves [`offer`](Self::offer)
+/// calls with ring I/O.
+///
+/// Each offered packet carries a caller-chosen `tag` (the global input
+/// sequence number in sharded runs), handed back verbatim with every
+/// output that packet produces — including outputs released later by a
+/// batch flush — so a reconciler can restore global order without
+/// inspecting frames.
+///
+/// The session borrows nothing from the module: `&mut FlexSfp` is
+/// passed to each call, keeping the module usable for telemetry and
+/// OOB control between offers. Run one live session per module;
+/// interleaving two sessions over one module would share transceiver
+/// and window state in arrival-order-breaking ways.
+pub struct StreamSession {
+    report: SimReport,
+    server: PpeServer,
+    serdes_fs: u128,
+    ppe_period_fs: u128,
+    pipeline_cycles: u128,
+    last_time_ns: u64,
+    prev_arrival: u64,
+    /// One-entry memo of beats_for(len): the ceiling division has a
+    /// runtime divisor, and fixed-size workloads repeat one length.
+    last_beats: (usize, u128),
+    batch: Vec<BatchPacket>,
+    pending: Vec<PendingPpe>,
+}
+
+impl StreamSession {
+    /// Run the pending PPE batch (if any) against the module, with an
+    /// optional flight capture for the newest slot. All the disjoint
+    /// module fields the flush needs are split here, in one place.
+    fn flush_batch<F: FnMut(u64, OutputPacket)>(
+        &mut self,
+        m: &mut FlexSfp,
+        cap: Option<FlightCapture>,
+        sink: &mut F,
+    ) {
+        let FlexSfp {
+            app,
+            edge,
+            optical,
+            events,
+            lifetime_drops,
+            windows,
+            last_cache,
+            flight,
+            ..
+        } = m;
+        let capture = match (cap, flight.as_mut()) {
+            (Some(c), Some(state)) => Some((c, state)),
+            _ => None,
+        };
+        flush_ppe_batch(
+            app.as_mut(),
+            &mut self.batch,
+            &mut self.pending,
+            &mut self.report,
+            edge,
+            optical,
+            events,
+            lifetime_drops,
+            windows,
+            last_cache,
+            capture,
+            &mut self.last_time_ns,
+            sink,
+        );
+    }
+
+    /// Flush the pending PPE batch to the sink. Offers already do this
+    /// at every ordering boundary; the dispatcher calls it at flush
+    /// barriers so shard progress is bounded between watermarks.
+    pub fn flush<F: FnMut(u64, OutputPacket)>(&mut self, m: &mut FlexSfp, sink: &mut F) {
+        self.flush_batch(m, None, sink);
+    }
+
+    /// Offer one packet to the module, emitting any outputs it (or a
+    /// batch flush it triggers) produces to `sink` as `(tag, output)`
+    /// pairs. Packets must be offered in nondecreasing arrival order;
+    /// stragglers are dropped and counted exactly as in
+    /// [`FlexSfp::run_stream_with`].
+    pub fn offer<F: FnMut(u64, OutputPacket)>(
+        &mut self,
+        m: &mut FlexSfp,
+        tag: u64,
+        pkt: SimPacket,
+        sink: &mut F,
+    ) {
+        self.report.offered += 1;
+        self.report.offered_bytes += pkt.frame.len() as u64;
+        if pkt.arrival_ns < self.prev_arrival {
+            // Straggler in a host-composed trace: drop and count
+            // before it reaches ingress accounting.
+            self.report.drops.unsorted += 1;
+            m.lifetime_drops.unsorted += 1;
+            m.events.record(
+                pkt.arrival_ns,
+                EventKind::Drop {
+                    reason: DropReason::UnsortedArrival,
+                },
+            );
+            m.windows.record_drop(pkt.arrival_ns, true);
+            return;
+        }
+        self.prev_arrival = pkt.arrival_ns;
+        self.last_time_ns = self.last_time_ns.max(pkt.arrival_ns);
+
+        // Ingress accounting.
+        let (rx_ok, _ingress) = match pkt.direction {
+            Direction::EdgeToOptical => (m.edge.record_rx(pkt.frame.len()), Interface::Edge),
+            Direction::OpticalToEdge => (m.optical.record_rx(pkt.frame.len()), Interface::Optical),
+        };
+        if !rx_ok {
+            self.report.drops.link += 1;
+            m.lifetime_drops.link += 1;
+            m.events.record(
+                pkt.arrival_ns,
+                EventKind::Drop {
+                    reason: DropReason::LinkDown,
+                },
+            );
+            m.windows.record_drop(pkt.arrival_ns, true);
+            return;
+        }
+
+        // Active-Control-Plane shell: the control plane terminates
+        // traffic addressed to the module itself (ARP, ICMP echo)
+        // from either interface — the §4.1 "microservice node".
+        if m.config.shell.control_plane_active() {
+            if let Some((_svc, reply)) =
+                crate::microservice::respond(&pkt.frame, m.config.mgmt_mac, m.config.mgmt_ip)
+            {
+                // Keep sink emission in arrival order.
+                self.flush_batch(m, None, sink);
+                self.report.cp_originated += 1;
+                // Replies exit the interface the request arrived on;
+                // the softcore path costs ~10 µs.
+                let back = match pkt.direction {
+                    Direction::EdgeToOptical => Interface::Edge,
+                    Direction::OpticalToEdge => Interface::Optical,
+                };
+                let departure = pkt.arrival_ns + 10_000;
+                match back {
+                    Interface::Edge => m.edge.record_tx(reply.len()),
+                    Interface::Optical => m.optical.record_tx(reply.len()),
+                };
+                sink(
+                    tag,
+                    OutputPacket {
+                        departure_ns: departure,
+                        egress: back,
+                        frame: reply,
+                        latency_ns: 10_000.0,
+                    },
+                );
+                self.last_time_ns = self.last_time_ns.max(departure);
+                return;
+            }
+        }
+
+        // Arbiter: control-plane frames divert before the PPE. The
+        // pending batch must run first: control ops mutate tables,
+        // and earlier packets belong to the pre-mutation state.
+        if pkt.direction == Direction::EdgeToOptical && m.control.classify(&pkt.frame) {
+            self.flush_batch(m, None, sink);
+            let dom = m.mgmt.read_dom();
+            let mut ctx = ControlContext {
+                app: m.app.as_mut(),
+                flash: &mut m.flash,
+                dom,
+                module_id: &m.config.id,
+                app_version: m.app_version,
+                boots: m.boots,
+            };
+            if let Some(resp) = m.control.handle_frame(&pkt.frame, &mut ctx) {
+                self.report.control_handled += 1;
+                // Response merges into the edge-bound stream; the
+                // control path is slow (softcore), model 10 µs.
+                let departure = pkt.arrival_ns + 10_000;
+                m.edge.record_tx(resp.len());
+                sink(
+                    tag,
+                    OutputPacket {
+                        departure_ns: departure,
+                        egress: Interface::Edge,
+                        frame: resp,
+                        latency_ns: 10_000.0,
+                    },
+                );
+                self.last_time_ns = self.last_time_ns.max(departure);
+            } else {
+                // A classified control frame that failed decode or
+                // authentication: trace the rejection.
+                m.events.record(pkt.arrival_ns, EventKind::AuthReject);
+            }
+            m.maybe_reboot();
+            return;
+        }
+
+        let arrival_fs = u128::from(pkt.arrival_ns) * 1_000_000;
+        let uses_ppe = m.config.shell.ppe_applies(pkt.direction);
+        // One sampler draw per dataplane packet (PPE and bypass
+        // alike), taken before the FIFO decision so overflow drops
+        // are observable in the flight record too. Control and
+        // microservice frames diverted above never draw.
+        let sampled = match m.flight.as_mut() {
+            Some(f) => f.sampler.sample(),
+            None => false,
+        };
+
+        if uses_ppe {
+            let beats = if self.last_beats.0 == pkt.frame.len() {
+                self.last_beats.1
+            } else {
+                let b = u128::from(m.config.datapath.beats_for(pkt.frame.len()));
+                self.last_beats = (pkt.frame.len(), b);
+                b
+            };
+            let service_fs = beats * self.ppe_period_fs;
+            // Observe the queue a sampled packet meets before it is
+            // admitted (admission changes the backlog).
+            let depth = if sampled {
+                Some(self.server.depth_at(arrival_fs))
+            } else {
+                None
+            };
+            let Some(start_fs) = self.server.admit(arrival_fs, pkt.frame.len(), service_fs) else {
+                self.report.drops.fifo_overflow += 1;
+                m.lifetime_drops.fifo_overflow += 1;
+                m.events.record(
+                    pkt.arrival_ns,
+                    EventKind::Drop {
+                        reason: DropReason::FifoOverflow,
+                    },
+                );
+                m.windows.record_drop(pkt.arrival_ns, true);
+                if sampled {
+                    if let Some(state) = m.flight.as_mut() {
+                        let (queue_bytes, queue_pkts) = depth.unwrap_or((0, 0));
+                        state.push(
+                            pkt.arrival_ns,
+                            FlightCapture {
+                                queue_bytes,
+                                queue_pkts,
+                            },
+                            FlightStamp::default(),
+                            FlightVerdict::Dropped {
+                                reason: DropReason::FifoOverflow,
+                            },
+                        );
+                    }
+                }
+                return;
+            };
+            let ctx = ProcessContext {
+                timestamp_ns: pkt.arrival_ns,
+                direction: pkt.direction,
+            };
+            self.batch.push(BatchPacket::new(ctx, pkt.frame));
+            self.pending.push(PendingPpe {
+                tag,
+                arrival_ns: pkt.arrival_ns,
+                arrival_fs,
+                departure_fs: start_fs
+                    + service_fs
+                    + self.pipeline_cycles * self.ppe_period_fs
+                    + 2 * self.serdes_fs,
+            });
+            if sampled {
+                // A sampled packet flushes immediately: batching is
+                // semantically per-packet, so results are unchanged,
+                // and the postcard completes while the packet is the
+                // processor's most recent.
+                let (queue_bytes, queue_pkts) = depth.unwrap_or((0, 0));
+                let cap = FlightCapture {
+                    queue_bytes,
+                    queue_pkts,
+                };
+                self.flush_batch(m, Some(cap), sink);
+            } else if self.batch.len() == PPE_BATCH {
+                self.flush_batch(m, None, sink);
+            }
+        } else {
+            // Bypass path: SerDes in, merge, SerDes out. Flush so
+            // outputs still reach the sink in arrival order.
+            self.flush_batch(m, None, sink);
+            let outcome = dispatch_output(
+                tag,
+                pkt.frame,
+                Verdict::Forward,
+                pkt.direction,
+                pkt.arrival_ns,
+                arrival_fs,
+                arrival_fs + 2 * self.serdes_fs,
+                &mut self.report,
+                &mut m.edge,
+                &mut m.optical,
+                &mut m.events,
+                &mut m.lifetime_drops,
+                &mut m.windows,
+                &mut self.last_time_ns,
+                sink,
+            );
+            if sampled {
+                if let Some(state) = m.flight.as_mut() {
+                    // No PPE queue and no stages on the bypass path:
+                    // an honest all-zero postcard bar the verdict.
+                    state.push(
+                        pkt.arrival_ns,
+                        FlightCapture {
+                            queue_bytes: 0,
+                            queue_pkts: 0,
+                        },
+                        FlightStamp::default(),
+                        outcome.verdict(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Close the run: flush the final partial batch, stamp the
+    /// duration, and fold the run into the module's lifetime
+    /// telemetry — byte-identical to how `run_stream_with` ends.
+    pub fn finish<F: FnMut(u64, OutputPacket)>(
+        mut self,
+        m: &mut FlexSfp,
+        sink: &mut F,
+    ) -> SimReport {
+        self.flush_batch(m, None, sink);
+        self.report.duration_ns = self.last_time_ns;
+        m.lifetime_latency.merge(self.report.latency.histogram());
+        m.clock_ns = m.clock_ns.max(self.last_time_ns);
+        self.report
     }
 }
 

@@ -14,6 +14,7 @@
 //! * [`fifo`] — bounded FIFOs with occupancy and overflow statistics;
 //! * [`sram`] — uSRAM/LSRAM block allocation (64×12 b and 20 kb blocks);
 //! * [`hash`] — the hardware hash primitives (CRC-32 and Toeplitz);
+//! * [`ring`] — bounded SPSC rings, the shard-fabric packet conduits;
 //! * [`serdes`] — transceiver + 64b/66b PCS model and line-rate math;
 //! * [`flash`] — the slotted SPI flash storing multiple bitstreams;
 //! * [`jtag`] — the prototyping-phase programming path;
@@ -31,6 +32,7 @@ pub mod i2c;
 pub mod jtag;
 pub mod power;
 pub mod resources;
+pub mod ring;
 pub mod serdes;
 pub mod sram;
 pub mod stream;

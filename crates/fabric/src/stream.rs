@@ -155,7 +155,12 @@ pub fn segment(packet: &[u8], width: BusWidth) -> Vec<BusWord> {
 
 /// Reassemble a packet from its word stream (inverse of [`segment`]).
 pub fn reassemble(words: &[BusWord]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(words.len() * 8);
+    // Every beat but the last carries the full bus width, so the first
+    // beat's keep is the word size: reserving `beats × width` is exact
+    // (within one beat) for any bus, where the old `beats × 8` hint
+    // under-reserved up to 8× on W128–W512 and reallocated mid-copy.
+    let width_bytes = words.first().map_or(0, |w| usize::from(w.keep));
+    let mut out = Vec::with_capacity(words.len() * width_bytes);
     for w in words {
         out.extend_from_slice(w.bytes());
     }
@@ -231,6 +236,26 @@ mod tests {
         };
         assert!(cfg.bandwidth_bps() >= 100_000_000_000);
         assert!(cfg.sustains_line_rate(100_000_000_000, 64));
+    }
+
+    #[test]
+    fn w512_reassemble_reserves_exact_capacity() {
+        // A 1518 B frame on the 512-bit bus: 24 beats of 64 B. The old
+        // `beats × 8` hint reserved 192 B for a 1518 B packet and grew
+        // mid-copy; the width-derived hint must cover the frame without
+        // reallocation (capacity within one beat of the final length).
+        let pkt: Vec<u8> = (0..1518u32).map(|i| i as u8).collect();
+        let words = segment(&pkt, BusWidth::W512);
+        assert_eq!(words.len(), 24);
+        let out = reassemble(&words);
+        assert_eq!(out, pkt);
+        assert!(out.capacity() >= out.len());
+        assert!(out.capacity() <= out.len() + BusWidth::W512.bytes());
+        // Single-beat packets derive the width from keep alone and stay
+        // exact too.
+        let small = reassemble(&segment(&pkt[..40], BusWidth::W512));
+        assert_eq!(small.len(), 40);
+        assert!(small.capacity() >= 40);
     }
 
     #[test]

@@ -71,6 +71,15 @@ pub struct PortCounters {
     pub errors: u64,
 }
 
+impl PortCounters {
+    /// Fold another port's counters into this one (shard merge).
+    pub fn merge(&mut self, other: &PortCounters) {
+        self.frames += other.frames;
+        self.bytes += other.bytes;
+        self.errors += other.errors;
+    }
+}
+
 /// Lifetime packet-drop counters, broken out by reason.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -89,6 +98,14 @@ impl DropCounters {
     /// Total drops across all reasons.
     pub fn total(&self) -> u64 {
         self.fifo_overflow + self.app + self.link + self.unsorted
+    }
+
+    /// Fold another module's drop counters into this one (shard merge).
+    pub fn merge(&mut self, other: &DropCounters) {
+        self.fifo_overflow += other.fifo_overflow;
+        self.app += other.app;
+        self.link += other.link;
+        self.unsorted += other.unsorted;
     }
 }
 
@@ -114,6 +131,14 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Fold another cache's counters into this one (shard merge).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
+
     /// Total lookups (hits + misses).
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
@@ -197,6 +222,42 @@ pub struct TelemetrySnapshot {
     /// lookups per window), so the collector can compute rates and
     /// per-window quantiles instead of lifetime-only aggregates.
     pub windows: crate::timeseries::WindowedSeries,
+}
+
+impl TelemetrySnapshot {
+    /// Fold one shard's snapshot into this one, producing the fleet
+    /// view a collector would compute for a sharded dataplane: one
+    /// logical module whose counters, histograms, windowed series and
+    /// event trace span every shard.
+    ///
+    /// Additive state (port/drop/cache/ctrl counters, the latency
+    /// histogram, the windowed series, event-loss tallies) merges
+    /// exactly — every underlying structure is mergeable without
+    /// approximation. Event traces concatenate and re-sort by
+    /// timestamp. Identity fields (`module_id`, `app`, `app_version`,
+    /// the DOM/laser readout) keep this snapshot's values — shards run
+    /// identical images, so shard 0 speaks for the fleet — while `seq`
+    /// and `boots` take the maximum across shards.
+    pub fn merge_shard(&mut self, other: &TelemetrySnapshot) {
+        self.seq = self.seq.max(other.seq);
+        self.boots = self.boots.max(other.boots);
+        self.edge_rx.merge(&other.edge_rx);
+        self.edge_tx.merge(&other.edge_tx);
+        self.optical_rx.merge(&other.optical_rx);
+        self.optical_tx.merge(&other.optical_tx);
+        self.drops.merge(&other.drops);
+        self.latency.merge(&other.latency);
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| e.timestamp_ns);
+        self.events_overwritten += other.events_overwritten;
+        self.events_drained += other.events_drained;
+        self.cache.merge(&other.cache);
+        self.ctrl.dup_chunk_acks += other.ctrl.dup_chunk_acks;
+        self.ctrl.update_aborts += other.ctrl.update_aborts;
+        self.ctrl.update_errors += other.ctrl.update_errors;
+        self.ctrl.status_queries += other.ctrl.status_queries;
+        self.windows.merge(&other.windows);
+    }
 }
 
 crate::impl_json_struct!(DomSnapshot {
@@ -345,6 +406,85 @@ mod tests {
         assert_eq!(back.latency.count(), 2);
         assert_eq!(back.cache.lookups(), 1000);
         assert!((back.cache.hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_merge_sums_counters_and_histograms() {
+        fn shard_snap(shard: u64) -> TelemetrySnapshot {
+            let mut latency = LatencyHistogram::new();
+            latency.record(100 * (shard + 1));
+            let mut windows = crate::timeseries::WindowedSeries::new(1_000_000, 8);
+            windows.record_forwarded(500, 100.0 * (shard + 1) as f64);
+            TelemetrySnapshot {
+                module_id: format!("FSFP-S{shard}"),
+                seq: 1 + shard,
+                app: "nat44".into(),
+                app_version: 1,
+                boots: 1,
+                edge_rx: PortCounters {
+                    frames: 10 + shard,
+                    bytes: 640,
+                    errors: 0,
+                },
+                edge_tx: PortCounters::default(),
+                optical_rx: PortCounters::default(),
+                optical_tx: PortCounters {
+                    frames: 10 + shard,
+                    bytes: 640,
+                    errors: shard,
+                },
+                drops: DropCounters {
+                    fifo_overflow: shard,
+                    app: 1,
+                    link: 0,
+                    unsorted: 0,
+                },
+                latency,
+                dom: DomSnapshot::from_milliwatts(1.0, 0.8, 6.0, 40.0),
+                laser_fault: "healthy".into(),
+                laser_healthy: true,
+                events: vec![DataplaneEvent {
+                    timestamp_ns: 10 - shard,
+                    kind: EventKind::AuthReject,
+                }],
+                events_overwritten: shard,
+                events_drained: 1,
+                cache: CacheStats {
+                    hits: 100 * (shard + 1),
+                    misses: 10,
+                    evictions: 0,
+                    invalidations: 0,
+                },
+                ctrl: CtrlCounters {
+                    dup_chunk_acks: shard,
+                    update_aborts: 0,
+                    update_errors: 0,
+                    status_queries: 1,
+                },
+                windows,
+            }
+        }
+        let mut merged = shard_snap(0);
+        merged.merge_shard(&shard_snap(1));
+        // Additive state sums exactly...
+        assert_eq!(merged.edge_rx.frames, 21);
+        assert_eq!(merged.optical_tx.errors, 1);
+        assert_eq!(merged.drops.total(), 3);
+        assert_eq!(merged.latency.count(), 2);
+        assert_eq!(merged.cache.hits, 300);
+        assert_eq!(merged.ctrl.dup_chunk_acks, 1);
+        assert_eq!(merged.events_overwritten, 1);
+        assert_eq!(merged.events_drained, 2);
+        // ...events concatenate in timestamp order...
+        assert_eq!(merged.events.len(), 2);
+        assert!(merged.events[0].timestamp_ns <= merged.events[1].timestamp_ns);
+        // ...windows fold bucket-wise (same bucket here)...
+        assert_eq!(merged.windows.windows().len(), 1);
+        assert_eq!(merged.windows.lifetime().packets(), 2);
+        // ...and identity stays with the receiver, seq/boots take max.
+        assert_eq!(merged.module_id, "FSFP-S0");
+        assert_eq!(merged.seq, 2);
+        assert_eq!(merged.boots, 1);
     }
 
     #[test]
