@@ -11,7 +11,7 @@
 use flexsfp_fabric::resources::{table1, ResourceManifest};
 use flexsfp_obs::{CacheStats, FlightStamp, StageStamp};
 use flexsfp_ppe::action::{Action, ActionEngine, ActionOutcome};
-use flexsfp_ppe::cache::{self, FlowCache, FlowKey, PlanOp, PlanRecorder};
+use flexsfp_ppe::cache::{self, FlowCache, PlanOp, PlanRecorder};
 use flexsfp_ppe::parser::Parser;
 use flexsfp_ppe::tables::{HashTable, TableError};
 use flexsfp_ppe::{Direction, PacketProcessor, ProcessContext, TableOp, TableOpResult, Verdict};
@@ -188,12 +188,17 @@ impl StaticNat {
     }
 }
 
-impl PacketProcessor for StaticNat {
-    fn name(&self) -> &str {
-        "nat"
-    }
-
-    fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
+impl StaticNat {
+    /// `process` with a caller-supplied key hint: a dispatcher that
+    /// already extracted this frame's
+    /// [`FlowKey`](flexsfp_ppe::cache::FlowKey) passes it through so
+    /// the cache lookup skips the re-parse.
+    fn process_hinted(
+        &mut self,
+        ctx: &ProcessContext,
+        packet: &mut Vec<u8>,
+        hint: flexsfp_ppe::cache::KeyHint,
+    ) -> Verdict {
         if ctx.direction != self.translate_direction {
             if self.flight_enabled {
                 // Bypassed the pipeline entirely: empty stage list.
@@ -202,7 +207,7 @@ impl PacketProcessor for StaticNat {
             return Verdict::Forward;
         }
         if self.cache_enabled {
-            if let Some(key) = FlowKey::extract(packet, ctx.direction) {
+            if let Some(key) = hint.resolve(packet, ctx.direction) {
                 if let Some(plan) = self.cache.lookup(&key) {
                     // Fast path: shallow key parse only — no parser
                     // walk, no table lookup, no checksum recompute.
@@ -223,6 +228,23 @@ impl PacketProcessor for StaticNat {
             }
         }
         self.process_slow(ctx, packet, None)
+    }
+}
+
+impl PacketProcessor for StaticNat {
+    fn name(&self) -> &str {
+        "nat"
+    }
+
+    fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
+        self.process_hinted(ctx, packet, flexsfp_ppe::cache::KeyHint::Unknown)
+    }
+
+    fn process_batch(&mut self, batch: &mut [flexsfp_ppe::engine::BatchPacket]) {
+        // Honor each slot's pre-parsed key hint (single-parse path).
+        for slot in batch {
+            slot.verdict = self.process_hinted(&slot.ctx, &mut slot.frame, slot.key);
+        }
     }
 
     fn set_flow_cache(&mut self, enabled: bool) -> bool {

@@ -1,0 +1,71 @@
+//! Criterion benches: the fabric SPSC ring, per-item vs batched ops.
+//!
+//! The sharded dataplane crosses two rings per packet. Per-item
+//! `try_push`/`try_pop` pay an Acquire position load and a Release
+//! position store per message; the batched `push_slice`/`pop_chunk`
+//! ops publish one position per chunk and only refresh the cached
+//! opposite position when the ring looks full/empty, so the atomic
+//! traffic amortizes across [`flexsfp_bench::shard::CHUNK`]-sized
+//! batches. This bench pins the gap the sharded transport relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexsfp_bench::shard::{CHUNK, RING_ITEMS};
+use flexsfp_fabric::ring::channel;
+use std::hint::black_box;
+
+/// Messages moved per measured iteration: several full ring cycles so
+/// wraparound and cache refresh behavior are inside the loop.
+const MESSAGES: usize = 4 * RING_ITEMS;
+
+fn bench_ring_item(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring/per_item");
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    group.bench_function(BenchmarkId::new("push_pop", MESSAGES), |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = channel::<u64>(RING_ITEMS);
+            let mut sent = 0usize;
+            let mut got = 0usize;
+            while got < MESSAGES {
+                while sent < MESSAGES && tx.try_push(sent as u64).is_ok() {
+                    sent += 1;
+                }
+                while let Some(v) = rx.try_pop() {
+                    black_box(v);
+                    got += 1;
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_ring_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring/batched");
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    group.bench_function(BenchmarkId::new("push_slice_pop_chunk", MESSAGES), |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = channel::<u64>(RING_ITEMS);
+            let mut staged: Vec<u64> = Vec::with_capacity(CHUNK);
+            let mut inbox: Vec<u64> = Vec::with_capacity(CHUNK);
+            let mut sent = 0usize;
+            let mut got = 0usize;
+            while got < MESSAGES {
+                while sent < MESSAGES && staged.len() < CHUNK {
+                    staged.push(sent as u64);
+                    sent += 1;
+                }
+                tx.push_slice(&mut staged);
+                while rx.pop_chunk(&mut inbox, CHUNK) > 0 {
+                    for v in inbox.drain(..) {
+                        black_box(v);
+                        got += 1;
+                    }
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_item, bench_ring_batch);
+criterion_main!(benches);

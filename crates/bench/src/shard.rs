@@ -7,27 +7,37 @@
 //! across N per-core module instances the way an RSS-capable NIC
 //! splits a line into queues:
 //!
-//! 1. **Dispatch** — the dispatcher thread shallow-parses each frame
-//!    (Ethernet → optional VLAN tag → IPv4/IPv6 → TCP/UDP ports) and
-//!    hashes the 5-tuple with the fabric CRC-32 ([`shard_for`]), so
-//!    every flow lands on exactly one shard. Non-IP frames hash their
-//!    MAC pair. Frames the control plane would claim are *broadcast*
-//!    to all shards instead (see below).
+//! 1. **Dispatch** — the dispatcher extracts each frame's microflow
+//!    key ([`flexsfp_ppe::FlowKey`]) exactly once and derives
+//!    everything from it: the CRC-32 flow hash that picks the shard
+//!    ([`shard_for`]), the control-plane negative filter
+//!    ([`ControlPlane::may_classify`]), and the key hint the shard's
+//!    flow cache will use — no stage downstream re-parses the frame.
+//!    Frames the key cannot describe (non-IPv4, options, deep tag
+//!    stacks) take [`slow_flow_hash`], a full shallow parse that
+//!    agrees with the fused path wherever both are defined (the
+//!    parse-edge-case suite pins this). Frames the control plane
+//!    claims are *broadcast* to all shards (see below).
 //! 2. **Per-shard modules** — each worker core owns a full [`FlexSfp`]
 //!    (its own flow cache, PPE server model, flight recorder,
 //!    windowed telemetry), fed over a bounded SPSC ring
-//!    ([`flexsfp_fabric::ring`]) in chunks that amortize the ring
-//!    protocol. Workers drive a [`StreamSession`], tagging every
-//!    output with the global input sequence number of the packet that
-//!    produced it.
-//! 3. **Reconcile** — a min-heap on the global sequence number merges
-//!    the shard output streams back into exactly the serial sink
-//!    order. Watermarks make the merge safe and bounded: at a
-//!    per-transport cadence ([`BARRIER_EVERY`] threaded,
-//!    [`INLINE_BARRIER_EVERY`] inline) the dispatcher broadcasts a
-//!    flush barrier; a shard that has flushed everything up to
-//!    sequence `s` says so, and the heap releases outputs only below
-//!    the minimum watermark across shards.
+//!    ([`flexsfp_fabric::ring`]) via batched `push_slice`/`pop_chunk`
+//!    ops that publish one atomic position per chunk. Staging buffers
+//!    persist for the life of the run — the steady state allocates
+//!    O(shards) chunk buffers total ([`ShardedRun::chunk_allocs`]).
+//!    Frames cross the rings as moves; the only copy anywhere in the
+//!    pipeline is the control-frame broadcast, leased from a
+//!    [`SharedPacketArena`] and accounted in
+//!    [`ShardedRun::frame_copies`].
+//! 3. **Reconcile** — a sequence-indexed window buffer merges the
+//!    shard output streams back into exactly the serial sink order.
+//!    Watermarks make the merge safe and bounded: at a per-transport
+//!    cadence ([`BARRIER_EVERY`] threaded, [`INLINE_BARRIER_EVERY`]
+//!    inline) the dispatcher broadcasts a flush barrier; a shard that
+//!    has flushed everything up to sequence `s` says so, and the
+//!    window releases outputs only below the minimum watermark across
+//!    shards — an O(1) slot write per output and an O(1) pop per
+//!    release, no heap.
 //!
 //! # Why the digest cannot change
 //!
@@ -46,7 +56,8 @@
 //! packet's departure depends only on its own arrival and length —
 //! not on queue-mates that may now live on other shards. The digest
 //! parity suite (`stream_parity`) pins all of this for all 11 apps at
-//! 1/2/4/8 shards.
+//! 1/2/4/8 shards, down to the exact mean latency (the histogram sum
+//! is an integer, so per-shard merges are bit-exact).
 //!
 //! Control frames are answered by shard 0 only (the *primary*);
 //! replicas apply the mutation but suppress the duplicate response.
@@ -61,52 +72,113 @@ use flexsfp_core::{ControlPlane, FlexSfp, ModuleConfig, SimPacket, SimReport, St
 use flexsfp_fabric::hash::crc32;
 use flexsfp_fabric::ring::{channel, Consumer, Producer};
 use flexsfp_obs::TelemetrySnapshot;
-use flexsfp_wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, Ipv6Packet, VlanFrame};
-use std::collections::BinaryHeap;
+use flexsfp_ppe::{Direction, FlowKey, KeyHint};
+use flexsfp_wire::{
+    EtherType, EthernetFrame, IpProtocol, Ipv4Packet, Ipv6Packet, SharedPacketArena, VlanFrame,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
-/// Dispatcher-to-shard ring capacity, in message chunks.
+/// Dispatcher-to-shard ring capacity in historical chunk units; with
+/// item rings the capacity is [`RING_ITEMS`] = `RING_CHUNKS * CHUNK`
+/// messages (kept equal to the old chunked capacity so the arena
+/// in-flight bound is unchanged).
 pub const RING_CHUNKS: usize = 64;
-/// Messages per ring chunk: one slot-mutex handoff per `CHUNK`
-/// packets instead of per packet.
+/// Messages staged per batched ring operation: one position publish
+/// per `CHUNK` packets instead of per packet.
 pub const CHUNK: usize = 64;
+/// Ring capacity in messages.
+pub const RING_ITEMS: usize = RING_CHUNKS * CHUNK;
 /// Global-sequence distance between flush barriers on the threaded
-/// transport. Bounds reconciler heap growth to roughly one barrier
+/// transport. Bounds reconciler window growth to roughly one barrier
 /// interval plus the in-flight ring contents, and bounds how long a
 /// shard may sit on a partial batch.
 pub const BARRIER_EVERY: u64 = 4096;
-/// Barrier distance on the inline transport. Inline, a barrier is two
-/// function calls — no ring round-trip to amortize — and the interval
-/// directly sets the reconciler's resident window, i.e. how many
-/// output frames stay live before the sink can recycle them. A tight
-/// cadence keeps that working set L1-sized instead of cycling a
-/// 4096-frame window through the arena. Must stay comfortably above
-/// the PPE batch size so batching still amortizes.
-pub const INLINE_BARRIER_EVERY: u64 = 256;
+/// Barrier distance on the inline transport. Every barrier flushes
+/// each shard's partial PPE batch, so a tight cadence wastes batch
+/// amortization (at 4 shards and a 32-packet batch, a 256 cadence
+/// truncates every other batch); a loose one grows the reconciler's
+/// resident window — how many output frames stay live before the sink
+/// can recycle them. 1024 keeps the flush tax under a percent while
+/// the window (≈48 KB of slots plus the frames) still sits in L2,
+/// far inside the sharded arena bound.
+pub const INLINE_BARRIER_EVERY: u64 = 1024;
 
 /// Shallow-parse `frame` and pick its shard among `shards` by flow
 /// hash: CRC-32 (the fabric hash primitive) over the packed
-/// src/dst/proto/ports 5-tuple for IPv4, src/dst/next-header/ports for
-/// IPv6 (one VLAN tag is skipped), and over the MAC pair for anything
-/// else. Every packet of a flow — and every non-flow frame between the
-/// same two stations — lands on the same shard.
+/// src/dst/proto/ports 5-tuple for IPv4 with a valid first-fragment
+/// L4 header, src/dst for other IPv4, the analogous tuple for IPv6
+/// (with a bounded extension-header walk), and the MAC pair for
+/// anything else. Up to two VLAN tags are transparent. Every packet
+/// of a flow — and every non-flow frame between the same two
+/// stations — lands on the same shard.
 pub fn shard_for(frame: &[u8], shards: usize) -> usize {
-    (flow_hash(frame) as usize) % shards.max(1)
+    shard_index(flow_hash(frame), shards.max(1))
 }
 
+/// Map a 32-bit flow hash onto `shards` buckets with a multiply-shift
+/// (Lemire) reduction: uniform like `% shards` but free of the
+/// per-packet integer division a runtime modulus would cost.
+fn shard_index(hash: u32, shards: usize) -> usize {
+    ((u64::from(hash) * shards as u64) >> 32) as usize
+}
+
+/// The fused hash: one [`FlowKey`] extraction covers the common case;
+/// frames the key cannot describe take the full shallow parse. Both
+/// paths agree wherever both are defined.
 fn flow_hash(frame: &[u8]) -> u32 {
+    // The key's direction bit does not feed the hash, so either
+    // direction yields the same result.
+    match FlowKey::extract(frame, Direction::EdgeToOptical) {
+        Some(key) => hash_of_key(&key),
+        None => slow_flow_hash(frame),
+    }
+}
+
+/// Flow hash from an already-extracted key: no frame access at all.
+fn hash_of_key(key: &FlowKey) -> u32 {
+    let mut tuple = [0u8; 13];
+    tuple[0..4].copy_from_slice(&key.src_ip().to_be_bytes());
+    tuple[4..8].copy_from_slice(&key.dst_ip().to_be_bytes());
+    if key.l4_valid() {
+        tuple[8] = key.proto();
+        tuple[9..11].copy_from_slice(&key.src_port().to_be_bytes());
+        tuple[11..13].copy_from_slice(&key.dst_port().to_be_bytes());
+        crc32(&tuple)
+    } else {
+        // No valid L4 (fragment, other proto, truncated header): the
+        // address pair alone keys the flow, so every fragment of a
+        // datagram lands on the same shard.
+        crc32(&tuple[0..8])
+    }
+}
+
+/// The reference shallow parse, for frames outside the key's canonical
+/// shape — and the oracle the fused path is property-tested against:
+/// whenever [`FlowKey::extract`] succeeds, this function returns
+/// exactly [`hash_of_key`] of that key.
+fn slow_flow_hash(frame: &[u8]) -> u32 {
     let mac_hash = |f: &[u8]| crc32(f.get(0..12).unwrap_or(f));
     let Ok(eth) = EthernetFrame::new_checked(frame) else {
         return mac_hash(frame);
     };
-    // Skip one 802.1Q/802.1ad tag so tagged and untagged packets of
-    // the same flow hash together.
-    let (ethertype, l3) = match eth.ethertype() {
-        EtherType::Vlan | EtherType::QinQ => match VlanFrame::new_checked(eth.payload()) {
-            Ok(v) => (v.inner_ethertype(), &eth.payload()[4..]),
+    // Skip up to two 802.1Q/802.1ad tags so tagged, QinQ-tagged and
+    // untagged packets of the same flow hash together.
+    let mut ethertype = eth.ethertype();
+    let mut l3 = eth.payload();
+    let mut tags = 0u8;
+    while ethertype.is_vlan() && tags < 2 {
+        match VlanFrame::new_checked(l3) {
+            Ok(v) => {
+                ethertype = v.inner_ethertype();
+                l3 = &l3[4..];
+                tags += 1;
+            }
             Err(_) => return mac_hash(frame),
-        },
-        t => (t, eth.payload()),
-    };
+        }
+    }
     match ethertype {
         EtherType::Ipv4 => {
             let Ok(ip) = Ipv4Packet::new_checked(l3) else {
@@ -115,19 +187,35 @@ fn flow_hash(frame: &[u8]) -> u32 {
             let mut tuple = [0u8; 13];
             tuple[0..4].copy_from_slice(&ip.src().to_be_bytes());
             tuple[4..8].copy_from_slice(&ip.dst().to_be_bytes());
-            match ip.protocol() {
-                p @ (IpProtocol::Tcp | IpProtocol::Udp) => {
-                    tuple[8] = match p {
-                        IpProtocol::Tcp => 6,
-                        _ => 17,
-                    };
-                    let l4 = &l3[ip.header_len()..];
-                    if l4.len() >= 4 {
-                        tuple[9..13].copy_from_slice(&l4[0..4]);
+            // L4 validity mirrors FlowKey::extract: first fragment
+            // only (offset 0 — MF may be set, the first fragment
+            // still carries the L4 header), header fully inside the
+            // IP payload.
+            let payload = ip.payload();
+            let l4_ports = if ip.frag_offset() != 0 {
+                None
+            } else {
+                match ip.protocol() {
+                    IpProtocol::Tcp if payload.len() >= 20 => {
+                        let doff = usize::from(payload[12] >> 4) * 4;
+                        ((20..=60).contains(&doff) && doff <= payload.len())
+                            .then(|| (6u8, [payload[0], payload[1], payload[2], payload[3]]))
                     }
+                    IpProtocol::Udp if payload.len() >= 8 => {
+                        let ulen = u16::from_be_bytes([payload[4], payload[5]]) as usize;
+                        ((8..=payload.len()).contains(&ulen))
+                            .then(|| (17u8, [payload[0], payload[1], payload[2], payload[3]]))
+                    }
+                    _ => None,
+                }
+            };
+            match l4_ports {
+                Some((proto, ports)) => {
+                    tuple[8] = proto;
+                    tuple[9..13].copy_from_slice(&ports);
                     crc32(&tuple)
                 }
-                _ => crc32(&tuple[0..8]),
+                None => crc32(&tuple[0..8]),
             }
         }
         EtherType::Ipv6 => {
@@ -137,18 +225,32 @@ fn flow_hash(frame: &[u8]) -> u32 {
             let mut tuple = [0u8; 37];
             tuple[0..16].copy_from_slice(&ip.src().0);
             tuple[16..32].copy_from_slice(&ip.dst().0);
-            match ip.next_header() {
-                p @ (IpProtocol::Tcp | IpProtocol::Udp) if l3.len() >= 44 => {
-                    tuple[32] = match p {
-                        IpProtocol::Tcp => 6,
-                        _ => 17,
-                    };
-                    // Fixed 40-byte IPv6 header: ports follow directly.
-                    tuple[33..37].copy_from_slice(&l3[40..44]);
-                    crc32(&tuple)
+            // Bounded extension-header walk: hop-by-hop (0), routing
+            // (43) and destination-options (60) are sized (len+1)*8
+            // and skipped; a fragment header (44) means no ports (the
+            // L4 header may be in another fragment); anything else
+            // terminates the walk.
+            let mut next = l3[6];
+            let mut off = 40usize;
+            for _ in 0..4 {
+                match next {
+                    0 | 43 | 60 => {
+                        if l3.len() < off + 8 {
+                            return crc32(&tuple[0..32]);
+                        }
+                        let ext_len = (usize::from(l3[off + 1]) + 1) * 8;
+                        next = l3[off];
+                        off += ext_len;
+                    }
+                    6 | 17 if l3.len() >= off + 4 => {
+                        tuple[32] = next;
+                        tuple[33..37].copy_from_slice(&l3[off..off + 4]);
+                        return crc32(&tuple);
+                    }
+                    _ => return crc32(&tuple[0..32]),
                 }
-                _ => crc32(&tuple[0..32]),
             }
+            crc32(&tuple[0..32])
         }
         _ => mac_hash(frame),
     }
@@ -157,11 +259,20 @@ fn flow_hash(frame: &[u8]) -> u32 {
 /// One message on a dispatcher→shard ring.
 enum ShardMsg {
     /// A dataplane packet routed to this shard by flow hash; `seq` is
-    /// the global input sequence number.
-    Packet { seq: u64, pkt: SimPacket },
+    /// the global input sequence number and `key` the dispatcher's
+    /// one-and-only shallow parse of the frame.
+    Packet {
+        seq: u64,
+        pkt: SimPacket,
+        key: KeyHint,
+    },
     /// A control-plane frame, broadcast to every shard so table
     /// mutations and reboots replicate; only the primary answers.
-    Control { seq: u64, pkt: SimPacket },
+    Control {
+        seq: u64,
+        pkt: SimPacket,
+        key: KeyHint,
+    },
     /// Flush barrier: emit everything pending, then acknowledge that
     /// all outputs with sequence ≤ `upto` have been emitted.
     Barrier { upto: u64 },
@@ -184,9 +295,6 @@ struct ShardDone {
     report: SimReport,
     snapshot: TelemetrySnapshot,
 }
-
-type MsgChunk = Vec<ShardMsg>;
-type OutChunk = Vec<ShardOut>;
 
 /// One shard's execution state: the module, its live stream session,
 /// and whether this shard answers control frames. The same engine runs
@@ -213,15 +321,15 @@ impl ShardEngine {
     fn handle(&mut self, msg: ShardMsg, emit: &mut impl FnMut(ShardOut)) -> bool {
         let session = self.session.as_mut().expect("message after Eof");
         match msg {
-            ShardMsg::Packet { seq, pkt } => {
-                session.offer(&mut self.module, seq, pkt, &mut |tag, out| {
+            ShardMsg::Packet { seq, pkt, key } => {
+                session.offer_with_key(&mut self.module, seq, pkt, key, &mut |tag, out| {
                     emit(ShardOut::Out(tag, out))
                 });
                 false
             }
-            ShardMsg::Control { seq, pkt } => {
+            ShardMsg::Control { seq, pkt, key } => {
                 if self.primary {
-                    session.offer(&mut self.module, seq, pkt, &mut |tag, out| {
+                    session.offer_with_key(&mut self.module, seq, pkt, key, &mut |tag, out| {
                         emit(ShardOut::Out(tag, out))
                     });
                 } else {
@@ -232,7 +340,7 @@ impl ShardEngine {
                     session.flush(&mut self.module, &mut |tag, out| {
                         emit(ShardOut::Out(tag, out))
                     });
-                    session.offer(&mut self.module, seq, pkt, &mut |_, _| {});
+                    session.offer_with_key(&mut self.module, seq, pkt, key, &mut |_, _| {});
                 }
                 false
             }
@@ -256,32 +364,6 @@ impl ShardEngine {
     }
 }
 
-/// A tagged output waiting in the reconciler heap. Ordered by global
-/// sequence, *reversed* so `BinaryHeap` (a max-heap) pops the lowest
-/// sequence first. Sequences are unique — each input emits at most one
-/// output — so comparing tags alone is a total order.
-struct HeapOut {
-    seq: u64,
-    out: OutputPacket,
-}
-
-impl PartialEq for HeapOut {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl Eq for HeapOut {}
-impl PartialOrd for HeapOut {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapOut {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.seq.cmp(&self.seq)
-    }
-}
-
 /// The departure-order reconciler: buffers tagged shard outputs and
 /// releases them in global input order, gated by per-shard watermarks.
 ///
@@ -289,11 +371,20 @@ impl Ord for HeapOut {
 /// shard's watermark exceeds `s` — i.e. every shard has flushed
 /// everything it will ever emit at or below `s`, and (because each
 /// ring is FIFO and the watermark token follows the outputs it covers)
-/// those outputs are already in the heap. Release order is therefore
+/// those outputs are already buffered. Release order is therefore
 /// strictly ascending in `s`, independent of thread timing: exactly
 /// the serial sink order.
+///
+/// Sequences are unique (each input emits at most one output), so the
+/// buffer is a sequence-indexed sliding window over `[base, base+len)`
+/// rather than a heap: accepting an output is one slot write, each
+/// release is one pop — O(1) per packet where the former
+/// `BinaryHeap` paid O(log window) twice.
 struct Reconciler {
-    heap: BinaryHeap<HeapOut>,
+    /// Slot `i` holds the output for sequence `base + i`, if any.
+    window: VecDeque<Option<OutputPacket>>,
+    /// Sequence number of `window[0]`; everything below is released.
+    base: u64,
     /// Per shard: all outputs with sequence < `watermarks[i]` are final.
     watermarks: Vec<u64>,
     results: Vec<Option<ShardDone>>,
@@ -303,7 +394,8 @@ struct Reconciler {
 impl Reconciler {
     fn new(shards: usize) -> Reconciler {
         Reconciler {
-            heap: BinaryHeap::new(),
+            window: VecDeque::new(),
+            base: 0,
             watermarks: vec![0; shards],
             results: (0..shards).map(|_| None).collect(),
             done: 0,
@@ -312,7 +404,21 @@ impl Reconciler {
 
     fn accept(&mut self, shard: usize, msg: ShardOut, sink: &mut impl FnMut(OutputPacket)) {
         match msg {
-            ShardOut::Out(seq, out) => self.heap.push(HeapOut { seq, out }),
+            ShardOut::Out(seq, out) => {
+                assert!(seq >= self.base, "output arrived after its release point");
+                let idx = (seq - self.base) as usize;
+                if idx == self.window.len() {
+                    // In-order arrival — the overwhelmingly common case
+                    // (inline transport: every packet): append directly
+                    // instead of growing through resize_with.
+                    self.window.push_back(Some(out));
+                } else {
+                    if self.window.len() <= idx {
+                        self.window.resize_with(idx + 1, || None);
+                    }
+                    self.window[idx] = Some(out);
+                }
+            }
             ShardOut::Watermark(upto) => {
                 self.watermarks[shard] = self.watermarks[shard].max(upto + 1);
                 self.release(sink);
@@ -328,8 +434,20 @@ impl Reconciler {
 
     fn release(&mut self, sink: &mut impl FnMut(OutputPacket)) {
         let floor = *self.watermarks.iter().min().expect("at least one shard");
-        while self.heap.peek().is_some_and(|h| h.seq < floor) {
-            sink(self.heap.pop().expect("peeked").out);
+        while self.base < floor {
+            match self.window.pop_front() {
+                Some(Some(out)) => sink(out),
+                // A sequence that produced no output (drop, or an
+                // input consumed by another path): slot stays empty.
+                Some(None) => {}
+                // Window exhausted: everything below the floor that
+                // will ever exist has been released.
+                None => {
+                    self.base = floor;
+                    return;
+                }
+            }
+            self.base += 1;
         }
     }
 }
@@ -343,6 +461,8 @@ struct DispatchStats {
     last_arrival_ns: u64,
     backpressure: u64,
     routed: Vec<u64>,
+    frame_copies: u64,
+    chunk_allocs: u64,
 }
 
 /// How messages reach shards and outputs come back. Two
@@ -401,44 +521,50 @@ impl<F: FnMut(OutputPacket)> Transport<F> for InlineTransport {
     }
 }
 
-/// Threaded transport: one worker thread per shard, chunked SPSC rings
-/// both ways.
+/// Threaded transport: one worker thread per shard, batched SPSC item
+/// rings both ways. Staging buffers are allocated once per shard and
+/// drained in place by `push_slice`, so the steady state performs no
+/// chunk allocation at all (`chunk_allocs` counts the setup buffers).
 struct ThreadedTransport {
-    to_shard: Vec<Producer<MsgChunk>>,
-    from_shard: Vec<Consumer<OutChunk>>,
-    chunks: Vec<MsgChunk>,
+    to_shard: Vec<Producer<ShardMsg>>,
+    from_shard: Vec<Consumer<ShardOut>>,
+    /// Per-shard persistent staging for outgoing messages.
+    staged: Vec<Vec<ShardMsg>>,
+    /// Persistent scratch for draining shard outputs.
+    inbox: Vec<ShardOut>,
 }
 
 impl ThreadedTransport {
-    fn push_chunk<F: FnMut(OutputPacket)>(
+    fn push_staged<F: FnMut(OutputPacket)>(
         &mut self,
         shard: usize,
         recon: &mut Reconciler,
         sink: &mut F,
         stats: &mut DispatchStats,
     ) {
-        if self.chunks[shard].is_empty() {
-            return;
-        }
-        let mut chunk = std::mem::replace(&mut self.chunks[shard], Vec::with_capacity(CHUNK));
         let mut stalled = false;
-        while let Err(back) = self.to_shard[shard].try_push(chunk) {
-            // Backpressure: the shard's ring is full. Drain outputs so
-            // workers (and the reconciler) make progress, then retry.
-            if !stalled {
-                stats.backpressure += 1;
-                stalled = true;
+        while !self.staged[shard].is_empty() {
+            if self.to_shard[shard].push_slice(&mut self.staged[shard]) == 0 {
+                // Backpressure: the shard's ring is full. Drain
+                // outputs so workers (and the reconciler) make
+                // progress, then retry.
+                if !stalled {
+                    stats.backpressure += 1;
+                    stalled = true;
+                }
+                self.drain(recon, sink);
+                std::thread::yield_now();
             }
-            chunk = back;
-            self.drain(recon, sink);
-            std::thread::yield_now();
         }
     }
 
     fn drain<F: FnMut(OutputPacket)>(&mut self, recon: &mut Reconciler, sink: &mut F) {
-        for (shard, rx) in self.from_shard.iter_mut().enumerate() {
-            while let Some(chunk) = rx.try_pop() {
-                for out in chunk {
+        let ThreadedTransport {
+            from_shard, inbox, ..
+        } = self;
+        for (shard, rx) in from_shard.iter_mut().enumerate() {
+            while rx.pop_chunk(inbox, CHUNK) > 0 {
+                for out in inbox.drain(..) {
                     recon.accept(shard, out, sink);
                 }
             }
@@ -455,15 +581,15 @@ impl<F: FnMut(OutputPacket)> Transport<F> for ThreadedTransport {
         sink: &mut F,
         stats: &mut DispatchStats,
     ) {
-        self.chunks[shard].push(msg);
-        if self.chunks[shard].len() >= CHUNK {
-            self.push_chunk(shard, recon, sink, stats);
+        self.staged[shard].push(msg);
+        if self.staged[shard].len() >= CHUNK {
+            self.push_staged(shard, recon, sink, stats);
         }
     }
 
     fn flush(&mut self, recon: &mut Reconciler, sink: &mut F, stats: &mut DispatchStats) {
-        for shard in 0..self.chunks.len() {
-            self.push_chunk(shard, recon, sink, stats);
+        for shard in 0..self.staged.len() {
+            self.push_staged(shard, recon, sink, stats);
         }
     }
 
@@ -483,13 +609,15 @@ impl<F: FnMut(OutputPacket)> Transport<F> for ThreadedTransport {
     }
 }
 
-/// The dispatch loop shared by both transports: account, enforce
-/// global arrival order, classify control frames (broadcast) vs
-/// dataplane (flow-hash), and punctuate with flush barriers.
+/// The dispatch loop shared by all transports: account, enforce
+/// global arrival order, extract each frame's key once, classify
+/// control frames (broadcast) vs dataplane (flow-hash from the key),
+/// and punctuate with flush barriers.
 fn drive<I, F, T>(
     packets: I,
     shards: usize,
     classifier: &ControlPlane,
+    copies: &SharedPacketArena,
     transport: &mut T,
     recon: &mut Reconciler,
     sink: &mut F,
@@ -506,6 +634,10 @@ where
     let mut seq = 0u64;
     let mut prev_arrival = 0u64;
     let barrier_every = transport.barrier_every();
+    // Countdown instead of `seq % barrier_every`: the cadence is a
+    // runtime value, and a u64 division per packet is real money at
+    // ~100 ns/packet budgets.
+    let mut until_barrier = barrier_every;
     for pkt in packets {
         stats.offered += 1;
         stats.offered_bytes += pkt.frame.len() as u64;
@@ -519,36 +651,63 @@ where
         prev_arrival = pkt.arrival_ns;
         stats.last_arrival_ns = stats.last_arrival_ns.max(pkt.arrival_ns);
 
-        let is_control = pkt.direction == flexsfp_ppe::Direction::EdgeToOptical
+        // THE shallow parse: one key extraction feeds the control
+        // filter, the shard hash, and (carried as a hint) the shard's
+        // microflow cache.
+        let key = KeyHint::compute(&pkt.frame, pkt.direction);
+        let maybe_control = match key {
+            KeyHint::Key(k) => classifier.may_classify(&k),
+            _ => true,
+        };
+        let is_control = pkt.direction == Direction::EdgeToOptical
+            && maybe_control
             && classifier.classify(&pkt.frame);
         if is_control {
             // Broadcast: every shard must replay the mutation in
             // stream position. Shard 0 answers; replicas suppress.
-            for shard in 0..shards {
+            // The original frame moves to the last shard; the other
+            // copies are the pipeline's only frame copies, leased
+            // from the shared arena and accounted.
+            stats.frame_copies += shards as u64 - 1;
+            for shard in 0..shards - 1 {
+                let dup = SimPacket {
+                    arrival_ns: pkt.arrival_ns,
+                    direction: pkt.direction,
+                    frame: copies.lease_copy(&pkt.frame),
+                };
                 transport.send(
                     shard,
-                    ShardMsg::Control {
-                        seq,
-                        pkt: pkt.clone(),
-                    },
+                    ShardMsg::Control { seq, pkt: dup, key },
                     recon,
                     sink,
                     &mut stats,
                 );
             }
+            transport.send(
+                shards - 1,
+                ShardMsg::Control { seq, pkt, key },
+                recon,
+                sink,
+                &mut stats,
+            );
         } else {
-            let shard = shard_for(&pkt.frame, shards);
+            let shard = match key {
+                KeyHint::Key(k) => shard_index(hash_of_key(&k), shards),
+                _ => shard_index(slow_flow_hash(&pkt.frame), shards),
+            };
             stats.routed[shard] += 1;
             transport.send(
                 shard,
-                ShardMsg::Packet { seq, pkt },
+                ShardMsg::Packet { seq, pkt, key },
                 recon,
                 sink,
                 &mut stats,
             );
         }
         seq += 1;
-        if seq.is_multiple_of(barrier_every) {
+        until_barrier -= 1;
+        if until_barrier == 0 {
+            until_barrier = barrier_every;
             for shard in 0..shards {
                 transport.send(
                     shard,
@@ -584,6 +743,15 @@ pub struct ShardedRun {
     pub backpressure: u64,
     /// Dataplane packets routed per shard (control broadcasts excluded).
     pub routed: Vec<u64>,
+    /// Frame copies made anywhere in the pipeline. Only control-frame
+    /// broadcasts copy (shards−1 copies each); dataplane frames move
+    /// from dispatcher to shard to reconciler, so a workload without
+    /// control frames shows 0 — the zero-copy witness.
+    pub frame_copies: u64,
+    /// Message-buffer allocations for ring staging over the whole run.
+    /// Buffers persist and are drained in place, so this is O(shards)
+    /// regardless of trace length (0 on the inline transport).
+    pub chunk_allocs: u64,
 }
 
 /// Run one packet stream across `shards` module instances and emit
@@ -614,6 +782,7 @@ where
 {
     let shards = shards.max(1);
     let classifier = ControlPlane::new(config.mgmt_mac, config.mgmt_ip, config.auth_key);
+    let copies = SharedPacketArena::new();
     let mut recon = Reconciler::new(shards);
 
     let stats = if shards == 1 || par::effective_parallelism() == 1 {
@@ -626,6 +795,7 @@ where
             packets,
             shards,
             &classifier,
+            &copies,
             &mut transport,
             &mut recon,
             &mut sink,
@@ -635,57 +805,82 @@ where
         // parallel work (a sweep inside an app, another sharded run)
         // clamps to one thread instead of multiplying.
         let _region = par::RegionGuard::enter();
+        let chunk_allocs = Arc::new(AtomicU64::new(0));
         std::thread::scope(|scope| {
             let mut to_shard = Vec::with_capacity(shards);
             let mut from_shard = Vec::with_capacity(shards);
             for i in 0..shards {
-                let (msg_tx, msg_rx) = channel::<MsgChunk>(RING_CHUNKS);
-                let (out_tx, out_rx) = channel::<OutChunk>(RING_CHUNKS);
+                let (msg_tx, msg_rx) = channel::<ShardMsg>(RING_ITEMS);
+                let (out_tx, out_rx) = channel::<ShardOut>(RING_ITEMS);
                 to_shard.push(msg_tx);
                 from_shard.push(out_rx);
                 let make_module = &make_module;
+                let allocs = Arc::clone(&chunk_allocs);
                 scope.spawn(move || {
-                    worker_loop(ShardEngine::new(make_module(i), i == 0), msg_rx, out_tx)
+                    worker_loop(
+                        ShardEngine::new(make_module(i), i == 0),
+                        msg_rx,
+                        out_tx,
+                        &allocs,
+                    )
                 });
             }
+            // Dispatcher-side buffers: one staging vec per shard plus
+            // the shared drain scratch.
+            chunk_allocs.fetch_add(shards as u64 + 1, Ordering::Relaxed);
             let mut transport = ThreadedTransport {
                 to_shard,
                 from_shard,
-                chunks: (0..shards).map(|_| Vec::with_capacity(CHUNK)).collect(),
+                staged: (0..shards).map(|_| Vec::with_capacity(CHUNK)).collect(),
+                inbox: Vec::with_capacity(CHUNK),
             };
-            drive(
+            let mut stats = drive(
                 packets,
                 shards,
                 &classifier,
+                &copies,
                 &mut transport,
                 &mut recon,
                 &mut sink,
-            )
+            );
+            stats.chunk_allocs = chunk_allocs.load(Ordering::Relaxed);
+            stats
         })
     };
 
     merge(stats, recon, shards)
 }
 
-/// The worker side of the threaded transport: pop message chunks,
-/// handle them, push output chunks. Outputs buffer up to [`CHUNK`]
-/// deep but always flush at barriers and Eof, so watermark latency is
-/// bounded by the barrier cadence.
-fn worker_loop(mut engine: ShardEngine, mut rx: Consumer<MsgChunk>, mut tx: Producer<OutChunk>) {
-    let mut buf: OutChunk = Vec::new();
+/// The worker side of the threaded transport: pop message batches,
+/// handle them, push output batches — all through persistent buffers
+/// and the ring's batched ops, so the worker performs no per-packet
+/// allocation and one atomic position publish per chunk. Outputs
+/// buffer up to [`CHUNK`] deep but always flush at barriers and Eof,
+/// so watermark latency is bounded by the barrier cadence.
+fn worker_loop(
+    mut engine: ShardEngine,
+    mut rx: Consumer<ShardMsg>,
+    mut tx: Producer<ShardOut>,
+    allocs: &AtomicU64,
+) {
+    // The worker's two persistent buffers (counted for the O(shards)
+    // chunk-allocation witness).
+    allocs.fetch_add(2, Ordering::Relaxed);
+    let mut inbox: Vec<ShardMsg> = Vec::with_capacity(CHUNK);
+    let mut outbuf: Vec<ShardOut> = Vec::with_capacity(2 * CHUNK);
     loop {
-        let Some(chunk) = rx.try_pop() else {
+        if rx.pop_chunk(&mut inbox, CHUNK) == 0 {
             std::thread::yield_now();
             continue;
-        };
-        for msg in chunk {
+        }
+        for msg in inbox.drain(..) {
             let flush_now = matches!(msg, ShardMsg::Barrier { .. } | ShardMsg::Eof);
-            let done = engine.handle(msg, &mut |out| buf.push(out));
-            if buf.len() >= CHUNK || (flush_now && !buf.is_empty()) {
-                let mut out = std::mem::take(&mut buf);
-                while let Err(back) = tx.try_push(out) {
-                    out = back;
-                    std::thread::yield_now();
+            let done = engine.handle(msg, &mut |out| outbuf.push(out));
+            if outbuf.len() >= CHUNK || (flush_now && !outbuf.is_empty()) {
+                while !outbuf.is_empty() {
+                    if tx.push_slice(&mut outbuf) == 0 {
+                        std::thread::yield_now();
+                    }
                 }
             }
             if done {
@@ -742,7 +937,166 @@ fn merge(stats: DispatchStats, recon: Reconciler, shards: usize) -> ShardedRun {
         shards,
         backpressure: stats.backpressure,
         routed: stats.routed,
+        frame_copies: stats.frame_copies,
+        chunk_allocs: stats.chunk_allocs,
     }
+}
+
+/// Wall-clock attribution of a sharded run across the four pipeline
+/// stages, from [`run_sharded_timed`]. Nanoseconds, summed over the
+/// whole run; divide by the packet count for per-packet figures.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StageNanos {
+    /// Dispatcher: accounting, the fused key extraction, control
+    /// classification and shard routing.
+    pub dispatch_ns: u64,
+    /// Ring transport: batched `push_slice`/`pop_chunk` message moves.
+    pub ring_ns: u64,
+    /// Shard engines: `StreamSession` offers, PPE batches, flushes.
+    pub shard_ns: u64,
+    /// Reconciler: window insert + ordered release to the sink.
+    pub reconcile_ns: u64,
+}
+
+/// A transport that runs the engines synchronously but routes every
+/// message through real SPSC rings, timing each stage as it goes: the
+/// measurement rig behind [`run_sharded_timed`]. Ring costs are the
+/// true batched-ring costs (same ops the threaded transport issues),
+/// just without a second thread racing on them.
+struct TimedTransport {
+    engines: Vec<ShardEngine>,
+    rings: Vec<(Producer<ShardMsg>, Consumer<ShardMsg>)>,
+    staged: Vec<Vec<ShardMsg>>,
+    inbox: Vec<ShardMsg>,
+    outbuf: Vec<ShardOut>,
+    ring_ns: u64,
+    shard_ns: u64,
+    reconcile_ns: u64,
+}
+
+impl TimedTransport {
+    fn new(engines: Vec<ShardEngine>) -> TimedTransport {
+        let shards = engines.len();
+        TimedTransport {
+            engines,
+            rings: (0..shards).map(|_| channel(RING_ITEMS)).collect(),
+            staged: (0..shards).map(|_| Vec::with_capacity(CHUNK)).collect(),
+            inbox: Vec::with_capacity(CHUNK),
+            outbuf: Vec::with_capacity(2 * CHUNK),
+            ring_ns: 0,
+            shard_ns: 0,
+            reconcile_ns: 0,
+        }
+    }
+
+    fn pump<F: FnMut(OutputPacket)>(&mut self, shard: usize, recon: &mut Reconciler, sink: &mut F) {
+        if self.staged[shard].is_empty() {
+            return;
+        }
+        // Ring stage: the staged batch crosses a real ring.
+        let t0 = Instant::now();
+        let (tx, rx) = &mut self.rings[shard];
+        while !self.staged[shard].is_empty() {
+            tx.push_slice(&mut self.staged[shard]);
+        }
+        while rx.pop_chunk(&mut self.inbox, RING_ITEMS) > 0 {}
+        let t1 = Instant::now();
+        // Shard stage: the engine consumes the batch.
+        let engine = &mut self.engines[shard];
+        let outbuf = &mut self.outbuf;
+        for msg in self.inbox.drain(..) {
+            engine.handle(msg, &mut |out| outbuf.push(out));
+        }
+        let t2 = Instant::now();
+        // Reconcile stage: outputs enter the ordering window.
+        for out in self.outbuf.drain(..) {
+            recon.accept(shard, out, sink);
+        }
+        let t3 = Instant::now();
+        self.ring_ns += (t1 - t0).as_nanos() as u64;
+        self.shard_ns += (t2 - t1).as_nanos() as u64;
+        self.reconcile_ns += (t3 - t2).as_nanos() as u64;
+    }
+}
+
+impl<F: FnMut(OutputPacket)> Transport<F> for TimedTransport {
+    fn send(
+        &mut self,
+        shard: usize,
+        msg: ShardMsg,
+        recon: &mut Reconciler,
+        sink: &mut F,
+        _stats: &mut DispatchStats,
+    ) {
+        self.staged[shard].push(msg);
+        if self.staged[shard].len() >= CHUNK {
+            self.pump(shard, recon, sink);
+        }
+    }
+
+    fn flush(&mut self, recon: &mut Reconciler, sink: &mut F, _stats: &mut DispatchStats) {
+        for shard in 0..self.staged.len() {
+            self.pump(shard, recon, sink);
+        }
+    }
+
+    fn poll(&mut self, _recon: &mut Reconciler, _sink: &mut F) {}
+    fn wait_done(&mut self, _recon: &mut Reconciler, _sink: &mut F) {}
+    fn barrier_every(&self) -> u64 {
+        INLINE_BARRIER_EVERY
+    }
+}
+
+/// [`run_sharded`] with per-stage wall-clock attribution, on one
+/// thread: engines run synchronously (like the inline transport), but
+/// every message crosses a real batched SPSC ring so the ring stage is
+/// measured with the ops the threaded transport actually issues. The
+/// output stream is digest-identical to both the serial and the
+/// sharded paths — the instrumented pipeline is the real pipeline with
+/// clocks between stages, not a model of it.
+pub fn run_sharded_timed<I, M, F>(
+    shards: usize,
+    config: &ModuleConfig,
+    make_module: M,
+    packets: I,
+    mut sink: F,
+) -> (ShardedRun, StageNanos)
+where
+    I: IntoIterator<Item = SimPacket>,
+    M: Fn(usize) -> FlexSfp,
+    F: FnMut(OutputPacket),
+{
+    let shards = shards.max(1);
+    let classifier = ControlPlane::new(config.mgmt_mac, config.mgmt_ip, config.auth_key);
+    let copies = SharedPacketArena::new();
+    let mut recon = Reconciler::new(shards);
+    let mut transport = TimedTransport::new(
+        (0..shards)
+            .map(|i| ShardEngine::new(make_module(i), i == 0))
+            .collect(),
+    );
+    let t0 = Instant::now();
+    let mut stats = drive(
+        packets,
+        shards,
+        &classifier,
+        &copies,
+        &mut transport,
+        &mut recon,
+        &mut sink,
+    );
+    let total_ns = t0.elapsed().as_nanos() as u64;
+    stats.chunk_allocs = shards as u64 + 2;
+    let stage = StageNanos {
+        dispatch_ns: total_ns
+            .saturating_sub(transport.ring_ns)
+            .saturating_sub(transport.shard_ns)
+            .saturating_sub(transport.reconcile_ns),
+        ring_ns: transport.ring_ns,
+        shard_ns: transport.shard_ns,
+        reconcile_ns: transport.reconcile_ns,
+    };
+    (merge(stats, recon, shards), stage)
 }
 
 #[cfg(test)]
@@ -774,6 +1128,93 @@ mod tests {
         f
     }
 
+    /// Minimal Ethernet/IPv4/TCP frame with a configurable data offset.
+    fn tcp_frame(
+        src: u32,
+        dst: u32,
+        sport: u16,
+        dport: u16,
+        doff_words: u8,
+        extra: usize,
+    ) -> Vec<u8> {
+        let tcp_len = 20 + extra;
+        let mut f = Vec::new();
+        f.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]);
+        f.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]);
+        f.extend_from_slice(&0x0800u16.to_be_bytes());
+        f.push(0x45);
+        f.push(0);
+        f.extend_from_slice(&((20 + tcp_len) as u16).to_be_bytes());
+        f.extend_from_slice(&[0, 0, 0, 0]);
+        f.push(64);
+        f.push(6); // TCP
+        f.extend_from_slice(&[0, 0]);
+        f.extend_from_slice(&src.to_be_bytes());
+        f.extend_from_slice(&dst.to_be_bytes());
+        f.extend_from_slice(&sport.to_be_bytes());
+        f.extend_from_slice(&dport.to_be_bytes());
+        f.extend_from_slice(&[0, 0, 0, 0]); // seq
+        f.extend_from_slice(&[0, 0, 0, 0]); // ack
+        f.push(doff_words << 4);
+        f.push(0x10); // flags
+        f.extend_from_slice(&[0xff, 0xff, 0, 0, 0, 0]); // win, csum, urg
+        f.extend(std::iter::repeat_n(0xcdu8, extra));
+        f
+    }
+
+    /// Wrap a frame's L3 in `n` VLAN tags (innermost first ethertype
+    /// preserved).
+    fn with_tags(frame: &[u8], tags: &[(u16, u16)]) -> Vec<u8> {
+        let mut f = frame[0..12].to_vec();
+        for &(tpid, tci) in tags {
+            f.extend_from_slice(&tpid.to_be_bytes());
+            f.extend_from_slice(&tci.to_be_bytes());
+        }
+        f.extend_from_slice(&frame[12..]); // original ethertype onward
+        f
+    }
+
+    /// Minimal IPv6 frame: optional extension-header chain, then an
+    /// upper-layer header starting with the given 4 port bytes.
+    fn ipv6_frame(
+        src_last: u8,
+        dst_last: u8,
+        exts: &[(u8, usize)],
+        last_nh: u8,
+        l4: &[u8],
+    ) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]);
+        f.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]);
+        f.extend_from_slice(&0x86ddu16.to_be_bytes());
+        let mut body = Vec::new();
+        // Extension headers, each (next_header, total_len_in_8s - 1).
+        for (i, &(_nh, len8)) in exts.iter().enumerate() {
+            let next = if i + 1 < exts.len() {
+                exts[i + 1].0
+            } else {
+                last_nh
+            };
+            body.push(next);
+            body.push((len8 - 1) as u8);
+            body.extend(std::iter::repeat_n(0u8, len8 * 8 - 2));
+        }
+        body.extend_from_slice(l4);
+        f.push(0x60); // version 6
+        f.extend_from_slice(&[0, 0, 0]);
+        f.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        f.push(exts.first().map(|e| e.0).unwrap_or(last_nh));
+        f.push(64); // hop limit
+        let mut src = [0u8; 16];
+        src[15] = src_last;
+        let mut dst = [0u8; 16];
+        dst[15] = dst_last;
+        f.extend_from_slice(&src);
+        f.extend_from_slice(&dst);
+        f.extend_from_slice(&body);
+        f
+    }
+
     #[test]
     fn hash_is_flow_stable_and_spreads() {
         // Same 5-tuple → same shard, regardless of payload length.
@@ -796,11 +1237,115 @@ mod tests {
     #[test]
     fn vlan_tag_is_transparent_to_the_flow_hash() {
         let plain = udp_frame(0xc0a8_0001, 0x6540_0001, 4242, 80, 10);
-        let mut tagged = plain[0..12].to_vec();
-        tagged.extend_from_slice(&0x8100u16.to_be_bytes());
-        tagged.extend_from_slice(&[0x20, 0x01]); // PCP/VID
-        tagged.extend_from_slice(&plain[12..]); // inner ethertype onward
+        let tagged = with_tags(&plain, &[(0x8100, 0x2001)]);
         assert_eq!(flow_hash(&plain), flow_hash(&tagged));
+    }
+
+    #[test]
+    fn qinq_double_tag_is_transparent_to_the_flow_hash() {
+        let plain = udp_frame(0xc0a8_0001, 0x6540_0001, 4242, 80, 10);
+        let qinq = with_tags(&plain, &[(0x88a8, 0x0064), (0x8100, 0x2001)]);
+        assert_eq!(flow_hash(&plain), flow_hash(&qinq));
+        // The double-tagged frame still has a key (≤ 2 tags), so the
+        // fused path covers it; a triple stack falls to the slow path
+        // without panicking.
+        assert!(FlowKey::extract(&qinq, Direction::EdgeToOptical).is_some());
+        let triple = with_tags(
+            &plain,
+            &[(0x88a8, 0x0064), (0x8100, 0x2001), (0x8100, 0x2002)],
+        );
+        assert!(FlowKey::extract(&triple, Direction::EdgeToOptical).is_none());
+        let _ = flow_hash(&triple);
+    }
+
+    #[test]
+    fn ipv6_extension_chain_walks_to_the_ports() {
+        let ports = [0x12u8, 0x34, 0x56, 0x78, 0, 0, 0, 0];
+        // Direct TCP vs hop-by-hop → dst-opts → TCP: same flow tuple,
+        // same hash — extension headers are transparent.
+        let direct = ipv6_frame(1, 2, &[], 6, &ports);
+        let chained = ipv6_frame(1, 2, &[(0, 1), (60, 2)], 6, &ports);
+        assert_eq!(flow_hash(&direct), flow_hash(&chained));
+        // Different ports, different hash (ports are in the tuple).
+        let other = ipv6_frame(1, 2, &[], 6, &[0x12, 0x34, 0x56, 0x79, 0, 0, 0, 0]);
+        assert_ne!(flow_hash(&direct), flow_hash(&other));
+        // A fragment header hides the ports: both port variants hash
+        // to the address pair.
+        let frag_a = ipv6_frame(1, 2, &[(44, 1)], 6, &ports);
+        let frag_b = ipv6_frame(1, 2, &[(44, 1)], 6, &[9, 9, 9, 9, 0, 0, 0, 0]);
+        assert_eq!(flow_hash(&frag_a), flow_hash(&frag_b));
+        // A truncated extension chain degrades to the address hash
+        // deterministically.
+        let mut trunc = chained.clone();
+        trunc.truncate(14 + 40 + 4);
+        assert_eq!(flow_hash(&trunc), flow_hash(&trunc));
+    }
+
+    /// The fused-path oracle: wherever the key extracts, hashing the
+    /// key must equal the full shallow parse — over valid frames, L4
+    /// validity edge cases, fragments, tags, and every truncation.
+    #[test]
+    fn fused_and_slow_flow_hash_agree() {
+        let mut corpus: Vec<Vec<u8>> = Vec::new();
+        let base = udp_frame(0xc0a8_0001, 0x6540_0001, 4242, 80, 24);
+        corpus.push(base.clone());
+        corpus.push(tcp_frame(0xc0a8_0001, 0x6540_0001, 321, 443, 5, 4));
+        corpus.push(tcp_frame(0xc0a8_0001, 0x6540_0001, 321, 443, 8, 16)); // options
+        corpus.push(tcp_frame(0xc0a8_0001, 0x6540_0001, 321, 443, 4, 0)); // doff < 20: invalid
+        corpus.push(tcp_frame(0xc0a8_0001, 0x6540_0001, 321, 443, 15, 0)); // doff > payload
+        corpus.push(with_tags(&base, &[(0x8100, 0x2001)]));
+        corpus.push(with_tags(&base, &[(0x88a8, 0x0064), (0x8100, 0x2001)]));
+        // Fragments: first (MF set) and non-first (offset != 0).
+        let mut mf = base.clone();
+        mf[20] = 0x20;
+        corpus.push(mf);
+        let mut offset_frag = base.clone();
+        offset_frag[20] = 0x00;
+        offset_frag[21] = 0x10;
+        corpus.push(offset_frag);
+        // UDP length field shorter than payload / longer than payload.
+        let mut short_ulen = base.clone();
+        short_ulen[39] = 8;
+        corpus.push(short_ulen);
+        let mut long_ulen = base.clone();
+        long_ulen[38] = 0xff;
+        corpus.push(long_ulen);
+        // Non-IP, IPv6, garbage.
+        let mut arp = base.clone();
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        corpus.push(arp);
+        corpus.push(ipv6_frame(1, 2, &[], 17, &[0, 53, 0, 53, 0, 8, 0, 0]));
+        corpus.push(vec![0xff; 64]);
+        // Every truncation of every corpus frame, plus seeded random
+        // byte mutations: the property must hold over malformed
+        // inputs, not just well-formed ones.
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for f in &corpus {
+            for cut in 0..=f.len() {
+                frames.push(f[..cut].to_vec());
+            }
+        }
+        use flexsfp_traffic::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(0x5eed);
+        for _ in 0..2_000 {
+            let mut f = corpus[(rng.next_u64() as usize) % corpus.len()].clone();
+            for _ in 0..1 + rng.next_u64() % 4 {
+                let i = (rng.next_u64() as usize) % f.len();
+                f[i] = rng.next_u64() as u8;
+            }
+            frames.push(f);
+        }
+        for f in &frames {
+            assert_eq!(flow_hash(f), flow_hash(f), "hash must be deterministic");
+            if let Some(key) = FlowKey::extract(f, Direction::EdgeToOptical) {
+                assert_eq!(
+                    hash_of_key(&key),
+                    slow_flow_hash(f),
+                    "fused and slow parse diverged on {f:02x?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -830,5 +1375,30 @@ mod tests {
         assert_eq!(got, vec![0, 1], "seq ≤ 2 released in order, 3 held");
         r.accept(1, ShardOut::Watermark(5), &mut |o| got.push(o.departure_ns));
         assert_eq!(got, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn reconciler_window_slides_without_unbounded_growth() {
+        let out = |seq: u64| OutputPacket {
+            departure_ns: seq,
+            egress: flexsfp_core::Interface::Optical,
+            frame: vec![],
+            latency_ns: 0.0,
+        };
+        let mut r = Reconciler::new(1);
+        let mut got = 0u64;
+        // Stream 10k outputs with a watermark every 64: the window
+        // must stay at one barrier interval, not the whole stream.
+        for seq in 0..10_000u64 {
+            r.accept(0, ShardOut::Out(seq, out(seq)), &mut |_| {});
+            if (seq + 1) % 64 == 0 {
+                r.accept(0, ShardOut::Watermark(seq), &mut |o| {
+                    assert_eq!(o.departure_ns, got);
+                    got += 1;
+                });
+                assert!(r.window.len() <= 64, "window grew: {}", r.window.len());
+            }
+        }
+        assert_eq!(got, 9_984);
     }
 }

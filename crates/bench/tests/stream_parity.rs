@@ -287,15 +287,12 @@ fn assert_reports_match(app: &str, shards: usize, sharded: &SimReport, serial: &
         "{}",
         ctx("latency.count")
     );
-    // The latency histogram's bucket counts, min, max and percentiles
-    // merge exactly; the mean rides on an f64 running sum, and summing
-    // per-shard partials reassociates the additions, so the last few
-    // ulps can differ from the serial running sum. Packet-visible
-    // output (the digest) is still bit-identical.
-    let (m_sharded, m_serial) = (sharded.latency.mean_ns(), serial.latency.mean_ns());
-    assert!(
-        (m_sharded - m_serial).abs() <= 1e-9 * m_serial.abs().max(1.0),
-        "{} ({m_sharded} vs {m_serial})",
+    // The latency sum is a fixed-point integer, so merging per-shard
+    // partials is associative and the mean is bit-exact — no epsilon.
+    assert_eq!(
+        sharded.latency.mean_ns().to_bits(),
+        serial.latency.mean_ns().to_bits(),
+        "{}",
         ctx("latency.mean")
     );
     assert_eq!(
@@ -424,4 +421,77 @@ fn sharded_run_replicates_control_mutations_to_every_shard() {
         );
         assert_reports_match("nat+control", shards, &run.report, &serial);
     }
+}
+
+/// The tentpole's two resource witnesses on the threaded transport:
+/// a dataplane-only stream crosses dispatcher → ring → shard →
+/// reconciler with **zero** frame copies (frames move end to end), and
+/// ring staging allocates a constant number of message buffers —
+/// `shards + 1` on the dispatcher (per-shard staging + drain scratch)
+/// plus 2 per worker (inbox + outbuf) — independent of trace length.
+#[test]
+fn threaded_transport_is_zero_copy_with_constant_chunk_allocs() {
+    std::env::set_var("FLEXSFP_THREADS", "4");
+    let shards = 4usize;
+    let config = ModuleConfig::default();
+    let long_trace = || {
+        TraceBuilder::new(0x51)
+            .flows(FLOWS)
+            .src_base(PRIVATE_BASE)
+            .sizes(SizeModel::Imix)
+            .arrivals(ArrivalModel::Paced { utilization: 0.8 })
+            .tcp_share(0.5)
+            .build(50_000)
+            .into_iter()
+            .map(|p| as_sim(p.arrival_ns, p.frame))
+    };
+
+    let run = run_sharded(
+        shards,
+        &config,
+        |_| FlexSfp::new(config.clone(), app_by_name("nat")),
+        long_trace(),
+        |_| {},
+    );
+    assert_eq!(run.frame_copies, 0, "dataplane frames must move, not copy");
+    assert_eq!(
+        run.chunk_allocs,
+        3 * shards as u64 + 1,
+        "ring staging must reuse its buffers: O(shards) allocations over 50k packets"
+    );
+    assert_eq!(run.routed.iter().sum::<u64>(), 50_000);
+
+    // Control frames are the one accounted copy: each broadcast leases
+    // shards−1 duplicates from the shared arena, nothing else copies.
+    let mut with_control: Vec<SimPacket> = long_trace().collect();
+    for i in 0..4u32 {
+        let at = with_control.len() * (i as usize + 1) / 5;
+        let arrival_ns = with_control[at].arrival_ns;
+        let op = CtlTableOp::Insert {
+            table: 0,
+            key: (PRIVATE_BASE + i).to_be_bytes().to_vec(),
+            value: (PUBLIC_BASE + 0x200 + i).to_be_bytes().to_vec(),
+        };
+        with_control.insert(
+            at,
+            SimPacket {
+                arrival_ns,
+                direction: Direction::EdgeToOptical,
+                frame: control_frame(&config, op),
+            },
+        );
+    }
+    let run = run_sharded(
+        shards,
+        &config,
+        |_| FlexSfp::new(config.clone(), app_by_name("nat")),
+        with_control,
+        |_| {},
+    );
+    assert_eq!(run.report.control_handled, 4);
+    assert_eq!(
+        run.frame_copies,
+        4 * (shards as u64 - 1),
+        "only control broadcasts may copy"
+    );
 }

@@ -627,6 +627,18 @@ impl ControlPlane {
         udp.dst_port() == CONTROL_PORT
     }
 
+    /// Cheap negative filter over a pre-parsed microflow key: `false`
+    /// proves [`classify`](Self::classify) would return `false`, so
+    /// the full parse can be skipped. Sound because a key only
+    /// extracts for canonical IPv4 frames, and for an *untagged* one
+    /// the key's destination IP is the same bytes `classify` reads —
+    /// so a mismatch rules the frame out. Tagged frames (where
+    /// `classify`'s raw-offset parse could behave differently) always
+    /// return `true` and take the full parse.
+    pub fn may_classify(&self, key: &flexsfp_ppe::FlowKey) -> bool {
+        key.vlan_count() != 0 || key.dst_ip() == self.ip
+    }
+
     /// Handle a classified control frame, returning the response frame
     /// (swapped addressing) when one is due.
     pub fn handle_frame(&mut self, frame: &[u8], ctx: &mut ControlContext<'_>) -> Option<Vec<u8>> {

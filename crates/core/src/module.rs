@@ -29,7 +29,7 @@ use flexsfp_obs::{
     WindowedSeries,
 };
 use flexsfp_ppe::engine::PassThrough;
-use flexsfp_ppe::{BatchPacket, Direction, PacketProcessor, ProcessContext, Verdict};
+use flexsfp_ppe::{BatchPacket, Direction, KeyHint, PacketProcessor, ProcessContext, Verdict};
 use flexsfp_traffic::rng::Xoshiro256;
 use flexsfp_wire::MacAddr;
 use std::collections::VecDeque;
@@ -1229,6 +1229,27 @@ impl StreamSession {
         pkt: SimPacket,
         sink: &mut F,
     ) {
+        self.offer_with_key(m, tag, pkt, KeyHint::Unknown, sink);
+    }
+
+    /// [`offer`](Self::offer) with a caller-supplied pre-parsed key
+    /// hint. The sharded dispatcher extracts each frame's
+    /// [`FlowKey`](flexsfp_ppe::FlowKey) once for flow hashing and
+    /// hands it down here, so the shard neither re-parses for the
+    /// control-plane arbiter nor for the microflow cache — the
+    /// single-parse path. `offer` itself calls this with
+    /// [`KeyHint::Unknown`]: the gates then stay conservative and the
+    /// one extraction happens lazily in the PPE pipeline, so the
+    /// serial path performs exactly one parse too (and none for
+    /// packets the pipeline never keys).
+    pub fn offer_with_key<F: FnMut(u64, OutputPacket)>(
+        &mut self,
+        m: &mut FlexSfp,
+        tag: u64,
+        pkt: SimPacket,
+        hint: KeyHint,
+        sink: &mut F,
+    ) {
         self.report.offered += 1;
         self.report.offered_bytes += pkt.frame.len() as u64;
         if pkt.arrival_ns < self.prev_arrival {
@@ -1266,12 +1287,39 @@ impl StreamSession {
             return;
         }
 
+        // The single-parse contract: a dispatcher that already
+        // extracted the microflow key passes it in, and every
+        // downstream decision — the microservice filter, the
+        // control-plane arbiter filter, and the PPE's flow cache —
+        // reuses it instead of re-parsing. With no hint (`Unknown`,
+        // the serial path) the gates stay conservative and the one
+        // extraction happens lazily in the PPE pipeline, exactly
+        // where it always did — frames the pipeline never keys
+        // (cache disabled, bypass) are never parsed for a key at all.
+        let key = hint;
+
         // Active-Control-Plane shell: the control plane terminates
         // traffic addressed to the module itself (ARP, ICMP echo)
         // from either interface — the §4.1 "microservice node".
+        //
+        // Fast filter: an untagged canonical-IPv4 frame (the key
+        // extracted and saw no VLANs) can only be a microservice frame
+        // if it is ICMP addressed to the management IP — `respond`
+        // parses the same bytes at the same offsets. Keyless frames
+        // (ARP, non-IPv4, odd shapes) and tagged frames still take the
+        // full parse, so behavior is unchanged.
         if m.config.shell.control_plane_active() {
-            if let Some((_svc, reply)) =
-                crate::microservice::respond(&pkt.frame, m.config.mgmt_mac, m.config.mgmt_ip)
+            let maybe_mine = match key {
+                KeyHint::Key(k) => {
+                    k.vlan_count() != 0 || (k.dst_ip() == m.config.mgmt_ip && k.proto() == 1)
+                }
+                _ => true,
+            };
+            if let Some((_svc, reply)) = maybe_mine
+                .then(|| {
+                    crate::microservice::respond(&pkt.frame, m.config.mgmt_mac, m.config.mgmt_ip)
+                })
+                .flatten()
             {
                 // Keep sink emission in arrival order.
                 self.flush_batch(m, None, sink);
@@ -1304,7 +1352,22 @@ impl StreamSession {
         // Arbiter: control-plane frames divert before the PPE. The
         // pending batch must run first: control ops mutate tables,
         // and earlier packets belong to the pre-mutation state.
-        if pkt.direction == Direction::EdgeToOptical && m.control.classify(&pkt.frame) {
+        //
+        // Fast filter: `classify` demands unicast-to-us IPv4 to the
+        // management IP on the control port. For an untagged frame
+        // whose key extracted, the destination IP in the key is the
+        // one `classify` would read, so a mismatch proves the frame is
+        // dataplane without the full parse (this removes the last
+        // per-packet parse from the serial fast path). Tagged or
+        // keyless frames fall through to `classify` unchanged.
+        let maybe_control = match key {
+            KeyHint::Key(k) => m.control.may_classify(&k),
+            _ => true,
+        };
+        if pkt.direction == Direction::EdgeToOptical
+            && maybe_control
+            && m.control.classify(&pkt.frame)
+        {
             self.flush_batch(m, None, sink);
             let dom = m.mgmt.read_dom();
             let mut ctx = ControlContext {
@@ -1399,7 +1462,7 @@ impl StreamSession {
                 timestamp_ns: pkt.arrival_ns,
                 direction: pkt.direction,
             };
-            self.batch.push(BatchPacket::new(ctx, pkt.frame));
+            self.batch.push(BatchPacket::with_key(ctx, pkt.frame, key));
             self.pending.push(PendingPpe {
                 tag,
                 arrival_ns: pkt.arrival_ns,

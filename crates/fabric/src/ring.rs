@@ -17,8 +17,21 @@
 //! single-consumer discipline is enforced at compile time rather than
 //! asked for in a comment.
 //!
+//! # Batched operation and cached positions
+//!
+//! Each end keeps a private copy of its *own* monotone position (the
+//! producer owns `tail`, the consumer owns `head` — nobody else writes
+//! them) and a *cached* snapshot of the opposite end's position. The
+//! cache is refreshed with an `Acquire` load only when the ring looks
+//! full (producer) or empty (consumer), so in steady state a whole
+//! batch of operations costs one atomic refresh plus one `Release`
+//! publish instead of two atomic loads and one store per item.
+//! [`Producer::push_slice`] and [`Consumer::pop_chunk`] take this to
+//! its conclusion: move up to a whole slice of items across the ring
+//! under a single position publish each.
+//!
 //! Backpressure is explicit and accounted: a full ring rejects the
-//! push, hands the item back, and counts the rejection
+//! push (handing items back), and counts the rejection
 //! ([`Producer::rejected`]) so a dispatcher can report how often it
 //! stalled on each shard.
 
@@ -35,7 +48,7 @@ struct Shared<T> {
     head: AtomicUsize,
     /// Next position to push; owned by the producer, read by the consumer.
     tail: AtomicUsize,
-    /// Pushes refused because the ring was full.
+    /// Push attempts refused because the ring was full.
     rejected: AtomicUsize,
     /// Set when the producer end is dropped.
     closed: AtomicBool,
@@ -57,43 +70,91 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     (
         Producer {
             shared: Arc::clone(&shared),
+            tail: 0,
+            head_cache: 0,
         },
-        Consumer { shared },
+        Consumer {
+            shared,
+            head: 0,
+            tail_cache: 0,
+        },
     )
 }
 
 /// The write end of a ring. Not clonable: exactly one producer exists.
 pub struct Producer<T> {
     shared: Arc<Shared<T>>,
-}
-
-/// The read end of a ring. Not clonable: exactly one consumer exists.
-pub struct Consumer<T> {
-    shared: Arc<Shared<T>>,
+    /// Private copy of the shared `tail` (this end is its only writer).
+    tail: usize,
+    /// Last observed consumer `head`; refreshed (Acquire) only when the
+    /// ring looks full, so steady-state pushes skip the atomic load.
+    head_cache: usize,
 }
 
 impl<T> Producer<T> {
+    /// Slots free by the cached view, refreshing the cache from the
+    /// consumer's published `head` only when the cached view says full.
+    /// The cache is conservative: it can only under-report free space,
+    /// never over-report, so the SPSC safety argument is unchanged.
+    fn free_slots(&mut self, want: usize) -> usize {
+        let cap = self.shared.slots.len();
+        let mut free = cap - self.tail.wrapping_sub(self.head_cache);
+        if free < want {
+            // Acquire pairs with the consumer's Release store of
+            // `head`: once we observe a slot as vacated, the
+            // consumer's `take` of the old value has happened-before
+            // our write.
+            self.head_cache = self.shared.head.load(Ordering::Acquire);
+            free = cap - self.tail.wrapping_sub(self.head_cache);
+        }
+        free
+    }
+
     /// Try to enqueue `item`. On a full ring the item is handed back
     /// unchanged and the rejection is counted — the caller decides
     /// whether to spin, yield, or drop.
     pub fn try_push(&mut self, item: T) -> Result<(), T> {
-        let s = &*self.shared;
-        let tail = s.tail.load(Ordering::Relaxed);
-        // Acquire pairs with the consumer's Release store of `head`:
-        // once we observe the slot as vacated, the consumer's `take`
-        // of the old value has happened-before our write.
-        let head = s.head.load(Ordering::Acquire);
-        if tail.wrapping_sub(head) == s.slots.len() {
-            s.rejected.fetch_add(1, Ordering::Relaxed);
+        if self.free_slots(1) == 0 {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(item);
         }
-        *s.slots[tail % s.slots.len()]
+        let s = &*self.shared;
+        *s.slots[self.tail % s.slots.len()]
             .lock()
             .expect("ring slot lock") = Some(item);
+        self.tail = self.tail.wrapping_add(1);
         // Release publishes the slot write to the consumer's Acquire
         // load of `tail`.
-        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        s.tail.store(self.tail, Ordering::Release);
         Ok(())
+    }
+
+    /// Batch push: move as many items as fit from the *front* of
+    /// `items` into the ring, preserving order, under a single
+    /// position publish. Returns the number moved; the remainder stays
+    /// in `items` (front-aligned) for the caller to retry. A call that
+    /// cannot move every offered item counts one rejection event.
+    pub fn push_slice(&mut self, items: &mut Vec<T>) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        let n = self.free_slots(items.len()).min(items.len());
+        if n < items.len() {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            if n == 0 {
+                return 0;
+            }
+        }
+        let s = &*self.shared;
+        let cap = s.slots.len();
+        for (i, item) in items.drain(..n).enumerate() {
+            *s.slots[self.tail.wrapping_add(i) % cap]
+                .lock()
+                .expect("ring slot lock") = Some(item);
+        }
+        self.tail = self.tail.wrapping_add(n);
+        s.tail.store(self.tail, Ordering::Release);
+        n
     }
 
     /// Items successfully pushed since creation.
@@ -101,7 +162,8 @@ impl<T> Producer<T> {
         self.shared.tail.load(Ordering::Relaxed)
     }
 
-    /// Pushes refused because the ring was full (backpressure events).
+    /// Push attempts refused because the ring was full (backpressure
+    /// events; a partial [`push_slice`](Self::push_slice) counts one).
     pub fn rejected(&self) -> usize {
         self.shared.rejected.load(Ordering::Relaxed)
     }
@@ -134,23 +196,67 @@ impl<T> Drop for Producer<T> {
     }
 }
 
+/// The read end of a ring. Not clonable: exactly one consumer exists.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Private copy of the shared `head` (this end is its only writer).
+    head: usize,
+    /// Last observed producer `tail`; refreshed (Acquire) only when the
+    /// ring looks empty, so steady-state pops skip the atomic load.
+    tail_cache: usize,
+}
+
 impl<T> Consumer<T> {
+    /// Items available by the cached view, refreshing from the
+    /// producer's published `tail` only when the cache says empty.
+    fn available(&mut self) -> usize {
+        let mut avail = self.tail_cache.wrapping_sub(self.head);
+        if avail == 0 {
+            // Acquire pairs with the producer's Release store of `tail`.
+            self.tail_cache = self.shared.tail.load(Ordering::Acquire);
+            avail = self.tail_cache.wrapping_sub(self.head);
+        }
+        avail
+    }
+
     /// Try to dequeue the oldest item; `None` when the ring is empty.
     pub fn try_pop(&mut self) -> Option<T> {
-        let s = &*self.shared;
-        let head = s.head.load(Ordering::Relaxed);
-        // Acquire pairs with the producer's Release store of `tail`.
-        let tail = s.tail.load(Ordering::Acquire);
-        if head == tail {
+        if self.available() == 0 {
             return None;
         }
-        let item = s.slots[head % s.slots.len()]
+        let s = &*self.shared;
+        let item = s.slots[self.head % s.slots.len()]
             .lock()
             .expect("ring slot lock")
             .take();
+        self.head = self.head.wrapping_add(1);
         // Release hands the vacated slot back to the producer.
-        s.head.store(head.wrapping_add(1), Ordering::Release);
+        s.head.store(self.head, Ordering::Release);
         item
+    }
+
+    /// Batch pop: append up to `max` queued items to `out`, preserving
+    /// order, under a single position publish. Returns the number
+    /// appended (0 when the ring is empty).
+    pub fn pop_chunk(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let n = self.available().min(max);
+        if n == 0 {
+            return 0;
+        }
+        let s = &*self.shared;
+        let cap = s.slots.len();
+        out.reserve(n);
+        for i in 0..n {
+            let item = s.slots[self.head.wrapping_add(i) % cap]
+                .lock()
+                .expect("ring slot lock")
+                .take()
+                .expect("counters said occupied");
+            out.push(item);
+        }
+        self.head = self.head.wrapping_add(n);
+        s.head.store(self.head, Ordering::Release);
+        n
     }
 
     /// Items currently queued.
@@ -253,6 +359,83 @@ mod tests {
         assert_eq!(c.try_pop().as_deref(), Some("beta"));
     }
 
+    #[test]
+    fn push_slice_moves_front_and_keeps_remainder() {
+        let (mut p, mut c) = channel::<u32>(3);
+        let mut items = vec![10, 11, 12, 13, 14];
+        // Only 3 fit; the remainder stays front-aligned and the
+        // shortfall counts one rejection event.
+        assert_eq!(p.push_slice(&mut items), 3);
+        assert_eq!(items, vec![13, 14]);
+        assert_eq!(p.rejected(), 1);
+        // Completely full: nothing moves, one more rejection.
+        assert_eq!(p.push_slice(&mut items), 0);
+        assert_eq!(items, vec![13, 14]);
+        assert_eq!(p.rejected(), 2);
+        // FIFO order is the slice order.
+        let mut out = Vec::new();
+        assert_eq!(c.pop_chunk(&mut out, 64), 3);
+        assert_eq!(out, vec![10, 11, 12]);
+        // Remainder fits now; empty-slice pushes are free no-ops.
+        assert_eq!(p.push_slice(&mut items), 2);
+        assert_eq!(p.push_slice(&mut items), 0);
+        assert_eq!(p.rejected(), 2);
+    }
+
+    #[test]
+    fn pop_chunk_respects_max_and_appends() {
+        let (mut p, mut c) = channel::<u32>(8);
+        let mut items: Vec<u32> = (0..6).collect();
+        assert_eq!(p.push_slice(&mut items), 6);
+        let mut out = vec![99];
+        assert_eq!(c.pop_chunk(&mut out, 4), 4);
+        assert_eq!(out, vec![99, 0, 1, 2, 3]);
+        assert_eq!(c.pop_chunk(&mut out, 4), 2);
+        assert_eq!(out, vec![99, 0, 1, 2, 3, 4, 5]);
+        assert_eq!(c.pop_chunk(&mut out, 4), 0);
+        assert_eq!(c.popped(), 6);
+    }
+
+    #[test]
+    fn batch_ops_wrap_around_the_slot_array() {
+        let (mut p, mut c) = channel::<u64>(5);
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        let mut out = Vec::new();
+        // Uneven batch sizes against a 5-slot ring: every lap crosses
+        // the wrap point at a different offset.
+        for lap in 0..40 {
+            let mut batch: Vec<u64> = (next..next + 3 + (lap % 3)).collect();
+            let pushed = p.push_slice(&mut batch) as u64;
+            next += pushed;
+            c.pop_chunk(&mut out, 2 + (lap as usize % 4));
+            for v in out.drain(..) {
+                assert_eq!(v, expect, "reordered across wrap");
+                expect += 1;
+            }
+        }
+        while c.pop_chunk(&mut out, 64) > 0 {
+            for v in out.drain(..) {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+        }
+        assert_eq!(expect, next);
+        assert_eq!(p.pushed(), c.popped());
+    }
+
+    #[test]
+    fn mixed_item_and_batch_ops_interleave_in_order() {
+        let (mut p, mut c) = channel::<u32>(4);
+        p.try_push(0).unwrap();
+        let mut batch = vec![1, 2];
+        assert_eq!(p.push_slice(&mut batch), 2);
+        assert_eq!(c.try_pop(), Some(0));
+        let mut out = Vec::new();
+        assert_eq!(c.pop_chunk(&mut out, 8), 2);
+        assert_eq!(out, vec![1, 2]);
+    }
+
     /// Two-thread stress: 10^6 items with seeded (reproducible) pacing
     /// jitter on both ends must arrive complete and in order, with
     /// pushes + rejections exactly accounting for every attempt.
@@ -290,6 +473,48 @@ mod tests {
                 }
                 if rng.next_u64().is_multiple_of(4096) {
                     std::thread::yield_now();
+                }
+            }
+            assert_eq!(c.try_pop(), None);
+            assert_eq!(c.popped(), ITEMS as usize);
+        });
+    }
+
+    /// Batched two-thread stress: the producer moves items in seeded
+    /// variable-size slices, the consumer drains in seeded variable-size
+    /// chunks; everything arrives complete and in order.
+    #[test]
+    fn spsc_batch_stress_no_loss_no_reorder() {
+        use flexsfp_traffic::rng::Xoshiro256;
+
+        const ITEMS: u64 = 1_000_000;
+        let (mut p, mut c) = channel::<u64>(64);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(0xa11);
+                let mut staged: Vec<u64> = Vec::new();
+                let mut next = 0u64;
+                while next < ITEMS || !staged.is_empty() {
+                    while staged.len() < (1 + rng.next_u64() % 48) as usize && next < ITEMS {
+                        staged.push(next);
+                        next += 1;
+                    }
+                    if p.push_slice(&mut staged) == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let mut rng = Xoshiro256::seed_from_u64(0xb22);
+            let mut out: Vec<u64> = Vec::new();
+            let mut expect = 0u64;
+            while expect < ITEMS {
+                let max = (1 + rng.next_u64() % 96) as usize;
+                if c.pop_chunk(&mut out, max) == 0 {
+                    std::thread::yield_now();
+                }
+                for v in out.drain(..) {
+                    assert_eq!(v, expect, "reordered or lost item");
+                    expect += 1;
                 }
             }
             assert_eq!(c.try_pop(), None);

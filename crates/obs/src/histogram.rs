@@ -17,6 +17,23 @@ const SUB_BUCKET_COUNT: u64 = 1 << SUB_BUCKET_BITS; // 128
 /// Upper half of a tier's sub-buckets (the part each new tier adds).
 const SUB_BUCKET_HALF: u64 = SUB_BUCKET_COUNT / 2; // 64
 
+/// log2 of the fixed-point quantum for the running sum: sums are held
+/// as integer multiples of 2^-20 ns (≈ 1 fs), so addition is exact,
+/// associative, and commutative — a merge of per-shard histograms is
+/// bit-identical to recording the same samples serially, which the
+/// sharded-dataplane parity suite asserts down to the mean.
+const SUM_QUANTUM_BITS: u32 = 20;
+
+/// Quantize a nonnegative finite nanosecond sample to sum quanta.
+fn quantize(v: f64) -> u128 {
+    let scaled = (v * (1u64 << SUM_QUANTUM_BITS) as f64).round();
+    if scaled >= u128::MAX as f64 {
+        u128::MAX
+    } else {
+        scaled as u128
+    }
+}
+
 /// A mergeable log-linear latency histogram over `u64` nanosecond
 /// values with ≤1 % relative quantile error and bounded memory.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -27,8 +44,10 @@ pub struct LatencyHistogram {
     counts: Vec<u64>,
     /// Total samples recorded.
     count: u64,
-    /// Exact sum of raw recorded values (for the mean).
-    sum: f64,
+    /// Exact sum of raw recorded values in fixed-point quanta of
+    /// 2^-[`SUM_QUANTUM_BITS`] ns. Integer addition makes the mean
+    /// independent of recording/merge order.
+    sum_q: u128,
     /// Exact minimum recorded value.
     min: u64,
     /// Exact maximum recorded value.
@@ -93,7 +112,11 @@ impl LatencyHistogram {
             self.max = self.max.max(v);
         }
         self.count += n;
-        self.sum += v as f64 * n as f64;
+        self.sum_q = self.sum_q.saturating_add(
+            u128::from(v)
+                .saturating_mul(u128::from(n))
+                .saturating_mul(1u128 << SUM_QUANTUM_BITS),
+        );
     }
 
     /// Record a floating-point nanosecond sample (rounded to the
@@ -114,7 +137,7 @@ impl LatencyHistogram {
             self.max = self.max.max(rounded);
         }
         self.count += 1;
-        self.sum += clamped;
+        self.sum_q = self.sum_q.saturating_add(quantize(clamped));
     }
 
     /// Total samples recorded.
@@ -137,18 +160,28 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// Exact mean of recorded values (0 when empty).
+    /// Mean of recorded values (0 when empty), exact to the sum
+    /// quantum and — because the underlying sum is an integer —
+    /// identical no matter how the samples were split across
+    /// histograms before merging.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
-            self.sum / self.count as f64
+            self.sum() / self.count as f64
         }
     }
 
-    /// Exact sum of recorded values.
+    /// Sum of recorded values in nanoseconds (quantized to
+    /// 2^-20 ns on recording).
     pub fn sum(&self) -> f64 {
-        self.sum
+        self.sum_q as f64 / (1u64 << SUM_QUANTUM_BITS) as f64
+    }
+
+    /// The raw fixed-point sum in 2^-20 ns quanta — the
+    /// order-independent integer behind [`sum`](Self::sum).
+    pub fn sum_quanta(&self) -> u128 {
+        self.sum_q
     }
 
     /// The value at quantile `q` (0..=1): the representative value of
@@ -213,7 +246,7 @@ impl LatencyHistogram {
             self.max = self.max.max(other.max);
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum_q = self.sum_q.saturating_add(other.sum_q);
     }
 
     /// Iterate non-empty buckets as `(representative_value, count)`.
@@ -231,13 +264,49 @@ impl LatencyHistogram {
     }
 }
 
-crate::impl_json_struct!(LatencyHistogram {
-    counts,
-    count,
-    sum,
-    min,
-    max
-});
+// Hand-written (not `impl_json_struct!`) because the in-tree JSON
+// `Value` has no 128-bit number: the fixed-point sum crosses the wire
+// as two u64 halves.
+impl crate::json::ToJson for LatencyHistogram {
+    fn to_json(&self) -> crate::json::Value {
+        let mut object = std::collections::BTreeMap::new();
+        object.insert(
+            String::from("counts"),
+            crate::json::ToJson::to_json(&self.counts),
+        );
+        object.insert(
+            String::from("count"),
+            crate::json::ToJson::to_json(&self.count),
+        );
+        object.insert(
+            String::from("sum_q_hi"),
+            crate::json::ToJson::to_json(&((self.sum_q >> 64) as u64)),
+        );
+        object.insert(
+            String::from("sum_q_lo"),
+            crate::json::ToJson::to_json(&(self.sum_q as u64)),
+        );
+        object.insert(String::from("min"), crate::json::ToJson::to_json(&self.min));
+        object.insert(String::from("max"), crate::json::ToJson::to_json(&self.max));
+        crate::json::Value::Object(object)
+    }
+}
+
+impl crate::json::FromJson for LatencyHistogram {
+    fn from_json(v: &crate::json::Value) -> Option<Self> {
+        let object = v.as_object()?;
+        let field = |k: &str| object.get(k).unwrap_or(&crate::json::Value::Null);
+        let hi: u64 = crate::json::FromJson::from_json(field("sum_q_hi"))?;
+        let lo: u64 = crate::json::FromJson::from_json(field("sum_q_lo"))?;
+        Some(LatencyHistogram {
+            counts: crate::json::FromJson::from_json(field("counts"))?,
+            count: crate::json::FromJson::from_json(field("count"))?,
+            sum_q: (u128::from(hi) << 64) | u128::from(lo),
+            min: crate::json::FromJson::from_json(field("min"))?,
+            max: crate::json::FromJson::from_json(field("max"))?,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -372,6 +441,42 @@ mod tests {
         // The p100 estimate stays within 1 % even at the top of range.
         let err = h.value_at_quantile(1.0).abs_diff(u64::MAX) as f64;
         assert!(err <= u64::MAX as f64 * 0.01);
+    }
+
+    #[test]
+    fn mean_is_exact_under_any_merge_split() {
+        // Fractional samples whose f64 running sum depends on the order
+        // of addition — the fixed-point sum must not.
+        let samples: Vec<f64> = (0..10_000)
+            .map(|i| 0.1 + (i as f64) * 0.3 + 1e9 * f64::from(i % 7))
+            .collect();
+        let mut serial = LatencyHistogram::new();
+        for &s in &samples {
+            serial.record_f64(s);
+        }
+        // Round-robin the same samples across 8 shards and merge back.
+        let mut shards = vec![LatencyHistogram::new(); 8];
+        for (i, &s) in samples.iter().enumerate() {
+            shards[i % 8].record_f64(s);
+        }
+        let mut merged = LatencyHistogram::new();
+        for sh in &shards {
+            merged.merge(sh);
+        }
+        assert_eq!(merged, serial);
+        assert_eq!(merged.mean().to_bits(), serial.mean().to_bits());
+        assert_eq!(merged.sum_quanta(), serial.sum_quanta());
+    }
+
+    #[test]
+    fn histogram_round_trips_through_json() {
+        use crate::json::{FromJson, ToJson};
+        let mut h = LatencyHistogram::new();
+        h.record_f64(123.456);
+        h.record(u64::MAX); // pushes the fixed-point sum past 64 bits
+        let back = LatencyHistogram::from_json(&h.to_json()).expect("round trip");
+        assert_eq!(back, h);
+        assert_eq!(back.sum_quanta(), h.sum_quanta());
     }
 
     #[test]

@@ -175,6 +175,87 @@ impl FlowKey {
             ^ c.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
         h ^ (h >> 31)
     }
+
+    // Field accessors (the inverse of the packing in `extract`), used
+    // by the shard dispatcher to derive flow hashes and fast filters
+    // from one extraction instead of re-parsing the frame.
+
+    /// Number of VLAN tags on the frame (0..=2).
+    pub fn vlan_count(&self) -> u8 {
+        ((self.0[0] >> 1) & 0x3) as u8
+    }
+
+    /// True when the key classified a valid TCP or UDP header (first
+    /// fragment or unfragmented, header fully inside the IP payload).
+    pub fn l4_valid(&self) -> bool {
+        (self.0[0] >> 3) & 0x3 != u64::from(L4_NONE)
+    }
+
+    /// True when the frame is any fragment (more-fragments set or a
+    /// nonzero fragment offset).
+    pub fn is_fragment(&self) -> bool {
+        self.0[0] & 0x60 != 0
+    }
+
+    /// IPv4 protocol number.
+    pub fn proto(&self) -> u8 {
+        ((self.0[0] >> 48) & 0xff) as u8
+    }
+
+    /// IPv4 source address (host byte order).
+    pub fn src_ip(&self) -> u32 {
+        (self.0[1] as u32).swap_bytes()
+    }
+
+    /// IPv4 destination address (host byte order).
+    pub fn dst_ip(&self) -> u32 {
+        ((self.0[1] >> 32) as u32).swap_bytes()
+    }
+
+    /// L4 source port (0 when [`l4_valid`](Self::l4_valid) is false).
+    pub fn src_port(&self) -> u16 {
+        (self.0[2] as u16).swap_bytes()
+    }
+
+    /// L4 destination port (0 when [`l4_valid`](Self::l4_valid) is false).
+    pub fn dst_port(&self) -> u16 {
+        ((self.0[2] >> 16) as u16).swap_bytes()
+    }
+}
+
+/// A pre-parsed [`FlowKey`] carried alongside a frame through the
+/// dispatch pipeline, so the frame is shallow-parsed exactly once no
+/// matter how many stages (dispatcher hash, control filter, microflow
+/// cache) need key fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyHint {
+    /// No extraction has been attempted; consumers extract on demand.
+    #[default]
+    Unknown,
+    /// Extraction was attempted and the frame has no canonical key
+    /// (slow path for the cache, structural hash for the dispatcher).
+    Absent,
+    /// The extracted key.
+    Key(FlowKey),
+}
+
+impl KeyHint {
+    /// Extract once, capturing the miss as [`KeyHint::Absent`].
+    pub fn compute(frame: &[u8], direction: Direction) -> KeyHint {
+        match FlowKey::extract(frame, direction) {
+            Some(k) => KeyHint::Key(k),
+            None => KeyHint::Absent,
+        }
+    }
+
+    /// The key, extracting now only if no attempt was recorded yet.
+    pub fn resolve(self, frame: &[u8], direction: Direction) -> Option<FlowKey> {
+        match self {
+            KeyHint::Unknown => FlowKey::extract(frame, direction),
+            KeyHint::Absent => None,
+            KeyHint::Key(k) => Some(k),
+        }
+    }
 }
 
 /// One replayable edit unit of an [`ActionPlan`].
@@ -654,6 +735,51 @@ mod tests {
             b"qq",
         );
         assert_eq!(FlowKey::extract(&f3, Direction::EdgeToOptical).unwrap(), k);
+    }
+
+    #[test]
+    fn key_accessors_invert_the_packing() {
+        let f = udp_frame();
+        let k = FlowKey::extract(&f, Direction::EdgeToOptical).unwrap();
+        assert_eq!(k.vlan_count(), 0);
+        assert!(k.l4_valid());
+        assert!(!k.is_fragment());
+        assert_eq!(k.proto(), 17);
+        assert_eq!(k.src_ip(), SRC);
+        assert_eq!(k.dst_ip(), DST);
+        assert_eq!(k.src_port(), 1000);
+        assert_eq!(k.dst_port(), 2000);
+        // Tagged frame: vlan count tracks the stack.
+        let tagged = PacketBuilder::with_vlan(&f, 100, 3);
+        let kt = FlowKey::extract(&tagged, Direction::EdgeToOptical).unwrap();
+        assert_eq!(kt.vlan_count(), 1);
+        assert_eq!(kt.src_ip(), SRC);
+        // Fragment: L4 invalid, ports zeroed, fragment bit visible.
+        let mut frag = udp_frame();
+        {
+            let mut ip = flexsfp_wire::ipv4::Ipv4Packet::new_unchecked(&mut frag[14..]);
+            ip.set_fragment(false, true, 100);
+            ip.fill_checksum();
+        }
+        let kf = FlowKey::extract(&frag, Direction::EdgeToOptical).unwrap();
+        assert!(!kf.l4_valid());
+        assert!(kf.is_fragment());
+        assert_eq!(kf.src_port(), 0);
+        assert_eq!(kf.proto(), 17);
+    }
+
+    #[test]
+    fn key_hint_resolves_without_reparsing() {
+        let f = udp_frame();
+        let dir = Direction::EdgeToOptical;
+        let k = FlowKey::extract(&f, dir).unwrap();
+        assert_eq!(KeyHint::compute(&f, dir), KeyHint::Key(k));
+        assert_eq!(KeyHint::Key(k).resolve(&f, dir), Some(k));
+        assert_eq!(KeyHint::Unknown.resolve(&f, dir), Some(k));
+        // Absent is sticky: no re-extraction even for a parsable frame.
+        assert_eq!(KeyHint::Absent.resolve(&f, dir), None);
+        assert_eq!(KeyHint::compute(&[0u8; 10], dir), KeyHint::Absent);
+        assert_eq!(KeyHint::default(), KeyHint::Unknown);
     }
 
     #[test]

@@ -151,15 +151,36 @@ pub struct BatchPacket {
     pub frame: Vec<u8>,
     /// The processor's verdict (written by `process_batch`).
     pub verdict: Verdict,
+    /// Pre-parsed microflow key, if the caller already extracted one
+    /// (the dispatcher parses each frame exactly once and carries the
+    /// result here so cache-enabled processors skip re-extraction).
+    /// Only valid for the frame bytes as enqueued; a processor that
+    /// edits the frame must not re-derive key state from the hint
+    /// afterwards.
+    pub key: crate::cache::KeyHint,
 }
 
 impl BatchPacket {
-    /// A batch slot awaiting processing (verdict defaults to Forward).
+    /// A batch slot awaiting processing (verdict defaults to Forward,
+    /// key to [`KeyHint::Unknown`](crate::cache::KeyHint::Unknown)).
     pub fn new(ctx: ProcessContext, frame: Vec<u8>) -> BatchPacket {
         BatchPacket {
             ctx,
             frame,
             verdict: Verdict::Forward,
+            key: crate::cache::KeyHint::Unknown,
+        }
+    }
+
+    /// A batch slot carrying a pre-parsed key hint.
+    pub fn with_key(
+        ctx: ProcessContext,
+        frame: Vec<u8>,
+        key: crate::cache::KeyHint,
+    ) -> BatchPacket {
+        BatchPacket {
+            key,
+            ..BatchPacket::new(ctx, frame)
         }
     }
 }

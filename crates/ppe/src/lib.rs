@@ -41,7 +41,7 @@ pub mod pipeline;
 pub mod state;
 pub mod tables;
 
-pub use cache::{ActionPlan, FlowCache, FlowKey, PlanOp, PlanRecorder};
+pub use cache::{ActionPlan, FlowCache, FlowKey, KeyHint, PlanOp, PlanRecorder};
 pub use engine::{
     BatchPacket, Direction, PacketProcessor, ProcessContext, TableOp, TableOpResult, Verdict,
 };

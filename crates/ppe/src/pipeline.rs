@@ -7,8 +7,8 @@
 //! the NAT's "translate source A to B" without one rule per action.
 
 use crate::action::{Action, ActionEngine, ActionOutcome, VerdictAction};
-use crate::cache::{self, FlowCache, FlowKey, PlanRecorder};
-use crate::engine::{PacketProcessor, ProcessContext, Verdict};
+use crate::cache::{self, FlowCache, PlanRecorder};
+use crate::engine::{BatchPacket, PacketProcessor, ProcessContext, Verdict};
 use crate::match_kinds::{LpmTable, TernaryTable};
 use crate::meter::TokenBucket;
 use crate::parser::{ParsedPacket, Parser, L4};
@@ -574,14 +574,19 @@ fn run_stage_actions(
     None
 }
 
-impl PacketProcessor for Pipeline {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
+impl Pipeline {
+    /// [`PacketProcessor::process`] with a caller-supplied key hint:
+    /// when the dispatcher already extracted this frame's
+    /// [`FlowKey`](crate::cache::FlowKey), the cache lookup reuses it
+    /// instead of re-parsing.
+    fn process_hinted(
+        &mut self,
+        ctx: &ProcessContext,
+        packet: &mut Vec<u8>,
+        hint: crate::cache::KeyHint,
+    ) -> Verdict {
         if self.cache_enabled && self.is_cacheable() {
-            if let Some(key) = FlowKey::extract(packet, ctx.direction) {
+            if let Some(key) = hint.resolve(packet, ctx.direction) {
                 if let Some(plan) = self.cache.lookup(&key) {
                     // Fast path: replay the memoized plan — no parse, no
                     // table lookups. Stage hit/miss counters and miss
@@ -645,6 +650,24 @@ impl PacketProcessor for Pipeline {
             }
         }
         self.process_slow(ctx, packet, None)
+    }
+}
+
+impl PacketProcessor for Pipeline {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, ctx: &ProcessContext, packet: &mut Vec<u8>) -> Verdict {
+        self.process_hinted(ctx, packet, crate::cache::KeyHint::Unknown)
+    }
+
+    fn process_batch(&mut self, batch: &mut [BatchPacket]) {
+        // Devirtualized batch loop honoring each slot's pre-parsed key
+        // hint — the single-parse contract of the dispatch pipeline.
+        for slot in batch {
+            slot.verdict = self.process_hinted(&slot.ctx, &mut slot.frame, slot.key);
+        }
     }
 
     fn pipeline_depth(&self) -> u32 {
