@@ -79,13 +79,18 @@ impl StaticNat {
     }
 
     /// A NAT with a custom table capacity (the table-sizing ablation).
+    /// The microflow cache is sized to the table: a NAT provisioned for
+    /// N subscriber flows must not thrash a fixed 4 k-entry cache the
+    /// moment the live flow set outgrows it.
     pub fn with_capacity(capacity: usize) -> StaticNat {
+        let table = HashTable::with_capacity(capacity);
+        let cache = FlowCache::new(table.capacity());
         StaticNat {
-            table: HashTable::with_capacity(capacity),
+            table,
             engine: ActionEngine::new(4, Vec::new()),
             parser: Parser::default(),
             translate_direction: Direction::EdgeToOptical,
-            cache: FlowCache::default(),
+            cache,
             cache_enabled: false,
             flight_enabled: false,
             last_flight: None,
@@ -266,6 +271,21 @@ impl PacketProcessor for StaticNat {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn cache_occupancy(&self) -> Option<u64> {
+        Some(self.cache.resident() as u64)
+    }
+
+    fn table_stats(&self) -> Option<flexsfp_obs::TableTelemetry> {
+        let s = self.table.stats();
+        Some(flexsfp_obs::TableTelemetry {
+            capacity: self.table.capacity() as u64,
+            occupied: self.table.len() as u64,
+            hits: s.hits,
+            misses: s.misses,
+            insert_failures: s.insert_failures,
+        })
     }
 
     fn resource_manifest(&self) -> ResourceManifest {
@@ -610,6 +630,27 @@ mod tests {
         let mut pkt = udp_frame(PRIVATE);
         n.process(&ProcessContext::ingress(), &mut pkt);
         assert_eq!(n.cache_stats().unwrap().lookups(), 0);
+    }
+
+    #[test]
+    fn table_telemetry_and_cache_occupancy_exported() {
+        let mut n = nat_with_mapping();
+        n.set_flow_cache(true);
+        let t = n.table_stats().unwrap();
+        assert_eq!(t.capacity, FLOW_CAPACITY as u64);
+        assert_eq!(t.occupied, 1);
+        assert!((t.load_factor() - 1.0 / FLOW_CAPACITY as f64).abs() < 1e-15);
+        assert_eq!(n.cache_occupancy(), Some(0));
+        // One translated packet: a table hit and a recorded plan.
+        let mut pkt = udp_frame(PRIVATE);
+        n.process(&ProcessContext::egress(), &mut pkt);
+        let t = n.table_stats().unwrap();
+        assert_eq!((t.hits, t.misses), (1, 0));
+        assert_eq!(n.cache_occupancy(), Some(1));
+        // A miss flows through too.
+        let mut pkt = udp_frame(0x0102_0304);
+        n.process(&ProcessContext::egress(), &mut pkt);
+        assert_eq!(n.table_stats().unwrap().misses, 1);
     }
 
     #[test]

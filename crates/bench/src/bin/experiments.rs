@@ -16,6 +16,7 @@
 //!   latency    §6       — latency vs placement
 //!   perf       baseline — simulator throughput (writes BENCH_throughput.json)
 //!   slo        gate     — windowed SLO check on the §5.1 NAT workload
+//!   soak       gate     — city-scale diurnal soak (writes BENCH_soak.json)
 //!   all        everything above in order
 //! ```
 //!
@@ -38,9 +39,17 @@
 //! `slo` evaluates [`flexsfp_obs::SloSpec::generous`] over the windowed
 //! telemetry and exits nonzero when any window breaches; `slo --breach`
 //! swaps in an unmeetable 1 ns p99.9 bound to prove the gate fires.
+//!
+//! `soak` streams the 262 k-subscriber metro day (diurnal load, flash
+//! crowd, DDoS, in-band NAT churn) with serial/sharded digest
+//! verification, writes `BENCH_soak.json`, and exits nonzero when the
+//! SLO windows breach or the lifetime cache floor is missed. `--quick`
+//! shrinks the packet budget (500 k instead of 2 M) but never the flow
+//! population; `--shards N` sets the verified shard count.
 
 use flexsfp_bench::{
-    ablations, fig1, fig2, latency, linerate, perf, power, scaling, slo, table1, table2, table3,
+    ablations, fig1, fig2, latency, linerate, perf, power, scaling, slo, soak, table1, table2,
+    table3,
 };
 use flexsfp_obs::SloSpec;
 
@@ -104,6 +113,7 @@ fn main() {
         "latency",
         "perf",
         "slo",
+        "soak",
         "all",
     ];
     if !known.contains(&cmd) {
@@ -226,6 +236,26 @@ fn main() {
                 println!("{}", flexsfp_obs::ToJson::to_json(&r).to_string_pretty());
             }
             if !r.report.healthy {
+                exit_code = 1;
+            }
+        }
+        "soak" => {
+            let packets = if quick {
+                soak::QUICK_PACKETS
+            } else {
+                soak::FULL_PACKETS
+            };
+            let shards =
+                shards.unwrap_or_else(|| flexsfp_bench::par::effective_parallelism().min(4));
+            let r = soak::run(packets, shards);
+            println!("{}", soak::render(&r));
+            let text = flexsfp_obs::ToJson::to_json(&r).to_string_pretty();
+            std::fs::write("BENCH_soak.json", format!("{text}\n")).expect("write BENCH_soak.json");
+            println!("wrote BENCH_soak.json");
+            if json {
+                println!("{text}");
+            }
+            if !r.healthy {
                 exit_code = 1;
             }
         }

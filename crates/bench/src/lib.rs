@@ -17,6 +17,7 @@
 //! | design-choice ablations | [`ablations`] | `ablations` |
 //! | §6 latency vs placement | [`latency`] | `latency` |
 //! | simulator throughput baseline | [`perf`] | `perf` |
+//! | city-soak SLO workload | [`soak`] | `soak` |
 //!
 //! Each module exposes a `run()` returning a serde-serializable report
 //! and a `render()` producing the human-readable table with the same
@@ -42,6 +43,7 @@ pub mod render;
 pub mod scaling;
 pub mod shard;
 pub mod slo;
+pub mod soak;
 pub mod table1;
 pub mod table2;
 pub mod table3;

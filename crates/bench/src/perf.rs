@@ -54,6 +54,13 @@ pub const TRACE_EVERY: u64 = 64;
 const SEED: u64 = 0x51;
 /// Flow count and NAT population.
 const FLOWS: usize = 64;
+/// Flow count of the high-flow variant (`mpps_64k_flows`): the flat
+/// table and flow cache working set no longer fit in L1/L2, so this is
+/// the measurement the cache-geometry and table-layout work is judged
+/// by. The NAT table is provisioned at 2× (131 072 slots, ~50 % load).
+pub const HIGH_FLOWS: usize = 65_536;
+/// Table capacity backing the high-flow variant.
+pub const HIGH_FLOW_TABLE: usize = 131_072;
 /// Private source base (192.168.0.0).
 const PRIVATE_BASE: u32 = 0xc0a8_0000;
 /// Public pool base (101.64.0.0).
@@ -85,6 +92,47 @@ flexsfp_obs::impl_json_struct!(StageCycles {
     shard,
     reconcile
 });
+
+/// Host provenance recorded alongside every committed benchmark JSON,
+/// so two baseline files are never compared without knowing whether
+/// they came from the same class of machine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostMeta {
+    /// Logical cores visible to the process.
+    pub cores: u64,
+    /// CPU model string from `/proc/cpuinfo` (`"unknown"` elsewhere).
+    pub cpu_model: String,
+    /// The `FLEXSFP_THREADS` override in effect, empty when unset —
+    /// it caps the sharded transport's worker threads, so a pinned
+    /// value explains an otherwise surprising `mpps_sharded`.
+    pub flexsfp_threads: String,
+}
+
+flexsfp_obs::impl_json_struct!(HostMeta {
+    cores,
+    cpu_model,
+    flexsfp_threads
+});
+
+/// Capture the current host's provenance.
+pub fn host_meta() -> HostMeta {
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    HostMeta {
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(0),
+        cpu_model,
+        flexsfp_threads: std::env::var("FLEXSFP_THREADS").unwrap_or_default(),
+    }
+}
 
 /// One throughput measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +168,14 @@ pub struct Report {
     pub mpps_sharded: f64,
     /// Shard count the `mpps_sharded` measurement used.
     pub shards: u64,
+    /// Serial cache-on throughput of the high-flow variant: the same
+    /// paced minimum-frame workload over [`HIGH_FLOWS`] flows against a
+    /// NAT provisioned at [`HIGH_FLOW_TABLE`] slots. Digest-verified
+    /// cache-on vs cache-off first, like the base workload. The flat
+    /// table's cache-geometry claim lives or dies here: at 64 flows
+    /// every layout fits in L1, at 64 k flows only one-line-per-probe
+    /// layouts stay fast.
+    pub mpps_64k_flows: f64,
     /// Where the sharded pipeline's cycles go, per packet.
     pub stage_cycles: StageCycles,
     /// Flow-cache hit rate over the cache-on pass, 0..=1.
@@ -140,6 +196,8 @@ pub struct Report {
     pub arena_allocations: u64,
     /// Frame buffers leased (= packets generated).
     pub arena_leases: u64,
+    /// The machine this baseline was measured on.
+    pub host: HostMeta,
 }
 
 flexsfp_obs::impl_json_struct!(Report {
@@ -153,6 +211,7 @@ flexsfp_obs::impl_json_struct!(Report {
     mpps_tracing_on,
     mpps_sharded,
     shards,
+    mpps_64k_flows,
     stage_cycles,
     cache_hit_rate,
     digest,
@@ -160,7 +219,8 @@ flexsfp_obs::impl_json_struct!(Report {
     delivery,
     peak_rss_kb,
     arena_allocations,
-    arena_leases
+    arena_leases,
+    host
 });
 
 /// The §5.1 NAT module: 64 private→public mappings, translate on the
@@ -170,6 +230,19 @@ pub(crate) fn nat_module() -> FlexSfp {
     for i in 0..FLOWS as u32 {
         nat.add_mapping(PRIVATE_BASE + i, PUBLIC_BASE + i)
             .expect("NAT population fits");
+    }
+    FlexSfp::new(ModuleConfig::default(), Box::new(nat))
+}
+
+/// A NAT sized for the high-flow variant: `flows` mappings in a
+/// `capacity`-slot table. At ~50 % load a few percent of the
+/// population lands in full 4-way buckets; those subscribers miss and
+/// pass untranslated, exactly like the hardware table would behave, so
+/// the digest-verified passes still agree byte for byte.
+fn nat_module_sized(flows: usize, capacity: usize) -> FlexSfp {
+    let mut nat = StaticNat::with_capacity(capacity);
+    for i in 0..flows as u32 {
+        let _ = nat.add_mapping(PRIVATE_BASE.wrapping_add(i), PUBLIC_BASE.wrapping_add(i));
     }
     FlexSfp::new(ModuleConfig::default(), Box::new(nat))
 }
@@ -204,8 +277,18 @@ const MEASURE_REPS: usize = 3;
 
 /// The workload stream over a fresh module.
 pub(crate) fn workload(packets: usize, arena: &PacketArena) -> impl Iterator<Item = SimPacket> {
+    workload_flows(packets, FLOWS, arena)
+}
+
+/// The same paced minimum-frame stream over an arbitrary flow
+/// population (the high-flow variant passes [`HIGH_FLOWS`]).
+fn workload_flows(
+    packets: usize,
+    flows: usize,
+    arena: &PacketArena,
+) -> impl Iterator<Item = SimPacket> {
     TraceBuilder::new(SEED)
-        .flows(FLOWS)
+        .flows(flows)
         .src_base(PRIVATE_BASE)
         .sizes(SizeModel::Fixed(FRAME_LEN))
         .arrivals(ArrivalModel::Paced { utilization: 1.0 })
@@ -256,6 +339,43 @@ fn verify_pass(packets: usize, cache_on: bool, recorder: bool) -> Verified {
         arena_allocations: arena.allocations(),
         arena_leases: arena.leases(),
     }
+}
+
+/// One digesting pass of the high-flow workload: [`HIGH_FLOWS`] flows
+/// against a [`HIGH_FLOW_TABLE`]-slot NAT.
+fn verify_pass_high(packets: usize, cache_on: bool) -> u64 {
+    let mut module = nat_module_sized(HIGH_FLOWS, HIGH_FLOW_TABLE);
+    module.app_mut().set_flow_cache(cache_on);
+    let arena = PacketArena::new();
+    let mut digest = FNV_OFFSET;
+    module.run_stream_with(workload_flows(packets, HIGH_FLOWS, &arena), |out| {
+        fnv1a(&mut digest, &out.departure_ns.to_le_bytes());
+        fnv1a(
+            &mut digest,
+            &[matches!(out.egress, Interface::Optical) as u8],
+        );
+        fnv1a(&mut digest, &(out.frame.len() as u32).to_le_bytes());
+        fnv1a(&mut digest, &out.frame);
+        arena.recycle(out.frame);
+    });
+    digest
+}
+
+/// Best-of-[`MEASURE_REPS`] wall-clock for the high-flow workload,
+/// cache on, recycle-only sink.
+fn measure_pass_high(packets: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..MEASURE_REPS {
+        let mut module = nat_module_sized(HIGH_FLOWS, HIGH_FLOW_TABLE);
+        module.app_mut().set_flow_cache(true);
+        let arena = PacketArena::new();
+        let t0 = Instant::now();
+        module.run_stream_with(workload_flows(packets, HIGH_FLOWS, &arena), |out| {
+            arena.recycle(out.frame)
+        });
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
 }
 
 /// Best-of-[`MEASURE_REPS`] wall-clock for the workload with a
@@ -467,6 +587,15 @@ pub fn run(packets: usize, shards: usize) -> Report {
         sharded_arena_bound(shards),
         shards
     );
+    // High-flow variant: cache on/off must agree at 64 k flows too
+    // (full buckets, set-conflict evictions) before it is timed.
+    let high_on = verify_pass_high(packets, true);
+    let high_off = verify_pass_high(packets, false);
+    assert_eq!(
+        high_on, high_off,
+        "flow cache changed observable output at {HIGH_FLOWS} flows \
+         ({high_on:016x} vs {high_off:016x})"
+    );
     let off_wall_s = measure_pass(packets, false, false);
     let wall_s = measure_pass(packets, true, false);
     // Independent re-measurement of the identical recorder-disarmed
@@ -475,6 +604,7 @@ pub fn run(packets: usize, shards: usize) -> Report {
     let tracing_off_wall_s = measure_pass(packets, true, false);
     let tracing_on_wall_s = measure_pass(packets, true, true);
     let sharded_wall_s = measure_pass_sharded(packets, shards);
+    let high_wall_s = measure_pass_high(packets);
     let stage_cycles = measure_pass_staged(packets, shards);
 
     Report {
@@ -488,6 +618,7 @@ pub fn run(packets: usize, shards: usize) -> Report {
         mpps_tracing_on: packets as f64 / tracing_on_wall_s / 1e6,
         mpps_sharded: packets as f64 / sharded_wall_s / 1e6,
         shards: shards as u64,
+        mpps_64k_flows: packets as f64 / high_wall_s / 1e6,
         stage_cycles,
         cache_hit_rate: on.cache.hit_rate(),
         digest: format!("{:016x}", on.digest),
@@ -496,6 +627,7 @@ pub fn run(packets: usize, shards: usize) -> Report {
         peak_rss_kb: peak_rss_kb(),
         arena_allocations: on.arena_allocations,
         arena_leases: on.arena_leases,
+        host: host_meta(),
     }
 }
 
@@ -529,6 +661,7 @@ pub fn render(r: &Report) -> String {
         render::f(r.mpps_tracing_on, 3),
         render::f(r.mpps_sharded, 3),
         r.shards.to_string(),
+        render::f(r.mpps_64k_flows, 3),
         render::f(r.cache_hit_rate * 100.0, 2),
         render::f(r.delivery * 100.0, 2),
         render::grouped(r.peak_rss_kb),
@@ -537,8 +670,11 @@ pub fn render(r: &Report) -> String {
     let s = &r.stage_cycles;
     format!(
         "perf: streaming NAT workload (simulator throughput; output digest {} identical cache-on/off, recorder-on/off and serial/sharded)\n\
+         host: {} cores, {}\n\
          stage ns/pkt: dispatch {} | ring {} | shard {} | reconcile {}\n{}",
         r.digest,
+        r.host.cores,
+        r.host.cpu_model,
         render::f(s.dispatch, 1),
         render::f(s.ring, 1),
         render::f(s.shard, 1),
@@ -555,6 +691,7 @@ pub fn render(r: &Report) -> String {
                 "Mpps (rec 1/64)",
                 "Mpps (sharded)",
                 "shards",
+                "Mpps (64k flows)",
                 "cache hit %",
                 "delivery %",
                 "peak RSS kB",

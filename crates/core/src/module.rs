@@ -554,6 +554,8 @@ fn flush_ppe_batch<F: FnMut(u64, OutputPacket)>(
             cache_ts,
             stats.hits.saturating_sub(last_cache.hits),
             stats.misses.saturating_sub(last_cache.misses),
+            stats.evictions.saturating_sub(last_cache.evictions),
+            app.cache_occupancy().unwrap_or(0),
         );
         *last_cache = stats;
     }
@@ -830,6 +832,15 @@ impl FlexSfp {
     /// also exported with every telemetry snapshot.
     pub fn windows(&self) -> &WindowedSeries {
         &self.windows
+    }
+
+    /// Replace the windowed-series geometry (bucket width × live-window
+    /// count). Long soak runs widen the buckets and deepen the ring so
+    /// the whole run stays SLO-evaluable instead of only the last
+    /// 32 ms; call before offering traffic — swapping the series
+    /// discards anything already recorded.
+    pub fn configure_windows(&mut self, width_ns: u64, capacity: usize) {
+        self.windows = WindowedSeries::new(width_ns, capacity);
     }
 
     /// Total design manifest: application + interfaces + control
@@ -1129,6 +1140,7 @@ impl FlexSfp {
             events_overwritten: self.events.overwritten() + self.app.events_lost(),
             events_drained: self.events_exported,
             cache: self.app.cache_stats().unwrap_or_default(),
+            table: self.app.table_stats().unwrap_or_default(),
             ctrl: self.control.ctrl_counters(),
             windows: self.windows.clone(),
         }

@@ -331,6 +331,70 @@ impl FleetCollector {
         }
 
         p.header(
+            "flexsfp_table_lookups_total",
+            "Exact-match table lookups, by module and outcome.",
+            "counter",
+        );
+        for (id, rec) in &self.modules {
+            let t = &rec.snapshot.table;
+            for (outcome, n) in [("hit", t.hits), ("miss", t.misses)] {
+                p.sample(
+                    "flexsfp_table_lookups_total",
+                    &[("module", id), ("outcome", outcome)],
+                    n as f64,
+                );
+            }
+        }
+        p.header(
+            "flexsfp_table_insert_failures_total",
+            "Exact-match table inserts rejected with a full bucket.",
+            "counter",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_table_insert_failures_total",
+                &[("module", id)],
+                rec.snapshot.table.insert_failures as f64,
+            );
+        }
+        p.header(
+            "flexsfp_table_entries",
+            "Occupied exact-match table entries (0 when the app has no table).",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_table_entries",
+                &[("module", id)],
+                rec.snapshot.table.occupied as f64,
+            );
+        }
+        p.header(
+            "flexsfp_table_capacity",
+            "Total exact-match table entry slots (buckets x ways).",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_table_capacity",
+                &[("module", id)],
+                rec.snapshot.table.capacity as f64,
+            );
+        }
+        p.header(
+            "flexsfp_table_load_factor",
+            "Exact-match table occupancy as a fraction of capacity.",
+            "gauge",
+        );
+        for (id, rec) in &self.modules {
+            p.sample(
+                "flexsfp_table_load_factor",
+                &[("module", id)],
+                rec.snapshot.table.load_factor(),
+            );
+        }
+
+        p.header(
             "flexsfp_latency_ns",
             "Per-module lifetime forwarding latency, nanoseconds.",
             "summary",
@@ -919,6 +983,35 @@ mod tests {
             "missing cache counter in:\n{text}"
         );
         assert!(text.contains("flexsfp_flow_cache_hit_ratio{module=\"FSFP-0000\"} 0\n"));
+    }
+
+    #[test]
+    fn table_metrics_rendered() {
+        use flexsfp_apps::nat::StaticNat;
+        let cfg = ModuleConfig {
+            id: "FSFP-0000".into(),
+            ..ModuleConfig::default()
+        };
+        let mut nat = StaticNat::new();
+        nat.add_mapping(0xc0a80001, 0x65400001).unwrap();
+        let f = FleetManager::new(vec![FlexSfp::new(cfg, Box::new(nat))], AuthKey::DEFAULT);
+        f.with_module(0, |m| {
+            m.run(packets(4));
+        });
+        let mut c = FleetCollector::new();
+        c.ingest_sweep(f.telemetry_snapshots());
+        let snap = c.module("FSFP-0000").unwrap();
+        assert_eq!(snap.table.capacity, 32_768);
+        assert_eq!(snap.table.occupied, 1);
+        let text = c.render_prometheus();
+        assert!(
+            text.contains("flexsfp_table_capacity{module=\"FSFP-0000\"} 32768\n"),
+            "missing table capacity in:\n{text}"
+        );
+        assert!(text.contains("flexsfp_table_entries{module=\"FSFP-0000\"} 1\n"));
+        assert!(text.contains("flexsfp_table_insert_failures_total{module=\"FSFP-0000\"} 0\n"));
+        assert!(text.contains("flexsfp_table_lookups_total{module=\"FSFP-0000\",outcome="));
+        assert!(text.contains("flexsfp_table_load_factor{module=\"FSFP-0000\"} "));
     }
 
     #[test]

@@ -54,7 +54,8 @@ pub use json::{FromJson, ToJson, Value};
 pub use prometheus::PromText;
 pub use slo::{SloBreach, SloReport, SloSpec};
 pub use snapshot::{
-    CacheStats, CtrlCounters, DomSnapshot, DropCounters, PortCounters, TelemetrySnapshot,
+    CacheStats, CtrlCounters, DomSnapshot, DropCounters, PortCounters, TableTelemetry,
+    TelemetrySnapshot,
 };
 pub use timeseries::{WindowBucket, WindowedSeries};
 pub use trace::{FlightRecord, FlightRing, FlightStamp, FlightVerdict, StageStamp};

@@ -151,7 +151,7 @@ mod tests {
         for t in 0..100u64 {
             s.record_forwarded(t * 30, 500.0);
         }
-        s.record_cache(0, 90, 10);
+        s.record_cache(0, 90, 10, 0, 90);
         let report = evaluate(&spec(), &s);
         assert!(report.healthy);
         assert!(report.breaches.is_empty());
@@ -198,7 +198,7 @@ mod tests {
     fn cache_floor_exempts_windows_without_lookups() {
         let mut s = WindowedSeries::new(1_000, 8);
         s.record_forwarded(10, 100.0); // no lookups here
-        s.record_cache(2_500, 1, 9); // 10% hit rate, floor is 50%
+        s.record_cache(2_500, 1, 9, 0, 10); // 10% hit rate, floor is 50%
         let report = evaluate(&spec(), &s);
         assert_eq!(report.breaches.len(), 1);
         assert_eq!(report.breaches[0].metric, "cache_hit_rate");
@@ -210,7 +210,7 @@ mod tests {
         let mut s = WindowedSeries::new(1_000, 8);
         s.record_forwarded(10, 50_000.0);
         s.record_drop(20, true);
-        s.record_cache(30, 0, 10);
+        s.record_cache(30, 0, 10, 0, 10);
         let report = evaluate(&spec(), &s);
         assert_eq!(report.breaches.len(), 3);
         assert_eq!(report.windows_evaluated, 1);
@@ -241,7 +241,7 @@ mod tests {
         for t in 0..1_000u64 {
             s.record_forwarded(t * 900, 2_000.0);
         }
-        s.record_cache(0, 900, 100);
+        s.record_cache(0, 900, 100, 0, 100);
         assert!(evaluate(&g, &s).healthy);
         let json = g.to_json().to_string();
         assert_eq!(

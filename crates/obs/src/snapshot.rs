@@ -154,6 +154,50 @@ impl CacheStats {
     }
 }
 
+/// Exact-match table geometry and lifetime counters (the PPE's
+/// hardware hash tables — e.g. the NAT's source-IP table).
+///
+/// `capacity`/`occupied` are gauges read in O(1) from the flat table;
+/// `hits`/`misses`/`insert_failures` are monotonic counters. All zero
+/// when the running app exposes no table.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TableTelemetry {
+    /// Total entry slots (buckets × ways).
+    pub capacity: u64,
+    /// Slots currently occupied.
+    pub occupied: u64,
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Inserts rejected with a full bucket.
+    pub insert_failures: u64,
+}
+
+impl TableTelemetry {
+    /// Occupancy as a fraction of capacity (0.0 when there is no table).
+    pub fn load_factor(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.occupied as f64 / self.capacity as f64
+        }
+    }
+
+    /// Fold another shard's table telemetry into this one. Counters
+    /// add; `capacity` and `occupied` take the maximum — shards hold
+    /// *replicas* of the same table (control frames are broadcast), so
+    /// summing them would multiply the apparent occupancy.
+    pub fn merge_shard(&mut self, other: &TableTelemetry) {
+        self.capacity = self.capacity.max(other.capacity);
+        self.occupied = self.occupied.max(other.occupied);
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insert_failures += other.insert_failures;
+    }
+}
+
 /// Lifetime control-plane/OTA resilience counters.
 ///
 /// All monotonic. These are the module-side half of the chaos story:
@@ -216,6 +260,9 @@ pub struct TelemetrySnapshot {
     /// Microflow action-cache counters (all zero when the running app
     /// has no cache or it is disabled).
     pub cache: CacheStats,
+    /// Exact-match table geometry and counters (all zero when the
+    /// running app exposes no hardware table).
+    pub table: TableTelemetry,
     /// Control-plane/OTA resilience counters.
     pub ctrl: CtrlCounters,
     /// Windowed time-series of recent activity (latency, drops, cache
@@ -252,6 +299,7 @@ impl TelemetrySnapshot {
         self.events_overwritten += other.events_overwritten;
         self.events_drained += other.events_drained;
         self.cache.merge(&other.cache);
+        self.table.merge_shard(&other.table);
         self.ctrl.dup_chunk_acks += other.ctrl.dup_chunk_acks;
         self.ctrl.update_aborts += other.ctrl.update_aborts;
         self.ctrl.update_errors += other.ctrl.update_errors;
@@ -283,6 +331,13 @@ crate::impl_json_struct!(CacheStats {
     evictions,
     invalidations
 });
+crate::impl_json_struct!(TableTelemetry {
+    capacity,
+    occupied,
+    hits,
+    misses,
+    insert_failures
+});
 crate::impl_json_struct!(CtrlCounters {
     dup_chunk_acks,
     update_aborts,
@@ -308,6 +363,7 @@ crate::impl_json_struct!(TelemetrySnapshot {
     events_overwritten,
     events_drained,
     cache,
+    table,
     ctrl,
     windows,
 });
@@ -384,6 +440,13 @@ mod tests {
                 evictions: 4,
                 invalidations: 2,
             },
+            table: TableTelemetry {
+                capacity: 32_768,
+                occupied: 8_192,
+                hits: 700,
+                misses: 300,
+                insert_failures: 5,
+            },
             ctrl: CtrlCounters {
                 dup_chunk_acks: 3,
                 update_aborts: 1,
@@ -406,6 +469,7 @@ mod tests {
         assert_eq!(back.latency.count(), 2);
         assert_eq!(back.cache.lookups(), 1000);
         assert!((back.cache.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((back.table.load_factor() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -455,6 +519,13 @@ mod tests {
                     evictions: 0,
                     invalidations: 0,
                 },
+                table: TableTelemetry {
+                    capacity: 1024,
+                    occupied: 100 + shard,
+                    hits: 50,
+                    misses: 5,
+                    insert_failures: shard,
+                },
                 ctrl: CtrlCounters {
                     dup_chunk_acks: shard,
                     update_aborts: 0,
@@ -472,6 +543,11 @@ mod tests {
         assert_eq!(merged.drops.total(), 3);
         assert_eq!(merged.latency.count(), 2);
         assert_eq!(merged.cache.hits, 300);
+        // Table counters add; geometry/occupancy take the replica max.
+        assert_eq!(merged.table.hits, 100);
+        assert_eq!(merged.table.insert_failures, 1);
+        assert_eq!(merged.table.capacity, 1024);
+        assert_eq!(merged.table.occupied, 101);
         assert_eq!(merged.ctrl.dup_chunk_acks, 1);
         assert_eq!(merged.events_overwritten, 1);
         assert_eq!(merged.events_drained, 2);

@@ -39,6 +39,14 @@ pub struct WindowBucket {
     pub cache_hits: u64,
     /// Microflow-cache misses attributed to this window.
     pub cache_misses: u64,
+    /// Microflow-cache evictions attributed to this window — a sustained
+    /// nonzero rate here is the signature of heavy-hitter set conflict
+    /// (more live flows than ways in some sets).
+    pub cache_evictions: u64,
+    /// High-water mark of resident cache entries observed during this
+    /// window. A gauge, not a counter: merging buckets (rotation or
+    /// shard/fleet aggregation) takes the max across sources.
+    pub cache_occupancy: u64,
 }
 
 impl WindowBucket {
@@ -57,6 +65,7 @@ impl WindowBucket {
             && self.drops_unexplained == 0
             && self.cache_hits == 0
             && self.cache_misses == 0
+            && self.cache_evictions == 0
             && self.latency.is_empty()
     }
 
@@ -100,6 +109,8 @@ impl WindowBucket {
         self.drops_unexplained += other.drops_unexplained;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_occupancy = self.cache_occupancy.max(other.cache_occupancy);
     }
 }
 
@@ -215,14 +226,28 @@ impl WindowedSeries {
         }
     }
 
-    /// Attribute a delta of microflow-cache lookups to `timestamp_ns`.
-    pub fn record_cache(&mut self, timestamp_ns: u64, hits: u64, misses: u64) {
-        if hits == 0 && misses == 0 {
+    /// Attribute a delta of microflow-cache activity to `timestamp_ns`:
+    /// hit/miss/eviction deltas plus the current resident-entry count
+    /// (recorded as the window's high-water mark). A window with no
+    /// lookups or evictions records nothing — the occupancy gauge is
+    /// only meaningful alongside cache activity, and quiet windows must
+    /// not churn buckets.
+    pub fn record_cache(
+        &mut self,
+        timestamp_ns: u64,
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+        occupancy: u64,
+    ) {
+        if hits == 0 && misses == 0 && evictions == 0 {
             return;
         }
         let b = self.bucket_mut(timestamp_ns);
         b.cache_hits += hits;
         b.cache_misses += misses;
+        b.cache_evictions += evictions;
+        b.cache_occupancy = b.cache_occupancy.max(occupancy);
     }
 
     /// Everything the series has ever absorbed, folded into one bucket
@@ -268,7 +293,9 @@ crate::impl_json_struct!(WindowBucket {
     drops_app,
     drops_unexplained,
     cache_hits,
-    cache_misses
+    cache_misses,
+    cache_evictions,
+    cache_occupancy
 });
 crate::impl_json_struct!(WindowedSeries {
     width_ns,
@@ -376,11 +403,39 @@ mod tests {
     #[test]
     fn cache_deltas_attributed_to_window() {
         let mut s = WindowedSeries::new(1_000, 4);
-        s.record_cache(100, 5, 2);
-        s.record_cache(100, 0, 0); // no-op: creates no bucket churn
+        s.record_cache(100, 5, 2, 1, 40);
+        s.record_cache(100, 0, 0, 0, 99); // no-op: creates no bucket churn
         assert_eq!(s.windows().len(), 1);
         assert_eq!(s.windows()[0].cache_hits, 5);
         assert_eq!(s.windows()[0].cache_misses, 2);
+        assert_eq!(s.windows()[0].cache_evictions, 1);
+        // Occupancy is a high-water mark, untouched by the no-op call.
+        assert_eq!(s.windows()[0].cache_occupancy, 40);
+        s.record_cache(200, 1, 0, 0, 38); // lower gauge never regresses the mark
+        assert_eq!(s.windows()[0].cache_occupancy, 40);
+        s.record_cache(300, 1, 0, 0, 55);
+        assert_eq!(s.windows()[0].cache_occupancy, 55);
+    }
+
+    #[test]
+    fn occupancy_merges_as_max_evictions_add() {
+        let mut a = WindowBucket::default();
+        let mut b = WindowBucket::default();
+        a.cache_evictions = 3;
+        a.cache_occupancy = 10;
+        a.cache_misses = 1;
+        b.cache_evictions = 4;
+        b.cache_occupancy = 25;
+        b.cache_misses = 1;
+        a.merge(&b);
+        assert_eq!(a.cache_evictions, 7);
+        assert_eq!(a.cache_occupancy, 25);
+        // A bucket with only evictions still counts as non-empty.
+        let c = WindowBucket {
+            cache_evictions: 1,
+            ..WindowBucket::default()
+        };
+        assert!(!c.is_empty());
     }
 
     #[test]
@@ -404,7 +459,7 @@ mod tests {
             s.record_forwarded(t, t as f64 + 1.0);
         }
         s.record_drop(300, true);
-        s.record_cache(320, 4, 1);
+        s.record_cache(320, 4, 1, 2, 17);
         let json = s.to_json().to_string();
         let back = WindowedSeries::from_json(&Value::parse(&json).unwrap()).unwrap();
         assert_eq!(back, s);

@@ -162,13 +162,20 @@ proptest! {
         ops in prop::collection::vec((0u64..200_000, 0u8..4, 0u64..10, 0u64..10), 0..300),
     ) {
         let mut series = WindowedSeries::new(width, capacity);
-        let (mut fwd, mut app, mut unexplained, mut hits, mut misses) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        let (mut fwd, mut app, mut unexplained, mut hits, mut misses, mut evictions) =
+            (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
         for &(ts, kind, h, m) in &ops {
             match kind {
                 0 => { series.record_forwarded(ts, ts as f64); fwd += 1; }
                 1 => { series.record_drop(ts, false); app += 1; }
                 2 => { series.record_drop(ts, true); unexplained += 1; }
-                _ => { series.record_cache(ts, h, m); hits += h; misses += m; }
+                _ => {
+                    // Derive an eviction delta and occupancy gauge from the
+                    // same drawn values so they exercise the new fields.
+                    series.record_cache(ts, h, m, h % 3, h + m);
+                    hits += h; misses += m;
+                    if h != 0 || m != 0 || h % 3 != 0 { evictions += h % 3; }
+                }
             }
         }
         let total = series.lifetime();
@@ -177,6 +184,7 @@ proptest! {
         prop_assert_eq!(total.drops_unexplained, unexplained);
         prop_assert_eq!(total.cache_hits, hits);
         prop_assert_eq!(total.cache_misses, misses);
+        prop_assert_eq!(total.cache_evictions, evictions);
         prop_assert_eq!(total.latency.count(), fwd);
         // The JSON wire format carries the whole series losslessly.
         use flexsfp_obs::{FromJson, ToJson, Value};

@@ -564,7 +564,8 @@ const EMPTY_META: SlotMeta = SlotMeta {
     valid: false,
 };
 
-/// Fixed-capacity, 4-way set-associative microflow cache.
+/// Fixed-capacity, set-associative microflow cache with configurable
+/// geometry (sets × ways; [`WAYS`]-way by default).
 ///
 /// Keys/epochs live in a dense metadata array scanned on lookup; the
 /// heavier [`ActionPlan`]s sit in a parallel array touched only on a
@@ -574,8 +575,12 @@ pub struct FlowCache {
     meta: Vec<SlotMeta>,
     plans: Vec<Option<ActionPlan>>,
     set_mask: usize,
+    ways: usize,
     victim: Vec<u8>,
     epoch: u64,
+    /// Slots currently holding a plan (valid, any epoch) — maintained
+    /// on insert/invalidate so occupancy telemetry is O(1).
+    resident: usize,
     stats: CacheStats,
 }
 
@@ -587,17 +592,50 @@ impl Default for FlowCache {
 
 impl FlowCache {
     /// A cache holding about `flows` plans (rounded up to a power-of-two
-    /// number of 4-way sets).
+    /// number of [`WAYS`]-way sets).
     pub fn new(flows: usize) -> FlowCache {
-        let sets = (flows.max(WAYS) / WAYS).next_power_of_two();
+        FlowCache::with_geometry(flows.max(WAYS).div_ceil(WAYS), WAYS)
+    }
+
+    /// A cache with explicit geometry: `sets` sets (rounded up to a
+    /// power of two) of `ways` entries each. Higher associativity
+    /// absorbs heavy-hitter skew (many hot flows colliding into one
+    /// set) at the cost of a longer probe scan.
+    pub fn with_geometry(sets: usize, ways: usize) -> FlowCache {
+        assert!(sets > 0 && ways > 0 && ways <= 255);
+        let sets = sets.next_power_of_two();
         FlowCache {
-            meta: vec![EMPTY_META; sets * WAYS],
-            plans: vec![None; sets * WAYS],
+            meta: vec![EMPTY_META; sets * ways],
+            plans: vec![None; sets * ways],
             set_mask: sets - 1,
+            ways,
             victim: vec![0; sets],
             epoch: 0,
+            resident: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.set_mask + 1
+    }
+
+    /// Entries per set (associativity).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total plan capacity (sets × ways).
+    pub fn capacity(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Slots currently holding a plan, in O(1). Counts every valid
+    /// entry including stale-epoch ones not yet discarded — the memory
+    /// actually in use, which is what occupancy telemetry wants.
+    pub fn resident(&self) -> usize {
+        self.resident
     }
 
     /// The current epoch.
@@ -628,8 +666,8 @@ impl FlowCache {
     /// Look up a plan. Counts a hit or a miss; a stale-epoch entry is
     /// discarded (counted as an invalidation *and* a miss).
     pub fn lookup(&mut self, key: &FlowKey) -> Option<&ActionPlan> {
-        let base = (key.hash() as usize & self.set_mask) * WAYS;
-        let set = &mut self.meta[base..base + WAYS];
+        let base = (key.hash() as usize & self.set_mask) * self.ways;
+        let set = &mut self.meta[base..base + self.ways];
         for (w, m) in set.iter_mut().enumerate() {
             if m.valid && m.key == *key {
                 if m.epoch == self.epoch {
@@ -638,6 +676,7 @@ impl FlowCache {
                 }
                 m.valid = false;
                 self.plans[base + w] = None;
+                self.resident -= 1;
                 self.stats.invalidations += 1;
                 self.stats.misses += 1;
                 return None;
@@ -652,22 +691,23 @@ impl FlowCache {
     /// evicts round-robin within the set.
     pub fn insert(&mut self, key: FlowKey, plan: ActionPlan) {
         let set = key.hash() as usize & self.set_mask;
-        let base = set * WAYS;
+        let base = set * self.ways;
         let meta = SlotMeta {
             key,
             epoch: self.epoch,
             valid: true,
         };
         // Same key or a free/stale way first.
-        for w in 0..WAYS {
+        for w in 0..self.ways {
             let m = &self.meta[base + w];
             if !m.valid || m.key == key || m.epoch != self.epoch {
+                self.resident += usize::from(!m.valid);
                 self.meta[base + w] = meta;
                 self.plans[base + w] = Some(plan);
                 return;
             }
         }
-        let w = usize::from(self.victim[set]) % WAYS;
+        let w = usize::from(self.victim[set]) % self.ways;
         self.victim[set] = self.victim[set].wrapping_add(1);
         self.meta[base + w] = meta;
         self.plans[base + w] = Some(plan);
@@ -925,6 +965,59 @@ mod tests {
         }
         assert!(c.stats().evictions > 0);
         assert!(c.live_len() <= 8);
+    }
+
+    fn flow_key(sport: u16) -> FlowKey {
+        let f = PacketBuilder::eth_ipv4_udp(
+            MacAddr([1; 6]),
+            MacAddr([2; 6]),
+            SRC,
+            DST,
+            sport,
+            2000,
+            b"x",
+        );
+        FlowKey::extract(&f, Direction::EdgeToOptical).unwrap()
+    }
+
+    #[test]
+    fn geometry_is_configurable() {
+        let c = FlowCache::with_geometry(3, 8); // sets round to a power of two
+        assert_eq!((c.sets(), c.ways(), c.capacity()), (4, 8, 32));
+        let d = FlowCache::new(4096);
+        assert_eq!((d.sets(), d.ways(), d.capacity()), (1024, WAYS, 4096));
+    }
+
+    #[test]
+    fn wider_ways_absorb_colliding_flows() {
+        // One set: every flow collides. 8 ways hold 8 distinct flows
+        // with zero evictions; the 9th evicts.
+        let mut c = FlowCache::with_geometry(1, 8);
+        for sport in 0..8u16 {
+            c.insert(flow_key(sport), plan(vec![]));
+        }
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.resident(), 8);
+        c.insert(flow_key(8), plan(vec![]));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.resident(), 8, "eviction replaces, never grows");
+    }
+
+    #[test]
+    fn resident_gauge_tracks_slot_transitions() {
+        let mut c = FlowCache::new(8);
+        let k = flow_key(1);
+        assert_eq!(c.resident(), 0);
+        c.insert(k, plan(vec![]));
+        assert_eq!(c.resident(), 1);
+        c.insert(k, plan(vec![])); // re-record: same slot
+        assert_eq!(c.resident(), 1);
+        // A stale plan still occupies memory until a lookup discards it.
+        c.bump_epoch();
+        assert_eq!(c.resident(), 1);
+        assert_eq!(c.live_len(), 0);
+        assert!(c.lookup(&k).is_none());
+        assert_eq!(c.resident(), 0);
     }
 
     #[test]

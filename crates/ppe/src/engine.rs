@@ -224,6 +224,21 @@ pub trait PacketProcessor: Send {
         None
     }
 
+    /// Current resident-entry count of the microflow cache (an O(1)
+    /// gauge for per-window occupancy telemetry), `None` for processors
+    /// without a cache.
+    fn cache_occupancy(&self) -> Option<u64> {
+        None
+    }
+
+    /// Geometry and lifetime counters of the processor's primary
+    /// exact-match table (the NAT's source-IP table), `None` for
+    /// processors without one. Exposed through `TelemetrySnapshot` as
+    /// the `flexsfp_table_*` Prometheus family.
+    fn table_stats(&self) -> Option<flexsfp_obs::TableTelemetry> {
+        None
+    }
+
     /// Fabric resources this application's synthesized core occupies
     /// (the "NAT app" row of Table 1 for the NAT). Defaults to zero for
     /// pure-software test doubles.

@@ -94,7 +94,30 @@ pub struct TableStats {
     pub insert_failures: u64,
 }
 
+/// Map a key's CRC-32 to a nonzero 1-byte fingerprint. The high byte is
+/// used so the fingerprint bits don't overlap the bucket-index bits for
+/// any realistic table size (≤ 2^24 buckets); 0 is reserved for "empty"
+/// and remapped to 1.
+fn fingerprint(hash: u32) -> u8 {
+    let fp = (hash >> 24) as u8;
+    if fp == 0 {
+        1
+    } else {
+        fp
+    }
+}
+
 /// A bucketized, CRC-indexed hash table of fixed capacity.
+///
+/// Storage is a single flat slot array of `buckets × ways` entries with
+/// a parallel 1-byte tag array — no per-bucket `Vec`, no pointer chase.
+/// A probe scans the bucket's contiguous tag bytes (one cache line for
+/// any realistic associativity) and touches the wide slot array only on
+/// a fingerprint match; tag 0 means the way is empty. Bucket selection
+/// is unchanged from the chained layout (CRC-32 of the key masked by
+/// the power-of-two bucket count), as are the BucketFull semantics, so
+/// table layouts — which keys land in which bucket, and which inserts
+/// overflow — are bit-identical to the previous representation.
 ///
 /// Hit/miss counters live in [`Cell`]s so [`lookup`](HashTable::lookup)
 /// takes `&self` — the dataplane probes tables through shared references
@@ -102,7 +125,11 @@ pub struct TableStats {
 /// module without exclusive access just to count hits.
 #[derive(Debug, Clone)]
 pub struct HashTable<K: TableKey, V: Copy> {
-    buckets: Vec<Vec<Entry<K, V>>>,
+    /// One byte per slot: 0 = empty, else the occupant's fingerprint.
+    tags: Vec<u8>,
+    /// `Some` exactly where the tag is nonzero.
+    slots: Vec<Option<Entry<K, V>>>,
+    bucket_mask: usize,
     ways: usize,
     occupied: usize,
     hits: Cell<u64>,
@@ -117,7 +144,9 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
         assert!(buckets > 0 && ways > 0);
         let buckets = buckets.next_power_of_two();
         HashTable {
-            buckets: vec![Vec::new(); buckets],
+            tags: vec![0; buckets * ways],
+            slots: vec![None; buckets * ways],
+            bucket_mask: buckets - 1,
             ways,
             occupied: 0,
             hits: Cell::new(0),
@@ -135,7 +164,7 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
 
     /// Total entry capacity.
     pub fn capacity(&self) -> usize {
-        self.buckets.len() * self.ways
+        self.tags.len()
     }
 
     /// Occupied entries.
@@ -148,17 +177,44 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
         self.occupied == 0
     }
 
-    fn bucket_index(&self, key: &K) -> usize {
-        (crc32(&key.key_bytes()) as usize) & (self.buckets.len() - 1)
+    /// Occupancy as a fraction of capacity — O(1), read on every
+    /// telemetry scrape.
+    pub fn load_factor(&self) -> f64 {
+        self.occupied as f64 / self.capacity() as f64
+    }
+
+    /// The bucket `key` hashes to. Public so layout-pinning tests (and
+    /// control-plane introspection) can prove which bucket an entry
+    /// occupies without depending on the storage representation.
+    pub fn bucket_of(&self, key: &K) -> usize {
+        (crc32(&key.key_bytes()) as usize) & self.bucket_mask
+    }
+
+    /// Probe a bucket for `key`: tag scan first, full key compare only
+    /// on fingerprint match. Returns the matching slot index.
+    #[inline]
+    fn find(&self, key: &K) -> Option<usize> {
+        let h = crc32(&key.key_bytes());
+        let base = ((h as usize) & self.bucket_mask) * self.ways;
+        let fp = fingerprint(h);
+        for w in 0..self.ways {
+            if self.tags[base + w] == fp {
+                if let Some(e) = &self.slots[base + w] {
+                    if e.key == *key {
+                        return Some(base + w);
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Look up `key`, updating hit/miss statistics.
     pub fn lookup(&self, key: &K) -> Option<V> {
-        let idx = self.bucket_index(key);
-        match self.buckets[idx].iter().find(|e| e.key == *key) {
-            Some(e) => {
+        match self.find(key) {
+            Some(slot) => {
                 self.hits.set(self.hits.get() + 1);
-                Some(e.value)
+                self.slots[slot].as_ref().map(|e| e.value)
             }
             None => {
                 self.misses.set(self.misses.get() + 1);
@@ -169,10 +225,8 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
 
     /// Look up without touching statistics (control-plane reads).
     pub fn peek(&self, key: &K) -> Option<V> {
-        let idx = self.bucket_index(key);
-        self.buckets[idx]
-            .iter()
-            .find(|e| e.key == *key)
+        self.find(key)
+            .and_then(|slot| self.slots[slot].as_ref())
             .map(|e| e.value)
     }
 
@@ -180,34 +234,46 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
     /// bucket has no free way (the hardware has nowhere to put it —
     /// there is no probing across buckets).
     pub fn insert(&mut self, key: K, value: V) -> Result<(), TableError> {
-        let idx = self.bucket_index(&key);
-        let bucket = &mut self.buckets[idx];
-        if let Some(e) = bucket.iter_mut().find(|e| e.key == key) {
-            e.value = value;
-            return Ok(());
+        let h = crc32(&key.key_bytes());
+        let base = ((h as usize) & self.bucket_mask) * self.ways;
+        let fp = fingerprint(h);
+        // Update in place when the key is already resident.
+        for w in 0..self.ways {
+            if self.tags[base + w] == fp {
+                if let Some(e) = &mut self.slots[base + w] {
+                    if e.key == key {
+                        e.value = value;
+                        return Ok(());
+                    }
+                }
+            }
         }
-        if bucket.len() >= self.ways {
-            self.insert_failures += 1;
-            return Err(TableError::BucketFull);
+        // First free way, else the bucket is full.
+        for w in 0..self.ways {
+            if self.tags[base + w] == 0 {
+                self.tags[base + w] = fp;
+                self.slots[base + w] = Some(Entry { key, value });
+                self.occupied += 1;
+                return Ok(());
+            }
         }
-        bucket.push(Entry { key, value });
-        self.occupied += 1;
-        Ok(())
+        self.insert_failures += 1;
+        Err(TableError::BucketFull)
     }
 
     /// Remove `key`, returning its value.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let idx = self.bucket_index(key);
-        let bucket = &mut self.buckets[idx];
-        let pos = bucket.iter().position(|e| e.key == *key)?;
+        let slot = self.find(key)?;
+        self.tags[slot] = 0;
         self.occupied -= 1;
-        Some(bucket.swap_remove(pos).value)
+        self.slots[slot].take().map(|e| e.value)
     }
 
     /// Remove everything.
     pub fn clear(&mut self) {
-        for b in &mut self.buckets {
-            b.clear();
+        self.tags.fill(0);
+        for s in &mut self.slots {
+            *s = None;
         }
         self.occupied = 0;
     }
@@ -223,9 +289,7 @@ impl<K: TableKey, V: Copy> HashTable<K, V> {
 
     /// Iterate over `(key, value)` pairs (control-plane table dump).
     pub fn iter(&self) -> impl Iterator<Item = (K, V)> + '_ {
-        self.buckets
-            .iter()
-            .flat_map(|b| b.iter().map(|e| (e.key, e.value)))
+        self.slots.iter().flatten().map(|e| (e.key, e.value))
     }
 
     /// Memory shape for the planner: one word per entry slot wide enough
@@ -374,5 +438,106 @@ mod tests {
     fn capacity_rounds_to_power_of_two_buckets() {
         let t: HashTable<u32, u32> = HashTable::new(10, 4);
         assert_eq!(t.capacity(), 16 * 4);
+    }
+
+    #[test]
+    fn load_factor_tracks_occupancy() {
+        let mut t: HashTable<u32, u32> = HashTable::with_capacity(64);
+        assert_eq!(t.load_factor(), 0.0);
+        for k in 0..16u32 {
+            t.insert(k, k).unwrap();
+        }
+        assert!((t.load_factor() - 0.25).abs() < 1e-12);
+        t.clear();
+        assert_eq!(t.load_factor(), 0.0);
+    }
+
+    /// Pinned CRC-32 bucket indices at the NAT's production geometry
+    /// (32 768 entries, 4-way ⇒ 8 192 buckets). These literals were
+    /// computed against the chained layout before the flat rework; if
+    /// any of them moves, NAT table layouts — and therefore which
+    /// inserts overflow — would silently change.
+    #[test]
+    fn bucket_index_golden_is_pinned() {
+        let t: HashTable<u32, u32> = HashTable::with_capacity(32_768);
+        for (key, bucket) in [
+            (0xc0a8_0001u32, 7142usize),
+            (0xc0a8_0002, 229),
+            (0x0a00_0000, 164),
+            (0x0a3f_ffff, 3439),
+            (0x650a_0001, 3216),
+            (0xdead_beef, 3803),
+            (0x0000_0000, 1666),
+            (0x7f00_0001, 1037),
+        ] {
+            assert_eq!(t.bucket_of(&key), bucket, "bucket moved for {key:#010x}");
+        }
+    }
+
+    /// Model check against a BTreeMap: a seeded random stream of
+    /// insert/update/remove/lookup operations must agree with the
+    /// reference map on every observable, with BucketFull rejections
+    /// exactly when the model already holds `ways` keys of the same
+    /// bucket. Runs unconditionally (the proptest variant in
+    /// `tests/prop.rs` explores more schedules behind the feature gate).
+    #[test]
+    fn flat_table_matches_btreemap_model() {
+        use std::collections::BTreeMap;
+        // SplitMix64: tiny, seedable, no dependency.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut t: HashTable<u64, u64> = HashTable::new(64, 4);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let (mut expect_hits, mut expect_misses, mut expect_failures) = (0u64, 0u64, 0u64);
+        for _ in 0..20_000 {
+            let r = next();
+            let key = next() % 512; // dense keyspace: collisions guaranteed
+            match r % 4 {
+                0 | 1 => {
+                    let value = next();
+                    match t.insert(key, value) {
+                        Ok(()) => {
+                            model.insert(key, value);
+                        }
+                        Err(TableError::BucketFull) => {
+                            expect_failures += 1;
+                            assert!(!model.contains_key(&key), "rejected a resident key");
+                            let bucket = t.bucket_of(&key);
+                            let same_bucket =
+                                model.keys().filter(|k| t.bucket_of(k) == bucket).count();
+                            assert_eq!(same_bucket, 4, "BucketFull with a free way");
+                        }
+                    }
+                }
+                2 => {
+                    let got = t.lookup(&key);
+                    assert_eq!(got, model.get(&key).copied());
+                    if got.is_some() {
+                        expect_hits += 1;
+                    } else {
+                        expect_misses += 1;
+                    }
+                }
+                _ => {
+                    assert_eq!(t.remove(&key), model.remove(&key));
+                }
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        let s = t.stats();
+        assert_eq!(s.hits, expect_hits);
+        assert_eq!(s.misses, expect_misses);
+        assert_eq!(s.insert_failures, expect_failures);
+        // The full dump agrees with the model too.
+        let mut pairs: Vec<_> = t.iter().collect();
+        pairs.sort();
+        let reference: Vec<_> = model.into_iter().collect();
+        assert_eq!(pairs, reference);
     }
 }

@@ -42,6 +42,46 @@ proptest! {
         }
     }
 
+    /// The flat fingerprinted layout agrees with an ordered BTreeMap
+    /// model under arbitrary insert/remove/peek/clear interleavings,
+    /// and a full iteration yields exactly the model's entries. The
+    /// tiny key space forces both bucket collisions and 1-byte
+    /// fingerprint aliases, which must fall through to the full key
+    /// compare — never resolve to another key's value.
+    #[test]
+    fn flat_table_vs_btreemap_model(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), 0u8..10), 0..400),
+    ) {
+        use std::collections::BTreeMap;
+        let mut table: HashTable<u32, u16> = HashTable::new(8, 2);
+        let mut model: BTreeMap<u32, u16> = BTreeMap::new();
+        for (k, v, action) in ops {
+            let key = u32::from(k % 64);
+            match action {
+                0..=5 => match table.insert(key, v) {
+                    Ok(()) => {
+                        model.insert(key, v);
+                    }
+                    Err(TableError::BucketFull) => {
+                        prop_assert!(!model.contains_key(&key));
+                    }
+                },
+                6..=7 => prop_assert_eq!(table.remove(&key), model.remove(&key)),
+                8 => prop_assert_eq!(table.peek(&key), model.get(&key).copied()),
+                _ => {
+                    table.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+            prop_assert!(table.load_factor() <= 1.0);
+        }
+        let mut got: Vec<(u32, u16)> = table.iter().collect();
+        got.sort_unstable();
+        let want: Vec<(u32, u16)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
     /// Token bucket conformance: green bytes over any packet schedule
     /// never exceed burst + rate × elapsed.
     #[test]

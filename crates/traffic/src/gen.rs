@@ -298,6 +298,8 @@ impl TraceBuilder {
             count,
             bursts: bursts.into(),
             templates,
+            template_bytes: 0,
+            template_budget: TEMPLATE_BYTE_BUDGET,
             last_gap: (usize::MAX, 0.0),
         }
     }
@@ -307,6 +309,14 @@ impl TraceBuilder {
 /// covered (≤3 distinct lengths); wide Uniform models fall back to
 /// building frames past the cap.
 const TEMPLATES_PER_FLOW: usize = 4;
+
+/// Global cap on cached template frame bytes per stream. At city scale
+/// (256k+ flows × up to 4 IMIX templates of up to ~1.5 kB each) an
+/// unbounded per-flow cache would cost hundreds of megabytes; past this
+/// budget frames are simply built instead of memoized, which changes
+/// nothing about the output bytes (pinned by golden-digest tests) —
+/// only the amortized build cost for the coldest flows.
+const TEMPLATE_BYTE_BUDGET: usize = 8 << 20;
 
 /// Streaming counterpart of [`TraceBuilder::build`]; see
 /// [`TraceBuilder::stream`]. Yields packets sorted by arrival time.
@@ -330,6 +340,13 @@ pub struct TraceStream {
     /// always built in full. Byte-for-byte output equality with the
     /// uncached path is pinned by golden-digest tests.
     templates: Vec<Vec<(u32, Vec<u8>)>>,
+    /// Frame bytes currently held by `templates`, bounded by
+    /// `template_budget`.
+    template_bytes: usize,
+    /// The stream's cap on cached template bytes
+    /// ([`TEMPLATE_BYTE_BUDGET`]; tests shrink it to cover the
+    /// budget-exhausted path cheaply).
+    template_budget: usize,
     /// One-entry memo of `rate.gap_ns(len, utilization)` keyed on frame
     /// length — the gap is a pure function of length for a fixed stream.
     last_gap: (usize, f64),
@@ -340,6 +357,13 @@ impl TraceStream {
     /// [`TraceBuilder::stream_pooled`]).
     pub fn arena(&self) -> &PacketArena {
         &self.arena
+    }
+
+    /// Shrink the template byte budget so tests can exercise the
+    /// budget-exhausted path without generating megabytes of flows.
+    #[cfg(test)]
+    fn set_template_budget(&mut self, bytes: usize) {
+        self.template_budget = bytes;
     }
 }
 
@@ -381,7 +405,10 @@ impl Iterator for TraceStream {
             frame.extend_from_slice(t);
         } else {
             TraceBuilder::build_frame_into(flow, len, self.next_seq as u32, &mut frame);
-            if slot.len() < TEMPLATES_PER_FLOW {
+            if slot.len() < TEMPLATES_PER_FLOW
+                && self.template_bytes + frame.len() <= self.template_budget
+            {
+                self.template_bytes += frame.len();
                 slot.push((len as u32, frame.clone()));
             }
         }
@@ -438,6 +465,23 @@ mod tests {
         }
         let c = TraceBuilder::new(43).build(200);
         assert!(a.iter().zip(&c).any(|(x, y)| x.frame != y.frame));
+    }
+
+    #[test]
+    fn template_budget_does_not_change_output() {
+        // Starve the template cache: every frame takes the build path
+        // instead of the memcpy path, and the bytes must not change.
+        let builder = TraceBuilder::new(42).flows(16).tcp_share(0.25);
+        let cached: Vec<_> = builder.stream(600).collect();
+        let mut starved_stream = builder.stream(600);
+        starved_stream.set_template_budget(0);
+        let starved: Vec<_> = starved_stream.by_ref().collect();
+        assert_eq!(starved_stream.template_bytes, 0);
+        assert_eq!(cached.len(), starved.len());
+        for (x, y) in cached.iter().zip(&starved) {
+            assert_eq!(x.arrival_ns, y.arrival_ns);
+            assert_eq!(x.frame, y.frame);
+        }
     }
 
     #[test]
