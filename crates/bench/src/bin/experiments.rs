@@ -17,6 +17,7 @@
 //!   perf       baseline — simulator throughput (writes BENCH_throughput.json)
 //!   slo        gate     — windowed SLO check on the §5.1 NAT workload
 //!   soak       gate     — city-scale diurnal soak (writes BENCH_soak.json)
+//!   rack       gate     — two-ToR crossbar rack workload (writes BENCH_rack.json)
 //!   all        everything above in order
 //! ```
 //!
@@ -46,10 +47,16 @@
 //! SLO windows breach or the lifetime cache floor is missed. `--quick`
 //! shrinks the packet budget (500 k instead of 2 M) but never the flow
 //! population; `--shards N` sets the verified shard count.
+//!
+//! `rack` runs the two-ToR crosspoint-queued crossbar rack under lossy
+//! access links, asserts exact per-copy packet conservation, writes
+//! `BENCH_rack.json`, and exits nonzero when the queue-latency SLO
+//! gate breaches or telemetry is missing. `--quick` shrinks the packet
+//! budget (25 k instead of 100 k), never the topology.
 
 use flexsfp_bench::{
-    ablations, fig1, fig2, latency, linerate, perf, power, scaling, slo, soak, table1, table2,
-    table3,
+    ablations, fig1, fig2, latency, linerate, perf, power, rack, scaling, slo, soak, table1,
+    table2, table3,
 };
 use flexsfp_obs::SloSpec;
 
@@ -114,6 +121,7 @@ fn main() {
         "perf",
         "slo",
         "soak",
+        "rack",
         "all",
     ];
     if !known.contains(&cmd) {
@@ -252,6 +260,24 @@ fn main() {
             let text = flexsfp_obs::ToJson::to_json(&r).to_string_pretty();
             std::fs::write("BENCH_soak.json", format!("{text}\n")).expect("write BENCH_soak.json");
             println!("wrote BENCH_soak.json");
+            if json {
+                println!("{text}");
+            }
+            if !r.healthy {
+                exit_code = 1;
+            }
+        }
+        "rack" => {
+            let packets = if quick {
+                rack::QUICK_PACKETS
+            } else {
+                rack::FULL_PACKETS
+            };
+            let r = rack::run(packets);
+            println!("{}", rack::render(&r));
+            let text = flexsfp_obs::ToJson::to_json(&r).to_string_pretty();
+            std::fs::write("BENCH_rack.json", format!("{text}\n")).expect("write BENCH_rack.json");
+            println!("wrote BENCH_rack.json");
             if json {
                 println!("{text}");
             }

@@ -18,6 +18,7 @@
 //! | §6 latency vs placement | [`latency`] | `latency` |
 //! | simulator throughput baseline | [`perf`] | `perf` |
 //! | city-soak SLO workload | [`soak`] | `soak` |
+//! | rack-scale crossbar workload | [`rack`] | `rack` |
 //!
 //! Each module exposes a `run()` returning a serde-serializable report
 //! and a `render()` producing the human-readable table with the same
@@ -39,6 +40,7 @@ pub mod linerate;
 pub mod par;
 pub mod perf;
 pub mod power;
+pub mod rack;
 pub mod render;
 pub mod scaling;
 pub mod shard;

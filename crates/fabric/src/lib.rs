@@ -16,6 +16,9 @@
 //! * [`hash`] — the hardware hash primitives (CRC-32 and Toeplitz);
 //! * [`ring`] — bounded SPSC rings, the shard-fabric packet conduits;
 //! * [`serdes`] — transceiver + 64b/66b PCS model and line-rate math;
+//! * [`xbar`] — the crosspoint-queued crossbar matrix behind the
+//!   rack-scale fabric (per-(input,output) bounded FIFOs, round-robin
+//!   output arbitration);
 //! * [`flash`] — the slotted SPI flash storing multiple bitstreams;
 //! * [`jtag`] — the prototyping-phase programming path;
 //! * [`i2c`] — SFF-8472 digital optical monitoring registers;
@@ -36,6 +39,7 @@ pub mod ring;
 pub mod serdes;
 pub mod sram;
 pub mod stream;
+pub mod xbar;
 
 pub use clock::ClockDomain;
 pub use fifo::Fifo;
@@ -44,3 +48,4 @@ pub use power::PowerModel;
 pub use resources::{Device, FitReport, ResourceManifest};
 pub use serdes::Transceiver;
 pub use stream::{BusWord, DatapathConfig};
+pub use xbar::{CrosspointMatrix, XbarTotals};

@@ -16,7 +16,7 @@ use crate::chaos::ImpairStats;
 use crate::mgmt::{MgmtError, TransportStats};
 use flexsfp_obs::{
     DataplaneEvent, LatencyHistogram, PromText, SloReport, SloSpec, TelemetrySnapshot, ToJson,
-    Value, WindowBucket, WindowedSeries,
+    Value, WindowBucket, WindowedSeries, XbarTelemetry,
 };
 use std::collections::BTreeMap;
 
@@ -51,6 +51,8 @@ pub struct FleetCollector {
     /// Fleet SLO spec; when set, `flexsfp_slo_*` families are rendered
     /// from each module's windowed series.
     slo: Option<SloSpec>,
+    /// Per-switch crossbar telemetry, when a rack fabric reports.
+    xbars: BTreeMap<String, XbarTelemetry>,
 }
 
 impl FleetCollector {
@@ -138,6 +140,19 @@ impl FleetCollector {
     /// [`ImpairedPort::stats`](crate::chaos::ImpairedPort::stats)) for export.
     pub fn set_channel_stats(&mut self, module_id: &str, stats: ImpairStats) {
         self.channels.insert(module_id.to_string(), stats);
+    }
+
+    /// Record one crossbar switch's fabric telemetry (from
+    /// [`CrossbarSwitch::telemetry`](crate::CrossbarSwitch::telemetry))
+    /// for export as the `flexsfp_xbar_*` family. Snapshots carry
+    /// lifetime counters, so a fresh one replaces the stored one.
+    pub fn set_xbar_stats(&mut self, switch_id: &str, telemetry: XbarTelemetry) {
+        self.xbars.insert(switch_id.to_string(), telemetry);
+    }
+
+    /// Latest crossbar telemetry for one switch, if it has reported.
+    pub fn xbar(&self, switch_id: &str) -> Option<&XbarTelemetry> {
+        self.xbars.get(switch_id)
     }
 
     /// Set (or replace) the fleet SLO spec. Subsequent renders include
@@ -724,6 +739,110 @@ impl FleetCollector {
             }
         }
 
+        // The crossbar fabric, when a rack switch reports: aggregate
+        // geometry and flow, per-output arbitration, and the sparse
+        // per-crosspoint queue detail.
+        if !self.xbars.is_empty() {
+            for (name, help, kind, get) in [
+                (
+                    "flexsfp_xbar_ports",
+                    "Crossbar port count (the matrix is square).",
+                    "gauge",
+                    (|x: &XbarTelemetry| x.ports) as fn(&XbarTelemetry) -> u64,
+                ),
+                (
+                    "flexsfp_xbar_depth",
+                    "Slots per crosspoint queue.",
+                    "gauge",
+                    |x| x.depth,
+                ),
+                (
+                    "flexsfp_xbar_enqueued_total",
+                    "Frames accepted into crosspoint queues.",
+                    "counter",
+                    |x| x.enqueued,
+                ),
+                (
+                    "flexsfp_xbar_granted_total",
+                    "Frames granted by output arbitration.",
+                    "counter",
+                    |x| x.granted,
+                ),
+                (
+                    "flexsfp_xbar_dropped_total",
+                    "Frames rejected on a full crosspoint queue.",
+                    "counter",
+                    |x| x.dropped,
+                ),
+                (
+                    "flexsfp_xbar_queued",
+                    "Frames currently parked in crosspoint queues.",
+                    "gauge",
+                    |x| x.queued(),
+                ),
+                (
+                    "flexsfp_xbar_depth_high_water",
+                    "Deepest occupancy any crosspoint ever reached.",
+                    "gauge",
+                    |x| x.high_water,
+                ),
+            ] {
+                p.header(name, help, kind);
+                for (id, x) in &self.xbars {
+                    p.sample(name, &[("switch", id)], get(x) as f64);
+                }
+            }
+            p.header(
+                "flexsfp_xbar_output_grants_total",
+                "Arbitration grants issued, by switch and output port.",
+                "counter",
+            );
+            for (id, x) in &self.xbars {
+                for (output, n) in x.output_grants.iter().enumerate() {
+                    let output = output.to_string();
+                    p.sample(
+                        "flexsfp_xbar_output_grants_total",
+                        &[("switch", id), ("output", &output)],
+                        *n as f64,
+                    );
+                }
+            }
+            for (name, help, kind, get) in [
+                (
+                    "flexsfp_xbar_crosspoint_enqueued_total",
+                    "Frames accepted, by switch and crosspoint (sparse).",
+                    "counter",
+                    (|c: &flexsfp_obs::CrosspointCounters| c.enqueued)
+                        as fn(&flexsfp_obs::CrosspointCounters) -> u64,
+                ),
+                (
+                    "flexsfp_xbar_crosspoint_dropped_total",
+                    "Frames rejected on a full queue, by switch and crosspoint (sparse).",
+                    "counter",
+                    |c| c.dropped,
+                ),
+                (
+                    "flexsfp_xbar_crosspoint_high_water",
+                    "Deepest queue occupancy, by switch and crosspoint (sparse).",
+                    "gauge",
+                    |c| c.high_water,
+                ),
+            ] {
+                p.header(name, help, kind);
+                for (id, x) in &self.xbars {
+                    for c in &x.crosspoints {
+                        let input = c.input.to_string();
+                        let output = c.output.to_string();
+                        p.sample(
+                            name,
+                            &[("switch", id), ("input", &input), ("output", &output)],
+                            get(c) as f64,
+                        );
+                    }
+                }
+            }
+        }
+
         p.header(
             "flexsfp_scrape_failures_total",
             "Sweep entries that failed to scrape (module unreachable).",
@@ -1086,6 +1205,52 @@ mod tests {
         assert!(text.contains("flexsfp_fleet_latency_ns_count 0\n"));
         assert!(text.contains("flexsfp_scrape_failures_total 0\n"));
         assert_eq!(c.to_json(), "{}");
+    }
+
+    #[test]
+    fn xbar_family_renders_per_crosspoint_detail() {
+        use crate::crossbar::CrossbarSwitch;
+        use flexsfp_wire::builder::PacketBuilder;
+        use flexsfp_wire::MacAddr;
+
+        let mut sw = CrossbarSwitch::new(4, 2);
+        let a = MacAddr([0xa; 6]);
+        let b = MacAddr([0xc; 6]);
+        let frame =
+            |dst, src| PacketBuilder::eth_ipv4_udp(dst, src, 0xc0a80001, 0xc0a80002, 9, 80, b"x");
+        sw.insert_flexsfp(0, FlexSfp::passthrough());
+        sw.inject(1, frame(a, b), 0);
+        sw.drain();
+        // Burst into the depth-2 crosspoint (0 → 1): overflows counted.
+        for _ in 0..6 {
+            sw.inject(0, frame(b, a), 1_000_000);
+        }
+        sw.drain();
+
+        let mut c = FleetCollector::new();
+        c.ingest_all(sw.module_snapshots());
+        c.set_xbar_stats("tor0", sw.telemetry());
+        assert_eq!(c.xbar("tor0").unwrap().dropped, 3);
+
+        let text = c.render_prometheus();
+        assert!(
+            text.contains("flexsfp_xbar_ports{switch=\"tor0\"} 4\n"),
+            "{text}"
+        );
+        assert!(text.contains("flexsfp_xbar_depth{switch=\"tor0\"} 2\n"));
+        assert!(text.contains("flexsfp_xbar_dropped_total{switch=\"tor0\"} 3\n"));
+        assert!(text.contains(
+            "flexsfp_xbar_crosspoint_dropped_total{switch=\"tor0\",input=\"0\",output=\"1\"} 3\n"
+        ));
+        assert!(text.contains(
+            "flexsfp_xbar_crosspoint_high_water{switch=\"tor0\",input=\"0\",output=\"1\"} 2\n"
+        ));
+        assert!(text.contains("flexsfp_xbar_output_grants_total{switch=\"tor0\",output=\"1\"} "));
+        // The cage module's ordinary snapshot rides the same collector.
+        assert_eq!(c.len(), 1);
+        // Without any xbar report the family is absent entirely.
+        let plain = FleetCollector::new().render_prometheus();
+        assert!(!plain.contains("flexsfp_xbar_"));
     }
 
     #[test]

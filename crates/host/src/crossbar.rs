@@ -1,0 +1,494 @@
+//! The rack-scale crosspoint-queued crossbar switch (ROADMAP item 2).
+//!
+//! [`LegacySwitch`](crate::LegacySwitch) models the §2.1 retrofit: an
+//! instant, zero-queue ASIC with a FlexSFP cage per port. A rack-scale
+//! ToR cannot be instant — 47 access ports converging on one uplink
+//! *queue*, and where there are queues there is loss and latency. This
+//! module scales the same cage pipeline up onto a FlexCross-style
+//! crosspoint-queued crossbar (see PAPERS.md): every (input, output)
+//! pair owns a bounded FIFO from [`flexsfp_fabric::xbar`], each output
+//! port arbitrates round-robin over its column (so one congested
+//! output never head-of-line-blocks traffic toward another), and each
+//! granted frame serializes onto the wire at 10G line rate.
+//!
+//! Accounting is exact, per copy: the [`SwitchStats`] conservation
+//! identity of the legacy bridge extends with two crossbar terms —
+//! frames dropped on a full crosspoint and frames still queued — and
+//! [`CrossbarStats::conserved`] checks it. Queue-induced latency
+//! (enqueue → grant) feeds a [`LatencyHistogram`] so the rack workload
+//! can gate on p99.9; per-crosspoint depth/drop/arbitration counters
+//! export as [`XbarTelemetry`] for the `flexsfp_xbar_*` Prometheus
+//! family.
+
+use crate::cage::{through_cage, Cage};
+use crate::switch::SwitchStats;
+use flexsfp_core::module::FlexSfp;
+use flexsfp_fabric::xbar::CrosspointMatrix;
+use flexsfp_obs::{CrosspointCounters, LatencyHistogram, TelemetrySnapshot, XbarTelemetry};
+use flexsfp_ppe::Direction;
+use flexsfp_wire::{EthernetFrame, MacAddr};
+use std::collections::HashMap;
+
+/// Port line rate, bits per nanosecond (10 Gb/s).
+pub const LINE_RATE_BITS_PER_NS: u64 = 10;
+
+/// Per-frame wire overhead: preamble + SFD + minimum inter-frame gap.
+pub const FRAME_OVERHEAD_BYTES: u64 = 20;
+
+/// Wire time of one frame at port line rate, ns.
+pub fn serialize_ns(frame_len: usize) -> u64 {
+    ((frame_len as u64 + FRAME_OVERHEAD_BYTES) * 8).div_ceil(LINE_RATE_BITS_PER_NS)
+}
+
+/// A frame parked in a crosspoint queue.
+#[derive(Debug, Clone)]
+struct QueuedFrame {
+    frame: Vec<u8>,
+    enqueue_ns: u64,
+}
+
+/// One frame leaving a port, stamped with its wire-departure time (the
+/// instant serialization completes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedDelivery {
+    /// Egress port.
+    pub port: usize,
+    /// The frame as it leaves the port (after any module processing).
+    pub frame: Vec<u8>,
+    /// Completion of serialization onto the egress wire, ns.
+    pub departure_ns: u64,
+}
+
+/// Crossbar statistics: the bridge counters plus the two queue terms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossbarStats {
+    /// The shared bridge pipeline counters.
+    pub sw: SwitchStats,
+    /// Frames rejected on a full crosspoint queue.
+    pub crosspoint_dropped: u64,
+    /// Frames currently parked in crosspoint queues (drain to zero).
+    pub queued: u64,
+}
+
+impl CrossbarStats {
+    /// The conservation identity with the crossbar terms: every source
+    /// frame is delivered, dropped, diverted, filtered, absorbed,
+    /// crosspoint-dropped — or still sitting in a queue.
+    pub fn conserved(&self) -> bool {
+        self.sw.sources() == self.sw.sinks() + self.crosspoint_dropped + self.queued
+    }
+}
+
+/// An N-port crosspoint-queued crossbar whose SFP cages accept FlexSFP
+/// modules, exactly as the legacy switch's do.
+pub struct CrossbarSwitch {
+    cages: Vec<Cage>,
+    mac_table: HashMap<MacAddr, usize>,
+    matrix: CrosspointMatrix<QueuedFrame>,
+    /// Per-output: the time the port finishes its current transmission.
+    out_free_ns: Vec<u64>,
+    stats: SwitchStats,
+    crosspoint_dropped: u64,
+    queue_latency: LatencyHistogram,
+    time_ns: u64,
+}
+
+impl CrossbarSwitch {
+    /// A crossbar with `ports` ports and `depth` slots per crosspoint,
+    /// all cages holding standard SFPs.
+    pub fn new(ports: usize, depth: usize) -> CrossbarSwitch {
+        CrossbarSwitch {
+            cages: (0..ports).map(|_| Cage::StandardSfp).collect(),
+            mac_table: HashMap::new(),
+            matrix: CrosspointMatrix::new(ports, depth),
+            out_free_ns: vec![0; ports],
+            stats: SwitchStats::default(),
+            crosspoint_dropped: 0,
+            queue_latency: LatencyHistogram::new(),
+            time_ns: 0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.cages.len()
+    }
+
+    /// Swap the SFP in `port` for a FlexSFP — the drop-in upgrade.
+    pub fn insert_flexsfp(&mut self, port: usize, module: FlexSfp) {
+        self.cages[port] = Cage::FlexSfp(Box::new(module));
+    }
+
+    /// Revert `port` to a standard SFP.
+    pub fn remove_flexsfp(&mut self, port: usize) -> Option<FlexSfp> {
+        match std::mem::replace(&mut self.cages[port], Cage::StandardSfp) {
+            Cage::FlexSfp(m) => Some(*m),
+            Cage::StandardSfp => None,
+        }
+    }
+
+    /// Access the module in `port`, if any (for management via the OOB
+    /// path).
+    pub fn module_mut(&mut self, port: usize) -> Option<&mut FlexSfp> {
+        self.cages[port].module_mut()
+    }
+
+    /// Learned MAC table size.
+    pub fn learned(&self) -> usize {
+        self.mac_table.len()
+    }
+
+    /// Statistics snapshot, including the current queue occupancy.
+    pub fn stats(&self) -> CrossbarStats {
+        CrossbarStats {
+            sw: self.stats,
+            crosspoint_dropped: self.crosspoint_dropped,
+            queued: self.matrix.occupancy() as u64,
+        }
+    }
+
+    /// Queue-induced latency distribution (enqueue → arbitration
+    /// grant), the figure the rack SLO gates on.
+    pub fn queue_latency(&self) -> &LatencyHistogram {
+        &self.queue_latency
+    }
+
+    /// Offer a frame arriving from the wire on `port` at `t_ns`, then
+    /// service every output up to that instant. Injection times must be
+    /// globally non-decreasing — the service model (and each cage's
+    /// stream clock) advances with them.
+    pub fn inject(&mut self, port: usize, frame: Vec<u8>, t_ns: u64) -> Vec<TimedDelivery> {
+        assert!(port < self.cages.len(), "no such port");
+        self.time_ns = self.time_ns.max(t_ns);
+        self.stats.received += 1;
+        // Ingress: wire → module (optical side faces the wire) → fabric.
+        let pass = through_cage(&mut self.cages[port], frame, Direction::OpticalToEdge, t_ns);
+        self.stats.absorb_pass(&pass);
+        for frame in pass.matched {
+            self.enqueue(port, frame, t_ns);
+        }
+        self.service(self.time_ns)
+    }
+
+    /// The bridge half: validate, learn, pick egress ports, park each
+    /// copy in its crosspoint queue.
+    fn enqueue(&mut self, port: usize, frame: Vec<u8>, t_ns: u64) {
+        let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        let src = eth.src();
+        if src.is_unicast() {
+            self.mac_table.insert(src, port);
+        }
+        let dst = eth.dst();
+        let egress_ports: Vec<usize> = match self.mac_table.get(&dst) {
+            Some(&p) if p != port => vec![p],
+            Some(_) => Vec::new(), // destination is on the ingress port
+            None => {
+                self.stats.flooded += 1;
+                (0..self.cages.len()).filter(|&p| p != port).collect()
+            }
+        };
+        if egress_ports.is_empty() {
+            self.stats.filtered_hairpin += 1;
+            return;
+        }
+        self.stats.flood_copies += egress_ports.len() as u64 - 1;
+        let last = egress_ports.len();
+        let mut frame = frame;
+        for (i, p) in egress_ports.into_iter().enumerate() {
+            let copy = if i + 1 == last {
+                std::mem::take(&mut frame)
+            } else {
+                frame.clone()
+            };
+            let queued = QueuedFrame {
+                frame: copy,
+                enqueue_ns: t_ns,
+            };
+            if self.matrix.offer(port, p, queued).is_err() {
+                self.crosspoint_dropped += 1;
+            }
+        }
+    }
+
+    /// Service every output port up to `now`: while a port is idle and
+    /// its column holds frames, grant round-robin, serialize at line
+    /// rate, and run the granted frame through the egress cage.
+    fn service(&mut self, now: u64) -> Vec<TimedDelivery> {
+        let mut out = Vec::new();
+        for p in 0..self.cages.len() {
+            while self.out_free_ns[p] <= now {
+                let Some((_input, q)) = self.matrix.arbitrate(p) else {
+                    break;
+                };
+                self.transmit(p, q, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Drain every remaining queued frame regardless of the clock (end
+    /// of run). Afterwards `stats().queued` is zero and the
+    /// conservation identity closes without an in-flight term.
+    pub fn drain(&mut self) -> Vec<TimedDelivery> {
+        let mut out = Vec::new();
+        for p in 0..self.cages.len() {
+            while let Some((_input, q)) = self.matrix.arbitrate(p) {
+                self.transmit(p, q, &mut out);
+            }
+        }
+        out.sort_by_key(|d| d.departure_ns);
+        out
+    }
+
+    /// Grant one frame onto output `p`: record queue latency, advance
+    /// the port clock and run the egress cage at the grant instant.
+    fn transmit(&mut self, p: usize, q: QueuedFrame, out: &mut Vec<TimedDelivery>) {
+        let grant_ns = self.out_free_ns[p].max(q.enqueue_ns);
+        self.queue_latency.record(grant_ns - q.enqueue_ns);
+        let done_ns = grant_ns + serialize_ns(q.frame.len());
+        self.out_free_ns[p] = done_ns;
+        // Egress: fabric → module (edge side faces the fabric) → wire.
+        let pass = through_cage(
+            &mut self.cages[p],
+            q.frame,
+            Direction::EdgeToOptical,
+            grant_ns,
+        );
+        self.stats.absorb_pass(&pass);
+        for f in pass.matched {
+            self.stats.delivered += 1;
+            out.push(TimedDelivery {
+                port: p,
+                frame: f,
+                departure_ns: done_ns,
+            });
+        }
+    }
+
+    /// Switch-level crossbar telemetry: geometry, aggregates,
+    /// per-output grants and the sparse per-crosspoint counters.
+    pub fn telemetry(&self) -> XbarTelemetry {
+        let ports = self.cages.len();
+        let totals = self.matrix.totals();
+        let mut crosspoints = Vec::new();
+        for input in 0..ports {
+            for output in 0..ports {
+                let s = self.matrix.crosspoint_stats(input, output);
+                if s.pushed == 0 && s.overflows == 0 {
+                    continue;
+                }
+                crosspoints.push(CrosspointCounters {
+                    input: input as u64,
+                    output: output as u64,
+                    enqueued: s.pushed,
+                    granted: s.popped,
+                    dropped: s.overflows,
+                    high_water: s.high_water as u64,
+                });
+            }
+        }
+        XbarTelemetry {
+            ports: ports as u64,
+            depth: self.matrix.depth() as u64,
+            enqueued: totals.enqueued,
+            granted: totals.granted,
+            dropped: totals.dropped,
+            high_water: totals.high_water as u64,
+            output_grants: (0..ports).map(|p| self.matrix.grants(p)).collect(),
+            crosspoints,
+        }
+    }
+
+    /// Telemetry snapshots of every FlexSFP in a cage, for collector
+    /// ingestion next to the switch-level [`XbarTelemetry`].
+    pub fn module_snapshots(&mut self) -> Vec<TelemetrySnapshot> {
+        self.cages
+            .iter_mut()
+            .filter_map(|c| c.module_mut().map(|m| m.telemetry_snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfp_apps::{AclAction, AclFirewall, AclRule};
+    use flexsfp_core::module::ModuleConfig;
+    use flexsfp_ppe::Direction as Dir;
+    use flexsfp_wire::builder::PacketBuilder;
+
+    const HOST_A: MacAddr = MacAddr([0xa; 6]);
+    const HOST_B: MacAddr = MacAddr([0xc; 6]);
+    const HOST_C: MacAddr = MacAddr([0xe; 6]);
+
+    fn frame(dst: MacAddr, src: MacAddr, dport: u16) -> Vec<u8> {
+        PacketBuilder::eth_ipv4_udp(dst, src, 0xc0a80001, 0xc0a80002, 999, dport, b"data")
+    }
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr([0x02, 0, 0, 0, 0, i])
+    }
+
+    #[test]
+    fn learning_and_unicast_forwarding() {
+        let mut sw = CrossbarSwitch::new(4, 32);
+        let mut out = sw.inject(0, frame(HOST_B, HOST_A, 80), 0);
+        out.extend(sw.drain());
+        assert_eq!(out.len(), 3); // flooded to 1,2,3
+        assert_eq!(sw.learned(), 1);
+        let mut out = sw.inject(2, frame(HOST_A, HOST_B, 80), 10_000);
+        out.extend(sw.drain());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 0);
+        let mut out = sw.inject(0, frame(HOST_B, HOST_A, 80), 20_000);
+        out.extend(sw.drain());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, 2);
+        let s = sw.stats();
+        assert_eq!(s.sw.flooded, 1);
+        assert_eq!(s.sw.flood_copies, 2);
+        assert_eq!(s.sw.delivered, 5);
+        assert_eq!(s.queued, 0);
+        assert!(s.conserved(), "{s:?}");
+    }
+
+    #[test]
+    fn serialization_spaces_departures_at_line_rate() {
+        let mut sw = CrossbarSwitch::new(2, 64);
+        sw.inject(0, frame(HOST_B, HOST_A, 80), 0);
+        sw.inject(1, frame(HOST_A, HOST_B, 80), 1_000_000);
+        // Two frames for port 1, back to back at the same instant: the
+        // second must wait out the first's wire time.
+        let f = frame(HOST_B, HOST_A, 80);
+        let wire_ns = serialize_ns(f.len());
+        let mut out = sw.inject(0, f.clone(), 2_000_000);
+        out.extend(sw.inject(0, f, 2_000_000));
+        out.extend(sw.drain());
+        let times: Vec<u64> = out.iter().map(|d| d.departure_ns).collect();
+        assert_eq!(times.len(), 2);
+        assert_eq!(times[1] - times[0], wire_ns);
+        // The first left one wire-time after its grant.
+        assert_eq!(times[0], 2_000_000 + wire_ns);
+    }
+
+    #[test]
+    fn congested_output_does_not_block_another() {
+        let mut sw = CrossbarSwitch::new(4, 256);
+        // Learn B@1 and C@2.
+        sw.inject(1, frame(HOST_A, HOST_B, 80), 0);
+        sw.inject(2, frame(HOST_A, HOST_C, 80), 1);
+        sw.drain();
+        let t0 = 1_000_000;
+        // Input 0 bursts 64 frames toward B (output 1) at one instant —
+        // a deep queue — then one frame toward C (output 2).
+        for _ in 0..64 {
+            sw.inject(0, frame(HOST_B, HOST_A, 80), t0);
+        }
+        let out = sw.inject(0, frame(HOST_C, HOST_A, 80), t0);
+        // The frame to C departs after exactly one wire time: the
+        // congested column toward B never touched it.
+        let to_c: Vec<&TimedDelivery> = out.iter().filter(|d| d.port == 2).collect();
+        assert_eq!(to_c.len(), 1);
+        let f_len = frame(HOST_C, HOST_A, 80).len();
+        assert_eq!(to_c[0].departure_ns, t0 + serialize_ns(f_len));
+        sw.drain();
+        let s = sw.stats();
+        assert!(s.conserved(), "{s:?}");
+    }
+
+    #[test]
+    fn crosspoint_overflow_is_counted_and_conserved() {
+        let mut sw = CrossbarSwitch::new(2, 4);
+        sw.inject(1, frame(HOST_A, HOST_B, 80), 0);
+        sw.drain();
+        // A burst at one instant toward port 1: the port grants one
+        // frame immediately, four park in the crosspoint, the rest
+        // overflow.
+        let t0 = 1_000_000;
+        for _ in 0..9 {
+            sw.inject(0, frame(HOST_B, HOST_A, 80), t0);
+        }
+        sw.drain();
+        let s = sw.stats();
+        assert_eq!(s.crosspoint_dropped, 4);
+        assert_eq!(s.sw.delivered, 1 + 5);
+        assert_eq!(s.queued, 0);
+        assert!(s.conserved(), "{s:?}");
+        let t = sw.telemetry();
+        assert_eq!(t.dropped, 4);
+        let xp: Vec<_> = t
+            .crosspoints
+            .iter()
+            .filter(|c| c.input == 0 && c.output == 1)
+            .collect();
+        assert_eq!(xp.len(), 1);
+        assert_eq!(xp[0].dropped, 4);
+        assert_eq!(xp[0].high_water, 4);
+        // Queue latency was recorded for the parked frames.
+        assert!(sw.queue_latency().count() >= 5);
+        assert!(sw.queue_latency().p999() > 0);
+    }
+
+    #[test]
+    fn cage_module_drops_fold_into_crossbar_stats() {
+        let mut sw = CrossbarSwitch::new(2, 32);
+        sw.inject(0, frame(HOST_B, HOST_A, 80), 0);
+        sw.inject(1, frame(HOST_A, HOST_B, 80), 1_000);
+        sw.drain();
+        let mut fw = AclFirewall::new(16);
+        fw.screen_direction = Some(Dir::OpticalToEdge);
+        fw.add_rule(AclRule {
+            src: None,
+            dst: None,
+            protocol: Some(17),
+            src_port: None,
+            dst_port: Some(53),
+            priority: 1,
+            action: AclAction::Deny,
+        });
+        let cfg = ModuleConfig {
+            shell: flexsfp_core::ShellKind::OneWayFilter {
+                ppe_direction: Dir::OpticalToEdge,
+            },
+            ..ModuleConfig::default()
+        };
+        sw.insert_flexsfp(0, FlexSfp::new(cfg, Box::new(fw)));
+        let out = sw.inject(0, frame(HOST_B, HOST_A, 53), 2_000_000);
+        assert!(out.is_empty());
+        sw.drain();
+        let s = sw.stats();
+        assert_eq!(s.sw.dropped_by_modules, 1);
+        assert!(s.conserved(), "{s:?}");
+        // The cage module reports through the ordinary snapshot sweep.
+        let snaps = sw.module_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].drops.app, 1);
+    }
+
+    #[test]
+    fn telemetry_is_sparse_over_touched_crosspoints() {
+        let mut sw = CrossbarSwitch::new(8, 16);
+        for i in 0..4u8 {
+            sw.inject(
+                usize::from(i),
+                frame(mac(100), mac(i), 80),
+                u64::from(i) * 10_000,
+            );
+        }
+        sw.drain();
+        let t = sw.telemetry();
+        assert_eq!(t.ports, 8);
+        assert_eq!(t.depth, 16);
+        // 4 floods × 7 egress ports = 28 touched crosspoints, far
+        // fewer than the 64 in the matrix.
+        assert_eq!(t.crosspoints.len(), 28);
+        assert_eq!(t.enqueued, 28);
+        assert_eq!(t.granted, 28);
+        assert_eq!(t.queued(), 0);
+        assert_eq!(t.output_grants.len(), 8);
+        assert_eq!(t.output_grants.iter().sum::<u64>(), 28);
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`switch`] — the §2.1 retrofit scenario: a fixed-function legacy
 //!   L2 switch whose SFP cages accept FlexSFPs, turning every port into
 //!   a programmable enforcement point;
+//! * [`crossbar`] — the rack-scale crosspoint-queued crossbar ToR: the
+//!   same cage pipeline on a FlexCross-style fabric with per-crosspoint
+//!   FIFOs, round-robin output arbitration, line-rate serialization and
+//!   an exact per-copy conservation identity;
 //! * [`nic`] — the Thunderbolt 10 G NIC of the §5 power testbed;
 //! * [`testbed`] — the power-measurement experiment itself;
 //! * [`fleet`] — orchestration across many modules: parallel rolling
@@ -23,8 +27,10 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+mod cage;
 pub mod chaos;
 pub mod collector;
+pub mod crossbar;
 pub mod fleet;
 pub mod link;
 pub mod mgmt;
@@ -35,9 +41,10 @@ pub mod testbed;
 pub use baselines::ProcessingPath;
 pub use chaos::{FaultPlan, ImpairStats, ImpairedPort, LinkChaosStats, LossyLink};
 pub use collector::FleetCollector;
+pub use crossbar::{CrossbarStats, CrossbarSwitch, TimedDelivery};
 pub use fleet::FleetManager;
 pub use link::FiberLink;
 pub use mgmt::ManagementClient;
 pub use nic::HostNic;
-pub use switch::LegacySwitch;
+pub use switch::{Delivery, LegacySwitch, SwitchStats};
 pub use testbed::PowerTestbed;

@@ -7,19 +7,19 @@
 //! is a per-port bump-in-the-wire exactly as the paper describes:
 //! "each port becomes a programmable enforcement point … without any
 //! modification to the chassis or switch OS".
+//!
+//! Frame accounting is exact: every frame the switch receives — plus
+//! every copy created by flooding or by a duplicating module — ends in
+//! exactly one counted fate, and [`SwitchStats::conserved`] checks the
+//! identity. The rack-scale [`CrossbarSwitch`](crate::CrossbarSwitch)
+//! inherits the same pipeline (and the same identity) with crosspoint
+//! queues in place of the instant ASIC.
 
-use flexsfp_core::module::{FlexSfp, Interface, SimPacket};
+use crate::cage::{through_cage, Cage, ModulePass};
+use flexsfp_core::module::FlexSfp;
 use flexsfp_ppe::Direction;
 use flexsfp_wire::{EthernetFrame, MacAddr};
 use std::collections::HashMap;
-
-/// What a port forwards through.
-enum Cage {
-    /// A plain fixed-function SFP: transparent.
-    StandardSfp,
-    /// A FlexSFP module.
-    FlexSfp(Box<FlexSfp>),
-}
 
 /// One delivered frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,16 +31,78 @@ pub struct Delivery {
 }
 
 /// Per-switch statistics.
+///
+/// The counters split into *sources* (frames entering the pipeline:
+/// received from the wire, copies created by flooding, copies created
+/// by modules) and *sinks* (final fates: delivered, dropped, diverted,
+/// filtered, absorbed). [`conserved`](Self::conserved) asserts the two
+/// balance — the switch cannot leak a frame without the identity
+/// breaking.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwitchStats {
     /// Frames received across all ports.
     pub received: u64,
     /// Frames flooded (unknown destination).
     pub flooded: u64,
-    /// Frames dropped by port modules.
+    /// Extra copies created by flooding (fanout − 1 per flooded frame).
+    pub flood_copies: u64,
+    /// Extra copies created by modules (mirror outputs, control-plane
+    /// replies emitted next to a diverted request).
+    pub module_copies: u64,
+    /// Frames dropped by port modules, folded from each module's own
+    /// per-run [`DropStats`](flexsfp_core::module::DropStats) — app
+    /// verdicts, FIFO overflow and parse errors alike.
     pub dropped_by_modules: u64,
+    /// Module outputs that emerged on the unexpected interface
+    /// (reflected back instead of passing through).
+    pub diverted_by_modules: u64,
+    /// Frames diverted to a module's control plane.
+    pub to_control: u64,
+    /// Frames consumed by a module with no other accounted fate (e.g.
+    /// a control exchange that produced no reply).
+    pub absorbed_by_modules: u64,
+    /// Frames that failed Ethernet validation after the ingress cage.
+    pub dropped_malformed: u64,
+    /// Frames filtered because the destination sat on the ingress port
+    /// (or the flood fanout was empty).
+    pub filtered_hairpin: u64,
     /// Frames delivered out of ports.
     pub delivered: u64,
+}
+
+impl SwitchStats {
+    /// Frames that entered the pipeline: received plus every created
+    /// copy.
+    pub fn sources(&self) -> u64 {
+        self.received + self.flood_copies + self.module_copies
+    }
+
+    /// Frames that reached a final counted fate.
+    pub fn sinks(&self) -> u64 {
+        self.delivered
+            + self.dropped_by_modules
+            + self.diverted_by_modules
+            + self.to_control
+            + self.absorbed_by_modules
+            + self.dropped_malformed
+            + self.filtered_hairpin
+    }
+
+    /// The conservation identity: every source frame has exactly one
+    /// sink.
+    pub fn conserved(&self) -> bool {
+        self.sources() == self.sinks()
+    }
+
+    /// Fold a cage pass into the counters (everything except the
+    /// matched outputs, whose fate the caller decides).
+    pub(crate) fn absorb_pass(&mut self, pass: &ModulePass) {
+        self.dropped_by_modules += pass.dropped;
+        self.diverted_by_modules += pass.diverted;
+        self.to_control += pass.to_control;
+        self.module_copies += pass.gains();
+        self.absorbed_by_modules += pass.absorbed();
+    }
 }
 
 /// The legacy switch.
@@ -84,41 +146,12 @@ impl LegacySwitch {
     /// Access the module in `port`, if any (for management via the OOB
     /// path).
     pub fn module_mut(&mut self, port: usize) -> Option<&mut FlexSfp> {
-        match &mut self.cages[port] {
-            Cage::FlexSfp(m) => Some(m),
-            Cage::StandardSfp => None,
-        }
+        self.cages[port].module_mut()
     }
 
     /// Learned MAC table size.
     pub fn learned(&self) -> usize {
         self.mac_table.len()
-    }
-
-    /// Pass a frame through the module in `cage` in `direction`;
-    /// `None` when the module dropped/diverted it.
-    fn through_module(
-        cage: &mut Cage,
-        frame: Vec<u8>,
-        direction: Direction,
-        t_ns: u64,
-    ) -> Option<Vec<u8>> {
-        match cage {
-            Cage::StandardSfp => Some(frame),
-            Cage::FlexSfp(m) => {
-                let report = m.run(vec![SimPacket {
-                    arrival_ns: t_ns,
-                    direction,
-                    frame,
-                }]);
-                let expect = Interface::egress_for(direction);
-                report
-                    .outputs
-                    .into_iter()
-                    .find(|o| o.egress == expect)
-                    .map(|o| o.frame)
-            }
-        }
     }
 
     /// Offer a frame arriving from the wire on `port` at `t_ns`.
@@ -128,14 +161,21 @@ impl LegacySwitch {
         self.time_ns = self.time_ns.max(t_ns);
         self.stats.received += 1;
         // Ingress: wire → module (optical side faces the wire) → ASIC.
-        let Some(frame) =
-            Self::through_module(&mut self.cages[port], frame, Direction::OpticalToEdge, t_ns)
-        else {
-            self.stats.dropped_by_modules += 1;
-            return Vec::new();
-        };
+        let pass = through_cage(&mut self.cages[port], frame, Direction::OpticalToEdge, t_ns);
+        self.stats.absorb_pass(&pass);
+        let mut out = Vec::new();
+        for frame in pass.matched {
+            self.bridge(port, frame, t_ns, &mut out);
+        }
+        out
+    }
+
+    /// The ASIC half: validate, learn, pick egress ports, run each copy
+    /// through its egress cage.
+    fn bridge(&mut self, port: usize, frame: Vec<u8>, t_ns: u64, out: &mut Vec<Delivery>) {
         let Ok(eth) = EthernetFrame::new_checked(&frame[..]) else {
-            return Vec::new();
+            self.stats.dropped_malformed += 1;
+            return;
         };
         // Learn the source.
         let src = eth.src();
@@ -152,9 +192,13 @@ impl LegacySwitch {
                 (0..self.cages.len()).filter(|&p| p != port).collect()
             }
         };
+        if egress_ports.is_empty() {
+            self.stats.filtered_hairpin += 1;
+            return;
+        }
+        self.stats.flood_copies += egress_ports.len() as u64 - 1;
         // Egress: ASIC → module (edge side faces the ASIC) → wire. The
         // last port takes the frame by move, so unicast never clones.
-        let mut out = Vec::new();
         let last = egress_ports.len();
         let mut frame = frame;
         for (i, p) in egress_ports.into_iter().enumerate() {
@@ -163,20 +207,18 @@ impl LegacySwitch {
             } else {
                 frame.clone()
             };
-            match Self::through_module(
+            let pass = through_cage(
                 &mut self.cages[p],
                 egress_frame,
                 Direction::EdgeToOptical,
                 t_ns,
-            ) {
-                Some(f) => {
-                    self.stats.delivered += 1;
-                    out.push(Delivery { port: p, frame: f });
-                }
-                None => self.stats.dropped_by_modules += 1,
+            );
+            self.stats.absorb_pass(&pass);
+            for f in pass.matched {
+                self.stats.delivered += 1;
+                out.push(Delivery { port: p, frame: f });
             }
         }
-        out
     }
 }
 
@@ -212,6 +254,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].port, 2);
         assert_eq!(sw.stats.flooded, 1);
+        // The flood created two extra copies; every frame is accounted.
+        assert_eq!(sw.stats.flood_copies, 2);
+        assert_eq!(sw.stats.delivered, 5);
+        assert!(sw.stats.conserved(), "{:?}", sw.stats);
     }
 
     #[test]
@@ -221,6 +267,19 @@ mod tests {
         sw.inject(0, frame(HOST_A, HOST_B, 80), 1); // learn B@0 too
         let out = sw.inject(0, frame(HOST_B, HOST_A, 80), 2);
         assert!(out.is_empty());
+        // Hairpin frames are counted, not leaked.
+        assert_eq!(sw.stats.filtered_hairpin, 2);
+        assert!(sw.stats.conserved(), "{:?}", sw.stats);
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_not_leaked() {
+        let mut sw = LegacySwitch::new(2);
+        let out = sw.inject(0, vec![0xde, 0xad], 0); // far too short
+        assert!(out.is_empty());
+        assert_eq!(sw.stats.dropped_malformed, 1);
+        assert_eq!(sw.stats.received, 1);
+        assert!(sw.stats.conserved(), "{:?}", sw.stats);
     }
 
     #[test]
@@ -259,6 +318,7 @@ mod tests {
         let out = sw.inject(0, frame(HOST_B, HOST_A, 443), 200);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].port, 1);
+        assert!(sw.stats.conserved(), "{:?}", sw.stats);
     }
 
     #[test]
@@ -275,6 +335,7 @@ mod tests {
         assert_eq!(out.len(), 1);
         let parsed = flexsfp_ppe::Parser::default().parse(&out[0].frame).unwrap();
         assert_eq!(parsed.vlans, vec![200]);
+        assert!(sw.stats.conserved(), "{:?}", sw.stats);
     }
 
     #[test]
@@ -289,6 +350,67 @@ mod tests {
         let removed = sw.remove_flexsfp(0);
         assert!(removed.is_some());
         assert_eq!(sw.inject(0, frame(HOST_B, HOST_A, 80), 3).len(), 1);
+        assert!(sw.stats.conserved(), "{:?}", sw.stats);
+    }
+
+    #[test]
+    fn control_diversion_counts_to_control() {
+        use flexsfp_ppe::{PacketProcessor, ProcessContext, Verdict};
+
+        /// Punts every frame to the embedded control plane.
+        struct Punt;
+        impl PacketProcessor for Punt {
+            fn name(&self) -> &str {
+                "punt"
+            }
+            fn process(&mut self, _ctx: &ProcessContext, _packet: &mut Vec<u8>) -> Verdict {
+                Verdict::ToControlPlane
+            }
+        }
+
+        let mut sw = LegacySwitch::new(2);
+        sw.inject(0, frame(HOST_B, HOST_A, 80), 0);
+        sw.inject(1, frame(HOST_A, HOST_B, 80), 1);
+        sw.insert_flexsfp(0, FlexSfp::new(ModuleConfig::two_way_2x(), Box::new(Punt)));
+        // Every frame entering port 0 is consumed by the module's
+        // control plane: counted, not leaked, and not a module "drop".
+        let out = sw.inject(0, frame(HOST_B, HOST_A, 80), 100);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats.to_control, 1);
+        assert_eq!(sw.stats.dropped_by_modules, 0);
+        assert!(sw.stats.conserved(), "{:?}", sw.stats);
+    }
+
+    #[test]
+    fn reflecting_module_counts_diverted_frames() {
+        use flexsfp_ppe::{PacketProcessor, ProcessContext, Verdict};
+
+        /// Bounces every frame back out the interface it came from.
+        struct Reflector;
+        impl PacketProcessor for Reflector {
+            fn name(&self) -> &str {
+                "reflector"
+            }
+            fn process(&mut self, _ctx: &ProcessContext, _packet: &mut Vec<u8>) -> Verdict {
+                Verdict::Reflect
+            }
+        }
+
+        let mut sw = LegacySwitch::new(2);
+        sw.inject(0, frame(HOST_B, HOST_A, 80), 0);
+        sw.inject(1, frame(HOST_A, HOST_B, 80), 1);
+        sw.insert_flexsfp(
+            1,
+            FlexSfp::new(ModuleConfig::two_way_2x(), Box::new(Reflector)),
+        );
+        // A→B hits port 1's egress module, which reflects it back
+        // toward the ASIC: nothing is delivered, and the frame is
+        // counted as diverted rather than vanishing.
+        let out = sw.inject(0, frame(HOST_B, HOST_A, 80), 100);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats.diverted_by_modules, 1);
+        assert_eq!(sw.stats.dropped_by_modules, 0);
+        assert!(sw.stats.conserved(), "{:?}", sw.stats);
     }
 
     #[test]

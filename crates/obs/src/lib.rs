@@ -25,6 +25,9 @@
 //!   instead of lifetime-only aggregates;
 //! * [`slo`] — [`SloSpec`] evaluation over a windowed series into an
 //!   [`SloReport`] naming each breach window;
+//! * [`xbar`] — the crossbar-fabric telemetry snapshot
+//!   ([`XbarTelemetry`]) a rack bridge exports next to its cages'
+//!   module snapshots, with sparse per-crosspoint counters;
 //! * [`prometheus`] — Prometheus text-exposition rendering helpers used
 //!   by the host-side fleet collector;
 //! * [`json`] — a dependency-free JSON value/parser/emitter (with the
@@ -47,6 +50,7 @@ pub mod slo;
 pub mod snapshot;
 pub mod timeseries;
 pub mod trace;
+pub mod xbar;
 
 pub use events::{DataplaneEvent, DropReason, EventKind, EventRing};
 pub use histogram::LatencyHistogram;
@@ -59,3 +63,4 @@ pub use snapshot::{
 };
 pub use timeseries::{WindowBucket, WindowedSeries};
 pub use trace::{FlightRecord, FlightRing, FlightStamp, FlightVerdict, StageStamp};
+pub use xbar::{CrosspointCounters, XbarTelemetry};
